@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the end-to-end study: world generation (the
+//! synthetic stand-in for syncing and parsing the chain) and the complete
+//! analysis (§III–§VI, i.e. everything needed to regenerate all tables and
+//! figures), at two workload scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workload::{WorkloadConfig, World};
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for &scale in &[0.005f64, 0.01] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| World::generate(WorkloadConfig::paper_scaled(11, scale)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_tables_and_figures");
+    group.sample_size(10);
+    for &scale in &[0.005f64, 0.01] {
+        let world = bench_suite::build_world(scale, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &world, |b, world| {
+            b.iter(|| bench_suite::analyze_world(world))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_generation, bench_full_analysis);
+criterion_main!(benches);

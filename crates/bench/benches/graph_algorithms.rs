@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the graph-analysis substrate: strongly connected
+//! component search (the per-NFT candidate search of §IV-A) and pattern
+//! canonicalization (the Fig. 7 classification), at several graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphlib::{suspicious_components, DiMultiGraph, PatternCatalogue};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random trading graph: `nodes` accounts, `edges` sales, with a planted
+/// round-trip pair so at least one SCC exists.
+fn random_graph(nodes: usize, edges: usize, seed: u64) -> DiMultiGraph<usize, ()> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graph = DiMultiGraph::new();
+    for node in 0..nodes {
+        graph.add_node(node);
+    }
+    for _ in 0..edges {
+        let source = rng.gen_range(0..nodes);
+        let target = rng.gen_range(0..nodes);
+        graph.add_edge(source, target, ());
+    }
+    graph.add_edge(0, 1, ());
+    graph.add_edge(1, 0, ());
+    graph
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec4a_scc_search");
+    for &(nodes, edges) in &[(100usize, 300usize), (1_000, 3_000), (10_000, 30_000)] {
+        let graph = random_graph(nodes, edges, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{edges}e")),
+            &graph,
+            |b, graph| b.iter(|| suspicious_components(graph)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pattern_classification(c: &mut Criterion) {
+    let catalogue = PatternCatalogue::paper();
+    let mut group = c.benchmark_group("fig7_pattern_classification");
+    let shapes: Vec<(usize, Vec<(usize, usize)>)> = catalogue
+        .specs()
+        .iter()
+        .map(|spec| (spec.participants, spec.edges.clone()))
+        .collect();
+    group.bench_function("classify_catalogue_shapes", |b| {
+        b.iter(|| {
+            for (nodes, edges) in &shapes {
+                let _ = catalogue.classify(*nodes, edges);
+            }
+        })
+    });
+    // The worst case: an 8-node shape requires checking 8! permutations.
+    let cycle8: Vec<(usize, usize)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+    group.bench_function("canonicalize_8_node_cycle", |b| {
+        b.iter(|| graphlib::CanonicalDigraph::from_edges(8, &cycle8))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_scc, bench_pattern_classification
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of each pipeline stage, measured on the small test
+//! world. Every stage maps to a step of the paper's methodology:
+//! dataset construction (§III, Table I), graph construction (§IV-A),
+//! refinement (§IV-B), detection (§IV-C/D, Fig. 2), characterization (§V,
+//! Table II / Figs. 3–7) and profitability (§VI, Table III).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use washtrade::{
+    characterize::characterize,
+    dataset::Dataset,
+    detect::Detector,
+    profit::{analyze_resales, analyze_rewards},
+    refine::Refiner,
+    txgraph::NftGraph,
+};
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let mut group = c.benchmark_group("pipeline_stages");
+
+    group.bench_function("table1_dataset_build", |b| {
+        b.iter(|| Dataset::build(&world.chain, &world.directory))
+    });
+
+    let dataset = Dataset::build(&world.chain, &world.directory);
+    group.bench_function("sec4a_graph_construction", |b| {
+        b.iter(|| NftGraph::from_dataset(&dataset))
+    });
+
+    let graphs = NftGraph::from_dataset(&dataset);
+    group.bench_function("sec4b_refinement", |b| {
+        b.iter(|| Refiner::new(&world.chain, &world.labels).refine(&graphs))
+    });
+
+    let (candidates, _) = Refiner::new(&world.chain, &world.labels).refine(&graphs);
+    let graph_map: HashMap<_, _> = graphs.iter().map(|g| (g.nft, g.clone())).collect();
+    group.bench_function("fig2_detection", |b| {
+        b.iter(|| Detector::new(&world.chain, &world.labels).detect(&candidates, &graph_map))
+    });
+
+    let detection = Detector::new(&world.chain, &world.labels).detect(&candidates, &graph_map);
+    group.bench_function("table2_fig3to7_characterization", |b| {
+        b.iter(|| {
+            characterize(&detection.confirmed, &dataset, &world.directory, &world.oracle)
+        })
+    });
+
+    group.bench_function("table3_reward_profitability", |b| {
+        b.iter(|| {
+            analyze_rewards(&detection.confirmed, &world.chain, &world.directory, &world.oracle)
+        })
+    });
+
+    group.bench_function("sec6b_resale_profitability", |b| {
+        b.iter(|| {
+            analyze_resales(
+                &detection.confirmed,
+                &world.chain,
+                &world.directory,
+                &world.oracle,
+                &graph_map,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,619 @@
+//! Characterization of confirmed wash-trading activities (§V of the paper):
+//! volumes per marketplace and collection, temporal behaviour, participation
+//! patterns and serial wash traders.
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, Timestamp};
+use graphlib::{PatternCatalogue, PatternId};
+use marketplace::MarketplaceDirectory;
+use oracle::PriceOracle;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::detect::ConfirmedActivity;
+use crate::refine::Candidate;
+use crate::stats::Cdf;
+
+/// One row of Table II: wash trading on a marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketplaceWashRow {
+    /// Marketplace name (or "Off-market" for direct transfers).
+    pub name: String,
+    /// Number of distinct NFTs affected.
+    pub nfts: usize,
+    /// Number of confirmed activities.
+    pub activities: usize,
+    /// Wash-traded volume in ETH.
+    pub volume_eth: f64,
+    /// Wash-traded volume in USD at trade time.
+    pub volume_usd: f64,
+    /// Wash volume as a share of the marketplace's total volume (0–1);
+    /// `None` for off-market activity, which has no marketplace total.
+    pub share_of_marketplace_volume: Option<f64>,
+}
+
+/// Fig. 4 data: the lifetime distribution of activities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeStats {
+    /// Empirical CDF of activity lifetimes, in days.
+    pub cdf_days: Cdf,
+    /// Fraction of activities lasting at most one day.
+    pub within_one_day: f64,
+    /// Fraction of activities lasting less than ten days.
+    pub within_ten_days: f64,
+}
+
+/// Fig. 5 data: wash-trading occurrences relative to collection creation, for
+/// the collections with the most affected NFTs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionTimeline {
+    /// The collection contract.
+    pub collection: Address,
+    /// Timestamp of the first observed transfer of the collection (its
+    /// creation, as seen on chain).
+    pub created_at: Timestamp,
+    /// Number of distinct NFTs of the collection affected by wash trading.
+    pub affected_nfts: usize,
+    /// Wash-traded volume on the collection, in USD.
+    pub volume_usd: f64,
+    /// Timestamps of the confirmed activities (first trade of each).
+    pub activity_times: Vec<Timestamp>,
+}
+
+/// Fig. 6 / Fig. 7 data: participation and shape of the activities.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PatternStats {
+    /// Histogram of the number of participating accounts: index 0 holds
+    /// one-account activities, …, index 4 holds five-account activities,
+    /// index 5 holds six or more.
+    pub accounts_histogram: [usize; 6],
+    /// Occurrences per catalogued Fig. 7 pattern id.
+    pub pattern_occurrences: HashMap<usize, usize>,
+    /// Activities whose shape is not in the 12-pattern catalogue.
+    pub uncatalogued: usize,
+    /// Fraction of activities performed by exactly two accounts.
+    pub two_account_fraction: f64,
+    /// Fraction of activities that are pure self-trades (pattern 0).
+    pub self_trade_fraction: f64,
+}
+
+/// §V-D data: serial wash traders.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SerialTraderStats {
+    /// Total accounts involved in confirmed activities.
+    pub total_accounts: usize,
+    /// Accounts involved in two or more activities.
+    pub serial_accounts: usize,
+    /// Activities involving at least one serial account.
+    pub activities_with_serials: usize,
+    /// Total confirmed activities.
+    pub total_activities: usize,
+    /// Mean number of activities per serial account.
+    pub mean_activities_per_serial: f64,
+    /// Maximum number of activities a single account participates in.
+    pub max_activities_per_account: usize,
+    /// Fraction of serial accounts that hit the same collection repeatedly.
+    pub same_collection_fraction: f64,
+    /// Fraction of serial accounts that collaborate exclusively with other
+    /// serial accounts.
+    pub exclusive_collaboration_fraction: f64,
+}
+
+/// The full §V characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Total confirmed activities.
+    pub total_activities: usize,
+    /// Total wash-traded volume in USD.
+    pub total_volume_usd: f64,
+    /// Total wash-traded volume in ETH.
+    pub total_volume_eth: f64,
+    /// Table II rows, sorted by wash volume.
+    pub per_marketplace: Vec<MarketplaceWashRow>,
+    /// Fig. 3 data: per-marketplace CDFs of activity volume (USD), plus the
+    /// volume CDF of unaffected (legit) trading.
+    pub volume_cdfs: HashMap<String, Cdf>,
+    /// Fig. 4 data.
+    pub lifetimes: LifetimeStats,
+    /// Fig. 5 data (top collections by affected NFTs).
+    pub collection_timelines: Vec<CollectionTimeline>,
+    /// Fig. 6 / Fig. 7 data.
+    pub patterns: PatternStats,
+    /// §V-D data.
+    pub serial_traders: SerialTraderStats,
+    /// §V-B: fraction of activities whose NFT was acquired the same day the
+    /// manipulation started, and within 14 days.
+    pub acquired_same_day_fraction: f64,
+    /// Fraction acquired at most 14 days before the first wash trade.
+    pub acquired_within_two_weeks_fraction: f64,
+}
+
+/// The shape (distinct directed edges over local positions) of a candidate's
+/// internal trading, used for pattern classification.
+pub fn component_shape(candidate: &Candidate) -> Vec<(usize, usize)> {
+    let position: HashMap<Address, usize> = candidate
+        .accounts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (*a, i))
+        .collect();
+    let mut shape: Vec<(usize, usize)> = candidate
+        .internal_edges
+        .iter()
+        .map(|(from, to, _)| (position[from], position[to]))
+        .collect();
+    shape.sort_unstable();
+    shape.dedup();
+    shape
+}
+
+/// Produce the §V characterization of the confirmed activities.
+///
+/// `dataset` supplies the unaffected-trading baseline (Fig. 3) and collection
+/// creation times (Fig. 5); `directory` and `oracle` provide marketplace
+/// attribution and USD conversion.
+pub fn characterize(
+    activities: &[ConfirmedActivity],
+    dataset: &Dataset,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+) -> Characterization {
+    let catalogue = PatternCatalogue::paper();
+
+    // --- Volumes per marketplace (Table II) and per activity (Fig. 3). ---
+    let market_totals: HashMap<String, f64> = dataset
+        .marketplace_volumes(directory, oracle)
+        .into_iter()
+        .map(|row| (row.name, row.volume_usd))
+        .collect();
+
+    struct MarketAccumulator {
+        nfts: HashSet<tokens::NftId>,
+        activities: usize,
+        volume_eth: f64,
+        volume_usd: f64,
+        activity_volumes_usd: Vec<f64>,
+    }
+    let mut per_market: HashMap<String, MarketAccumulator> = HashMap::new();
+    let mut total_volume_usd = 0.0;
+    let mut total_volume_eth = 0.0;
+
+    let usd_volume_of = |activity: &ConfirmedActivity| -> f64 {
+        activity
+            .candidate
+            .internal_edges
+            .iter()
+            .map(|(_, _, edge)| oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0))
+            .sum()
+    };
+
+    for activity in activities {
+        let name = activity
+            .candidate
+            .dominant_marketplace()
+            .and_then(|contract| directory.by_contract(contract))
+            .map(|info| info.name.clone())
+            .unwrap_or_else(|| "Off-market".to_string());
+        let volume_usd = usd_volume_of(activity);
+        let volume_eth = activity.candidate.volume.to_eth();
+        total_volume_usd += volume_usd;
+        total_volume_eth += volume_eth;
+        let accumulator = per_market.entry(name).or_insert_with(|| MarketAccumulator {
+            nfts: HashSet::new(),
+            activities: 0,
+            volume_eth: 0.0,
+            volume_usd: 0.0,
+            activity_volumes_usd: Vec::new(),
+        });
+        accumulator.nfts.insert(activity.nft());
+        accumulator.activities += 1;
+        accumulator.volume_eth += volume_eth;
+        accumulator.volume_usd += volume_usd;
+        accumulator.activity_volumes_usd.push(volume_usd);
+    }
+
+    let mut per_marketplace: Vec<MarketplaceWashRow> = per_market
+        .iter()
+        .map(|(name, accumulator)| MarketplaceWashRow {
+            name: name.clone(),
+            nfts: accumulator.nfts.len(),
+            activities: accumulator.activities,
+            volume_eth: accumulator.volume_eth,
+            volume_usd: accumulator.volume_usd,
+            share_of_marketplace_volume: market_totals.get(name).map(|total| {
+                if *total > 0.0 {
+                    accumulator.volume_usd / total
+                } else {
+                    0.0
+                }
+            }),
+        })
+        .collect();
+    per_marketplace.sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd));
+
+    // Fig. 3: per-marketplace activity volume CDFs plus a legit baseline.
+    let mut volume_cdfs: HashMap<String, Cdf> = per_market
+        .into_iter()
+        .map(|(name, accumulator)| (name, Cdf::new(accumulator.activity_volumes_usd)))
+        .collect();
+    let wash_txs: HashSet<ethsim::TxHash> = activities
+        .iter()
+        .flat_map(|a| a.candidate.internal_edges.iter().map(|(_, _, e)| e.tx_hash))
+        .collect();
+    let legit_volumes: Vec<f64> = dataset
+        .transfers_by_nft
+        .values()
+        .flatten()
+        .filter(|t| !wash_txs.contains(&t.tx_hash) && !t.price.is_zero())
+        .map(|t| oracle.wei_to_usd(t.price, t.timestamp).unwrap_or(0.0))
+        .collect();
+    volume_cdfs.insert("Volume w/o wash trading".to_string(), Cdf::new(legit_volumes));
+
+    // --- Temporal analysis (Fig. 4, §V-B, Fig. 5). ---
+    let lifetimes_days: Vec<f64> = activities
+        .iter()
+        .map(|a| a.candidate.lifetime_days() as f64)
+        .collect();
+    let cdf_days = Cdf::new(lifetimes_days);
+    let lifetimes = LifetimeStats {
+        within_one_day: cdf_days.fraction_at_most(1.0),
+        within_ten_days: cdf_days.fraction_at_most(9.0),
+        cdf_days,
+    };
+
+    // Acquisition lead time: last transfer into the component from outside
+    // (or the mint) before the first internal trade.
+    let mut acquired_same_day = 0usize;
+    let mut acquired_within_two_weeks = 0usize;
+    for activity in activities {
+        let accounts: HashSet<Address> = activity.candidate.accounts.iter().copied().collect();
+        let acquisition = dataset
+            .transfers_by_nft
+            .get(&activity.nft())
+            .into_iter()
+            .flatten()
+            .filter(|t| {
+                accounts.contains(&t.to)
+                    && !accounts.contains(&t.from)
+                    && t.timestamp <= activity.candidate.first_trade
+            })
+            .map(|t| t.timestamp)
+            .max();
+        if let Some(acquired_at) = acquisition {
+            let days = activity.candidate.first_trade.days_since(acquired_at);
+            if days == 0 {
+                acquired_same_day += 1;
+            }
+            if days <= 14 {
+                acquired_within_two_weeks += 1;
+            }
+        }
+    }
+    let acquired_base = activities.len().max(1) as f64;
+
+    // Fig. 5: collection creation vs activity occurrences.
+    let collection_created: HashMap<Address, Timestamp> = {
+        let mut created: HashMap<Address, Timestamp> = HashMap::new();
+        for transfers in dataset.transfers_by_nft.values() {
+            for transfer in transfers {
+                let entry = created.entry(transfer.nft.contract).or_insert(transfer.timestamp);
+                if transfer.timestamp < *entry {
+                    *entry = transfer.timestamp;
+                }
+            }
+        }
+        created
+    };
+    struct TimelineAccumulator {
+        nfts: HashSet<tokens::NftId>,
+        volume_usd: f64,
+        times: Vec<Timestamp>,
+    }
+    let mut per_collection: HashMap<Address, TimelineAccumulator> = HashMap::new();
+    for activity in activities {
+        let accumulator = per_collection
+            .entry(activity.nft().contract)
+            .or_insert_with(|| TimelineAccumulator {
+                nfts: HashSet::new(),
+                volume_usd: 0.0,
+                times: Vec::new(),
+            });
+        accumulator.nfts.insert(activity.nft());
+        accumulator.volume_usd += usd_volume_of(activity);
+        accumulator.times.push(activity.candidate.first_trade);
+    }
+    let mut collection_timelines: Vec<CollectionTimeline> = per_collection
+        .into_iter()
+        .map(|(collection, accumulator)| {
+            let mut activity_times = accumulator.times;
+            activity_times.sort();
+            CollectionTimeline {
+                collection,
+                created_at: collection_created
+                    .get(&collection)
+                    .copied()
+                    .unwrap_or(Timestamp::from_secs(0)),
+                affected_nfts: accumulator.nfts.len(),
+                volume_usd: accumulator.volume_usd,
+                activity_times,
+            }
+        })
+        .collect();
+    collection_timelines.sort_by(|a, b| b.affected_nfts.cmp(&a.affected_nfts));
+    collection_timelines.truncate(10);
+
+    // --- Patterns (Fig. 6 / Fig. 7). ---
+    let mut patterns = PatternStats::default();
+    let mut self_trades = 0usize;
+    let mut two_accounts = 0usize;
+    for activity in activities {
+        let accounts = activity.candidate.accounts.len();
+        let bucket = accounts.clamp(1, 6) - 1;
+        patterns.accounts_histogram[bucket] += 1;
+        if accounts == 2 {
+            two_accounts += 1;
+        }
+        let shape = component_shape(&activity.candidate);
+        match catalogue.classify(accounts, &shape) {
+            Some(PatternId(id)) => {
+                *patterns.pattern_occurrences.entry(id).or_insert(0) += 1;
+                if id == 0 {
+                    self_trades += 1;
+                }
+            }
+            None => patterns.uncatalogued += 1,
+        }
+    }
+    let total = activities.len().max(1) as f64;
+    patterns.two_account_fraction = two_accounts as f64 / total;
+    patterns.self_trade_fraction = self_trades as f64 / total;
+
+    // --- Serial traders (§V-D). ---
+    let mut activities_per_account: HashMap<Address, Vec<usize>> = HashMap::new();
+    for (index, activity) in activities.iter().enumerate() {
+        for account in &activity.candidate.accounts {
+            activities_per_account.entry(*account).or_default().push(index);
+        }
+    }
+    let serials: HashSet<Address> = activities_per_account
+        .iter()
+        .filter(|(_, list)| list.len() >= 2)
+        .map(|(account, _)| *account)
+        .collect();
+    let activities_with_serials = activities
+        .iter()
+        .filter(|a| a.candidate.accounts.iter().any(|account| serials.contains(account)))
+        .count();
+    let mean_activities_per_serial = if serials.is_empty() {
+        0.0
+    } else {
+        serials
+            .iter()
+            .map(|account| activities_per_account[account].len())
+            .sum::<usize>() as f64
+            / serials.len() as f64
+    };
+    let max_activities_per_account = activities_per_account
+        .values()
+        .map(|list| list.len())
+        .max()
+        .unwrap_or(0);
+    let same_collection_serials = serials
+        .iter()
+        .filter(|account| {
+            let collections: HashSet<Address> = activities_per_account[*account]
+                .iter()
+                .map(|&index| activities[index].nft().contract)
+                .collect();
+            collections.len() < activities_per_account[*account].len()
+        })
+        .count();
+    let exclusive_collaborators = serials
+        .iter()
+        .filter(|account| {
+            activities_per_account[*account].iter().all(|&index| {
+                activities[index]
+                    .candidate
+                    .accounts
+                    .iter()
+                    .all(|other| other == *account || serials.contains(other))
+            })
+        })
+        .count();
+    let serial_traders = SerialTraderStats {
+        total_accounts: activities_per_account.len(),
+        serial_accounts: serials.len(),
+        activities_with_serials,
+        total_activities: activities.len(),
+        mean_activities_per_serial,
+        max_activities_per_account,
+        same_collection_fraction: if serials.is_empty() {
+            0.0
+        } else {
+            same_collection_serials as f64 / serials.len() as f64
+        },
+        exclusive_collaboration_fraction: if serials.is_empty() {
+            0.0
+        } else {
+            exclusive_collaborators as f64 / serials.len() as f64
+        },
+    };
+
+    Characterization {
+        total_activities: activities.len(),
+        total_volume_usd,
+        total_volume_eth,
+        per_marketplace,
+        volume_cdfs,
+        lifetimes,
+        collection_timelines,
+        patterns,
+        serial_traders,
+        acquired_same_day_fraction: acquired_same_day as f64 / acquired_base,
+        acquired_within_two_weeks_fraction: acquired_within_two_weeks as f64 / acquired_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::MethodSet;
+    use crate::refine::Candidate;
+    use crate::txgraph::TradeEdge;
+    use ethsim::{TxHash, Wei};
+    use tokens::NftId;
+
+    fn activity(
+        collection: &str,
+        token: u64,
+        accounts: &[&str],
+        edges: &[(usize, usize, f64)],
+        start_secs: u64,
+        lifetime_days: u64,
+    ) -> ConfirmedActivity {
+        let accounts: Vec<Address> = {
+            let mut a: Vec<Address> = accounts.iter().map(|s| Address::derived(s)).collect();
+            a.sort();
+            a
+        };
+        let internal_edges: Vec<(Address, Address, TradeEdge)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, (from, to, price))| {
+                (
+                    accounts[*from],
+                    accounts[*to],
+                    TradeEdge {
+                        timestamp: Timestamp::from_secs(
+                            start_secs
+                                + i as u64 * lifetime_days * 86_400
+                                    / (edges.len() as u64 - 1).max(1),
+                        ),
+                        tx_hash: TxHash::hash_of(format!("{collection}-{token}-{i}").as_bytes()),
+                        marketplace: None,
+                        price: Wei::from_eth(*price),
+                    },
+                )
+            })
+            .collect();
+        let first = internal_edges.iter().map(|(_, _, e)| e.timestamp).min().unwrap();
+        let last = internal_edges.iter().map(|(_, _, e)| e.timestamp).max().unwrap();
+        ConfirmedActivity {
+            candidate: Candidate {
+                nft: NftId::new(Address::derived(collection), token),
+                accounts,
+                volume: internal_edges.iter().map(|(_, _, e)| e.price).sum(),
+                first_trade: first,
+                last_trade: last,
+                internal_edges,
+            },
+            methods: MethodSet {
+                zero_risk: true,
+                ..MethodSet::default()
+            },
+        }
+    }
+
+    fn fixtures() -> Vec<ConfirmedActivity> {
+        vec![
+            // Round trip by two accounts, one-day lifetime.
+            activity("meebits", 1, &["s1", "s2"], &[(0, 1, 1.0), (1, 0, 1.0)], 1_000_000, 0),
+            // The same pair hits the same collection again (serial traders).
+            activity("meebits", 2, &["s1", "s2"], &[(0, 1, 2.0), (1, 0, 2.0)], 2_000_000, 3),
+            // A 3-cycle by unrelated accounts, longer lifetime.
+            activity(
+                "loot",
+                7,
+                &["t1", "t2", "t3"],
+                &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+                3_000_000,
+                20,
+            ),
+            // A self-trade.
+            activity("loot", 9, &["solo"], &[(0, 0, 5.0)], 4_000_000, 0),
+        ]
+    }
+
+    fn empty_dataset_and_friends() -> (Dataset, MarketplaceDirectory, PriceOracle) {
+        (
+            Dataset::default(),
+            MarketplaceDirectory::new(),
+            PriceOracle::paper_presets(Timestamp::from_secs(0), 400, 1),
+        )
+    }
+
+    #[test]
+    fn pattern_and_account_statistics() {
+        let activities = fixtures();
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&activities, &dataset, &directory, &oracle);
+        assert_eq!(characterization.total_activities, 4);
+        assert_eq!(characterization.patterns.accounts_histogram[0], 1); // self-trade
+        assert_eq!(characterization.patterns.accounts_histogram[1], 2); // pairs
+        assert_eq!(characterization.patterns.accounts_histogram[2], 1); // triple
+        assert_eq!(characterization.patterns.pattern_occurrences.get(&1), Some(&2));
+        assert_eq!(characterization.patterns.pattern_occurrences.get(&2), Some(&1));
+        assert_eq!(characterization.patterns.pattern_occurrences.get(&0), Some(&1));
+        assert_eq!(characterization.patterns.uncatalogued, 0);
+        assert!((characterization.patterns.two_account_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_statistics() {
+        let activities = fixtures();
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&activities, &dataset, &directory, &oracle);
+        // Two activities are same-day, one lasts 3 days (within ten), one 20.
+        assert!((characterization.lifetimes.within_one_day - 0.5).abs() < 1e-9);
+        assert!((characterization.lifetimes.within_ten_days - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_trader_statistics() {
+        let activities = fixtures();
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&activities, &dataset, &directory, &oracle);
+        let serial = &characterization.serial_traders;
+        assert_eq!(serial.total_accounts, 6);
+        assert_eq!(serial.serial_accounts, 2); // s1 and s2
+        assert_eq!(serial.activities_with_serials, 2);
+        assert_eq!(serial.max_activities_per_account, 2);
+        assert!((serial.mean_activities_per_serial - 2.0).abs() < 1e-9);
+        // s1/s2 repeatedly target the same collection and only work together.
+        assert!((serial.same_collection_fraction - 1.0).abs() < 1e-9);
+        assert!((serial.exclusive_collaboration_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marketplace_rows_cover_off_market_activity() {
+        let activities = fixtures();
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&activities, &dataset, &directory, &oracle);
+        assert_eq!(characterization.per_marketplace.len(), 1);
+        assert_eq!(characterization.per_marketplace[0].name, "Off-market");
+        assert_eq!(characterization.per_marketplace[0].activities, 4);
+        assert!(characterization.total_volume_usd > 0.0);
+        assert!(characterization.volume_cdfs.contains_key("Off-market"));
+    }
+
+    #[test]
+    fn collection_timelines_rank_by_affected_nfts() {
+        let activities = fixtures();
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&activities, &dataset, &directory, &oracle);
+        assert_eq!(characterization.collection_timelines.len(), 2);
+        assert!(characterization.collection_timelines[0].affected_nfts
+            >= characterization.collection_timelines[1].affected_nfts);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_characterization() {
+        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let characterization = characterize(&[], &dataset, &directory, &oracle);
+        assert_eq!(characterization.total_activities, 0);
+        assert_eq!(characterization.total_volume_usd, 0.0);
+        assert!(characterization.per_marketplace.is_empty());
+        assert_eq!(characterization.serial_traders.serial_accounts, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Dataset construction (§III of the paper).
+//!
+//! The pipeline starts from the chain's event logs: every log with the
+//! `Transfer(address,address,uint256)` topic and four topics is an ERC-721
+//! transfer candidate. The emitting contracts are then checked for ERC-165 /
+//! ERC-721 compliance, and the surviving transfers are grouped per NFT,
+//! annotated with the amount paid and the marketplace the transaction
+//! interacted with.
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, BlockNumber, Chain, LogFilter, Timestamp, TxHash, Wei};
+use marketplace::MarketplaceDirectory;
+use oracle::PriceOracle;
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+
+/// A single ERC-721 transfer, annotated for graph construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NftTransfer {
+    /// The NFT being moved.
+    pub nft: NftId,
+    /// Previous owner (null address for mints).
+    pub from: Address,
+    /// New owner (null address for burns).
+    pub to: Address,
+    /// The transaction carrying the transfer log.
+    pub tx_hash: TxHash,
+    /// Block of the transaction.
+    pub block: BlockNumber,
+    /// Timestamp of the transaction.
+    pub timestamp: Timestamp,
+    /// Amount paid for the NFT in this transaction.
+    pub price: Wei,
+    /// The marketplace contract the transaction interacted with, if any.
+    pub marketplace: Option<Address>,
+}
+
+/// Aggregate dataset statistics for one marketplace (one row of Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketplaceVolume {
+    /// Marketplace name.
+    pub name: String,
+    /// Number of distinct NFTs traded there.
+    pub nfts: usize,
+    /// Number of sale transactions.
+    pub transactions: usize,
+    /// Traded volume in ETH.
+    pub volume_eth: f64,
+    /// Traded volume in USD at transaction time.
+    pub volume_usd: f64,
+}
+
+/// The assembled dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Transfer history per NFT, sorted by (block, transaction order).
+    pub transfers_by_nft: HashMap<NftId, Vec<NftTransfer>>,
+    /// Contracts that emitted ERC-721-shaped logs and passed the compliance
+    /// probe.
+    pub compliant_contracts: HashSet<Address>,
+    /// Contracts that emitted ERC-721-shaped logs but failed the probe; their
+    /// transfers are excluded from `transfers_by_nft`.
+    pub non_compliant_contracts: HashSet<Address>,
+    /// Number of raw ERC-721-shaped transfer logs scanned (before the
+    /// compliance filter).
+    pub raw_transfer_events: usize,
+}
+
+impl Dataset {
+    /// Build the dataset from a chain and the marketplace directory,
+    /// mirroring §III-A: scan transfer events, check compliance, store the
+    /// per-NFT transfer lists with price and marketplace annotations.
+    pub fn build(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
+        let filter = LogFilter::all()
+            .with_topic0(ethsim::log::transfer_topic())
+            .with_topic_count(4);
+        let entries = chain.logs(&filter);
+        let raw_transfer_events = entries.len();
+
+        // Compliance check per emitting contract (§III-A "ERC-721 compliance"):
+        // the structural equivalent of calling supportsInterface(0x80ac58cd).
+        let mut compliant = HashSet::new();
+        let mut non_compliant = HashSet::new();
+        for entry in &entries {
+            let contract = entry.log.address;
+            if compliant.contains(&contract) || non_compliant.contains(&contract) {
+                continue;
+            }
+            let supports = chain
+                .code_at(contract)
+                .map(tokens::compliance::supports_erc721_interface)
+                .unwrap_or(false);
+            if supports {
+                compliant.insert(contract);
+            } else {
+                non_compliant.insert(contract);
+            }
+        }
+
+        let mut transfers_by_nft: HashMap<NftId, Vec<NftTransfer>> = HashMap::new();
+        for entry in &entries {
+            let Some(decoded) = entry.log.decode_erc721_transfer() else {
+                continue;
+            };
+            if !compliant.contains(&decoded.contract) {
+                continue;
+            }
+            let tx = chain
+                .transaction(entry.tx_hash)
+                .expect("log entries reference existing transactions");
+            // Amount paid: the ETH attached to the transaction, or — when the
+            // payment went through an ERC-20 token (e.g. WETH bids) — the sum
+            // the buyer sent in that token's transfer logs.
+            let price = if !tx.value.is_zero() {
+                tx.value
+            } else {
+                let erc20_paid: u128 = tx
+                    .logs
+                    .iter()
+                    .filter_map(|log| log.decode_erc20_transfer())
+                    .filter(|t| t.from == decoded.to)
+                    .map(|t| t.amount)
+                    .sum();
+                Wei::new(erc20_paid)
+            };
+            let marketplace = tx.to.filter(|to| directory.by_contract(*to).is_some());
+            let nft = NftId::new(decoded.contract, decoded.token_id);
+            transfers_by_nft.entry(nft).or_default().push(NftTransfer {
+                nft,
+                from: decoded.from,
+                to: decoded.to,
+                tx_hash: entry.tx_hash,
+                block: entry.block,
+                timestamp: entry.timestamp,
+                price,
+                marketplace,
+            });
+        }
+        // `chain.logs` returns entries in execution order, so each NFT's
+        // transfer list is already chronological; make it explicit anyway.
+        for transfers in transfers_by_nft.values_mut() {
+            transfers.sort_by_key(|t| (t.block, t.timestamp));
+        }
+
+        Dataset {
+            transfers_by_nft,
+            compliant_contracts: compliant,
+            non_compliant_contracts: non_compliant,
+            raw_transfer_events,
+        }
+    }
+
+    /// Number of distinct NFTs with at least one transfer.
+    pub fn nft_count(&self) -> usize {
+        self.transfers_by_nft.len()
+    }
+
+    /// Total number of (compliant) transfers.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers_by_nft.values().map(|v| v.len()).sum()
+    }
+
+    /// All accounts appearing as source or recipient of a transfer.
+    pub fn accounts(&self) -> HashSet<Address> {
+        let mut accounts = HashSet::new();
+        for transfers in self.transfers_by_nft.values() {
+            for transfer in transfers {
+                accounts.insert(transfer.from);
+                accounts.insert(transfer.to);
+            }
+        }
+        accounts
+    }
+
+    /// Per-marketplace totals (Table I): NFTs, transactions and volume of all
+    /// activity attributed to each marketplace.
+    pub fn marketplace_volumes(
+        &self,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+    ) -> Vec<MarketplaceVolume> {
+        struct Accumulator {
+            nfts: HashSet<NftId>,
+            transactions: HashSet<TxHash>,
+            volume_eth: f64,
+            volume_usd: f64,
+        }
+        let mut per_market: HashMap<Address, Accumulator> = HashMap::new();
+        for transfers in self.transfers_by_nft.values() {
+            for transfer in transfers {
+                let Some(market) = transfer.marketplace else {
+                    continue;
+                };
+                let accumulator = per_market.entry(market).or_insert_with(|| Accumulator {
+                    nfts: HashSet::new(),
+                    transactions: HashSet::new(),
+                    volume_eth: 0.0,
+                    volume_usd: 0.0,
+                });
+                accumulator.nfts.insert(transfer.nft);
+                if accumulator.transactions.insert(transfer.tx_hash) {
+                    accumulator.volume_eth += transfer.price.to_eth();
+                    accumulator.volume_usd += oracle
+                        .wei_to_usd(transfer.price, transfer.timestamp)
+                        .unwrap_or(0.0);
+                }
+            }
+        }
+        let mut rows: Vec<MarketplaceVolume> = directory
+            .iter()
+            .map(|info| {
+                let accumulator = per_market.get(&info.contract);
+                MarketplaceVolume {
+                    name: info.name.clone(),
+                    nfts: accumulator.map(|a| a.nfts.len()).unwrap_or(0),
+                    transactions: accumulator.map(|a| a.transactions.len()).unwrap_or(0),
+                    volume_eth: accumulator.map(|a| a.volume_eth).unwrap_or(0.0),
+                    volume_usd: accumulator.map(|a| a.volume_usd).unwrap_or(0.0),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Selector, Timestamp, TxRequest};
+    use labels::LabelRegistry;
+    use marketplace::{presets, Marketplace};
+    use tokens::TokenRegistry;
+
+    fn build_world() -> (Chain, TokenRegistry, MarketplaceDirectory, Vec<Address>) {
+        let mut chain = Chain::new(Timestamp::from_secs(1_640_995_200));
+        let mut tokens = TokenRegistry::new();
+        let mut labels = LabelRegistry::new();
+        let mut directory = MarketplaceDirectory::new();
+        let mut engines = Vec::new();
+        for spec in [presets::opensea(), presets::looksrare()] {
+            let engine = Marketplace::deploy(&mut chain, &mut tokens, &mut labels, spec).unwrap();
+            directory.add(engine.info());
+            engines.push(engine);
+        }
+        let genesis = chain.current_timestamp();
+        let good = tokens
+            .deploy_erc721(&mut chain, "good", "Good", true, genesis)
+            .unwrap();
+        let rogue = tokens
+            .deploy_erc721(&mut chain, "rogue", "Rogue", false, genesis)
+            .unwrap();
+        let alice = chain.create_eoa("alice").unwrap();
+        let bob = chain.create_eoa("bob").unwrap();
+        chain.fund(alice, Wei::from_eth(50.0));
+        chain.fund(bob, Wei::from_eth(50.0));
+
+        // Mint + marketplace sale on the compliant collection.
+        let (nft, mint_log) = tokens.erc721_mut(good).unwrap().mint(alice);
+        chain
+            .submit(
+                TxRequest::contract_call(
+                    alice,
+                    good,
+                    Selector::of("mint(address)"),
+                    Wei::ZERO,
+                    90_000,
+                    Wei::from_gwei(30),
+                )
+                .with_log(mint_log),
+            )
+            .unwrap();
+        engines[0]
+            .execute_sale(&mut chain, &mut tokens, alice, bob, nft, Wei::from_eth(2.0), Wei::from_gwei(30))
+            .unwrap();
+
+        // A transfer on the rogue (non-compliant) collection.
+        let (rogue_nft, rogue_mint) = tokens.erc721_mut(rogue).unwrap().mint(alice);
+        chain
+            .submit(
+                TxRequest::contract_call(
+                    alice,
+                    rogue,
+                    Selector::of("mint(address)"),
+                    Wei::ZERO,
+                    90_000,
+                    Wei::from_gwei(30),
+                )
+                .with_log(rogue_mint),
+            )
+            .unwrap();
+        let rogue_log = tokens
+            .erc721_mut(rogue)
+            .unwrap()
+            .transfer(alice, bob, rogue_nft.token_id)
+            .unwrap();
+        chain
+            .submit(
+                TxRequest {
+                    from: bob,
+                    to: Some(alice),
+                    value: Wei::from_eth(1.0),
+                    gas_used: 85_000,
+                    gas_price: Wei::from_gwei(30),
+                    input: vec![],
+                    logs: vec![rogue_log],
+                    internal_transfers: vec![],
+                },
+            )
+            .unwrap();
+
+        (chain, tokens, directory, vec![good, rogue])
+    }
+
+    #[test]
+    fn compliance_filter_excludes_rogue_contracts() {
+        let (chain, _tokens, directory, contracts) = build_world();
+        let dataset = Dataset::build(&chain, &directory);
+        assert!(dataset.compliant_contracts.contains(&contracts[0]));
+        assert!(dataset.non_compliant_contracts.contains(&contracts[1]));
+        // Raw events include the rogue transfers; the dataset does not.
+        assert_eq!(dataset.raw_transfer_events, 4);
+        assert_eq!(dataset.nft_count(), 1);
+        assert_eq!(dataset.transfer_count(), 2); // mint + sale of the good NFT
+    }
+
+    #[test]
+    fn prices_and_marketplace_attribution() {
+        let (chain, _tokens, directory, contracts) = build_world();
+        let dataset = Dataset::build(&chain, &directory);
+        let nft = NftId::new(contracts[0], 0);
+        let transfers = &dataset.transfers_by_nft[&nft];
+        assert_eq!(transfers.len(), 2);
+        // The mint is free and off-market.
+        assert!(transfers[0].from.is_null());
+        assert_eq!(transfers[0].price, Wei::ZERO);
+        assert_eq!(transfers[0].marketplace, None);
+        // The sale is on OpenSea at 2 ETH.
+        assert_eq!(transfers[1].price, Wei::from_eth(2.0));
+        let opensea = directory.by_name("OpenSea").unwrap().contract;
+        assert_eq!(transfers[1].marketplace, Some(opensea));
+        assert!(transfers[1].timestamp >= transfers[0].timestamp);
+    }
+
+    #[test]
+    fn marketplace_volumes_report_table1_rows() {
+        let (chain, _tokens, directory, _) = build_world();
+        let dataset = Dataset::build(&chain, &directory);
+        let oracle = PriceOracle::paper_presets(Timestamp::from_secs(1_640_995_200), 30, 1);
+        let rows = dataset.marketplace_volumes(&directory, &oracle);
+        assert_eq!(rows.len(), 2);
+        let opensea = rows.iter().find(|r| r.name == "OpenSea").unwrap();
+        assert_eq!(opensea.nfts, 1);
+        assert_eq!(opensea.transactions, 1);
+        assert!((opensea.volume_eth - 2.0).abs() < 1e-9);
+        assert!(opensea.volume_usd > 0.0);
+        let looksrare = rows.iter().find(|r| r.name == "LooksRare").unwrap();
+        assert_eq!(looksrare.transactions, 0);
+    }
+
+    #[test]
+    fn accounts_cover_all_transfer_parties() {
+        let (chain, _tokens, directory, _) = build_world();
+        let dataset = Dataset::build(&chain, &directory);
+        let accounts = dataset.accounts();
+        assert!(accounts.contains(&Address::derived("alice")));
+        assert!(accounts.contains(&Address::derived("bob")));
+        assert!(accounts.contains(&Address::NULL));
+    }
+}

@@ -1,0 +1,298 @@
+//! The common-funder (§IV-C ii) and common-exit (§IV-C iii) heuristics.
+//!
+//! Colluding accounts are usually operated by one entity, which shows up in
+//! the money flow around the manipulation: the accounts receive their initial
+//! funds from a common account before the first wash trade, and sweep the
+//! proceeds back to a common account afterwards. Exchange and DeFi addresses
+//! are excluded from being common *external* funders/exits, because they fund
+//! and receive from thousands of unrelated users.
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, Chain, Timestamp};
+use labels::LabelRegistry;
+use serde::{Deserialize, Serialize};
+
+/// Whether the common account sits inside or outside the colluding set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKind {
+    /// The common account is one of the colluding accounts.
+    Internal,
+    /// The common account is outside the colluding set.
+    External,
+}
+
+/// Evidence produced by the funder or exit heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEvidence {
+    /// Internal or external common account.
+    pub kind: FlowKind,
+    /// The common funder / exit account.
+    pub account: Address,
+    /// How many colluding accounts it funded / received from.
+    pub degree: usize,
+}
+
+/// Find a common funder for the component: an account that sends ETH or
+/// ERC-20 tokens (in transactions that move no NFT) to colluding accounts
+/// *before* the first wash trade. An internal funder needs to fund at least
+/// one other colluder; an external funder at least two, and must not be an
+/// exchange or DeFi service.
+pub fn common_funder(
+    chain: &Chain,
+    labels: &LabelRegistry,
+    accounts: &[Address],
+    first_trade: Timestamp,
+) -> Option<FlowEvidence> {
+    let set: HashSet<Address> = accounts.iter().copied().collect();
+    let mut funded_by: HashMap<Address, HashSet<Address>> = HashMap::new();
+    for &account in accounts {
+        for tx in chain.transactions_of(account) {
+            if tx.timestamp >= first_trade || !tx.is_funding_of(account) {
+                continue;
+            }
+            // The funder is the transaction sender for plain ETH transfers and
+            // the token sender for ERC-20 funding.
+            let mut funders: Vec<Address> = vec![tx.from];
+            for log in &tx.logs {
+                if let Some(transfer) = log.decode_erc20_transfer() {
+                    if transfer.to == account && transfer.amount > 0 {
+                        funders.push(transfer.from);
+                    }
+                }
+            }
+            for funder in funders {
+                if funder == account {
+                    continue;
+                }
+                funded_by.entry(funder).or_default().insert(account);
+            }
+        }
+    }
+
+    // Prefer an internal funder (the paper finds them 4× as often).
+    let internal = funded_by
+        .iter()
+        .filter(|(funder, funded)| set.contains(funder) && !funded.is_empty())
+        .max_by_key(|(_, funded)| funded.len())
+        .map(|(funder, funded)| FlowEvidence {
+            kind: FlowKind::Internal,
+            account: *funder,
+            degree: funded.len(),
+        });
+    if internal.is_some() {
+        return internal;
+    }
+    funded_by
+        .iter()
+        .filter(|(funder, funded)| {
+            !set.contains(funder) && funded.len() >= 2 && !labels.is_exchange_or_defi(**funder)
+        })
+        .max_by_key(|(_, funded)| funded.len())
+        .map(|(funder, funded)| FlowEvidence {
+            kind: FlowKind::External,
+            account: *funder,
+            degree: funded.len(),
+        })
+}
+
+/// Find a common exit for the component: an account that receives ETH or
+/// ERC-20 tokens from colluding accounts (in transactions that move no NFT)
+/// *after* the last wash trade. An internal exit needs one sender, an
+/// external exit at least two and must not be an exchange or DeFi service.
+pub fn common_exit(
+    chain: &Chain,
+    labels: &LabelRegistry,
+    accounts: &[Address],
+    last_trade: Timestamp,
+) -> Option<FlowEvidence> {
+    let set: HashSet<Address> = accounts.iter().copied().collect();
+    let mut received_from: HashMap<Address, HashSet<Address>> = HashMap::new();
+    for &account in accounts {
+        for tx in chain.transactions_of(account) {
+            if tx.timestamp <= last_trade {
+                continue;
+            }
+            if tx.logs.iter().any(|log| log.is_erc721_transfer()) {
+                continue;
+            }
+            let mut recipients: Vec<Address> = Vec::new();
+            if tx.from == account && !tx.value.is_zero() {
+                if let Some(to) = tx.to {
+                    recipients.push(to);
+                }
+            }
+            for transfer in &tx.internal_transfers {
+                if transfer.from == account && !transfer.value.is_zero() {
+                    recipients.push(transfer.to);
+                }
+            }
+            for log in &tx.logs {
+                if let Some(transfer) = log.decode_erc20_transfer() {
+                    if transfer.from == account && transfer.amount > 0 {
+                        recipients.push(transfer.to);
+                    }
+                }
+            }
+            for recipient in recipients {
+                if recipient == account {
+                    continue;
+                }
+                received_from.entry(recipient).or_default().insert(account);
+            }
+        }
+    }
+
+    let internal = received_from
+        .iter()
+        .filter(|(recipient, senders)| set.contains(recipient) && !senders.is_empty())
+        .max_by_key(|(_, senders)| senders.len())
+        .map(|(recipient, senders)| FlowEvidence {
+            kind: FlowKind::Internal,
+            account: *recipient,
+            degree: senders.len(),
+        });
+    if internal.is_some() {
+        return internal;
+    }
+    received_from
+        .iter()
+        .filter(|(recipient, senders)| {
+            !set.contains(recipient)
+                && senders.len() >= 2
+                && !labels.is_exchange_or_defi(**recipient)
+        })
+        .max_by_key(|(_, senders)| senders.len())
+        .map(|(recipient, senders)| FlowEvidence {
+            kind: FlowKind::External,
+            account: *recipient,
+            degree: senders.len(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{TxRequest, Wei};
+    use labels::LabelCategory;
+
+    struct Setup {
+        chain: Chain,
+        labels: LabelRegistry,
+        a: Address,
+        b: Address,
+    }
+
+    fn setup() -> Setup {
+        let mut chain = Chain::new(Timestamp::from_secs(1_000_000));
+        let a = chain.create_eoa("washer-a").unwrap();
+        let b = chain.create_eoa("washer-b").unwrap();
+        chain.fund(a, Wei::from_eth(1.0));
+        chain.fund(b, Wei::from_eth(1.0));
+        Setup { chain, labels: LabelRegistry::new(), a, b }
+    }
+
+    fn gwei() -> Wei {
+        Wei::from_gwei(20)
+    }
+
+    #[test]
+    fn internal_funder_is_found() {
+        let mut s = setup();
+        s.chain.fund(s.a, Wei::from_eth(10.0));
+        s.chain
+            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
+            .unwrap();
+        s.chain.seal_block(Timestamp::from_secs(2_000_000)).unwrap();
+        let first_trade = Timestamp::from_secs(2_000_000);
+        let evidence =
+            common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).expect("funder");
+        assert_eq!(evidence.kind, FlowKind::Internal);
+        assert_eq!(evidence.account, s.a);
+        assert_eq!(evidence.degree, 1);
+    }
+
+    #[test]
+    fn external_funder_requires_two_recipients_and_no_exchange_label() {
+        let mut s = setup();
+        let funder = s.chain.create_eoa("outside-funder").unwrap();
+        s.chain.fund(funder, Wei::from_eth(20.0));
+        s.chain
+            .submit(TxRequest::ether_transfer(funder, s.a, Wei::from_eth(3.0), gwei()))
+            .unwrap();
+        let first_trade = Timestamp::from_secs(2_000_000);
+        // Only one colluder funded: not enough.
+        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+        s.chain
+            .submit(TxRequest::ether_transfer(funder, s.b, Wei::from_eth(3.0), gwei()))
+            .unwrap();
+        let evidence =
+            common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).expect("funder");
+        assert_eq!(evidence.kind, FlowKind::External);
+        assert_eq!(evidence.account, funder);
+        assert_eq!(evidence.degree, 2);
+
+        // Once the funder is labelled as an exchange, the evidence vanishes.
+        s.labels.insert(funder, "Coinbase 12", LabelCategory::Exchange);
+        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+    }
+
+    #[test]
+    fn funding_after_the_first_trade_does_not_count() {
+        let mut s = setup();
+        s.chain.fund(s.a, Wei::from_eth(10.0));
+        s.chain.seal_block(Timestamp::from_secs(3_000_000)).unwrap();
+        s.chain
+            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
+            .unwrap();
+        // The "funding" happens after the trades started.
+        let first_trade = Timestamp::from_secs(2_000_000);
+        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+    }
+
+    #[test]
+    fn internal_exit_is_found() {
+        let mut s = setup();
+        s.chain.fund(s.b, Wei::from_eth(10.0));
+        s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
+        s.chain
+            .submit(TxRequest::ether_transfer(s.b, s.a, Wei::from_eth(9.0), gwei()))
+            .unwrap();
+        let last_trade = Timestamp::from_secs(4_000_000);
+        let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
+        assert_eq!(evidence.kind, FlowKind::Internal);
+        assert_eq!(evidence.account, s.a);
+    }
+
+    #[test]
+    fn external_exit_requires_two_senders() {
+        let mut s = setup();
+        let sink = s.chain.create_eoa("profit-sink").unwrap();
+        s.chain.fund(s.a, Wei::from_eth(5.0));
+        s.chain.fund(s.b, Wei::from_eth(5.0));
+        s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
+        s.chain
+            .submit(TxRequest::ether_transfer(s.a, sink, Wei::from_eth(4.0), gwei()))
+            .unwrap();
+        let last_trade = Timestamp::from_secs(4_000_000);
+        assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
+        s.chain
+            .submit(TxRequest::ether_transfer(s.b, sink, Wei::from_eth(4.0), gwei()))
+            .unwrap();
+        let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
+        assert_eq!(evidence.kind, FlowKind::External);
+        assert_eq!(evidence.account, sink);
+        assert_eq!(evidence.degree, 2);
+    }
+
+    #[test]
+    fn transfers_before_last_trade_are_ignored_for_exit() {
+        let mut s = setup();
+        s.chain.fund(s.a, Wei::from_eth(5.0));
+        s.chain
+            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
+            .unwrap();
+        let last_trade = Timestamp::from_secs(9_000_000);
+        assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
+    }
+}

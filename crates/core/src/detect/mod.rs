@@ -1,0 +1,517 @@
+//! Wash-trading confirmation (§IV-C) and method comparison (§IV-D).
+//!
+//! The refinement stage produces *candidates* — strongly connected components
+//! with real traded value. This module confirms them as wash trading when at
+//! least one of five independent signals is present:
+//!
+//! 1. **Zero-risk position** — the component's net ETH position over the
+//!    NFT's trades is zero ([`zero_risk`]).
+//! 2. **Common funder** — a common account funds the colluders before the
+//!    first trade ([`flows::common_funder`]).
+//! 3. **Common exit** — the proceeds flow to a common account after the last
+//!    trade ([`flows::common_exit`]).
+//! 4. **Self-trade** — an account sells the NFT to itself (verified de facto).
+//! 5. **Leveraging confirmed events** — the same set of accounts was already
+//!    confirmed on another NFT.
+
+pub mod flows;
+pub mod zero_risk;
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, Chain};
+use labels::LabelRegistry;
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+
+use crate::refine::Candidate;
+use crate::txgraph::NftGraph;
+
+pub use flows::{FlowEvidence, FlowKind};
+
+/// Which detection methods confirmed an activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MethodSet {
+    /// Zero-risk position (§IV-C i).
+    pub zero_risk: bool,
+    /// Common funder evidence (§IV-C ii).
+    pub common_funder: Option<FlowEvidence>,
+    /// Common exit evidence (§IV-C iii).
+    pub common_exit: Option<FlowEvidence>,
+    /// Self-trade (§IV-C iv).
+    pub self_trade: bool,
+    /// Confirmed by sharing its account set with an already-confirmed
+    /// activity (§IV-C v).
+    pub leveraged: bool,
+}
+
+impl MethodSet {
+    /// Whether any method confirmed the activity.
+    pub fn confirmed(&self) -> bool {
+        self.zero_risk
+            || self.common_funder.is_some()
+            || self.common_exit.is_some()
+            || self.self_trade
+            || self.leveraged
+    }
+
+    /// How many of the three transaction-analysis methods fired (used for the
+    /// §IV-D overlap statistics).
+    pub fn flow_method_count(&self) -> usize {
+        usize::from(self.zero_risk)
+            + usize::from(self.common_funder.is_some())
+            + usize::from(self.common_exit.is_some())
+    }
+}
+
+/// A confirmed wash-trading activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmedActivity {
+    /// The underlying candidate component.
+    pub candidate: Candidate,
+    /// The methods that confirmed it.
+    pub methods: MethodSet,
+}
+
+impl ConfirmedActivity {
+    /// The colluding accounts.
+    pub fn accounts(&self) -> &[Address] {
+        &self.candidate.accounts
+    }
+
+    /// The manipulated NFT.
+    pub fn nft(&self) -> NftId {
+        self.candidate.nft
+    }
+}
+
+/// Counts for the Fig. 2 Venn diagram over the three transaction-analysis
+/// methods (activities confirmed by at least one of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VennCounts {
+    /// Zero-risk only.
+    pub zero_risk_only: usize,
+    /// Common funder only.
+    pub funder_only: usize,
+    /// Common exit only.
+    pub exit_only: usize,
+    /// Zero-risk ∩ common funder.
+    pub zero_and_funder: usize,
+    /// Zero-risk ∩ common exit.
+    pub zero_and_exit: usize,
+    /// Common funder ∩ common exit.
+    pub funder_and_exit: usize,
+    /// All three.
+    pub all_three: usize,
+}
+
+impl VennCounts {
+    /// Total activities confirmed by at least one flow method.
+    pub fn total(&self) -> usize {
+        self.zero_risk_only
+            + self.funder_only
+            + self.exit_only
+            + self.zero_and_funder
+            + self.zero_and_exit
+            + self.funder_and_exit
+            + self.all_three
+    }
+
+    /// Activities confirmed by at least two of the three methods.
+    pub fn at_least_two(&self) -> usize {
+        self.zero_and_funder + self.zero_and_exit + self.funder_and_exit + self.all_three
+    }
+
+    fn record(&mut self, methods: &MethodSet) {
+        let z = methods.zero_risk;
+        let f = methods.common_funder.is_some();
+        let e = methods.common_exit.is_some();
+        match (z, f, e) {
+            (true, false, false) => self.zero_risk_only += 1,
+            (false, true, false) => self.funder_only += 1,
+            (false, false, true) => self.exit_only += 1,
+            (true, true, false) => self.zero_and_funder += 1,
+            (true, false, true) => self.zero_and_exit += 1,
+            (false, true, true) => self.funder_and_exit += 1,
+            (true, true, true) => self.all_three += 1,
+            (false, false, false) => {}
+        }
+    }
+}
+
+/// The outcome of running all detectors over the candidates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DetectionOutcome {
+    /// Confirmed wash-trading activities.
+    pub confirmed: Vec<ConfirmedActivity>,
+    /// Candidates that no method confirmed.
+    pub rejected: usize,
+    /// Overlap of the three transaction-analysis methods (Fig. 2).
+    pub venn: VennCounts,
+    /// How many activities were confirmed only by the leverage rule (§IV-C v).
+    pub leveraged_only: usize,
+    /// How many confirmed activities contain a self-trade edge.
+    pub self_trades: usize,
+}
+
+/// Runs the five confirmation methods over refined candidates.
+pub struct Detector<'a> {
+    chain: &'a Chain,
+    labels: &'a LabelRegistry,
+}
+
+impl<'a> Detector<'a> {
+    /// Create a detector reading transactions and labels from the chain.
+    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry) -> Self {
+        Detector { chain, labels }
+    }
+
+    /// Evaluate every candidate and return the confirmed activities together
+    /// with the method-comparison statistics.
+    ///
+    /// `graphs` must contain the transaction graph of every candidate's NFT
+    /// (the zero-risk computation needs the trades that cross the component
+    /// boundary).
+    pub fn detect(
+        &self,
+        candidates: &[Candidate],
+        graphs: &HashMap<NftId, NftGraph>,
+    ) -> DetectionOutcome {
+        // Per-candidate evidence is independent: spread across threads.
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let chunk_size = candidates.len().div_ceil(threads.max(1)).max(1);
+        let evidence = parking_lot::Mutex::new(vec![MethodSet::default(); candidates.len()]);
+
+        crossbeam::thread::scope(|scope| {
+            for (chunk_index, chunk) in candidates.chunks(chunk_size).enumerate() {
+                let evidence = &evidence;
+                scope.spawn(move |_| {
+                    let offset = chunk_index * chunk_size;
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for candidate in chunk {
+                        local.push(self.evaluate(candidate, graphs));
+                    }
+                    let mut evidence = evidence.lock();
+                    for (i, methods) in local.into_iter().enumerate() {
+                        evidence[offset + i] = methods;
+                    }
+                });
+            }
+        })
+        .expect("detection worker panicked");
+        let mut evidence = evidence.into_inner();
+
+        // Leverage pass: any unconfirmed candidate whose account set matches a
+        // confirmed activity's account set is confirmed too.
+        let confirmed_sets: HashSet<Vec<Address>> = candidates
+            .iter()
+            .zip(evidence.iter())
+            .filter(|(_, methods)| methods.confirmed())
+            .map(|(candidate, _)| candidate.accounts.clone())
+            .collect();
+        let mut leveraged_only = 0usize;
+        for (candidate, methods) in candidates.iter().zip(evidence.iter_mut()) {
+            if !methods.confirmed() && confirmed_sets.contains(&candidate.accounts) {
+                methods.leveraged = true;
+                leveraged_only += 1;
+            }
+        }
+
+        let mut outcome = DetectionOutcome::default();
+        outcome.leveraged_only = leveraged_only;
+        for (candidate, methods) in candidates.iter().zip(evidence.into_iter()) {
+            if !methods.confirmed() {
+                outcome.rejected += 1;
+                continue;
+            }
+            if methods.flow_method_count() > 0 {
+                outcome.venn.record(&methods);
+            }
+            if methods.self_trade {
+                outcome.self_trades += 1;
+            }
+            outcome.confirmed.push(ConfirmedActivity {
+                candidate: candidate.clone(),
+                methods,
+            });
+        }
+        outcome
+    }
+
+    fn evaluate(&self, candidate: &Candidate, graphs: &HashMap<NftId, NftGraph>) -> MethodSet {
+        let graph = graphs.get(&candidate.nft);
+        let zero_risk = graph
+            .map(|graph| zero_risk::is_zero_risk(graph, &candidate.accounts))
+            .unwrap_or(false);
+        let common_funder = flows::common_funder(
+            self.chain,
+            self.labels,
+            &candidate.accounts,
+            candidate.first_trade,
+        );
+        let common_exit = flows::common_exit(
+            self.chain,
+            self.labels,
+            &candidate.accounts,
+            candidate.last_trade,
+        );
+        MethodSet {
+            zero_risk,
+            common_funder,
+            common_exit,
+            self_trade: candidate.has_self_trade(),
+            leveraged: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::NftTransfer;
+    use ethsim::{BlockNumber, Timestamp, TxHash, TxRequest, Wei};
+
+    /// Build a minimal chain + graph where two accounts round-trip an NFT,
+    /// funded by account `a` and swept back to `a`.
+    fn wash_world() -> (Chain, LabelRegistry, HashMap<NftId, NftGraph>, Vec<Candidate>) {
+        let mut chain = Chain::new(Timestamp::from_secs(1_000));
+        let a = chain.create_eoa("washer-a").unwrap();
+        let b = chain.create_eoa("washer-b").unwrap();
+        chain.fund(a, Wei::from_eth(20.0));
+        let gas = Wei::from_gwei(20);
+
+        // Funding: a → b before the trades.
+        chain.submit(TxRequest::ether_transfer(a, b, Wei::from_eth(5.0), gas)).unwrap();
+        chain.seal_block(Timestamp::from_secs(10_000)).unwrap();
+
+        // The wash trades themselves (recorded in the NFT graph below; the
+        // ETH legs are not needed for funder/exit evidence).
+        chain.seal_block(Timestamp::from_secs(20_000)).unwrap();
+
+        // Exit: b → a after the trades.
+        chain.submit(TxRequest::ether_transfer(b, a, Wei::from_eth(4.0), gas)).unwrap();
+
+        let nft = NftId::new(Address::derived("collection"), 1);
+        let transfers = vec![
+            NftTransfer {
+                nft,
+                from: Address::NULL,
+                to: a,
+                tx_hash: TxHash::hash_of(b"mint"),
+                block: BlockNumber(0),
+                timestamp: Timestamp::from_secs(9_000),
+                price: Wei::ZERO,
+                marketplace: None,
+            },
+            NftTransfer {
+                nft,
+                from: a,
+                to: b,
+                tx_hash: TxHash::hash_of(b"t1"),
+                block: BlockNumber(1),
+                timestamp: Timestamp::from_secs(11_000),
+                price: Wei::from_eth(2.0),
+                marketplace: None,
+            },
+            NftTransfer {
+                nft,
+                from: b,
+                to: a,
+                tx_hash: TxHash::hash_of(b"t2"),
+                block: BlockNumber(2),
+                timestamp: Timestamp::from_secs(12_000),
+                price: Wei::from_eth(2.0),
+                marketplace: None,
+            },
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let labels = LabelRegistry::new();
+        let refiner = crate::refine::Refiner::new(&chain, &labels);
+        let (candidates, _) = refiner.refine(std::slice::from_ref(&graph));
+        let mut graphs = HashMap::new();
+        graphs.insert(nft, graph);
+        (chain, labels, graphs, candidates)
+    }
+
+    #[test]
+    fn full_evidence_confirms_with_all_three_methods() {
+        let (chain, labels, graphs, candidates) = wash_world();
+        assert_eq!(candidates.len(), 1);
+        let detector = Detector::new(&chain, &labels);
+        let outcome = detector.detect(&candidates, &graphs);
+        assert_eq!(outcome.confirmed.len(), 1);
+        assert_eq!(outcome.rejected, 0);
+        let methods = outcome.confirmed[0].methods;
+        assert!(methods.zero_risk);
+        assert_eq!(methods.common_funder.unwrap().kind, FlowKind::Internal);
+        assert_eq!(methods.common_exit.unwrap().kind, FlowKind::Internal);
+        assert!(!methods.self_trade);
+        assert_eq!(outcome.venn.all_three, 1);
+        assert_eq!(outcome.venn.total(), 1);
+        assert_eq!(methods.flow_method_count(), 3);
+    }
+
+    #[test]
+    fn candidate_without_evidence_is_rejected() {
+        // Two accounts round-trip an NFT they bought from an outsider, with no
+        // funding or exit flows: every method stays silent.
+        let mut chain = Chain::new(Timestamp::from_secs(1_000));
+        let a = chain.create_eoa("lone-a").unwrap();
+        let b = chain.create_eoa("lone-b").unwrap();
+        chain.fund(a, Wei::from_eth(10.0));
+        chain.fund(b, Wei::from_eth(10.0));
+        let nft = NftId::new(Address::derived("collection"), 2);
+        let seller = Address::derived("outside-seller");
+        let transfers = vec![
+            NftTransfer {
+                nft,
+                from: seller,
+                to: a,
+                tx_hash: TxHash::hash_of(b"buy"),
+                block: BlockNumber(1),
+                timestamp: Timestamp::from_secs(5_000),
+                price: Wei::from_eth(1.0),
+                marketplace: None,
+            },
+            NftTransfer {
+                nft,
+                from: a,
+                to: b,
+                tx_hash: TxHash::hash_of(b"x1"),
+                block: BlockNumber(2),
+                timestamp: Timestamp::from_secs(6_000),
+                price: Wei::from_eth(2.0),
+                marketplace: None,
+            },
+            NftTransfer {
+                nft,
+                from: b,
+                to: a,
+                tx_hash: TxHash::hash_of(b"x2"),
+                block: BlockNumber(3),
+                timestamp: Timestamp::from_secs(7_000),
+                price: Wei::from_eth(2.0),
+                marketplace: None,
+            },
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let labels = LabelRegistry::new();
+        let refiner = crate::refine::Refiner::new(&chain, &labels);
+        let (candidates, _) = refiner.refine(std::slice::from_ref(&graph));
+        assert_eq!(candidates.len(), 1);
+        let mut graphs = HashMap::new();
+        graphs.insert(nft, graph);
+        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        assert!(outcome.confirmed.is_empty());
+        assert_eq!(outcome.rejected, 1);
+        assert_eq!(outcome.venn.total(), 0);
+    }
+
+    #[test]
+    fn leverage_confirms_matching_account_sets() {
+        // A chain with no ETH flows at all: the first NFT is confirmed purely
+        // by its zero-risk position (minted to a colluder, never sold on);
+        // the second NFT, traded by the same pair but bought from an outsider
+        // for value, has no evidence of its own and is confirmed only by the
+        // leverage rule.
+        let mut chain = Chain::new(Timestamp::from_secs(1_000));
+        let a = chain.create_eoa("lev-a").unwrap();
+        let b = chain.create_eoa("lev-b").unwrap();
+        chain.fund(a, Wei::from_eth(10.0));
+        chain.fund(b, Wei::from_eth(10.0));
+        let labels = LabelRegistry::new();
+
+        let mk = |nft: NftId, from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
+            nft,
+            from,
+            to,
+            tx_hash: TxHash::hash_of(tag.as_bytes()),
+            block: BlockNumber(at),
+            timestamp: Timestamp::from_secs(at * 1_000),
+            price: Wei::from_eth(price),
+            marketplace: None,
+        };
+        let nft1 = NftId::new(Address::derived("collection"), 1);
+        let nft2 = NftId::new(Address::derived("collection"), 99);
+        let graph1 = NftGraph::from_transfers(
+            nft1,
+            &[
+                mk(nft1, Address::NULL, a, 0.0, 1, "mint1"),
+                mk(nft1, a, b, 2.0, 2, "t1"),
+                mk(nft1, b, a, 2.0, 3, "t2"),
+            ],
+        );
+        let graph2 = NftGraph::from_transfers(
+            nft2,
+            &[
+                mk(nft2, Address::derived("someone-else"), a, 1.0, 10, "buy2"),
+                mk(nft2, a, b, 3.0, 11, "y1"),
+                mk(nft2, b, a, 3.0, 12, "y2"),
+            ],
+        );
+        let refiner = crate::refine::Refiner::new(&chain, &labels);
+        let (candidates, _) = refiner.refine(&[graph1.clone(), graph2.clone()]);
+        assert_eq!(candidates.len(), 2);
+        let mut graphs = HashMap::new();
+        graphs.insert(nft1, graph1);
+        graphs.insert(nft2, graph2);
+
+        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        assert_eq!(outcome.confirmed.len(), 2);
+        assert_eq!(outcome.leveraged_only, 1);
+        let leveraged = outcome
+            .confirmed
+            .iter()
+            .find(|activity| activity.nft() == nft2)
+            .unwrap();
+        assert!(leveraged.methods.leveraged);
+        assert_eq!(leveraged.methods.flow_method_count(), 0);
+        let original = outcome
+            .confirmed
+            .iter()
+            .find(|activity| activity.nft() == nft1)
+            .unwrap();
+        assert!(original.methods.zero_risk);
+        assert!(!original.methods.leveraged);
+    }
+
+    #[test]
+    fn self_trade_is_verified_de_facto() {
+        let mut chain = Chain::new(Timestamp::from_secs(1_000));
+        let a = chain.create_eoa("selfish").unwrap();
+        chain.fund(a, Wei::from_eth(5.0));
+        let nft = NftId::new(Address::derived("collection"), 7);
+        let transfers = vec![
+            NftTransfer {
+                nft,
+                from: Address::derived("outside-seller"),
+                to: a,
+                tx_hash: TxHash::hash_of(b"acq"),
+                block: BlockNumber(1),
+                timestamp: Timestamp::from_secs(2_000),
+                price: Wei::from_eth(1.0),
+                marketplace: None,
+            },
+            NftTransfer {
+                nft,
+                from: a,
+                to: a,
+                tx_hash: TxHash::hash_of(b"self"),
+                block: BlockNumber(2),
+                timestamp: Timestamp::from_secs(3_000),
+                price: Wei::from_eth(2.0),
+                marketplace: None,
+            },
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let labels = LabelRegistry::new();
+        let (candidates, _) = crate::refine::Refiner::new(&chain, &labels)
+            .refine(std::slice::from_ref(&graph));
+        let mut graphs = HashMap::new();
+        graphs.insert(nft, graph);
+        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        assert_eq!(outcome.confirmed.len(), 1);
+        assert!(outcome.confirmed[0].methods.self_trade);
+        assert_eq!(outcome.self_trades, 1);
+    }
+}

@@ -1,0 +1,410 @@
+//! Graph refinement (§IV-B): removing service accounts, smart-contract
+//! accounts and zero-volume components from the suspicious candidates.
+
+use ethsim::{Address, Chain, Timestamp, Wei};
+use graphlib::DiMultiGraph;
+use labels::LabelRegistry;
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+
+use crate::txgraph::{NftGraph, TradeEdge};
+
+/// A refined wash-trading candidate: one strongly connected component of one
+/// NFT's transaction graph that survived every refinement step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The NFT whose graph contains the component.
+    pub nft: NftId,
+    /// The component's accounts, sorted.
+    pub accounts: Vec<Address>,
+    /// Sales between component accounts (self-loops included), chronological.
+    pub internal_edges: Vec<(Address, Address, TradeEdge)>,
+    /// Timestamp of the first internal sale.
+    pub first_trade: Timestamp,
+    /// Timestamp of the last internal sale.
+    pub last_trade: Timestamp,
+    /// Total traded volume of the internal sales.
+    pub volume: Wei,
+}
+
+impl Candidate {
+    /// Whether the component contains a self-loop sale.
+    pub fn has_self_trade(&self) -> bool {
+        self.internal_edges.iter().any(|(from, to, _)| from == to)
+    }
+
+    /// The marketplace contract that carries most of the component's volume,
+    /// if any of its sales went through a marketplace.
+    pub fn dominant_marketplace(&self) -> Option<Address> {
+        use std::collections::HashMap;
+        let mut volume_by_market: HashMap<Address, u128> = HashMap::new();
+        for (_, _, edge) in &self.internal_edges {
+            if let Some(market) = edge.marketplace {
+                *volume_by_market.entry(market).or_insert(0) += edge.price.raw().max(1);
+            }
+        }
+        volume_by_market
+            .into_iter()
+            .max_by_key(|(_, volume)| *volume)
+            .map(|(market, _)| market)
+    }
+
+    /// Lifetime of the component's activity in whole days.
+    pub fn lifetime_days(&self) -> u64 {
+        self.last_trade.days_since(self.first_trade)
+    }
+}
+
+/// Candidate counts after one refinement stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageCount {
+    /// NFTs with at least one surviving component.
+    pub nfts: usize,
+    /// Distinct accounts involved in surviving components.
+    pub accounts: usize,
+    /// Number of surviving components.
+    pub components: usize,
+}
+
+/// Counts after each refinement stage (the paper reports these in §IV-A/B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RefinementReport {
+    /// After the initial SCC search on the raw graphs.
+    pub initial: StageCount,
+    /// After removing labelled service accounts and the null address.
+    pub after_service_removal: StageCount,
+    /// After additionally removing accounts with bytecode.
+    pub after_contract_removal: StageCount,
+    /// After dropping components whose sales all have zero volume.
+    pub after_zero_volume: StageCount,
+}
+
+/// Runs the refinement pipeline over per-NFT graphs.
+pub struct Refiner<'a> {
+    chain: &'a Chain,
+    labels: &'a LabelRegistry,
+}
+
+struct PerNftOutcome {
+    initial: Vec<Vec<Address>>,
+    after_service: Vec<Vec<Address>>,
+    after_contract: Vec<Vec<Address>>,
+    candidates: Vec<Candidate>,
+}
+
+impl<'a> Refiner<'a> {
+    /// Create a refiner reading account labels and bytecode from the given
+    /// chain and registry.
+    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry) -> Self {
+        Refiner { chain, labels }
+    }
+
+    /// Refine every NFT graph, returning the surviving candidates and the
+    /// per-stage counts. Work is spread across threads, one chunk of NFTs per
+    /// core, because each NFT graph is independent.
+    pub fn refine(&self, graphs: &[NftGraph]) -> (Vec<Candidate>, RefinementReport) {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let chunk_size = graphs.len().div_ceil(threads.max(1)).max(1);
+        let outcomes = parking_lot::Mutex::new(Vec::with_capacity(graphs.len()));
+
+        crossbeam::thread::scope(|scope| {
+            for chunk in graphs.chunks(chunk_size) {
+                let outcomes = &outcomes;
+                scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(chunk.len());
+                    for graph in chunk {
+                        local.push(self.refine_one(graph));
+                    }
+                    outcomes.lock().extend(local);
+                });
+            }
+        })
+        .expect("refinement worker panicked");
+
+        let outcomes = outcomes.into_inner();
+        let mut candidates = Vec::new();
+        let mut report = RefinementReport::default();
+        let mut initial_accounts = std::collections::HashSet::new();
+        let mut service_accounts = std::collections::HashSet::new();
+        let mut contract_accounts = std::collections::HashSet::new();
+        let mut final_accounts = std::collections::HashSet::new();
+        for outcome in outcomes {
+            if !outcome.initial.is_empty() {
+                report.initial.nfts += 1;
+                report.initial.components += outcome.initial.len();
+                initial_accounts.extend(outcome.initial.iter().flatten().copied());
+            }
+            if !outcome.after_service.is_empty() {
+                report.after_service_removal.nfts += 1;
+                report.after_service_removal.components += outcome.after_service.len();
+                service_accounts.extend(outcome.after_service.iter().flatten().copied());
+            }
+            if !outcome.after_contract.is_empty() {
+                report.after_contract_removal.nfts += 1;
+                report.after_contract_removal.components += outcome.after_contract.len();
+                contract_accounts.extend(outcome.after_contract.iter().flatten().copied());
+            }
+            if !outcome.candidates.is_empty() {
+                report.after_zero_volume.nfts += 1;
+                report.after_zero_volume.components += outcome.candidates.len();
+                final_accounts
+                    .extend(outcome.candidates.iter().flat_map(|c| c.accounts.iter().copied()));
+            }
+            candidates.extend(outcome.candidates);
+        }
+        report.initial.accounts = initial_accounts.len();
+        report.after_service_removal.accounts = service_accounts.len();
+        report.after_contract_removal.accounts = contract_accounts.len();
+        report.after_zero_volume.accounts = final_accounts.len();
+        candidates.sort_by_key(|c| (c.nft, c.accounts.first().copied().unwrap_or(Address::NULL)));
+        (candidates, report)
+    }
+
+    fn refine_one(&self, graph: &NftGraph) -> PerNftOutcome {
+        let initial = graph.suspicious_account_sets();
+        if initial.is_empty() {
+            return PerNftOutcome {
+                initial,
+                after_service: Vec::new(),
+                after_contract: Vec::new(),
+                candidates: Vec::new(),
+            };
+        }
+
+        // Stage 1: drop labelled service accounts and the null address.
+        let without_service = self.filtered_components(graph, |address| {
+            !self.labels.is_service_account(address)
+        });
+        // Stage 2: additionally drop accounts holding bytecode.
+        let without_contracts = self.filtered_components(graph, |address| {
+            !self.labels.is_service_account(address) && !self.chain.is_contract(address)
+        });
+        // Stage 3: drop zero-volume components.
+        let candidates = without_contracts
+            .iter()
+            .filter_map(|accounts| self.candidate_from(graph, accounts))
+            .collect();
+
+        PerNftOutcome {
+            initial,
+            after_service: without_service,
+            after_contract: without_contracts,
+            candidates,
+        }
+    }
+
+    /// Recompute the suspicious components of `graph` restricted to the nodes
+    /// accepted by `keep`.
+    fn filtered_components(
+        &self,
+        graph: &NftGraph,
+        keep: impl Fn(Address) -> bool,
+    ) -> Vec<Vec<Address>> {
+        let mut filtered: DiMultiGraph<Address, TradeEdge> = DiMultiGraph::new();
+        for edge in graph.graph.edges() {
+            let source = *graph.graph.node(edge.source);
+            let target = *graph.graph.node(edge.target);
+            if keep(source) && keep(target) {
+                filtered.add_edge_by_key(source, target, edge.weight);
+            }
+        }
+        graphlib::suspicious_components(&filtered)
+            .into_iter()
+            .map(|component| {
+                let mut accounts: Vec<Address> =
+                    component.iter().map(|&index| *filtered.node(index)).collect();
+                accounts.sort();
+                accounts
+            })
+            .collect()
+    }
+
+    /// Turn a surviving account set into a [`Candidate`], unless all its
+    /// internal sales are zero-volume.
+    fn candidate_from(&self, graph: &NftGraph, accounts: &[Address]) -> Option<Candidate> {
+        let internal_edges = graph.edges_among(accounts);
+        if internal_edges.is_empty() {
+            return None;
+        }
+        let any_value = internal_edges.iter().any(|(_, _, edge)| {
+            if !edge.price.is_zero() {
+                return true;
+            }
+            // Even with a zero price annotation, the carrying transaction may
+            // move ERC-20 value; check the chain before discarding.
+            self.chain
+                .transaction(edge.tx_hash)
+                .map(|tx| tx.moves_value())
+                .unwrap_or(false)
+        });
+        if !any_value {
+            return None;
+        }
+        let first_trade = internal_edges.iter().map(|(_, _, e)| e.timestamp).min()?;
+        let last_trade = internal_edges.iter().map(|(_, _, e)| e.timestamp).max()?;
+        let volume = internal_edges.iter().map(|(_, _, e)| e.price).sum();
+        Some(Candidate {
+            nft: graph.nft,
+            accounts: accounts.to_vec(),
+            internal_edges,
+            first_trade,
+            last_trade,
+            volume,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::NftTransfer;
+    use ethsim::{BlockNumber, Timestamp, TxHash};
+    use labels::LabelCategory;
+
+    fn transfer(nft: NftId, from: Address, to: Address, price_eth: f64, at: u64) -> NftTransfer {
+        NftTransfer {
+            nft,
+            from,
+            to,
+            tx_hash: TxHash::hash_of(format!("{from}->{to}@{at}").as_bytes()),
+            block: BlockNumber(at),
+            timestamp: Timestamp::from_secs(at * 1000),
+            price: Wei::from_eth(price_eth),
+            marketplace: None,
+        }
+    }
+
+    fn chain_with(accounts: &[(&str, bool)]) -> Chain {
+        let mut chain = Chain::new(Timestamp::from_secs(0));
+        for (seed, is_contract) in accounts {
+            if *is_contract {
+                chain.deploy_contract(seed, vec![0x60]).unwrap();
+            } else {
+                chain.register_eoa(Address::derived(seed)).unwrap();
+            }
+        }
+        chain
+    }
+
+    #[test]
+    fn wash_pair_survives_refinement() {
+        let nft = NftId::new(Address::derived("collection"), 1);
+        let a = Address::derived("a");
+        let b = Address::derived("b");
+        let transfers = vec![
+            transfer(nft, Address::NULL, a, 0.0, 1),
+            transfer(nft, a, b, 1.0, 2),
+            transfer(nft, b, a, 1.0, 3),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let chain = chain_with(&[("a", false), ("b", false)]);
+        let labels = LabelRegistry::new();
+        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].accounts, vec![a.min(b), a.max(b)]);
+        assert_eq!(candidates[0].volume, Wei::from_eth(2.0));
+        assert_eq!(candidates[0].internal_edges.len(), 2);
+        assert_eq!(report.initial.components, 1);
+        assert_eq!(report.after_zero_volume.components, 1);
+        assert!(!candidates[0].has_self_trade());
+    }
+
+    #[test]
+    fn service_account_cycles_are_removed() {
+        // A cycle that exists only because an exchange deposit address is in
+        // the middle must disappear after the service-removal step.
+        let nft = NftId::new(Address::derived("collection"), 2);
+        let user = Address::derived("user");
+        let exchange = Address::derived("exchange-hot-wallet");
+        let transfers = vec![
+            transfer(nft, Address::NULL, user, 0.0, 1),
+            transfer(nft, user, exchange, 1.0, 2),
+            transfer(nft, exchange, user, 1.0, 3),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let chain = chain_with(&[("user", false), ("exchange-hot-wallet", false)]);
+        let mut labels = LabelRegistry::new();
+        labels.insert(exchange, "Binance 7", LabelCategory::Exchange);
+        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert!(candidates.is_empty());
+        assert_eq!(report.initial.components, 1);
+        assert_eq!(report.after_service_removal.components, 0);
+    }
+
+    #[test]
+    fn contract_account_cycles_are_removed() {
+        let nft = NftId::new(Address::derived("collection"), 3);
+        let user = Address::derived("user");
+        let pool = Address::derived("contract:lending-pool");
+        let transfers = vec![
+            transfer(nft, Address::NULL, user, 0.0, 1),
+            transfer(nft, user, pool, 1.0, 2),
+            transfer(nft, pool, user, 1.0, 3),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let mut chain = Chain::new(Timestamp::from_secs(0));
+        chain.register_eoa(user).unwrap();
+        chain.deploy_contract("lending-pool", vec![0x60, 0x80]).unwrap();
+        let labels = LabelRegistry::new();
+        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert!(candidates.is_empty());
+        assert_eq!(report.after_service_removal.components, 1);
+        assert_eq!(report.after_contract_removal.components, 0);
+    }
+
+    #[test]
+    fn zero_volume_components_are_dropped() {
+        let nft = NftId::new(Address::derived("collection"), 4);
+        let a = Address::derived("wallet-1");
+        let b = Address::derived("wallet-2");
+        let transfers = vec![
+            transfer(nft, Address::NULL, a, 0.0, 1),
+            transfer(nft, a, b, 0.0, 2),
+            transfer(nft, b, a, 0.0, 3),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let chain = chain_with(&[("wallet-1", false), ("wallet-2", false)]);
+        let labels = LabelRegistry::new();
+        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert!(candidates.is_empty());
+        assert_eq!(report.after_contract_removal.components, 1);
+        assert_eq!(report.after_zero_volume.components, 0);
+    }
+
+    #[test]
+    fn self_trade_candidate_is_detected() {
+        let nft = NftId::new(Address::derived("collection"), 5);
+        let a = Address::derived("selfish");
+        let transfers = vec![
+            transfer(nft, Address::NULL, a, 0.0, 1),
+            transfer(nft, a, a, 2.0, 2),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let chain = chain_with(&[("selfish", false)]);
+        let labels = LabelRegistry::new();
+        let (candidates, _) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert_eq!(candidates.len(), 1);
+        assert!(candidates[0].has_self_trade());
+        assert_eq!(candidates[0].lifetime_days(), 0);
+    }
+
+    #[test]
+    fn report_counts_are_monotonically_non_increasing() {
+        // Refinement only removes candidates, never adds them.
+        let nft = NftId::new(Address::derived("collection"), 6);
+        let a = Address::derived("p");
+        let b = Address::derived("q");
+        let transfers = vec![
+            transfer(nft, Address::NULL, a, 0.0, 1),
+            transfer(nft, a, b, 1.0, 2),
+            transfer(nft, b, a, 1.2, 3),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let chain = chain_with(&[("p", false), ("q", false)]);
+        let labels = LabelRegistry::new();
+        let (_, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        assert!(report.initial.components >= report.after_service_removal.components);
+        assert!(report.after_service_removal.components >= report.after_contract_removal.components);
+        assert!(report.after_contract_removal.components >= report.after_zero_volume.components);
+    }
+}

@@ -1,0 +1,206 @@
+//! Small statistics helpers: empirical CDFs and summary statistics used by
+//! the characterization and profitability reports.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from samples (NaNs are dropped).
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples less than or equal to `x` (0.0 for an empty CDF).
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Evenly spaced `(value, cumulative fraction)` points suitable for
+    /// plotting; at most `points` entries.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n as f64 / points as f64).max(1.0);
+        let mut curve = Vec::new();
+        let mut index = 0.0;
+        while (index as usize) < n {
+            let i = index as usize;
+            curve.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            index += step;
+        }
+        if curve.last().map(|(v, _)| *v) != self.sorted.last().copied() {
+            curve.push((*self.sorted.last().unwrap(), 1.0));
+        }
+        curve
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+/// Summary statistics of a set of samples (min / max / mean / total).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Sum of values.
+    pub total: f64,
+}
+
+impl Summary {
+    /// Summarize samples (an empty iterator produces an all-zero summary).
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for sample in samples {
+            count += 1;
+            min = min.min(sample);
+            max = max.max(sample);
+            total += sample;
+        }
+        if count == 0 {
+            return Summary::default();
+        }
+        Summary {
+            count,
+            min,
+            max,
+            mean: total / count as f64,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_most(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_most(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_most(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(4.0));
+        assert_eq!(cdf.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn cdf_handles_empty_and_nan() {
+        let empty = Cdf::new([]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.fraction_at_most(1.0), 0.0);
+        assert_eq!(empty.quantile(0.5), None);
+        assert!(empty.curve(10).is_empty());
+        let with_nan = Cdf::new([1.0, f64::NAN, 2.0]);
+        assert_eq!(with_nan.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_out_of_range_panics() {
+        let _ = Cdf::new([1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn curve_is_monotonic_and_ends_at_one() {
+        let cdf = Cdf::new((1..=100).map(|i| i as f64));
+        let curve = cdf.curve(10);
+        assert!(curve.len() >= 10);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let summary = Summary::of([2.0, 4.0, 6.0]);
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.min, 2.0);
+        assert_eq!(summary.max, 6.0);
+        assert_eq!(summary.mean, 4.0);
+        assert_eq!(summary.total, 12.0);
+        let empty = Summary::of([]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.total, 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn cdf_fraction_is_monotone(mut samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let cdf = Cdf::new(samples.clone());
+            let mut previous = 0.0;
+            for x in samples {
+                let fraction = cdf.fraction_at_most(x);
+                proptest::prop_assert!(fraction >= previous);
+                previous = fraction;
+            }
+            proptest::prop_assert_eq!(cdf.fraction_at_most(f64::INFINITY), 1.0);
+        }
+    }
+}

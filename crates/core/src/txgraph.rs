@@ -1,0 +1,213 @@
+//! Per-NFT transaction graphs (§IV-A).
+//!
+//! For each NFT the paper builds a directed multigraph whose nodes are the
+//! accounts that ever held or received it and whose edges are individual
+//! sales annotated with `(timestamp, transaction hash, interacted contract,
+//! amount paid)`. Strongly connected components of this graph are the
+//! wash-trading candidates.
+
+use ethsim::{Address, Timestamp, TxHash, Wei};
+use graphlib::{suspicious_components, DiMultiGraph, NodeIndex};
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+
+use crate::dataset::{Dataset, NftTransfer};
+
+/// Annotation of one trade edge, exactly the tuple the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradeEdge {
+    /// Timestamp of the sale.
+    pub timestamp: Timestamp,
+    /// Transaction hash of the sale.
+    pub tx_hash: TxHash,
+    /// The marketplace contract interacted with, if any.
+    pub marketplace: Option<Address>,
+    /// Amount paid for the NFT.
+    pub price: Wei,
+}
+
+/// The transaction graph of one NFT.
+#[derive(Debug, Clone)]
+pub struct NftGraph {
+    /// The NFT this graph describes.
+    pub nft: NftId,
+    /// The directed multigraph: account → account per sale.
+    pub graph: DiMultiGraph<Address, TradeEdge>,
+}
+
+impl NftGraph {
+    /// Build the graph from an NFT's chronological transfer list.
+    pub fn from_transfers(nft: NftId, transfers: &[NftTransfer]) -> Self {
+        let mut graph = DiMultiGraph::new();
+        for transfer in transfers {
+            let edge = TradeEdge {
+                timestamp: transfer.timestamp,
+                tx_hash: transfer.tx_hash,
+                marketplace: transfer.marketplace,
+                price: transfer.price,
+            };
+            graph.add_edge_by_key(transfer.from, transfer.to, edge);
+        }
+        NftGraph { nft, graph }
+    }
+
+    /// Build graphs for every NFT in a dataset.
+    pub fn from_dataset(dataset: &Dataset) -> Vec<NftGraph> {
+        let mut graphs: Vec<NftGraph> = dataset
+            .transfers_by_nft
+            .iter()
+            .map(|(nft, transfers)| NftGraph::from_transfers(*nft, transfers))
+            .collect();
+        graphs.sort_by_key(|g| g.nft);
+        graphs
+    }
+
+    /// The paper's candidate components: SCCs with at least two nodes, plus
+    /// single nodes with a self-loop, expressed as account addresses.
+    pub fn suspicious_account_sets(&self) -> Vec<Vec<Address>> {
+        suspicious_components(&self.graph)
+            .into_iter()
+            .map(|component| self.addresses_of(&component))
+            .collect()
+    }
+
+    /// Resolve node indices into account addresses (sorted).
+    pub fn addresses_of(&self, component: &[NodeIndex]) -> Vec<Address> {
+        let mut addresses: Vec<Address> =
+            component.iter().map(|&index| *self.graph.node(index)).collect();
+        addresses.sort();
+        addresses
+    }
+
+    /// All edges between accounts of `accounts` (self-loops included),
+    /// in insertion (chronological) order.
+    pub fn edges_among(&self, accounts: &[Address]) -> Vec<(Address, Address, TradeEdge)> {
+        let set: std::collections::HashSet<Address> = accounts.iter().copied().collect();
+        self.graph
+            .edges()
+            .filter(|edge| {
+                set.contains(self.graph.node(edge.source)) && set.contains(self.graph.node(edge.target))
+            })
+            .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
+            .collect()
+    }
+
+    /// All edges incident to any account of `accounts` (either endpoint),
+    /// in chronological order. Used by the zero-risk computation, which must
+    /// see acquisitions from and disposals to outsiders.
+    pub fn edges_touching(&self, accounts: &[Address]) -> Vec<(Address, Address, TradeEdge)> {
+        let set: std::collections::HashSet<Address> = accounts.iter().copied().collect();
+        self.graph
+            .edges()
+            .filter(|edge| {
+                set.contains(self.graph.node(edge.source)) || set.contains(self.graph.node(edge.target))
+            })
+            .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
+            .collect()
+    }
+
+    /// The distinct directed shape of the subgraph induced by `accounts`,
+    /// as local positions, suitable for pattern classification.
+    pub fn shape_of(&self, accounts: &[Address]) -> Vec<(usize, usize)> {
+        let indices: Vec<NodeIndex> = accounts
+            .iter()
+            .filter_map(|address| self.graph.node_id(address))
+            .collect();
+        self.graph.simple_shape_within(&indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::BlockNumber;
+
+    fn transfer(
+        nft: NftId,
+        from: &str,
+        to: &str,
+        price_eth: f64,
+        at_secs: u64,
+    ) -> NftTransfer {
+        NftTransfer {
+            nft,
+            from: Address::derived(from),
+            to: Address::derived(to),
+            tx_hash: TxHash::hash_of(format!("{from}->{to}@{at_secs}").as_bytes()),
+            block: BlockNumber(at_secs / 13),
+            timestamp: Timestamp::from_secs(at_secs),
+            price: Wei::from_eth(price_eth),
+            marketplace: None,
+        }
+    }
+
+    fn round_trip_graph() -> NftGraph {
+        let nft = NftId::new(Address::derived("collection"), 1);
+        let transfers = vec![
+            transfer(nft, "minter", "washer-a", 0.0, 100),
+            transfer(nft, "washer-a", "washer-b", 1.0, 200),
+            transfer(nft, "washer-b", "washer-a", 1.0, 300),
+            transfer(nft, "washer-a", "victim", 5.0, 400),
+        ];
+        NftGraph::from_transfers(nft, &transfers)
+    }
+
+    #[test]
+    fn graph_structure_and_suspicious_sets() {
+        let graph = round_trip_graph();
+        assert_eq!(graph.graph.node_count(), 4);
+        assert_eq!(graph.graph.edge_count(), 4);
+        let suspicious = graph.suspicious_account_sets();
+        assert_eq!(suspicious.len(), 1);
+        let mut expected = vec![Address::derived("washer-a"), Address::derived("washer-b")];
+        expected.sort();
+        assert_eq!(suspicious[0], expected);
+    }
+
+    #[test]
+    fn edges_among_and_touching_differ() {
+        let graph = round_trip_graph();
+        let component = vec![Address::derived("washer-a"), Address::derived("washer-b")];
+        let among = graph.edges_among(&component);
+        assert_eq!(among.len(), 2, "only the two internal round-trip trades");
+        let touching = graph.edges_touching(&component);
+        assert_eq!(touching.len(), 4, "plus the mint-in and the external sale");
+        // Chronological order is preserved.
+        assert!(touching.windows(2).all(|w| w[0].2.timestamp <= w[1].2.timestamp));
+    }
+
+    #[test]
+    fn shape_classifies_as_round_trip() {
+        let graph = round_trip_graph();
+        let component = vec![Address::derived("washer-a"), Address::derived("washer-b")];
+        let shape = graph.shape_of(&component);
+        let catalogue = graphlib::PatternCatalogue::paper();
+        assert_eq!(catalogue.classify(2, &shape), Some(graphlib::PatternId(1)));
+    }
+
+    #[test]
+    fn self_loop_is_suspicious() {
+        let nft = NftId::new(Address::derived("c"), 7);
+        let transfers = vec![
+            transfer(nft, "minter", "selfish", 0.0, 100),
+            transfer(nft, "selfish", "selfish", 2.0, 200),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        let suspicious = graph.suspicious_account_sets();
+        assert_eq!(suspicious, vec![vec![Address::derived("selfish")]]);
+        let shape = graph.shape_of(&suspicious[0]);
+        assert_eq!(shape, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn clean_history_has_no_suspicious_sets() {
+        let nft = NftId::new(Address::derived("c"), 9);
+        let transfers = vec![
+            transfer(nft, "minter", "a", 0.0, 100),
+            transfer(nft, "a", "b", 1.0, 200),
+            transfer(nft, "b", "c", 2.0, 300),
+        ];
+        let graph = NftGraph::from_transfers(nft, &transfers);
+        assert!(graph.suspicious_account_sets().is_empty());
+    }
+}

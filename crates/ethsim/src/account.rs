@@ -1,0 +1,102 @@
+//! Account state: externally owned accounts (EOAs) and contract accounts.
+//!
+//! The paper's refinement step (§IV-B) distinguishes contract accounts from
+//! EOAs by the presence of bytecode; this module models exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Address, Wei};
+
+/// The kind of an Ethereum account.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// An externally owned account, controlled by a private key.
+    Eoa,
+    /// A contract account, identified by the presence of bytecode.
+    Contract {
+        /// The (simulated) deployed bytecode. Non-empty by construction.
+        code: Vec<u8>,
+    },
+}
+
+/// The state of a single account on the chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Account {
+    /// The account address.
+    pub address: Address,
+    /// EOA or contract.
+    pub kind: AccountKind,
+    /// Current ETH balance.
+    pub balance: Wei,
+    /// Number of transactions sent from this account.
+    pub nonce: u64,
+}
+
+impl Account {
+    /// Create a fresh externally owned account with zero balance.
+    pub fn new_eoa(address: Address) -> Self {
+        Account {
+            address,
+            kind: AccountKind::Eoa,
+            balance: Wei::ZERO,
+            nonce: 0,
+        }
+    }
+
+    /// Create a fresh contract account holding `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is empty: a contract account is *defined* by having
+    /// bytecode, and an empty-code "contract" would be indistinguishable from
+    /// an EOA in the refinement step.
+    pub fn new_contract(address: Address, code: Vec<u8>) -> Self {
+        assert!(!code.is_empty(), "contract account must have non-empty bytecode");
+        Account {
+            address,
+            kind: AccountKind::Contract { code },
+            balance: Wei::ZERO,
+            nonce: 0,
+        }
+    }
+
+    /// Whether the account holds bytecode (i.e. is a contract account).
+    pub fn has_code(&self) -> bool {
+        matches!(self.kind, AccountKind::Contract { .. })
+    }
+
+    /// The bytecode, if this is a contract account.
+    pub fn code(&self) -> Option<&[u8]> {
+        match &self.kind {
+            AccountKind::Contract { code } => Some(code),
+            AccountKind::Eoa => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eoa_has_no_code() {
+        let account = Account::new_eoa(Address::derived("eoa"));
+        assert!(!account.has_code());
+        assert_eq!(account.code(), None);
+        assert_eq!(account.balance, Wei::ZERO);
+        assert_eq!(account.nonce, 0);
+    }
+
+    #[test]
+    fn contract_has_code() {
+        let account = Account::new_contract(Address::derived("contract"), vec![0x60, 0x80]);
+        assert!(account.has_code());
+        assert_eq!(account.code(), Some(&[0x60u8, 0x80u8][..]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn contract_with_empty_code_is_rejected() {
+        let _ = Account::new_contract(Address::derived("bad"), vec![]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Blocks: ordered containers of transactions with a timestamp.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{BlockNumber, Timestamp, TxHash};
+
+/// A sealed block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block number.
+    pub number: BlockNumber,
+    /// The block timestamp; all transactions in the block share it.
+    pub timestamp: Timestamp,
+    /// Hashes of the transactions included, in execution order.
+    pub transactions: Vec<TxHash>,
+}
+
+impl Block {
+    /// Create an empty block.
+    pub fn new(number: BlockNumber, timestamp: Timestamp) -> Self {
+        Block {
+            number,
+            timestamp,
+            transactions: Vec::new(),
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_block_is_empty() {
+        let block = Block::new(BlockNumber(7), Timestamp::from_secs(100));
+        assert!(block.is_empty());
+        assert_eq!(block.len(), 0);
+        assert_eq!(block.number, BlockNumber(7));
+    }
+}

@@ -1,0 +1,812 @@
+//! The in-memory chain: account state, blocks, transaction execution and
+//! indexing.
+//!
+//! [`Chain`] plays the role of the local Geth full node in the paper's
+//! methodology: higher layers submit [`TxRequest`]s, the chain performs ETH
+//! accounting, assigns hashes/blocks/timestamps, and maintains the indexes
+//! that the `node` query API (the Web3 substitute) exposes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::account::{Account, AccountKind};
+use crate::block::Block;
+use crate::transaction::{Transaction, TxRequest};
+use crate::types::{Address, B256, BlockNumber, Timestamp, TxHash, Wei};
+
+/// Errors produced when mutating the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The sender (or an internal-transfer source) does not exist.
+    UnknownAccount(Address),
+    /// An account attempted to spend more ETH than it holds.
+    InsufficientBalance {
+        /// The overdrawn account.
+        account: Address,
+        /// What the transfer needed.
+        needed: Wei,
+        /// What the account held.
+        available: Wei,
+    },
+    /// An account with this address already exists.
+    AccountExists(Address),
+    /// Attempted to seal a block with a timestamp earlier than the current one.
+    NonMonotonicTimestamp {
+        /// Timestamp of the currently open block.
+        current: Timestamp,
+        /// The (earlier) timestamp that was requested.
+        requested: Timestamp,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::UnknownAccount(a) => write!(f, "unknown account {a}"),
+            ChainError::InsufficientBalance { account, needed, available } => write!(
+                f,
+                "insufficient balance for {account}: needed {needed}, available {available}"
+            ),
+            ChainError::AccountExists(a) => write!(f, "account {a} already exists"),
+            ChainError::NonMonotonicTimestamp { current, requested } => write!(
+                f,
+                "block timestamp must not decrease (current {current}, requested {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A log together with its provenance (transaction, block, position).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Hash of the transaction that emitted the log.
+    pub tx_hash: TxHash,
+    /// Block of that transaction.
+    pub block: BlockNumber,
+    /// Timestamp of that block.
+    pub timestamp: Timestamp,
+    /// Index of the log within the transaction.
+    pub log_index: usize,
+    /// The log itself.
+    pub log: crate::log::Log,
+}
+
+/// A filter over event logs, mirroring `eth_getLogs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogFilter {
+    /// Only logs whose first topic equals this value.
+    pub topic0: Option<B256>,
+    /// Only logs emitted by this contract.
+    pub address: Option<Address>,
+    /// Only logs with exactly this many topics (the paper distinguishes
+    /// ERC-721 from ERC-20 by topic count).
+    pub topic_count: Option<usize>,
+    /// Inclusive lower block bound.
+    pub from_block: Option<BlockNumber>,
+    /// Inclusive upper block bound.
+    pub to_block: Option<BlockNumber>,
+}
+
+impl LogFilter {
+    /// A filter matching every log.
+    pub fn all() -> Self {
+        LogFilter::default()
+    }
+
+    /// Restrict to a topic0 value (builder style).
+    pub fn with_topic0(mut self, topic0: B256) -> Self {
+        self.topic0 = Some(topic0);
+        self
+    }
+
+    /// Restrict to an emitting contract (builder style).
+    pub fn with_address(mut self, address: Address) -> Self {
+        self.address = Some(address);
+        self
+    }
+
+    /// Restrict to a topic count (builder style).
+    pub fn with_topic_count(mut self, count: usize) -> Self {
+        self.topic_count = Some(count);
+        self
+    }
+
+    /// Restrict to a block range (builder style, inclusive bounds).
+    pub fn with_block_range(mut self, from: BlockNumber, to: BlockNumber) -> Self {
+        self.from_block = Some(from);
+        self.to_block = Some(to);
+        self
+    }
+
+    fn matches(&self, entry: &LogEntry) -> bool {
+        if let Some(topic0) = self.topic0 {
+            if entry.log.topics.first() != Some(&topic0) {
+                return false;
+            }
+        }
+        if let Some(address) = self.address {
+            if entry.log.address != address {
+                return false;
+            }
+        }
+        if let Some(count) = self.topic_count {
+            if entry.log.topics.len() != count {
+                return false;
+            }
+        }
+        if let Some(from) = self.from_block {
+            if entry.block < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to_block {
+            if entry.block > to {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Aggregate statistics about a chain, used in reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Number of accounts (EOA + contract).
+    pub accounts: usize,
+    /// Number of contract accounts.
+    pub contracts: usize,
+    /// Number of sealed blocks (excluding the open block).
+    pub blocks: usize,
+    /// Number of executed transactions.
+    pub transactions: usize,
+    /// Number of emitted logs.
+    pub logs: usize,
+    /// Total gas fees burned.
+    pub gas_burned: Wei,
+}
+
+/// The in-memory blockchain.
+pub struct Chain {
+    accounts: HashMap<Address, Account>,
+    blocks: Vec<Block>,
+    open_block: Block,
+    transactions: HashMap<TxHash, Transaction>,
+    tx_order: Vec<TxHash>,
+    txs_by_account: HashMap<Address, Vec<TxHash>>,
+    log_count: usize,
+    gas_burned: Wei,
+    hash_salt: u64,
+}
+
+impl Chain {
+    /// Create a chain whose first (open) block has the given timestamp.
+    pub fn new(genesis_timestamp: Timestamp) -> Self {
+        Chain {
+            accounts: HashMap::new(),
+            blocks: Vec::new(),
+            open_block: Block::new(BlockNumber::GENESIS, genesis_timestamp),
+            transactions: HashMap::new(),
+            tx_order: Vec::new(),
+            txs_by_account: HashMap::new(),
+            log_count: 0,
+            gas_burned: Wei::ZERO,
+            hash_salt: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Account management
+    // ------------------------------------------------------------------
+
+    /// Create a fresh EOA derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::AccountExists`] if the derived address collides
+    /// with an existing account.
+    pub fn create_eoa(&mut self, seed: &str) -> Result<Address, ChainError> {
+        let address = Address::derived(seed);
+        self.register_eoa(address)?;
+        Ok(address)
+    }
+
+    /// Register an EOA at a specific address.
+    pub fn register_eoa(&mut self, address: Address) -> Result<Address, ChainError> {
+        if self.accounts.contains_key(&address) {
+            return Err(ChainError::AccountExists(address));
+        }
+        self.accounts.insert(address, Account::new_eoa(address));
+        Ok(address)
+    }
+
+    /// Deploy a contract account derived from `seed` holding `code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::AccountExists`] on address collision.
+    pub fn deploy_contract(&mut self, seed: &str, code: Vec<u8>) -> Result<Address, ChainError> {
+        let address = Address::derived(&format!("contract:{seed}"));
+        if self.accounts.contains_key(&address) {
+            return Err(ChainError::AccountExists(address));
+        }
+        self.accounts.insert(address, Account::new_contract(address, code));
+        Ok(address)
+    }
+
+    /// Credit `amount` to an account outside of any transaction (genesis
+    /// allocation / faucet). Creates the account as an EOA if needed.
+    pub fn fund(&mut self, address: Address, amount: Wei) {
+        let account = self
+            .accounts
+            .entry(address)
+            .or_insert_with(|| Account::new_eoa(address));
+        account.balance += amount;
+    }
+
+    /// Look up an account.
+    pub fn account(&self, address: Address) -> Option<&Account> {
+        self.accounts.get(&address)
+    }
+
+    /// Whether an account exists.
+    pub fn has_account(&self, address: Address) -> bool {
+        self.accounts.contains_key(&address)
+    }
+
+    /// Current ETH balance of an account (zero if unknown).
+    pub fn balance(&self, address: Address) -> Wei {
+        self.accounts.get(&address).map(|a| a.balance).unwrap_or(Wei::ZERO)
+    }
+
+    /// The deployed bytecode at an address, if any. Mirrors `eth_getCode`.
+    pub fn code_at(&self, address: Address) -> Option<&[u8]> {
+        self.accounts.get(&address).and_then(|a| a.code())
+    }
+
+    /// Whether the address holds bytecode (the refinement step's contract test).
+    pub fn is_contract(&self, address: Address) -> bool {
+        self.code_at(address).is_some()
+    }
+
+    /// Iterate over all accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = &Account> {
+        self.accounts.values()
+    }
+
+    // ------------------------------------------------------------------
+    // Block production
+    // ------------------------------------------------------------------
+
+    /// The timestamp of the currently open block.
+    pub fn current_timestamp(&self) -> Timestamp {
+        self.open_block.timestamp
+    }
+
+    /// The number of the currently open block.
+    pub fn current_block_number(&self) -> BlockNumber {
+        self.open_block.number
+    }
+
+    /// Seal the open block and start a new one at `timestamp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::NonMonotonicTimestamp`] if `timestamp` is earlier
+    /// than the open block's timestamp.
+    pub fn seal_block(&mut self, timestamp: Timestamp) -> Result<BlockNumber, ChainError> {
+        if timestamp < self.open_block.timestamp {
+            return Err(ChainError::NonMonotonicTimestamp {
+                current: self.open_block.timestamp,
+                requested: timestamp,
+            });
+        }
+        let next_number = self.open_block.number.next();
+        let sealed = std::mem::replace(&mut self.open_block, Block::new(next_number, timestamp));
+        let sealed_number = sealed.number;
+        self.blocks.push(sealed);
+        Ok(sealed_number)
+    }
+
+    /// Seal blocks until the open block's timestamp is at least `timestamp`.
+    /// Convenience for workload generators that think in wall-clock time.
+    pub fn advance_to(&mut self, timestamp: Timestamp) -> Result<(), ChainError> {
+        if timestamp < self.open_block.timestamp {
+            return Err(ChainError::NonMonotonicTimestamp {
+                current: self.open_block.timestamp,
+                requested: timestamp,
+            });
+        }
+        if timestamp > self.open_block.timestamp {
+            self.seal_block(timestamp)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction execution
+    // ------------------------------------------------------------------
+
+    /// Execute a transaction request in the currently open block.
+    ///
+    /// The sender pays `value + gas fee`; internal transfers are applied in
+    /// order. Recipient accounts that do not exist yet are created as EOAs
+    /// (as on the real chain, where sending ETH to a fresh address
+    /// instantiates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownAccount`] if the sender does not exist and
+    /// [`ChainError::InsufficientBalance`] if any debit exceeds the payer's
+    /// balance. On error the chain state is unchanged.
+    pub fn submit(&mut self, request: TxRequest) -> Result<TxHash, ChainError> {
+        // Validate without mutating: simulate the balance changes first.
+        let sender = self
+            .accounts
+            .get(&request.from)
+            .ok_or(ChainError::UnknownAccount(request.from))?;
+        let fee = request.fee();
+        let mut deltas: HashMap<Address, i128> = HashMap::new();
+        *deltas.entry(request.from).or_insert(0) -= (request.value.raw() + fee.raw()) as i128;
+        if let Some(to) = request.to {
+            *deltas.entry(to).or_insert(0) += request.value.raw() as i128;
+        }
+        // Check the sender first for a precise error.
+        let sender_needed = request.value + fee;
+        if sender.balance < sender_needed {
+            return Err(ChainError::InsufficientBalance {
+                account: request.from,
+                needed: sender_needed,
+                available: sender.balance,
+            });
+        }
+        // Apply internal transfers sequentially on top of the projection.
+        for transfer in &request.internal_transfers {
+            if !self.accounts.contains_key(&transfer.from) {
+                return Err(ChainError::UnknownAccount(transfer.from));
+            }
+            let projected = self.balance(transfer.from).raw() as i128
+                + deltas.get(&transfer.from).copied().unwrap_or(0);
+            if projected < transfer.value.raw() as i128 {
+                return Err(ChainError::InsufficientBalance {
+                    account: transfer.from,
+                    needed: transfer.value,
+                    available: Wei(projected.max(0) as u128),
+                });
+            }
+            *deltas.entry(transfer.from).or_insert(0) -= transfer.value.raw() as i128;
+            *deltas.entry(transfer.to).or_insert(0) += transfer.value.raw() as i128;
+        }
+
+        // Commit: apply deltas, bump nonce, record the transaction.
+        for (address, delta) in &deltas {
+            let account = self
+                .accounts
+                .entry(*address)
+                .or_insert_with(|| Account::new_eoa(*address));
+            let new_balance = account.balance.raw() as i128 + delta;
+            debug_assert!(new_balance >= 0, "balance projection must be non-negative");
+            account.balance = Wei(new_balance.max(0) as u128);
+        }
+        self.gas_burned += fee;
+        let nonce = {
+            let sender = self.accounts.get_mut(&request.from).expect("sender exists");
+            let nonce = sender.nonce;
+            sender.nonce += 1;
+            nonce
+        };
+
+        self.hash_salt += 1;
+        let mut hash_input = Vec::with_capacity(64);
+        hash_input.extend_from_slice(request.from.as_bytes());
+        hash_input.extend_from_slice(&nonce.to_be_bytes());
+        hash_input.extend_from_slice(&self.hash_salt.to_be_bytes());
+        let hash = TxHash::hash_of(&hash_input);
+
+        let tx = Transaction {
+            hash,
+            block: self.open_block.number,
+            timestamp: self.open_block.timestamp,
+            from: request.from,
+            to: request.to,
+            value: request.value,
+            gas_used: request.gas_used,
+            gas_price: request.gas_price,
+            input: request.input,
+            logs: request.logs,
+            internal_transfers: request.internal_transfers,
+        };
+        self.log_count += tx.logs.len();
+        self.index_transaction(&tx);
+        self.open_block.transactions.push(hash);
+        self.transactions.insert(hash, tx);
+        self.tx_order.push(hash);
+        Ok(hash)
+    }
+
+    fn index_transaction(&mut self, tx: &Transaction) {
+        let mut participants = vec![tx.from];
+        if let Some(to) = tx.to {
+            participants.push(to);
+        }
+        for transfer in &tx.internal_transfers {
+            participants.push(transfer.from);
+            participants.push(transfer.to);
+        }
+        for log in &tx.logs {
+            if let Some(t) = log.decode_erc721_transfer() {
+                participants.push(t.from);
+                participants.push(t.to);
+            } else if let Some(t) = log.decode_erc20_transfer() {
+                participants.push(t.from);
+                participants.push(t.to);
+            }
+        }
+        participants.sort();
+        participants.dedup();
+        for address in participants {
+            self.txs_by_account.entry(address).or_default().push(tx.hash);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (the node / Web3 substitute)
+    // ------------------------------------------------------------------
+
+    /// Fetch a transaction by hash.
+    pub fn transaction(&self, hash: TxHash) -> Option<&Transaction> {
+        self.transactions.get(&hash)
+    }
+
+    /// All transactions in execution order.
+    pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
+        self.tx_order.iter().map(|hash| &self.transactions[hash])
+    }
+
+    /// All transactions in which `address` participates (sender, recipient,
+    /// internal-transfer party, or ERC-20/ERC-721 transfer party), in
+    /// execution order.
+    pub fn transactions_of(&self, address: Address) -> Vec<&Transaction> {
+        self.txs_by_account
+            .get(&address)
+            .map(|hashes| hashes.iter().map(|hash| &self.transactions[hash]).collect())
+            .unwrap_or_default()
+    }
+
+    /// A sealed block by number.
+    pub fn block(&self, number: BlockNumber) -> Option<&Block> {
+        self.blocks.get(number.0 as usize)
+    }
+
+    /// All sealed blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Scan logs matching `filter`, in execution order. Mirrors `eth_getLogs`.
+    pub fn logs(&self, filter: &LogFilter) -> Vec<LogEntry> {
+        let mut out = Vec::new();
+        for hash in &self.tx_order {
+            let tx = &self.transactions[hash];
+            for (log_index, log) in tx.logs.iter().enumerate() {
+                let entry = LogEntry {
+                    tx_hash: tx.hash,
+                    block: tx.block,
+                    timestamp: tx.timestamp,
+                    log_index,
+                    log: log.clone(),
+                };
+                if filter.matches(&entry) {
+                    out.push(entry);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate statistics for reporting.
+    pub fn stats(&self) -> ChainStats {
+        ChainStats {
+            accounts: self.accounts.len(),
+            contracts: self
+                .accounts
+                .values()
+                .filter(|a| matches!(a.kind, AccountKind::Contract { .. }))
+                .count(),
+            blocks: self.blocks.len(),
+            transactions: self.transactions.len(),
+            logs: self.log_count,
+            gas_burned: self.gas_burned,
+        }
+    }
+
+    /// Sum of all account balances; with the gas burned, conserved against
+    /// total funding (used by tests and debug assertions).
+    pub fn total_balance(&self) -> Wei {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Chain")
+            .field("accounts", &stats.accounts)
+            .field("blocks", &stats.blocks)
+            .field("transactions", &stats.transactions)
+            .field("logs", &stats.logs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Log;
+
+    fn setup() -> (Chain, Address, Address) {
+        let mut chain = Chain::new(Timestamp::from_secs(1_600_000_000));
+        let alice = chain.create_eoa("alice").unwrap();
+        let bob = chain.create_eoa("bob").unwrap();
+        chain.fund(alice, Wei::from_eth(10.0));
+        (chain, alice, bob)
+    }
+
+    #[test]
+    fn ether_transfer_updates_balances_and_burns_gas() {
+        let (mut chain, alice, bob) = setup();
+        let request =
+            TxRequest::ether_transfer(alice, bob, Wei::from_eth(1.0), Wei::from_gwei(10));
+        let fee = request.fee();
+        chain.submit(request).unwrap();
+        assert_eq!(chain.balance(bob), Wei::from_eth(1.0));
+        assert_eq!(chain.balance(alice), Wei::from_eth(9.0) - fee);
+        assert_eq!(chain.stats().gas_burned, fee);
+        assert_eq!(
+            chain.total_balance() + fee,
+            Wei::from_eth(10.0),
+            "value is conserved up to burned gas"
+        );
+    }
+
+    #[test]
+    fn insufficient_balance_is_rejected_without_state_change() {
+        let (mut chain, alice, bob) = setup();
+        let before = chain.balance(alice);
+        let result = chain.submit(TxRequest::ether_transfer(
+            alice,
+            bob,
+            Wei::from_eth(100.0),
+            Wei::from_gwei(10),
+        ));
+        assert!(matches!(result, Err(ChainError::InsufficientBalance { .. })));
+        assert_eq!(chain.balance(alice), before);
+        assert_eq!(chain.balance(bob), Wei::ZERO);
+        assert_eq!(chain.stats().transactions, 0);
+    }
+
+    #[test]
+    fn unknown_sender_is_rejected() {
+        let (mut chain, _, bob) = setup();
+        let ghost = Address::derived("ghost");
+        let result = chain.submit(TxRequest::ether_transfer(
+            ghost,
+            bob,
+            Wei::from_eth(1.0),
+            Wei::from_gwei(1),
+        ));
+        assert_eq!(result, Err(ChainError::UnknownAccount(ghost)));
+    }
+
+    #[test]
+    fn internal_transfers_are_applied_and_validated() {
+        let (mut chain, alice, bob) = setup();
+        let marketplace = chain.deploy_contract("marketplace", vec![0x01]).unwrap();
+        let treasury = chain.create_eoa("treasury").unwrap();
+        // Alice sends 1 ETH to the marketplace, which forwards 0.975 to Bob
+        // and 0.025 to the treasury.
+        let request = TxRequest {
+            from: alice,
+            to: Some(marketplace),
+            value: Wei::from_eth(1.0),
+            gas_used: 150_000,
+            gas_price: Wei::from_gwei(20),
+            input: vec![],
+            logs: vec![],
+            internal_transfers: vec![
+                crate::transaction::InternalTransfer {
+                    from: marketplace,
+                    to: bob,
+                    value: Wei::from_eth(0.975),
+                },
+                crate::transaction::InternalTransfer {
+                    from: marketplace,
+                    to: treasury,
+                    value: Wei::from_eth(0.025),
+                },
+            ],
+        };
+        chain.submit(request).unwrap();
+        assert_eq!(chain.balance(bob), Wei::from_eth(0.975));
+        assert_eq!(chain.balance(treasury), Wei::from_eth(0.025));
+        assert_eq!(chain.balance(marketplace), Wei::ZERO);
+    }
+
+    #[test]
+    fn overdrawn_internal_transfer_is_rejected_atomically() {
+        let (mut chain, alice, bob) = setup();
+        let marketplace = chain.deploy_contract("marketplace", vec![0x01]).unwrap();
+        let request = TxRequest {
+            from: alice,
+            to: Some(marketplace),
+            value: Wei::from_eth(1.0),
+            gas_used: 150_000,
+            gas_price: Wei::from_gwei(20),
+            input: vec![],
+            logs: vec![],
+            // Forwards more than it received.
+            internal_transfers: vec![crate::transaction::InternalTransfer {
+                from: marketplace,
+                to: bob,
+                value: Wei::from_eth(2.0),
+            }],
+        };
+        let before = chain.balance(alice);
+        assert!(matches!(
+            chain.submit(request),
+            Err(ChainError::InsufficientBalance { .. })
+        ));
+        assert_eq!(chain.balance(alice), before);
+        assert_eq!(chain.stats().transactions, 0);
+    }
+
+    #[test]
+    fn blocks_are_monotonic_and_transactions_carry_block_metadata() {
+        let (mut chain, alice, bob) = setup();
+        let t0 = chain.current_timestamp();
+        chain
+            .submit(TxRequest::ether_transfer(alice, bob, Wei::from_eth(0.1), Wei::from_gwei(1)))
+            .unwrap();
+        chain.seal_block(t0.plus_days(1)).unwrap();
+        let hash = chain
+            .submit(TxRequest::ether_transfer(alice, bob, Wei::from_eth(0.1), Wei::from_gwei(1)))
+            .unwrap();
+        let tx = chain.transaction(hash).unwrap();
+        assert_eq!(tx.block, BlockNumber(1));
+        assert_eq!(tx.timestamp, t0.plus_days(1));
+        assert!(matches!(
+            chain.seal_block(Timestamp::from_secs(0)),
+            Err(ChainError::NonMonotonicTimestamp { .. })
+        ));
+        assert_eq!(chain.blocks().len(), 1);
+        assert_eq!(chain.block(BlockNumber(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn advance_to_is_idempotent_at_same_timestamp() {
+        let (mut chain, _, _) = setup();
+        let t = chain.current_timestamp();
+        chain.advance_to(t).unwrap();
+        assert_eq!(chain.blocks().len(), 0, "no block sealed for equal timestamp");
+        chain.advance_to(t.plus_secs(60)).unwrap();
+        assert_eq!(chain.blocks().len(), 1);
+    }
+
+    #[test]
+    fn log_filter_by_topic_and_count() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        let weth = chain.deploy_contract("weth", vec![0xfe]).unwrap();
+        let request = TxRequest {
+            from: alice,
+            to: Some(nft),
+            value: Wei::ZERO,
+            gas_used: 90_000,
+            gas_price: Wei::from_gwei(10),
+            input: vec![],
+            logs: vec![
+                Log::erc721_transfer(nft, alice, bob, 7),
+                Log::erc20_transfer(weth, bob, alice, 1_000),
+            ],
+            internal_transfers: vec![],
+        };
+        chain.submit(request).unwrap();
+
+        let all = chain.logs(&LogFilter::all());
+        assert_eq!(all.len(), 2);
+
+        let erc721 = chain.logs(
+            &LogFilter::all()
+                .with_topic0(crate::log::transfer_topic())
+                .with_topic_count(4),
+        );
+        assert_eq!(erc721.len(), 1);
+        assert_eq!(erc721[0].log.address, nft);
+
+        let erc20 = chain.logs(
+            &LogFilter::all()
+                .with_topic0(crate::log::transfer_topic())
+                .with_topic_count(3),
+        );
+        assert_eq!(erc20.len(), 1);
+        assert_eq!(erc20[0].log.address, weth);
+
+        let by_address = chain.logs(&LogFilter::all().with_address(weth));
+        assert_eq!(by_address.len(), 1);
+    }
+
+    #[test]
+    fn log_filter_by_block_range() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        for i in 0..3u64 {
+            let request = TxRequest {
+                from: alice,
+                to: Some(nft),
+                value: Wei::ZERO,
+                gas_used: 90_000,
+                gas_price: Wei::from_gwei(10),
+                input: vec![],
+                logs: vec![Log::erc721_transfer(nft, alice, bob, i)],
+                internal_transfers: vec![],
+            };
+            chain.submit(request).unwrap();
+            chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+        }
+        let middle = chain.logs(&LogFilter::all().with_block_range(BlockNumber(1), BlockNumber(1)));
+        assert_eq!(middle.len(), 1);
+        assert_eq!(middle[0].log.decode_erc721_transfer().unwrap().token_id, 1);
+    }
+
+    #[test]
+    fn transactions_of_indexes_all_participants() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        let carol = chain.create_eoa("carol").unwrap();
+        let request = TxRequest {
+            from: alice,
+            to: Some(nft),
+            value: Wei::ZERO,
+            gas_used: 90_000,
+            gas_price: Wei::from_gwei(10),
+            input: vec![],
+            logs: vec![Log::erc721_transfer(nft, carol, bob, 7)],
+            internal_transfers: vec![],
+        };
+        let hash = chain.submit(request).unwrap();
+        for address in [alice, bob, carol, nft] {
+            let txs = chain.transactions_of(address);
+            assert_eq!(txs.len(), 1, "{address} should be indexed");
+            assert_eq!(txs[0].hash, hash);
+        }
+        assert!(chain.transactions_of(Address::derived("stranger")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_account_creation_fails() {
+        let (mut chain, _, _) = setup();
+        assert!(matches!(
+            chain.create_eoa("alice"),
+            Err(ChainError::AccountExists(_))
+        ));
+        assert!(matches!(
+            chain.deploy_contract("nft", vec![1]).and(chain.deploy_contract("nft", vec![1])),
+            Err(ChainError::AccountExists(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let (mut chain, alice, bob) = setup();
+        chain
+            .submit(TxRequest::ether_transfer(alice, bob, Wei::from_eth(0.5), Wei::from_gwei(5)))
+            .unwrap();
+        let stats = chain.stats();
+        assert_eq!(stats.transactions, 1);
+        assert_eq!(stats.accounts, 2);
+        assert_eq!(stats.contracts, 0);
+        assert!(stats.gas_burned > Wei::ZERO);
+    }
+}

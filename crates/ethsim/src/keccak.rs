@@ -1,0 +1,297 @@
+//! A from-scratch implementation of Keccak-256, the hash function used by
+//! Ethereum for addresses, transaction hashes, event signatures, and
+//! function selectors.
+//!
+//! This is the original Keccak padding (`0x01`), **not** the NIST SHA-3
+//! padding (`0x06`); Ethereum predates the final SHA-3 standard and kept the
+//! original padding rule.
+//!
+//! The implementation is a straightforward sponge over Keccak-f\[1600\] with a
+//! rate of 1088 bits (136 bytes) and 256-bit output. It is validated in the
+//! test module against well-known vectors, including the ERC-721 `Transfer`
+//! event signature `ddf252ad…` that the paper uses to identify transfer logs.
+
+/// Number of rounds of the Keccak-f\[1600\] permutation.
+const ROUNDS: usize = 24;
+
+/// Rate in bytes for Keccak-256 (1088 bits).
+const RATE: usize = 136;
+
+/// Round constants for the iota step.
+const RC: [u64; ROUNDS] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+/// Rotation offsets for the rho step, indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// The 1600-bit Keccak state as a 5x5 matrix of 64-bit lanes.
+#[derive(Clone)]
+struct State {
+    lanes: [[u64; 5]; 5],
+}
+
+impl State {
+    fn new() -> Self {
+        State { lanes: [[0u64; 5]; 5] }
+    }
+
+    /// One full Keccak-f\[1600\] permutation.
+    fn permute(&mut self) {
+        for round in 0..ROUNDS {
+            self.theta();
+            self.rho_pi();
+            self.chi();
+            self.iota(round);
+        }
+    }
+
+    fn theta(&mut self) {
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = self.lanes[x][0]
+                ^ self.lanes[x][1]
+                ^ self.lanes[x][2]
+                ^ self.lanes[x][3]
+                ^ self.lanes[x][4];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                self.lanes[x][y] ^= d[x];
+            }
+        }
+    }
+
+    fn rho_pi(&mut self) {
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = self.lanes[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        self.lanes = b;
+    }
+
+    fn chi(&mut self) {
+        let a = self.lanes;
+        for x in 0..5 {
+            for y in 0..5 {
+                self.lanes[x][y] = a[x][y] ^ ((!a[(x + 1) % 5][y]) & a[(x + 2) % 5][y]);
+            }
+        }
+    }
+
+    fn iota(&mut self, round: usize) {
+        self.lanes[0][0] ^= RC[round];
+    }
+
+    /// XOR a full rate-sized block into the state.
+    fn absorb_block(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), RATE);
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let x = i % 5;
+            let y = i / 5;
+            self.lanes[x][y] ^= lane;
+        }
+        self.permute();
+    }
+
+    /// Read the first 32 bytes of the state (little-endian lanes in
+    /// column-major order), which is the Keccak-256 digest.
+    fn squeeze256(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let x = i % 5;
+            let y = i / 5;
+            out[i * 8..(i + 1) * 8].copy_from_slice(&self.lanes[x][y].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Compute the Keccak-256 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// let digest = ethsim::keccak::keccak256(b"Transfer(address,address,uint256)");
+/// // The first four bytes are the well-known ERC-721/ERC-20 Transfer topic prefix.
+/// assert_eq!(&digest[..4], &[0xdd, 0xf2, 0x52, 0xad]);
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut state = State::new();
+    let mut block = [0u8; RATE];
+    let mut chunks = data.chunks_exact(RATE);
+    for chunk in &mut chunks {
+        block.copy_from_slice(chunk);
+        state.absorb_block(&block);
+    }
+    // Final (partial) block with Keccak padding 0x01 .. 0x80.
+    let rem = chunks.remainder();
+    block = [0u8; RATE];
+    block[..rem.len()].copy_from_slice(rem);
+    block[rem.len()] ^= 0x01;
+    block[RATE - 1] ^= 0x80;
+    state.absorb_block(&block);
+    state.squeeze256()
+}
+
+/// Compute the 4-byte function selector of a Solidity function signature,
+/// i.e. the first four bytes of the Keccak-256 of the canonical signature.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(
+///     ethsim::keccak::selector("supportsInterface(bytes4)"),
+///     [0x01, 0xff, 0xc9, 0xa7]
+/// );
+/// ```
+pub fn selector(signature: &str) -> [u8; 4] {
+    let digest = keccak256(signature.as_bytes());
+    [digest[0], digest[1], digest[2], digest[3]]
+}
+
+/// Compute the 32-byte event topic of a Solidity event signature.
+pub fn event_topic(signature: &str) -> [u8; 32] {
+    keccak256(signature.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_matches_known_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_matches_known_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn erc721_transfer_event_signature() {
+        // The signature the paper uses to find ERC-721/ERC-20 transfer logs.
+        assert_eq!(
+            hex(&event_topic("Transfer(address,address,uint256)")),
+            "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+        );
+    }
+
+    #[test]
+    fn erc1155_transfer_single_signature_differs() {
+        let erc1155 = event_topic("TransferSingle(address,address,address,uint256,uint256)");
+        let erc721 = event_topic("Transfer(address,address,uint256)");
+        assert_ne!(erc1155, erc721);
+        assert_eq!(
+            hex(&erc1155),
+            "c3d58168c5ae7397731d063d5bbf3d657854427343f4c083240f7aacaa2d0f62"
+        );
+    }
+
+    #[test]
+    fn erc165_interface_ids() {
+        assert_eq!(selector("supportsInterface(bytes4)"), [0x01, 0xff, 0xc9, 0xa7]);
+    }
+
+    #[test]
+    fn erc721_interface_id_is_xor_of_selectors() {
+        // The ERC-721 interface id 0x80ac58cd is the XOR of its nine function selectors.
+        let signatures = [
+            "balanceOf(address)",
+            "ownerOf(uint256)",
+            "safeTransferFrom(address,address,uint256,bytes)",
+            "safeTransferFrom(address,address,uint256)",
+            "transferFrom(address,address,uint256)",
+            "approve(address,uint256)",
+            "setApprovalForAll(address,bool)",
+            "getApproved(uint256)",
+            "isApprovedForAll(address,address)",
+        ];
+        let mut id = [0u8; 4];
+        for sig in signatures {
+            let sel = selector(sig);
+            for i in 0..4 {
+                id[i] ^= sel[i];
+            }
+        }
+        assert_eq!(id, [0x80, 0xac, 0x58, 0xcd]);
+    }
+
+    #[test]
+    fn long_input_spanning_multiple_blocks() {
+        // 200 bytes forces more than one absorb block (rate = 136 bytes).
+        let data = vec![0xabu8; 200];
+        let digest = keccak256(&data);
+        // Hashing the same data twice is deterministic.
+        assert_eq!(digest, keccak256(&data));
+        // And differs from a one-byte perturbation.
+        let mut data2 = data.clone();
+        data2[199] = 0xac;
+        assert_ne!(digest, keccak256(&data2));
+    }
+
+    #[test]
+    fn rate_sized_input_uses_extra_padding_block() {
+        let data = vec![0x11u8; RATE];
+        let a = keccak256(&data);
+        let b = keccak256(&data[..RATE - 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digest_distribution_no_trivial_collisions() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..1000u32 {
+            let digest = keccak256(&i.to_be_bytes());
+            assert!(seen.insert(digest), "collision at {i}");
+        }
+    }
+}

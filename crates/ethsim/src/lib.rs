@@ -1,0 +1,61 @@
+//! # ethsim — an in-memory Ethereum-like blockchain substrate
+//!
+//! The paper *"A Game of NFTs: Characterizing NFT Wash Trading in the Ethereum
+//! Blockchain"* (ICDCS 2023) analyses the real Ethereum chain through a local
+//! Geth full node queried via Web3. This crate is the reproduction's
+//! substitute for that substrate: a deterministic, in-memory chain with
+//!
+//! * EOA and contract accounts (contracts are distinguished by bytecode,
+//!   exactly as the paper's refinement step does),
+//! * blocks, transactions, ETH accounting, gas fees and internal transfers,
+//! * event logs with the real ERC-20 / ERC-721 / ERC-1155 `Transfer`
+//!   signatures (a from-scratch Keccak-256 in [`keccak`] makes those genuine),
+//! * a query API ([`chain::LogFilter`], [`Chain::logs`],
+//!   [`Chain::transactions_of`]) mirroring the `eth_getLogs` / account-scan
+//!   workflow the paper uses to build its dataset.
+//!
+//! Higher-level crates (`tokens`, `marketplace`, `workload`) build simulated
+//! contract behaviour on top of [`TxRequest`]s; the `washtrade` crate then
+//! runs the paper's detection pipeline against the resulting chain.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ethsim::prelude::*;
+//!
+//! # fn main() -> Result<(), ethsim::chain::ChainError> {
+//! let mut chain = Chain::new(Timestamp::from_secs(1_640_995_200));
+//! let alice = chain.create_eoa("alice")?;
+//! let bob = chain.create_eoa("bob")?;
+//! chain.fund(alice, Wei::from_eth(5.0));
+//! chain.submit(TxRequest::ether_transfer(alice, bob, Wei::from_eth(1.0), Wei::from_gwei(30)))?;
+//! assert_eq!(chain.balance(bob), Wei::from_eth(1.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod block;
+pub mod chain;
+pub mod keccak;
+pub mod log;
+pub mod transaction;
+pub mod types;
+
+pub use account::{Account, AccountKind};
+pub use block::Block;
+pub use chain::{Chain, ChainError, ChainStats, LogEntry, LogFilter};
+pub use log::{Erc20Transfer, Erc721Transfer, Log};
+pub use transaction::{InternalTransfer, Transaction, TxRequest};
+pub use types::{Address, B256, BlockNumber, Selector, Timestamp, TxHash, Wei};
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::chain::{Chain, ChainError, LogEntry, LogFilter};
+    pub use crate::log::Log;
+    pub use crate::transaction::{Transaction, TxRequest};
+    pub use crate::types::{Address, B256, BlockNumber, Selector, Timestamp, TxHash, Wei};
+}

@@ -1,0 +1,409 @@
+//! Transactions and transaction requests.
+//!
+//! A [`TxRequest`] is what higher-level crates (token contracts, marketplace
+//! engine, workload generator) build and submit to the chain; the chain turns
+//! it into an immutable [`Transaction`] with a hash, block number and
+//! timestamp after performing ETH accounting.
+//!
+//! Besides the top-level `value` transfer, a transaction can carry *internal
+//! transfers* — ETH moved by contract code during execution (e.g. a
+//! marketplace contract forwarding the sale price to the seller and the fee
+//! to its treasury). Real Ethereum exposes these through call traces; the
+//! paper's payment analysis depends on them, so the simulator models them
+//! explicitly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::Log;
+use crate::types::{Address, BlockNumber, Selector, Timestamp, TxHash, Wei};
+
+/// An ETH transfer performed by contract code during transaction execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InternalTransfer {
+    /// Account debited.
+    pub from: Address,
+    /// Account credited.
+    pub to: Address,
+    /// Amount moved.
+    pub value: Wei,
+}
+
+/// A request to execute a transaction, before it is included in a block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxRequest {
+    /// Sender account; pays `value` plus the gas fee.
+    pub from: Address,
+    /// Recipient account; `None` models contract creation.
+    pub to: Option<Address>,
+    /// ETH transferred from sender to recipient.
+    pub value: Wei,
+    /// Gas units consumed by the transaction.
+    pub gas_used: u64,
+    /// Price per gas unit.
+    pub gas_price: Wei,
+    /// Call data; the first four bytes are the function selector for
+    /// contract calls.
+    pub input: Vec<u8>,
+    /// Event logs emitted during execution (produced by the simulated
+    /// contract logic in higher-level crates).
+    pub logs: Vec<Log>,
+    /// ETH moved by contract code during execution, applied in order after
+    /// the top-level `value` transfer.
+    pub internal_transfers: Vec<InternalTransfer>,
+}
+
+impl TxRequest {
+    /// A plain ETH transfer with a default gas cost of 21,000 units.
+    pub fn ether_transfer(from: Address, to: Address, value: Wei, gas_price: Wei) -> Self {
+        TxRequest {
+            from,
+            to: Some(to),
+            value,
+            gas_used: 21_000,
+            gas_price,
+            input: Vec::new(),
+            logs: Vec::new(),
+            internal_transfers: Vec::new(),
+        }
+    }
+
+    /// A contract call carrying a selector, optional ETH value and logs.
+    pub fn contract_call(
+        from: Address,
+        contract: Address,
+        selector: Selector,
+        value: Wei,
+        gas_used: u64,
+        gas_price: Wei,
+    ) -> Self {
+        TxRequest {
+            from,
+            to: Some(contract),
+            value,
+            gas_used,
+            gas_price,
+            input: selector.0.to_vec(),
+            logs: Vec::new(),
+            internal_transfers: Vec::new(),
+        }
+    }
+
+    /// Attach a log to the request (builder style).
+    pub fn with_log(mut self, log: Log) -> Self {
+        self.logs.push(log);
+        self
+    }
+
+    /// Attach several logs to the request (builder style).
+    pub fn with_logs<I: IntoIterator<Item = Log>>(mut self, logs: I) -> Self {
+        self.logs.extend(logs);
+        self
+    }
+
+    /// Attach an internal ETH transfer (builder style).
+    pub fn with_internal_transfer(mut self, from: Address, to: Address, value: Wei) -> Self {
+        self.internal_transfers.push(InternalTransfer { from, to, value });
+        self
+    }
+
+    /// The total gas fee this request will pay.
+    pub fn fee(&self) -> Wei {
+        Wei(self.gas_used as u128 * self.gas_price.raw())
+    }
+}
+
+/// A transaction included in a block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The transaction hash.
+    pub hash: TxHash,
+    /// The block this transaction was included in.
+    pub block: BlockNumber,
+    /// The timestamp of that block.
+    pub timestamp: Timestamp,
+    /// Sender account.
+    pub from: Address,
+    /// Recipient account (`None` for contract creation).
+    pub to: Option<Address>,
+    /// ETH transferred.
+    pub value: Wei,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Gas price paid.
+    pub gas_price: Wei,
+    /// Call data.
+    pub input: Vec<u8>,
+    /// Emitted event logs.
+    pub logs: Vec<Log>,
+    /// ETH moved by contract code during execution.
+    pub internal_transfers: Vec<InternalTransfer>,
+}
+
+impl Transaction {
+    /// The total gas fee paid by the sender.
+    pub fn fee(&self) -> Wei {
+        Wei(self.gas_used as u128 * self.gas_price.raw())
+    }
+
+    /// The 4-byte function selector, if the call data carries one.
+    pub fn selector(&self) -> Option<Selector> {
+        if self.input.len() >= 4 {
+            Some(Selector([self.input[0], self.input[1], self.input[2], self.input[3]]))
+        } else {
+            None
+        }
+    }
+
+    /// Whether this transaction moves ETH or any ERC-20 tokens (i.e. carries
+    /// economic value). Used by the zero-volume refinement step.
+    pub fn moves_value(&self) -> bool {
+        !self.value.is_zero()
+            || self.internal_transfers.iter().any(|t| !t.value.is_zero())
+            || self.logs.iter().any(|log| {
+                log.decode_erc20_transfer().map(|t| t.amount > 0).unwrap_or(false)
+            })
+    }
+
+    /// Total ETH credited to `account` by this transaction (top-level value
+    /// plus internal transfers), ignoring ERC-20 flows.
+    pub fn ether_received_by(&self, account: Address) -> Wei {
+        let mut total = Wei::ZERO;
+        if self.to == Some(account) {
+            total += self.value;
+        }
+        for transfer in &self.internal_transfers {
+            if transfer.to == account {
+                total += transfer.value;
+            }
+        }
+        total
+    }
+
+    /// Total ETH debited from `account` by this transaction (top-level value
+    /// plus internal transfers), excluding the gas fee.
+    pub fn ether_sent_by(&self, account: Address) -> Wei {
+        let mut total = Wei::ZERO;
+        if self.from == account {
+            total += self.value;
+        }
+        for transfer in &self.internal_transfers {
+            if transfer.from == account {
+                total += transfer.value;
+            }
+        }
+        total
+    }
+
+    /// Whether the transaction transfers ETH or ERC-20 tokens to `account`
+    /// and does not move any NFT: the paper's definition of a *funding
+    /// transaction* for that account.
+    pub fn is_funding_of(&self, account: Address) -> bool {
+        let moves_nft = self.logs.iter().any(|log| log.is_erc721_transfer());
+        if moves_nft {
+            return false;
+        }
+        let ether_in = !self.ether_received_by(account).is_zero();
+        let erc20_in = self.logs.iter().any(|log| {
+            log.decode_erc20_transfer()
+                .map(|t| t.to == account && t.amount > 0)
+                .unwrap_or(false)
+        });
+        ether_in || erc20_in
+    }
+
+    /// Whether the transaction transfers ETH or ERC-20 tokens *from*
+    /// `account` to `recipient` without moving any NFT: the shape of an
+    /// *exit transaction* in the common-exit heuristic.
+    pub fn is_exit_from_to(&self, account: Address, recipient: Address) -> bool {
+        let moves_nft = self.logs.iter().any(|log| log.is_erc721_transfer());
+        if moves_nft {
+            return false;
+        }
+        let ether_out = (self.from == account
+            && self.to == Some(recipient)
+            && !self.value.is_zero())
+            || self
+                .internal_transfers
+                .iter()
+                .any(|t| t.from == account && t.to == recipient && !t.value.is_zero());
+        let erc20_out = self.logs.iter().any(|log| {
+            log.decode_erc20_transfer()
+                .map(|t| t.from == account && t.to == recipient && t.amount > 0)
+                .unwrap_or(false)
+        });
+        ether_out || erc20_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Log;
+
+    fn mk_tx(request: TxRequest) -> Transaction {
+        Transaction {
+            hash: TxHash::hash_of(b"test"),
+            block: BlockNumber(1),
+            timestamp: Timestamp::from_secs(1000),
+            from: request.from,
+            to: request.to,
+            value: request.value,
+            gas_used: request.gas_used,
+            gas_price: request.gas_price,
+            input: request.input,
+            logs: request.logs,
+            internal_transfers: request.internal_transfers,
+        }
+    }
+
+    #[test]
+    fn fee_is_gas_times_price() {
+        let request = TxRequest::ether_transfer(
+            Address::derived("a"),
+            Address::derived("b"),
+            Wei::from_eth(1.0),
+            Wei::from_gwei(50),
+        );
+        assert_eq!(request.fee(), Wei(21_000 * 50_000_000_000));
+        assert_eq!(mk_tx(request).fee(), Wei(21_000 * 50_000_000_000));
+    }
+
+    #[test]
+    fn selector_extraction() {
+        let request = TxRequest::contract_call(
+            Address::derived("a"),
+            Address::derived("contract"),
+            Selector::of("claim()"),
+            Wei::ZERO,
+            60_000,
+            Wei::from_gwei(40),
+        );
+        let tx = mk_tx(request);
+        assert_eq!(tx.selector(), Some(Selector::of("claim()")));
+        let plain = mk_tx(TxRequest::ether_transfer(
+            Address::derived("a"),
+            Address::derived("b"),
+            Wei::ZERO,
+            Wei::from_gwei(1),
+        ));
+        assert_eq!(plain.selector(), None);
+    }
+
+    #[test]
+    fn funding_detection_ether() {
+        let funder = Address::derived("funder");
+        let trader = Address::derived("trader");
+        let tx = mk_tx(TxRequest::ether_transfer(
+            funder,
+            trader,
+            Wei::from_eth(2.0),
+            Wei::from_gwei(10),
+        ));
+        assert!(tx.is_funding_of(trader));
+        assert!(!tx.is_funding_of(funder));
+    }
+
+    #[test]
+    fn funding_detection_erc20() {
+        let funder = Address::derived("funder");
+        let trader = Address::derived("trader");
+        let weth = Address::derived("weth");
+        let request = TxRequest {
+            from: funder,
+            to: Some(weth),
+            value: Wei::ZERO,
+            gas_used: 50_000,
+            gas_price: Wei::from_gwei(20),
+            input: vec![],
+            logs: vec![Log::erc20_transfer(weth, funder, trader, 10)],
+            internal_transfers: vec![],
+        };
+        assert!(mk_tx(request).is_funding_of(trader));
+    }
+
+    #[test]
+    fn a_sale_is_not_a_funding_transaction() {
+        // A transaction that moves an NFT is excluded from the funding
+        // definition even though ETH also flows.
+        let buyer = Address::derived("buyer");
+        let seller = Address::derived("seller");
+        let nft = Address::derived("nft");
+        let marketplace = Address::derived("marketplace");
+        let request = TxRequest {
+            from: buyer,
+            to: Some(marketplace),
+            value: Wei::from_eth(1.0),
+            gas_used: 100_000,
+            gas_price: Wei::from_gwei(30),
+            input: vec![],
+            logs: vec![Log::erc721_transfer(nft, seller, buyer, 1)],
+            internal_transfers: vec![InternalTransfer {
+                from: marketplace,
+                to: seller,
+                value: Wei::from_eth(0.975),
+            }],
+        };
+        let tx = mk_tx(request);
+        assert!(!tx.is_funding_of(seller));
+        assert!(tx.moves_value());
+        assert_eq!(tx.ether_received_by(seller), Wei::from_eth(0.975));
+        assert_eq!(tx.ether_sent_by(buyer), Wei::from_eth(1.0));
+    }
+
+    #[test]
+    fn exit_detection_direct_and_internal() {
+        let trader = Address::derived("trader");
+        let sink = Address::derived("sink");
+        let tx = mk_tx(TxRequest::ether_transfer(
+            trader,
+            sink,
+            Wei::from_eth(0.5),
+            Wei::from_gwei(10),
+        ));
+        assert!(tx.is_exit_from_to(trader, sink));
+        assert!(!tx.is_exit_from_to(sink, trader));
+
+        // Exit routed through a contract (internal transfer).
+        let router = Address::derived("router");
+        let routed = mk_tx(
+            TxRequest::contract_call(
+                trader,
+                router,
+                Selector::of("sweep()"),
+                Wei::from_eth(0.5),
+                80_000,
+                Wei::from_gwei(10),
+            )
+            .with_internal_transfer(trader, sink, Wei::from_eth(0.5)),
+        );
+        assert!(routed.is_exit_from_to(trader, sink));
+    }
+
+    #[test]
+    fn zero_value_transfer_does_not_move_value() {
+        let tx = mk_tx(TxRequest::ether_transfer(
+            Address::derived("a"),
+            Address::derived("b"),
+            Wei::ZERO,
+            Wei::from_gwei(10),
+        ));
+        assert!(!tx.moves_value());
+        assert!(!tx.is_funding_of(Address::derived("b")));
+    }
+
+    #[test]
+    fn zero_amount_erc20_log_does_not_count_as_value() {
+        let weth = Address::derived("weth");
+        let request = TxRequest {
+            from: Address::derived("a"),
+            to: Some(weth),
+            value: Wei::ZERO,
+            gas_used: 40_000,
+            gas_price: Wei::from_gwei(10),
+            input: vec![],
+            logs: vec![Log::erc20_transfer(weth, Address::derived("a"), Address::derived("b"), 0)],
+            internal_transfers: vec![],
+        };
+        assert!(!mk_tx(request).moves_value());
+    }
+}

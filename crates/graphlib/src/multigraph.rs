@@ -1,0 +1,331 @@
+//! A directed multigraph keyed by arbitrary node values.
+//!
+//! The paper builds, for each NFT, a directed multigraph whose nodes are
+//! Ethereum accounts and whose edges are individual sales annotated with
+//! `(timestamp, tx hash, interacted contract, price)`. This module provides
+//! that container generically: nodes are any `Eq + Hash + Clone` key, edges
+//! carry an arbitrary payload, and parallel edges and self-loops are allowed.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Index of a node inside a [`DiMultiGraph`]. Stable for the life of the graph.
+pub type NodeIndex = usize;
+
+/// Index of an edge inside a [`DiMultiGraph`]. Stable for the life of the graph.
+pub type EdgeIndex = usize;
+
+/// An edge record: endpoints plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge<E> {
+    /// Source node index.
+    pub source: NodeIndex,
+    /// Target node index.
+    pub target: NodeIndex,
+    /// Edge payload (e.g. sale annotation).
+    pub weight: E,
+}
+
+/// A directed multigraph with parallel edges and self-loops.
+///
+/// # Examples
+///
+/// ```
+/// use graphlib::DiMultiGraph;
+///
+/// let mut graph: DiMultiGraph<&str, u32> = DiMultiGraph::new();
+/// let a = graph.add_node("alice");
+/// let b = graph.add_node("bob");
+/// graph.add_edge(a, b, 1);
+/// graph.add_edge(b, a, 2);
+/// graph.add_edge(a, b, 3); // parallel edge
+/// assert_eq!(graph.edge_count(), 3);
+/// assert_eq!(graph.node_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiMultiGraph<N, E> {
+    nodes: Vec<N>,
+    node_index: HashMap<N, NodeIndex>,
+    edges: Vec<Edge<E>>,
+    outgoing: Vec<Vec<EdgeIndex>>,
+    incoming: Vec<Vec<EdgeIndex>>,
+}
+
+impl<N: Eq + Hash + Clone, E> Default for DiMultiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Eq + Hash + Clone, E> DiMultiGraph<N, E> {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        DiMultiGraph {
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
+            edges: Vec::new(),
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node with the given key, or return the existing index if the key
+    /// is already present.
+    pub fn add_node(&mut self, key: N) -> NodeIndex {
+        if let Some(&index) = self.node_index.get(&key) {
+            return index;
+        }
+        let index = self.nodes.len();
+        self.node_index.insert(key.clone(), index);
+        self.nodes.push(key);
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        index
+    }
+
+    /// Look up a node index by key.
+    pub fn node_id(&self, key: &N) -> Option<NodeIndex> {
+        self.node_index.get(key).copied()
+    }
+
+    /// The key stored at a node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn node(&self, index: NodeIndex) -> &N {
+        &self.nodes[index]
+    }
+
+    /// Iterate over `(index, key)` pairs of all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeIndex, &N)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Add a directed edge between existing node indices and return its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add_edge(&mut self, source: NodeIndex, target: NodeIndex, weight: E) -> EdgeIndex {
+        assert!(source < self.nodes.len(), "source node out of bounds");
+        assert!(target < self.nodes.len(), "target node out of bounds");
+        let index = self.edges.len();
+        self.edges.push(Edge { source, target, weight });
+        self.outgoing[source].push(index);
+        self.incoming[target].push(index);
+        index
+    }
+
+    /// Convenience: add an edge by node keys, creating nodes as needed.
+    pub fn add_edge_by_key(&mut self, source: N, target: N, weight: E) -> EdgeIndex {
+        let s = self.add_node(source);
+        let t = self.add_node(target);
+        self.add_edge(s, t, weight)
+    }
+
+    /// An edge by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn edge(&self, index: EdgeIndex) -> &Edge<E> {
+        &self.edges[index]
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge<E>> {
+        self.edges.iter()
+    }
+
+    /// Iterate over `(edge index, edge)` pairs.
+    pub fn edge_references(&self) -> impl Iterator<Item = (EdgeIndex, &Edge<E>)> {
+        self.edges.iter().enumerate()
+    }
+
+    /// Outgoing edge indices from a node.
+    pub fn outgoing_edges(&self, node: NodeIndex) -> &[EdgeIndex] {
+        &self.outgoing[node]
+    }
+
+    /// Incoming edge indices to a node.
+    pub fn incoming_edges(&self, node: NodeIndex) -> &[EdgeIndex] {
+        &self.incoming[node]
+    }
+
+    /// Distinct successor node indices of a node (parallel edges deduplicated).
+    pub fn successors(&self, node: NodeIndex) -> Vec<NodeIndex> {
+        let mut out: Vec<NodeIndex> =
+            self.outgoing[node].iter().map(|&e| self.edges[e].target).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Distinct predecessor node indices of a node.
+    pub fn predecessors(&self, node: NodeIndex) -> Vec<NodeIndex> {
+        let mut out: Vec<NodeIndex> =
+            self.incoming[node].iter().map(|&e| self.edges[e].source).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Out-degree counting parallel edges.
+    pub fn out_degree(&self, node: NodeIndex) -> usize {
+        self.outgoing[node].len()
+    }
+
+    /// In-degree counting parallel edges.
+    pub fn in_degree(&self, node: NodeIndex) -> usize {
+        self.incoming[node].len()
+    }
+
+    /// Whether the node has at least one self-loop.
+    pub fn has_self_loop(&self, node: NodeIndex) -> bool {
+        self.outgoing[node].iter().any(|&e| self.edges[e].target == node)
+    }
+
+    /// All edge indices whose source and target both lie in `nodes`
+    /// (self-loops included), in insertion order.
+    pub fn edges_within(&self, nodes: &[NodeIndex]) -> Vec<EdgeIndex> {
+        let set: std::collections::HashSet<NodeIndex> = nodes.iter().copied().collect();
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, edge)| set.contains(&edge.source) && set.contains(&edge.target))
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// The set of distinct `(source, target)` pairs among `nodes`, expressed in
+    /// positions local to the given slice (i.e. `0..nodes.len()`), excluding
+    /// nothing — self-loops are kept. This is the "shape" used for pattern
+    /// classification.
+    pub fn simple_shape_within(&self, nodes: &[NodeIndex]) -> Vec<(usize, usize)> {
+        let position: HashMap<NodeIndex, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut shape: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter_map(|edge| {
+                match (position.get(&edge.source), position.get(&edge.target)) {
+                    (Some(&s), Some(&t)) => Some((s, t)),
+                    _ => None,
+                }
+            })
+            .collect();
+        shape.sort_unstable();
+        shape.dedup();
+        shape
+    }
+}
+
+impl<N: Eq + Hash + Clone, E> FromIterator<(N, N, E)> for DiMultiGraph<N, E> {
+    fn from_iter<T: IntoIterator<Item = (N, N, E)>>(iter: T) -> Self {
+        let mut graph = DiMultiGraph::new();
+        for (source, target, weight) in iter {
+            graph.add_edge_by_key(source, target, weight);
+        }
+        graph
+    }
+}
+
+impl<N: Eq + Hash + Clone, E> Extend<(N, N, E)> for DiMultiGraph<N, E> {
+    fn extend<T: IntoIterator<Item = (N, N, E)>>(&mut self, iter: T) {
+        for (source, target, weight) in iter {
+            self.add_edge_by_key(source, target, weight);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_node_is_idempotent_per_key() {
+        let mut graph: DiMultiGraph<&str, ()> = DiMultiGraph::new();
+        let a1 = graph.add_node("a");
+        let a2 = graph.add_node("a");
+        assert_eq!(a1, a2);
+        assert_eq!(graph.node_count(), 1);
+        assert_eq!(graph.node(a1), &"a");
+        assert_eq!(graph.node_id(&"a"), Some(a1));
+        assert_eq!(graph.node_id(&"missing"), None);
+    }
+
+    #[test]
+    fn parallel_edges_and_degrees() {
+        let mut graph: DiMultiGraph<u32, &str> = DiMultiGraph::new();
+        let a = graph.add_node(1);
+        let b = graph.add_node(2);
+        graph.add_edge(a, b, "first");
+        graph.add_edge(a, b, "second");
+        graph.add_edge(b, a, "back");
+        assert_eq!(graph.edge_count(), 3);
+        assert_eq!(graph.out_degree(a), 2);
+        assert_eq!(graph.in_degree(a), 1);
+        assert_eq!(graph.successors(a), vec![b]);
+        assert_eq!(graph.predecessors(a), vec![b]);
+    }
+
+    #[test]
+    fn self_loops() {
+        let mut graph: DiMultiGraph<&str, ()> = DiMultiGraph::new();
+        let a = graph.add_node("self");
+        assert!(!graph.has_self_loop(a));
+        graph.add_edge(a, a, ());
+        assert!(graph.has_self_loop(a));
+        assert_eq!(graph.successors(a), vec![a]);
+    }
+
+    #[test]
+    fn edges_within_subset() {
+        let mut graph: DiMultiGraph<&str, u8> = DiMultiGraph::new();
+        let a = graph.add_node("a");
+        let b = graph.add_node("b");
+        let c = graph.add_node("c");
+        graph.add_edge(a, b, 1);
+        graph.add_edge(b, a, 2);
+        graph.add_edge(b, c, 3);
+        graph.add_edge(c, c, 4);
+        let within = graph.edges_within(&[a, b]);
+        assert_eq!(within.len(), 2);
+        let shape = graph.simple_shape_within(&[a, b]);
+        assert_eq!(shape, vec![(0, 1), (1, 0)]);
+        let shape_all = graph.simple_shape_within(&[a, b, c]);
+        assert_eq!(shape_all, vec![(0, 1), (1, 0), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn from_iterator_builds_by_key() {
+        let graph: DiMultiGraph<&str, u32> =
+            [("a", "b", 1), ("b", "a", 2), ("a", "b", 3)].into_iter().collect();
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_edge_out_of_bounds_panics() {
+        let mut graph: DiMultiGraph<&str, ()> = DiMultiGraph::new();
+        let a = graph.add_node("a");
+        graph.add_edge(a, 99, ());
+    }
+}

@@ -1,0 +1,321 @@
+//! Strongly connected components.
+//!
+//! The paper finds wash-trading candidates by computing, for each NFT's
+//! transaction graph, the strongly connected components "consisting of at
+//! least two nodes and including single nodes with a self-loop" using
+//! Tarjan's algorithm with Nuutila's modifications (the variant implemented
+//! by NetworkX). This module provides:
+//!
+//! * [`strongly_connected_components`] — an **iterative** Tarjan/Nuutila SCC
+//!   over a [`DiMultiGraph`] (iterative so that long trading chains cannot
+//!   overflow the call stack),
+//! * [`suspicious_components`] — the paper's filtered view (≥ 2 nodes, or a
+//!   single node with a self-loop),
+//! * [`kosaraju_scc`] — an independent reference implementation used by the
+//!   property tests to cross-check Tarjan's output.
+
+use std::hash::Hash;
+
+use crate::multigraph::{DiMultiGraph, NodeIndex};
+
+/// Compute all strongly connected components of `graph`.
+///
+/// Components are returned as vectors of node indices. Every node appears in
+/// exactly one component (singletons included). Components are emitted in
+/// reverse topological order of the condensation (a property of Tarjan's
+/// algorithm), and node indices within a component are sorted ascending for
+/// deterministic output.
+pub fn strongly_connected_components<N: Eq + Hash + Clone, E>(
+    graph: &DiMultiGraph<N, E>,
+) -> Vec<Vec<NodeIndex>> {
+    let n = graph.node_count();
+    // Nuutila/Tarjan bookkeeping.
+    const UNVISITED: usize = usize::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeIndex> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<NodeIndex>> = Vec::new();
+
+    // Explicit DFS frame: (node, iterator position over successors).
+    enum Frame {
+        Enter(NodeIndex),
+        Resume(NodeIndex, usize),
+    }
+
+    for start in 0..n {
+        if index_of[start] != UNVISITED {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(start)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index_of[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call_stack.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut child_position) => {
+                    let successors = graph.successors(v);
+                    let mut descended = false;
+                    while child_position < successors.len() {
+                        let w = successors[child_position];
+                        child_position += 1;
+                        if index_of[w] == UNVISITED {
+                            // Descend into w, then resume v afterwards.
+                            call_stack.push(Frame::Resume(v, child_position));
+                            call_stack.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index_of[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors processed: close v.
+                    if lowlink[v] == index_of[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("stack non-empty while closing root");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = call_stack.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The paper's candidate components: strongly connected components with at
+/// least two nodes, plus single nodes that carry a self-loop.
+pub fn suspicious_components<N: Eq + Hash + Clone, E>(
+    graph: &DiMultiGraph<N, E>,
+) -> Vec<Vec<NodeIndex>> {
+    strongly_connected_components(graph)
+        .into_iter()
+        .filter(|component| {
+            component.len() >= 2 || graph.has_self_loop(component[0])
+        })
+        .collect()
+}
+
+/// Reference Kosaraju implementation (two DFS passes), used to cross-validate
+/// the Tarjan implementation in tests. Returns components with sorted node
+/// indices; the set of components is identical to
+/// [`strongly_connected_components`] up to ordering.
+pub fn kosaraju_scc<N: Eq + Hash + Clone, E>(graph: &DiMultiGraph<N, E>) -> Vec<Vec<NodeIndex>> {
+    let n = graph.node_count();
+    let mut visited = vec![false; n];
+    let mut order: Vec<NodeIndex> = Vec::with_capacity(n);
+
+    // First pass: finish times on the forward graph (iterative DFS).
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        visited[start] = true;
+        while let Some(&mut (v, ref mut position)) = stack.last_mut() {
+            let successors = graph.successors(v);
+            if *position < successors.len() {
+                let w = successors[*position];
+                *position += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Second pass: DFS on the reverse graph in reverse finish order.
+    let mut assigned = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeIndex>> = Vec::new();
+    for &start in order.iter().rev() {
+        if assigned[start] != usize::MAX {
+            continue;
+        }
+        let component_id = components.len();
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        assigned[start] = component_id;
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for w in graph.predecessors(v) {
+                if assigned[w] == usize::MAX {
+                    assigned[w] = component_id;
+                    stack.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> DiMultiGraph<usize, ()> {
+        let mut graph = DiMultiGraph::new();
+        for i in 0..n {
+            graph.add_node(i);
+        }
+        for &(s, t) in edges {
+            graph.add_edge(s, t, ());
+        }
+        graph
+    }
+
+    fn normalize(mut components: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        components.sort();
+        components
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let graph = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let sccs = strongly_connected_components(&graph);
+        assert_eq!(normalize(sccs), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dag_has_only_singletons() {
+        let graph = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let sccs = strongly_connected_components(&graph);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(suspicious_components(&graph).is_empty());
+    }
+
+    #[test]
+    fn round_trip_pair_is_suspicious() {
+        let graph = graph_from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let suspicious = suspicious_components(&graph);
+        assert_eq!(normalize(suspicious), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn self_loop_singleton_is_suspicious() {
+        let graph = graph_from_edges(2, &[(0, 0), (0, 1)]);
+        let suspicious = suspicious_components(&graph);
+        assert_eq!(normalize(suspicious), vec![vec![0]]);
+    }
+
+    #[test]
+    fn singleton_without_self_loop_is_not_suspicious() {
+        let graph = graph_from_edges(2, &[(0, 1)]);
+        assert!(suspicious_components(&graph).is_empty());
+    }
+
+    #[test]
+    fn two_separate_cycles() {
+        let graph = graph_from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let sccs = normalize(strongly_connected_components(&graph));
+        assert!(sccs.contains(&vec![0, 1]));
+        assert!(sccs.contains(&vec![2, 3, 4]));
+        assert!(sccs.contains(&vec![5]));
+        assert_eq!(sccs.len(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_change_components() {
+        let graph = graph_from_edges(2, &[(0, 1), (0, 1), (1, 0), (1, 0), (1, 0)]);
+        let sccs = strongly_connected_components(&graph);
+        assert_eq!(normalize(sccs), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph: DiMultiGraph<usize, ()> = DiMultiGraph::new();
+        assert!(strongly_connected_components(&graph).is_empty());
+        assert!(suspicious_components(&graph).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node cycle: a recursive Tarjan would overflow here.
+        let n = 100_000;
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let graph = graph_from_edges(n, &edges);
+        let sccs = strongly_connected_components(&graph);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+    }
+
+    #[test]
+    fn tarjan_matches_kosaraju_on_fixed_graphs() {
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (5, vec![(0, 1), (1, 2), (2, 0), (3, 4)]),
+            (6, vec![(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (1, 2), (3, 4)]),
+            (4, vec![(0, 0), (1, 1), (2, 3), (3, 2)]),
+            (7, vec![(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6), (6, 4)]),
+        ];
+        for (n, edges) in cases {
+            let graph = graph_from_edges(n, &edges);
+            assert_eq!(
+                normalize(strongly_connected_components(&graph)),
+                normalize(kosaraju_scc(&graph)),
+                "mismatch on n={n}, edges={edges:?}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn tarjan_matches_kosaraju_on_random_graphs(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..120)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                edges.into_iter().map(|(s, t)| (s % n, t % n)).collect();
+            let graph = graph_from_edges(n, &edges);
+            let tarjan = normalize(strongly_connected_components(&graph));
+            let kosaraju = normalize(kosaraju_scc(&graph));
+            proptest::prop_assert_eq!(&tarjan, &kosaraju);
+            // Partition property: every node appears exactly once.
+            let mut seen: Vec<usize> = tarjan.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            proptest::prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn suspicious_components_respect_definition(
+            n in 1usize..25,
+            edges in proptest::collection::vec((0usize..25, 0usize..25), 0..80)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                edges.into_iter().map(|(s, t)| (s % n, t % n)).collect();
+            let graph = graph_from_edges(n, &edges);
+            for component in suspicious_components(&graph) {
+                proptest::prop_assert!(
+                    component.len() >= 2 || graph.has_self_loop(component[0])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! # labels — an Etherscan-style account label registry
+//!
+//! The paper's graph-refinement step (§IV-B) removes "service accounts" —
+//! EOAs operated by exchanges, CeFi services and games — because they
+//! interact with thousands of unrelated users and would create spurious
+//! strongly connected components. It also excludes Exchange and DeFi
+//! addresses from acting as *common external funders/exits* (§IV-C). The
+//! paper sources those labels from Etherscan's label cloud; in this
+//! reproduction the [`LabelRegistry`] is populated by the workload generator
+//! from ground truth, and the detection pipeline consumes it through the same
+//! category queries the paper uses.
+//!
+//! # Example
+//!
+//! ```
+//! use ethsim::Address;
+//! use labels::{LabelCategory, LabelRegistry};
+//!
+//! let mut registry = LabelRegistry::new();
+//! let coinbase = Address::derived("coinbase-hot-wallet");
+//! registry.insert(coinbase, "Coinbase", LabelCategory::Exchange);
+//! assert!(registry.is_service_account(coinbase));
+//! assert!(registry.is_exchange_or_defi(coinbase));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use ethsim::Address;
+use serde::{Deserialize, Serialize};
+
+/// The label categories relevant to the paper's methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LabelCategory {
+    /// Centralized exchange hot/cold wallets (e.g. Coinbase, Binance).
+    Exchange,
+    /// Other centralized finance services (custody, lending desks).
+    CeFi,
+    /// Blockchain game operator accounts.
+    Game,
+    /// DeFi protocol contracts and operator accounts (DEX routers, lending pools).
+    DeFi,
+    /// NFT marketplace contracts and escrow accounts.
+    Marketplace,
+    /// Token contracts (ERC-20 / ERC-721).
+    Token,
+    /// Anything else worth naming but not treated specially.
+    Other,
+}
+
+impl LabelCategory {
+    /// Whether the paper's refinement step removes accounts of this category
+    /// from the per-NFT transaction graphs (Exchanges, CeFi and games).
+    pub fn is_service(&self) -> bool {
+        matches!(self, LabelCategory::Exchange | LabelCategory::CeFi | LabelCategory::Game)
+    }
+
+    /// Whether accounts of this category are disqualified from being common
+    /// external funders or exits (Exchanges and DeFi services).
+    pub fn is_exchange_or_defi(&self) -> bool {
+        matches!(self, LabelCategory::Exchange | LabelCategory::DeFi)
+    }
+}
+
+impl std::fmt::Display for LabelCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            LabelCategory::Exchange => "Exchange",
+            LabelCategory::CeFi => "CeFi",
+            LabelCategory::Game => "Game",
+            LabelCategory::DeFi => "DeFi",
+            LabelCategory::Marketplace => "Marketplace",
+            LabelCategory::Token => "Token",
+            LabelCategory::Other => "Other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A label attached to an address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Label {
+    /// Human-readable name (e.g. "Coinbase 4", "LooksRare: Exchange").
+    pub name: String,
+    /// The category the address belongs to.
+    pub category: LabelCategory,
+}
+
+/// The registry mapping addresses to labels.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelRegistry {
+    labels: HashMap<Address, Label>,
+}
+
+impl LabelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LabelRegistry::default()
+    }
+
+    /// Insert (or replace) a label for an address. Returns the previous label
+    /// if one existed.
+    pub fn insert(
+        &mut self,
+        address: Address,
+        name: impl Into<String>,
+        category: LabelCategory,
+    ) -> Option<Label> {
+        self.labels.insert(
+            address,
+            Label {
+                name: name.into(),
+                category,
+            },
+        )
+    }
+
+    /// The label of an address, if any.
+    pub fn get(&self, address: Address) -> Option<&Label> {
+        self.labels.get(&address)
+    }
+
+    /// The category of an address, if labelled.
+    pub fn category(&self, address: Address) -> Option<LabelCategory> {
+        self.labels.get(&address).map(|l| l.category)
+    }
+
+    /// Whether the refinement step should drop this account from transaction
+    /// graphs: labelled Exchange/CeFi/Game, or the null address (mint/burn
+    /// endpoint).
+    pub fn is_service_account(&self, address: Address) -> bool {
+        if address.is_null() {
+            return true;
+        }
+        self.category(address).map(|c| c.is_service()).unwrap_or(false)
+    }
+
+    /// Whether the address is an Exchange or DeFi service, and therefore not
+    /// eligible to be a common external funder/exit.
+    pub fn is_exchange_or_defi(&self, address: Address) -> bool {
+        self.category(address).map(|c| c.is_exchange_or_defi()).unwrap_or(false)
+    }
+
+    /// Number of labelled addresses.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate over all `(address, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Label)> {
+        self.labels.iter()
+    }
+
+    /// All addresses with a given category.
+    pub fn addresses_in(&self, category: LabelCategory) -> Vec<Address> {
+        let mut out: Vec<Address> = self
+            .labels
+            .iter()
+            .filter(|(_, label)| label.category == category)
+            .map(|(address, _)| *address)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl Extend<(Address, Label)> for LabelRegistry {
+    fn extend<T: IntoIterator<Item = (Address, Label)>>(&mut self, iter: T) {
+        for (address, label) in iter {
+            self.labels.insert(address, label);
+        }
+    }
+}
+
+impl FromIterator<(Address, Label)> for LabelRegistry {
+    fn from_iter<T: IntoIterator<Item = (Address, Label)>>(iter: T) -> Self {
+        let mut registry = LabelRegistry::new();
+        registry.extend(iter);
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_address_is_always_a_service_account() {
+        let registry = LabelRegistry::new();
+        assert!(registry.is_service_account(Address::NULL));
+        assert!(!registry.is_exchange_or_defi(Address::NULL));
+    }
+
+    #[test]
+    fn unlabelled_addresses_are_not_service_accounts() {
+        let registry = LabelRegistry::new();
+        assert!(!registry.is_service_account(Address::derived("random-user")));
+        assert_eq!(registry.category(Address::derived("random-user")), None);
+    }
+
+    #[test]
+    fn category_rules_match_the_paper() {
+        let mut registry = LabelRegistry::new();
+        let exchange = Address::derived("binance");
+        let cefi = Address::derived("celsius");
+        let game = Address::derived("axie");
+        let defi = Address::derived("uniswap-router");
+        let marketplace = Address::derived("opensea");
+        registry.insert(exchange, "Binance", LabelCategory::Exchange);
+        registry.insert(cefi, "Celsius", LabelCategory::CeFi);
+        registry.insert(game, "Axie Infinity", LabelCategory::Game);
+        registry.insert(defi, "Uniswap V3 Router", LabelCategory::DeFi);
+        registry.insert(marketplace, "OpenSea", LabelCategory::Marketplace);
+
+        // Removed from the graphs.
+        assert!(registry.is_service_account(exchange));
+        assert!(registry.is_service_account(cefi));
+        assert!(registry.is_service_account(game));
+        // Not removed, but disqualified as external funder/exit.
+        assert!(!registry.is_service_account(defi));
+        assert!(registry.is_exchange_or_defi(defi));
+        assert!(registry.is_exchange_or_defi(exchange));
+        // Marketplaces are neither.
+        assert!(!registry.is_service_account(marketplace));
+        assert!(!registry.is_exchange_or_defi(marketplace));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut registry = LabelRegistry::new();
+        let a = Address::derived("acct");
+        assert!(registry.insert(a, "First", LabelCategory::Other).is_none());
+        let previous = registry.insert(a, "Second", LabelCategory::Exchange).unwrap();
+        assert_eq!(previous.name, "First");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.category(a), Some(LabelCategory::Exchange));
+    }
+
+    #[test]
+    fn addresses_in_category_is_sorted_and_filtered() {
+        let mut registry = LabelRegistry::new();
+        let a = Address::derived("x1");
+        let b = Address::derived("x2");
+        let c = Address::derived("x3");
+        registry.insert(a, "A", LabelCategory::Exchange);
+        registry.insert(b, "B", LabelCategory::Exchange);
+        registry.insert(c, "C", LabelCategory::Game);
+        let exchanges = registry.addresses_in(LabelCategory::Exchange);
+        assert_eq!(exchanges.len(), 2);
+        assert!(exchanges.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!exchanges.contains(&c));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let a = Address::derived("a");
+        let registry: LabelRegistry = vec![(
+            a,
+            Label {
+                name: "A".to_string(),
+                category: LabelCategory::CeFi,
+            },
+        )]
+        .into_iter()
+        .collect();
+        assert!(registry.is_service_account(a));
+        assert!(!registry.is_empty());
+    }
+}

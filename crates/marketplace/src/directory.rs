@@ -1,0 +1,137 @@
+//! A static directory of deployed marketplaces, consumed by the detection
+//! pipeline.
+//!
+//! The paper attributes NFT transfer transactions to marketplaces "by looking
+//! at which smart contract address the transactions interact with", retrieves
+//! fee payments by looking for transfers to the marketplaces' treasury
+//! accounts, and retrieves reward claims by looking for calls to the token
+//! distribution contracts. [`MarketplaceDirectory`] packages exactly that
+//! address knowledge, decoupled from the mutable engine state.
+
+use std::collections::HashMap;
+
+use ethsim::Address;
+use serde::{Deserialize, Serialize};
+
+/// Reward-system addresses of a marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardInfo {
+    /// The token distribution (claim) contract.
+    pub distributor: Address,
+    /// The reward token's ERC-20 contract.
+    pub token_contract: Address,
+    /// The reward token's symbol.
+    pub token_symbol: String,
+    /// The reward token's decimals.
+    pub token_decimals: u32,
+    /// Tokens emitted per day.
+    pub daily_emission: f64,
+}
+
+/// Static, serializable description of a deployed marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketplaceInfo {
+    /// Marketplace name.
+    pub name: String,
+    /// The marketplace's exchange contract (what sale transactions interact with).
+    pub contract: Address,
+    /// The treasury account collecting platform fees.
+    pub treasury: Address,
+    /// The escrow account, if the marketplace uses one.
+    pub escrow: Option<Address>,
+    /// Total sale fee in basis points.
+    pub fee_bps: u32,
+    /// Reward-system addresses, if any.
+    pub reward: Option<RewardInfo>,
+}
+
+/// Lookup of marketplaces by exchange-contract address or name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MarketplaceDirectory {
+    entries: Vec<MarketplaceInfo>,
+    #[serde(skip)]
+    by_contract: HashMap<Address, usize>,
+}
+
+impl MarketplaceDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        MarketplaceDirectory::default()
+    }
+
+    /// Add a marketplace to the directory.
+    pub fn add(&mut self, info: MarketplaceInfo) {
+        self.by_contract.insert(info.contract, self.entries.len());
+        self.entries.push(info);
+    }
+
+    /// Look up a marketplace by its exchange-contract address.
+    pub fn by_contract(&self, contract: Address) -> Option<&MarketplaceInfo> {
+        if self.by_contract.is_empty() && !self.entries.is_empty() {
+            // Deserialized directories have an empty index; fall back to scan.
+            return self.entries.iter().find(|m| m.contract == contract);
+        }
+        self.by_contract.get(&contract).map(|&i| &self.entries[i])
+    }
+
+    /// Look up a marketplace by name.
+    pub fn by_name(&self, name: &str) -> Option<&MarketplaceInfo> {
+        self.entries.iter().find(|m| m.name == name)
+    }
+
+    /// All marketplaces, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &MarketplaceInfo> {
+        self.entries.iter()
+    }
+
+    /// Number of marketplaces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<MarketplaceInfo> for MarketplaceDirectory {
+    fn from_iter<T: IntoIterator<Item = MarketplaceInfo>>(iter: T) -> Self {
+        let mut directory = MarketplaceDirectory::new();
+        for info in iter {
+            directory.add(info);
+        }
+        directory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str) -> MarketplaceInfo {
+        MarketplaceInfo {
+            name: name.to_string(),
+            contract: Address::derived(&format!("{name}-contract")),
+            treasury: Address::derived(&format!("{name}-treasury")),
+            escrow: None,
+            fee_bps: 250,
+            reward: None,
+        }
+    }
+
+    #[test]
+    fn lookup_by_contract_and_name() {
+        let directory: MarketplaceDirectory =
+            vec![info("OpenSea"), info("LooksRare")].into_iter().collect();
+        assert_eq!(directory.len(), 2);
+        let opensea = directory.by_name("OpenSea").unwrap();
+        assert_eq!(
+            directory.by_contract(opensea.contract).unwrap().name,
+            "OpenSea"
+        );
+        assert!(directory.by_contract(Address::derived("unknown")).is_none());
+        assert!(directory.by_name("Rarible").is_none());
+        assert!(!directory.is_empty());
+    }
+}

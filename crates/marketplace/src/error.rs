@@ -1,0 +1,53 @@
+//! Errors produced by the marketplace engine.
+
+use ethsim::{Address, ChainError};
+use tokens::TokenError;
+
+/// Errors from deploying marketplaces, executing sales or claiming rewards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarketError {
+    /// An underlying chain operation failed (balance, unknown account, …).
+    Chain(ChainError),
+    /// An underlying token operation failed (ownership, token balance, …).
+    Token(TokenError),
+    /// The NFT's collection is not registered in the token registry.
+    UnknownCollection(Address),
+    /// The marketplace has no token reward system.
+    NoRewardSystem,
+    /// The account has no accrued rewards to claim.
+    NothingToClaim(Address),
+}
+
+impl std::fmt::Display for MarketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarketError::Chain(e) => write!(f, "chain error: {e}"),
+            MarketError::Token(e) => write!(f, "token error: {e}"),
+            MarketError::UnknownCollection(a) => write!(f, "collection {a} is not registered"),
+            MarketError::NoRewardSystem => write!(f, "marketplace has no reward system"),
+            MarketError::NothingToClaim(a) => write!(f, "account {a} has no rewards to claim"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarketError::Chain(e) => Some(e),
+            MarketError::Token(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChainError> for MarketError {
+    fn from(e: ChainError) -> Self {
+        MarketError::Chain(e)
+    }
+}
+
+impl From<TokenError> for MarketError {
+    fn from(e: TokenError) -> Self {
+        MarketError::Token(e)
+    }
+}

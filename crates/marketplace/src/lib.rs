@@ -1,0 +1,30 @@
+//! # marketplace — NFT marketplace engine
+//!
+//! The paper's wash-trading analysis revolves around six NFT marketplaces
+//! (OpenSea, LooksRare, Foundation, SuperRare, Rarible, Decentraland): sale
+//! transactions interact with their exchange contracts, fees flow to their
+//! treasury accounts, and — on LooksRare and Rarible — trading volume earns
+//! platform tokens distributed daily (Eq. 1) and redeemed through claim
+//! contracts. This crate simulates all of that on top of `ethsim` and
+//! `tokens`:
+//!
+//! * [`MarketplaceSpec`] / [`spec::presets`] — fee levels, escrow usage and
+//!   reward-system parameters for the six marketplaces;
+//! * [`Marketplace`] — deployment, sale execution (ERC-721 transfer log +
+//!   internal ETH transfers to seller and treasury), reward accrual and
+//!   claims;
+//! * [`MarketplaceDirectory`] — the static address directory the detection
+//!   pipeline uses to attribute transactions, fees and claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod engine;
+pub mod error;
+pub mod spec;
+
+pub use directory::{MarketplaceDirectory, MarketplaceInfo, RewardInfo};
+pub use engine::{ClaimReceipt, Marketplace, SaleReceipt, CLAIM_GAS, SALE_GAS};
+pub use error::MarketError;
+pub use spec::{presets, MarketplaceSpec, RewardSpec};

@@ -1,0 +1,145 @@
+//! Marketplace specifications and the six presets studied in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Specification of a marketplace's reward system: a daily emission of the
+/// platform token split among users proportionally to their trading volume
+/// (Eq. 1 of the paper: `R_A = a / b * c`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardSpec {
+    /// Symbol of the reward token (e.g. "LOOKS", "RARI").
+    pub token_symbol: String,
+    /// Decimal places of the reward token.
+    pub token_decimals: u32,
+    /// Tokens distributed per day (`c` in Eq. 1), in whole tokens.
+    pub daily_emission: f64,
+}
+
+/// Static description of a marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketplaceSpec {
+    /// Marketplace name (e.g. "OpenSea").
+    pub name: String,
+    /// Total fee charged per sale, in basis points of the sale price.
+    pub fee_bps: u32,
+    /// Whether the marketplace holds listed NFTs in an escrow account.
+    pub uses_escrow: bool,
+    /// The volume-based token reward system, if the marketplace has one.
+    pub reward: Option<RewardSpec>,
+}
+
+impl MarketplaceSpec {
+    /// Create a spec without a reward system.
+    pub fn new(name: impl Into<String>, fee_bps: u32, uses_escrow: bool) -> Self {
+        MarketplaceSpec {
+            name: name.into(),
+            fee_bps,
+            uses_escrow,
+            reward: None,
+        }
+    }
+
+    /// Attach a reward system (builder style).
+    pub fn with_reward(mut self, reward: RewardSpec) -> Self {
+        self.reward = Some(reward);
+        self
+    }
+
+    /// Whether the marketplace rewards users by trading volume.
+    pub fn has_reward_system(&self) -> bool {
+        self.reward.is_some()
+    }
+}
+
+/// The six marketplaces of the paper's Table I, with the fee levels reported
+/// in §IX (OpenSea 2.5%, LooksRare 2%, Rarible 2%, Foundation 15%) and
+/// publicly documented values for the remaining two.
+pub mod presets {
+    use super::*;
+
+    /// OpenSea: 2.5% fee, no escrow, no reward token.
+    pub fn opensea() -> MarketplaceSpec {
+        MarketplaceSpec::new("OpenSea", 250, false)
+    }
+
+    /// LooksRare: 2% fee, no escrow, LOOKS rewards distributed daily by
+    /// trading volume.
+    pub fn looksrare() -> MarketplaceSpec {
+        MarketplaceSpec::new("LooksRare", 200, false).with_reward(RewardSpec {
+            token_symbol: "LOOKS".to_string(),
+            token_decimals: 18,
+            daily_emission: 2_866_500.0,
+        })
+    }
+
+    /// Rarible: 2% fee, no escrow, RARI rewards distributed daily by trading
+    /// volume.
+    pub fn rarible() -> MarketplaceSpec {
+        MarketplaceSpec::new("Rarible", 200, false).with_reward(RewardSpec {
+            token_symbol: "RARI".to_string(),
+            token_decimals: 18,
+            daily_emission: 10_714.0,
+        })
+    }
+
+    /// SuperRare: 3% buyer fee, escrow-based listings, no reward token.
+    pub fn superrare() -> MarketplaceSpec {
+        MarketplaceSpec::new("SuperRare", 300, true)
+    }
+
+    /// Foundation: 15% fee (the paper's explanation for the absence of wash
+    /// trading there), escrow-based, no reward token.
+    pub fn foundation() -> MarketplaceSpec {
+        MarketplaceSpec::new("Foundation", 1_500, true)
+    }
+
+    /// Decentraland's marketplace: 2.5% fee, no escrow, no reward token.
+    pub fn decentraland() -> MarketplaceSpec {
+        MarketplaceSpec::new("Decentraland", 250, false)
+    }
+
+    /// All six presets in the paper's Table I order.
+    pub fn all() -> Vec<MarketplaceSpec> {
+        vec![
+            opensea(),
+            looksrare(),
+            foundation(),
+            superrare(),
+            rarible(),
+            decentraland(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_fee_levels() {
+        assert_eq!(presets::opensea().fee_bps, 250);
+        assert_eq!(presets::looksrare().fee_bps, 200);
+        assert_eq!(presets::rarible().fee_bps, 200);
+        assert_eq!(presets::foundation().fee_bps, 1_500);
+        assert_eq!(presets::all().len(), 6);
+    }
+
+    #[test]
+    fn only_looksrare_and_rarible_have_reward_systems() {
+        for spec in presets::all() {
+            let expected = spec.name == "LooksRare" || spec.name == "Rarible";
+            assert_eq!(spec.has_reward_system(), expected, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn builder_attaches_reward() {
+        let spec = MarketplaceSpec::new("Custom", 100, false).with_reward(RewardSpec {
+            token_symbol: "X".to_string(),
+            token_decimals: 18,
+            daily_emission: 1000.0,
+        });
+        assert!(spec.has_reward_system());
+        assert_eq!(spec.reward.unwrap().daily_emission, 1000.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! A minimal simulated ERC-1155 multi-token contract.
+//!
+//! ERC-1155 transfers use a different event signature
+//! (`TransferSingle(address,address,address,uint256,uint256)`), so they must
+//! be *excluded* by the paper's ERC-721 collection step. The workload
+//! generator deploys a few of these to verify the dataset builder's
+//! signature-based filtering.
+
+use std::collections::HashMap;
+
+use ethsim::{Address, Log};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TokenError;
+
+/// A simulated ERC-1155 contract tracking `(token id, owner) → amount`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Erc1155Collection {
+    /// Deployed contract address.
+    pub address: Address,
+    /// Collection name.
+    pub name: String,
+    balances: HashMap<(u64, Address), u128>,
+}
+
+impl Erc1155Collection {
+    /// Create a collection bound to a deployed contract address.
+    pub fn new(address: Address, name: impl Into<String>) -> Self {
+        Erc1155Collection {
+            address,
+            name: name.into(),
+            balances: HashMap::new(),
+        }
+    }
+
+    /// Balance of `account` for `token_id`.
+    pub fn balance_of(&self, account: Address, token_id: u64) -> u128 {
+        self.balances.get(&(token_id, account)).copied().unwrap_or(0)
+    }
+
+    /// Mint `amount` units of `token_id` to `to`.
+    pub fn mint(&mut self, operator: Address, to: Address, token_id: u64, amount: u128) -> Log {
+        *self.balances.entry((token_id, to)).or_insert(0) += amount;
+        Log::erc1155_transfer_single(self.address, operator, Address::NULL, to, token_id, amount)
+    }
+
+    /// Transfer `amount` units of `token_id` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::InsufficientTokenBalance`] if `from` holds fewer
+    /// than `amount` units.
+    pub fn transfer(
+        &mut self,
+        operator: Address,
+        from: Address,
+        to: Address,
+        token_id: u64,
+        amount: u128,
+    ) -> Result<Log, TokenError> {
+        let available = self.balance_of(from, token_id);
+        if available < amount {
+            return Err(TokenError::InsufficientTokenBalance {
+                contract: self.address,
+                account: from,
+                needed: amount,
+                available,
+            });
+        }
+        *self.balances.get_mut(&(token_id, from)).expect("checked") -= amount;
+        *self.balances.entry((token_id, to)).or_insert(0) += amount;
+        Ok(Log::erc1155_transfer_single(self.address, operator, from, to, token_id, amount))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_and_transfer() {
+        let mut c = Erc1155Collection::new(Address::derived("erc1155"), "GameItems");
+        let op = Address::derived("operator");
+        let alice = Address::derived("alice");
+        let bob = Address::derived("bob");
+        let log = c.mint(op, alice, 5, 10);
+        assert!(log.is_erc1155_transfer());
+        assert!(!log.is_erc721_transfer(), "must not look like an ERC-721 transfer");
+        assert_eq!(c.balance_of(alice, 5), 10);
+        c.transfer(op, alice, bob, 5, 4).unwrap();
+        assert_eq!(c.balance_of(alice, 5), 6);
+        assert_eq!(c.balance_of(bob, 5), 4);
+        assert!(matches!(
+            c.transfer(op, alice, bob, 5, 100),
+            Err(TokenError::InsufficientTokenBalance { .. })
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! A simulated ERC-20 fungible token contract.
+//!
+//! The simulated contract tracks balances and produces the standard
+//! `Transfer(address,address,uint256)` log (three topics, amount in data)
+//! for every mint/transfer; higher layers attach those logs to the
+//! [`ethsim::TxRequest`]s they submit to the chain.
+
+use std::collections::HashMap;
+
+use ethsim::{Address, Log};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TokenError;
+
+/// A simulated ERC-20 token.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Erc20Token {
+    /// The deployed contract address.
+    pub address: Address,
+    /// Ticker symbol (e.g. "WETH", "LOOKS", "RARI").
+    pub symbol: String,
+    /// Number of decimal places of the base unit.
+    pub decimals: u32,
+    balances: HashMap<Address, u128>,
+    total_supply: u128,
+}
+
+impl Erc20Token {
+    /// Create a token bound to a deployed contract address.
+    pub fn new(address: Address, symbol: impl Into<String>, decimals: u32) -> Self {
+        Erc20Token {
+            address,
+            symbol: symbol.into(),
+            decimals,
+            balances: HashMap::new(),
+            total_supply: 0,
+        }
+    }
+
+    /// Convert a human amount (e.g. `2.5` tokens) into base units.
+    pub fn units(&self, amount: f64) -> u128 {
+        (amount * 10f64.powi(self.decimals as i32)).round() as u128
+    }
+
+    /// The balance of an account in base units.
+    pub fn balance_of(&self, account: Address) -> u128 {
+        self.balances.get(&account).copied().unwrap_or(0)
+    }
+
+    /// Total minted supply in base units.
+    pub fn total_supply(&self) -> u128 {
+        self.total_supply
+    }
+
+    /// Mint tokens to an account, producing the `Transfer(0x0 → to)` log.
+    pub fn mint(&mut self, to: Address, amount: u128) -> Log {
+        *self.balances.entry(to).or_insert(0) += amount;
+        self.total_supply += amount;
+        Log::erc20_transfer(self.address, Address::NULL, to, amount)
+    }
+
+    /// Transfer tokens between accounts, producing the standard transfer log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::InsufficientTokenBalance`] if `from` does not
+    /// hold `amount` base units; the balances are unchanged in that case.
+    pub fn transfer(&mut self, from: Address, to: Address, amount: u128) -> Result<Log, TokenError> {
+        let available = self.balance_of(from);
+        if available < amount {
+            return Err(TokenError::InsufficientTokenBalance {
+                contract: self.address,
+                account: from,
+                needed: amount,
+                available,
+            });
+        }
+        *self.balances.get_mut(&from).expect("checked above") -= amount;
+        *self.balances.entry(to).or_insert(0) += amount;
+        Ok(Log::erc20_transfer(self.address, from, to, amount))
+    }
+
+    /// Number of accounts holding a non-zero balance.
+    pub fn holder_count(&self) -> usize {
+        self.balances.values().filter(|b| **b > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weth() -> Erc20Token {
+        Erc20Token::new(Address::derived("weth-contract"), "WETH", 18)
+    }
+
+    #[test]
+    fn mint_and_transfer_update_balances_and_emit_logs() {
+        let mut token = weth();
+        let alice = Address::derived("alice");
+        let bob = Address::derived("bob");
+        let mint_log = token.mint(alice, token.units(3.0));
+        assert!(mint_log.is_erc20_transfer());
+        assert_eq!(mint_log.decode_erc20_transfer().unwrap().from, Address::NULL);
+        assert_eq!(token.balance_of(alice), token.units(3.0));
+        assert_eq!(token.total_supply(), token.units(3.0));
+
+        let log = token.transfer(alice, bob, token.units(1.0)).unwrap();
+        let decoded = log.decode_erc20_transfer().unwrap();
+        assert_eq!(decoded.from, alice);
+        assert_eq!(decoded.to, bob);
+        assert_eq!(decoded.amount, token.units(1.0));
+        assert_eq!(token.balance_of(alice), token.units(2.0));
+        assert_eq!(token.balance_of(bob), token.units(1.0));
+        assert_eq!(token.holder_count(), 2);
+    }
+
+    #[test]
+    fn transfer_more_than_balance_fails_without_change() {
+        let mut token = weth();
+        let alice = Address::derived("alice");
+        let bob = Address::derived("bob");
+        token.mint(alice, 100);
+        let result = token.transfer(alice, bob, 200);
+        assert!(matches!(result, Err(TokenError::InsufficientTokenBalance { .. })));
+        assert_eq!(token.balance_of(alice), 100);
+        assert_eq!(token.balance_of(bob), 0);
+    }
+
+    #[test]
+    fn units_respect_decimals() {
+        let token = Erc20Token::new(Address::derived("usdc"), "USDC", 6);
+        assert_eq!(token.units(1.5), 1_500_000);
+        assert_eq!(weth().units(0.5), 500_000_000_000_000_000);
+    }
+
+    #[test]
+    fn unknown_account_has_zero_balance() {
+        let token = weth();
+        assert_eq!(token.balance_of(Address::derived("nobody")), 0);
+        assert_eq!(token.holder_count(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! A simulated ERC-721 NFT collection contract.
+//!
+//! Each collection tracks token ownership, mints/burns/transfers tokens, and
+//! emits the standard four-topic `Transfer` log for every movement — exactly
+//! the signal the paper's dataset builder scans for. Collections can be
+//! created as *non-compliant* (they emit ERC-721-shaped logs but do not
+//! implement the ERC-165 `supportsInterface` probe), reproducing the 3.2% of
+//! contracts the paper filters out in its compliance step.
+
+use std::collections::HashMap;
+
+use ethsim::{Address, Log, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::compliance;
+use crate::error::TokenError;
+use crate::nft::NftId;
+
+/// A simulated ERC-721 collection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Erc721Collection {
+    /// Deployed contract address.
+    pub address: Address,
+    /// Collection name (e.g. "Meebits").
+    pub name: String,
+    /// Whether the contract implements ERC-165 `supportsInterface` correctly.
+    pub erc165_compliant: bool,
+    /// When the collection contract was created.
+    pub created_at: Timestamp,
+    owners: HashMap<u64, Address>,
+    next_token_id: u64,
+    minted: u64,
+    burned: u64,
+}
+
+impl Erc721Collection {
+    /// Create a collection bound to a deployed contract address.
+    pub fn new(
+        address: Address,
+        name: impl Into<String>,
+        erc165_compliant: bool,
+        created_at: Timestamp,
+    ) -> Self {
+        Erc721Collection {
+            address,
+            name: name.into(),
+            erc165_compliant,
+            created_at,
+            owners: HashMap::new(),
+            next_token_id: 0,
+            minted: 0,
+            burned: 0,
+        }
+    }
+
+    /// The bytecode this collection's contract account should hold on the
+    /// chain; compliant collections embed the ERC-721 interface-id marker
+    /// that the dataset builder probes for.
+    pub fn bytecode(&self) -> Vec<u8> {
+        if self.erc165_compliant {
+            compliance::compliant_erc721_bytecode()
+        } else {
+            compliance::non_compliant_bytecode()
+        }
+    }
+
+    /// Simulate the ERC-165 `supportsInterface(bytes4)` call.
+    pub fn supports_interface(&self, interface_id: [u8; 4]) -> bool {
+        self.erc165_compliant
+            && (interface_id == compliance::ERC721_INTERFACE_ID
+                || interface_id == compliance::ERC165_INTERFACE_ID)
+    }
+
+    /// The current owner of a token, if it exists and is not burned.
+    pub fn owner_of(&self, token_id: u64) -> Option<Address> {
+        self.owners.get(&token_id).copied()
+    }
+
+    /// Number of tokens minted so far (including burned ones).
+    pub fn total_minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Number of tokens currently existing (minted minus burned).
+    pub fn total_supply(&self) -> u64 {
+        self.minted - self.burned
+    }
+
+    /// Token ids currently owned by `account`.
+    pub fn tokens_of(&self, account: Address) -> Vec<u64> {
+        let mut tokens: Vec<u64> = self
+            .owners
+            .iter()
+            .filter(|(_, owner)| **owner == account)
+            .map(|(id, _)| *id)
+            .collect();
+        tokens.sort_unstable();
+        tokens
+    }
+
+    /// Mint a new token to `to`, returning its id and the mint transfer log
+    /// (from the null address).
+    pub fn mint(&mut self, to: Address) -> (NftId, Log) {
+        let token_id = self.next_token_id;
+        self.next_token_id += 1;
+        self.minted += 1;
+        self.owners.insert(token_id, to);
+        (
+            NftId::new(self.address, token_id),
+            Log::erc721_transfer(self.address, Address::NULL, to, token_id),
+        )
+    }
+
+    /// Transfer a token from its current owner to `to`, returning the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::UnknownToken`] if the token was never minted or
+    /// has been burned, and [`TokenError::NotTokenOwner`] if `from` does not
+    /// own it. Ownership is unchanged on error.
+    pub fn transfer(&mut self, from: Address, to: Address, token_id: u64) -> Result<Log, TokenError> {
+        match self.owners.get(&token_id) {
+            None => Err(TokenError::UnknownToken {
+                contract: self.address,
+                token_id,
+            }),
+            Some(owner) if *owner != from => Err(TokenError::NotTokenOwner {
+                contract: self.address,
+                token_id,
+                claimed_owner: from,
+                actual_owner: Some(*owner),
+            }),
+            Some(_) => {
+                self.owners.insert(token_id, to);
+                Ok(Log::erc721_transfer(self.address, from, to, token_id))
+            }
+        }
+    }
+
+    /// Burn a token (transfer to the null address), returning the log.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Erc721Collection::transfer`].
+    pub fn burn(&mut self, from: Address, token_id: u64) -> Result<Log, TokenError> {
+        match self.owners.get(&token_id) {
+            None => Err(TokenError::UnknownToken {
+                contract: self.address,
+                token_id,
+            }),
+            Some(owner) if *owner != from => Err(TokenError::NotTokenOwner {
+                contract: self.address,
+                token_id,
+                claimed_owner: from,
+                actual_owner: Some(*owner),
+            }),
+            Some(_) => {
+                self.owners.remove(&token_id);
+                self.burned += 1;
+                Ok(Log::erc721_transfer(self.address, from, Address::NULL, token_id))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(compliant: bool) -> Erc721Collection {
+        Erc721Collection::new(
+            Address::derived("meebits"),
+            "Meebits",
+            compliant,
+            Timestamp::from_secs(1_620_000_000),
+        )
+    }
+
+    #[test]
+    fn mint_assigns_sequential_ids_and_ownership() {
+        let mut c = collection(true);
+        let alice = Address::derived("alice");
+        let (id0, log0) = c.mint(alice);
+        let (id1, _) = c.mint(alice);
+        assert_eq!(id0.token_id, 0);
+        assert_eq!(id1.token_id, 1);
+        assert_eq!(c.owner_of(0), Some(alice));
+        assert_eq!(c.total_minted(), 2);
+        assert_eq!(c.total_supply(), 2);
+        assert_eq!(c.tokens_of(alice), vec![0, 1]);
+        let decoded = log0.decode_erc721_transfer().unwrap();
+        assert_eq!(decoded.from, Address::NULL);
+        assert_eq!(decoded.to, alice);
+    }
+
+    #[test]
+    fn transfer_moves_ownership_and_validates_owner() {
+        let mut c = collection(true);
+        let alice = Address::derived("alice");
+        let bob = Address::derived("bob");
+        let (id, _) = c.mint(alice);
+        let log = c.transfer(alice, bob, id.token_id).unwrap();
+        assert_eq!(c.owner_of(id.token_id), Some(bob));
+        assert_eq!(log.decode_erc721_transfer().unwrap().to, bob);
+
+        // Alice no longer owns it.
+        let err = c.transfer(alice, bob, id.token_id).unwrap_err();
+        assert!(matches!(err, TokenError::NotTokenOwner { .. }));
+        // Unknown token.
+        assert!(matches!(
+            c.transfer(bob, alice, 999),
+            Err(TokenError::UnknownToken { .. })
+        ));
+    }
+
+    #[test]
+    fn self_transfer_is_allowed() {
+        // The paper's pattern 0 is an account trading with itself; the token
+        // contract does not forbid it.
+        let mut c = collection(true);
+        let alice = Address::derived("alice");
+        let (id, _) = c.mint(alice);
+        let log = c.transfer(alice, alice, id.token_id).unwrap();
+        let decoded = log.decode_erc721_transfer().unwrap();
+        assert_eq!(decoded.from, decoded.to);
+        assert_eq!(c.owner_of(id.token_id), Some(alice));
+    }
+
+    #[test]
+    fn burn_removes_token() {
+        let mut c = collection(true);
+        let alice = Address::derived("alice");
+        let (id, _) = c.mint(alice);
+        let log = c.burn(alice, id.token_id).unwrap();
+        assert!(log.decode_erc721_transfer().unwrap().to.is_null());
+        assert_eq!(c.owner_of(id.token_id), None);
+        assert_eq!(c.total_supply(), 0);
+        assert_eq!(c.total_minted(), 1);
+        assert!(matches!(
+            c.burn(alice, id.token_id),
+            Err(TokenError::UnknownToken { .. })
+        ));
+    }
+
+    #[test]
+    fn compliance_probe() {
+        let compliant = collection(true);
+        let rogue = collection(false);
+        assert!(compliant.supports_interface(compliance::ERC721_INTERFACE_ID));
+        assert!(compliant.supports_interface(compliance::ERC165_INTERFACE_ID));
+        assert!(!compliant.supports_interface([0xde, 0xad, 0xbe, 0xef]));
+        assert!(!rogue.supports_interface(compliance::ERC721_INTERFACE_ID));
+        assert!(compliance::supports_erc721_interface(&compliant.bytecode()));
+        assert!(!compliance::supports_erc721_interface(&rogue.bytecode()));
+    }
+}

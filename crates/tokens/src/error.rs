@@ -1,0 +1,67 @@
+//! Errors produced by the simulated token contracts.
+
+use ethsim::Address;
+
+/// Errors from ERC-20 / ERC-721 / ERC-1155 operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// The account does not hold enough fungible tokens.
+    InsufficientTokenBalance {
+        /// The token contract.
+        contract: Address,
+        /// The overdrawn account.
+        account: Address,
+        /// Amount requested.
+        needed: u128,
+        /// Amount held.
+        available: u128,
+    },
+    /// The account is not the owner of the NFT being transferred.
+    NotTokenOwner {
+        /// The NFT contract.
+        contract: Address,
+        /// The token id.
+        token_id: u64,
+        /// The account that attempted the transfer.
+        claimed_owner: Address,
+        /// The actual owner, if the token exists.
+        actual_owner: Option<Address>,
+    },
+    /// The token id does not exist in the collection.
+    UnknownToken {
+        /// The NFT contract.
+        contract: Address,
+        /// The missing token id.
+        token_id: u64,
+    },
+    /// A contract with this address is already registered.
+    ContractExists(Address),
+    /// The contract address is not registered.
+    UnknownContract(Address),
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenError::InsufficientTokenBalance { contract, account, needed, available } => {
+                write!(
+                    f,
+                    "insufficient token balance on {contract} for {account}: needed {needed}, available {available}"
+                )
+            }
+            TokenError::NotTokenOwner { contract, token_id, claimed_owner, actual_owner } => {
+                write!(
+                    f,
+                    "{claimed_owner} is not the owner of token {token_id} on {contract} (owner: {actual_owner:?})"
+                )
+            }
+            TokenError::UnknownToken { contract, token_id } => {
+                write!(f, "token {token_id} does not exist on {contract}")
+            }
+            TokenError::ContractExists(address) => write!(f, "contract {address} already exists"),
+            TokenError::UnknownContract(address) => write!(f, "contract {address} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}

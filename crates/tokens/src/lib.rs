@@ -1,0 +1,36 @@
+//! # tokens — simulated ERC-20 / ERC-721 / ERC-1155 contracts
+//!
+//! The paper's dataset is built from the transfer logs emitted by token
+//! contracts on Ethereum. This crate provides simulated contracts that emit
+//! exactly those logs (via [`ethsim::Log`] constructors with the genuine
+//! Keccak event signatures), track balances/ownership so the simulation stays
+//! internally consistent, and expose the ERC-165 compliance surface the paper
+//! probes when filtering ERC-721 contracts.
+//!
+//! * [`Erc20Token`] — fungible tokens used for payments (WETH) and
+//!   marketplace rewards (LOOKS, RARI);
+//! * [`Erc721Collection`] — NFT collections, optionally ERC-165 compliant;
+//! * [`Erc1155Collection`] — multi-tokens, present only as negative-control
+//!   noise for the dataset builder's signature filtering;
+//! * [`TokenRegistry`] — deploys contracts onto an [`ethsim::Chain`] and owns
+//!   their state;
+//! * [`compliance`] — the structural `supportsInterface` probe;
+//! * [`NftId`] — the `(contract, token id)` tuple identifying an NFT.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compliance;
+pub mod erc1155;
+pub mod erc20;
+pub mod erc721;
+pub mod error;
+pub mod nft;
+pub mod registry;
+
+pub use erc1155::Erc1155Collection;
+pub use erc20::Erc20Token;
+pub use erc721::Erc721Collection;
+pub use error::TokenError;
+pub use nft::NftId;
+pub use registry::TokenRegistry;

@@ -1,0 +1,203 @@
+//! A registry of deployed token contracts.
+//!
+//! The registry owns the simulated contract state (ERC-20 balances, ERC-721
+//! ownership) and keeps it in sync with the chain's account table: deploying
+//! a token also deploys a contract account with the appropriate bytecode, so
+//! the refinement step's "has bytecode" test and the compliance probe both
+//! work against the chain alone.
+
+use std::collections::HashMap;
+
+use ethsim::{Address, Chain, Timestamp};
+use serde::{Deserialize, Serialize};
+
+use crate::erc1155::Erc1155Collection;
+use crate::erc20::Erc20Token;
+use crate::erc721::Erc721Collection;
+use crate::error::TokenError;
+
+/// All token contracts deployed in a simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TokenRegistry {
+    erc20: HashMap<Address, Erc20Token>,
+    erc721: HashMap<Address, Erc721Collection>,
+    erc1155: HashMap<Address, Erc1155Collection>,
+}
+
+impl TokenRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TokenRegistry::default()
+    }
+
+    /// Deploy an ERC-20 token contract on the chain and register it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::ContractExists`] if the derived address is
+    /// already registered or taken on the chain.
+    pub fn deploy_erc20(
+        &mut self,
+        chain: &mut Chain,
+        seed: &str,
+        symbol: &str,
+        decimals: u32,
+    ) -> Result<Address, TokenError> {
+        let address = chain
+            .deploy_contract(seed, crate::compliance::generic_contract_bytecode(0x20))
+            .map_err(|_| TokenError::ContractExists(Address::derived(seed)))?;
+        self.erc20.insert(address, Erc20Token::new(address, symbol, decimals));
+        Ok(address)
+    }
+
+    /// Deploy an ERC-721 collection contract on the chain and register it.
+    /// Compliant collections get bytecode embedding the ERC-721 interface
+    /// marker; non-compliant ones do not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::ContractExists`] on address collision.
+    pub fn deploy_erc721(
+        &mut self,
+        chain: &mut Chain,
+        seed: &str,
+        name: &str,
+        erc165_compliant: bool,
+        created_at: Timestamp,
+    ) -> Result<Address, TokenError> {
+        let collection = Erc721Collection::new(Address::NULL, name, erc165_compliant, created_at);
+        let code = collection.bytecode();
+        let address = chain
+            .deploy_contract(seed, code)
+            .map_err(|_| TokenError::ContractExists(Address::derived(seed)))?;
+        let mut collection = collection;
+        collection.address = address;
+        self.erc721.insert(address, collection);
+        Ok(address)
+    }
+
+    /// Deploy an ERC-1155 contract on the chain and register it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::ContractExists`] on address collision.
+    pub fn deploy_erc1155(
+        &mut self,
+        chain: &mut Chain,
+        seed: &str,
+        name: &str,
+    ) -> Result<Address, TokenError> {
+        let address = chain
+            .deploy_contract(seed, crate::compliance::generic_contract_bytecode(0x55))
+            .map_err(|_| TokenError::ContractExists(Address::derived(seed)))?;
+        self.erc1155.insert(address, Erc1155Collection::new(address, name));
+        Ok(address)
+    }
+
+    /// Shared access to an ERC-20 token.
+    pub fn erc20(&self, address: Address) -> Option<&Erc20Token> {
+        self.erc20.get(&address)
+    }
+
+    /// Mutable access to an ERC-20 token.
+    pub fn erc20_mut(&mut self, address: Address) -> Option<&mut Erc20Token> {
+        self.erc20.get_mut(&address)
+    }
+
+    /// Shared access to an ERC-721 collection.
+    pub fn erc721(&self, address: Address) -> Option<&Erc721Collection> {
+        self.erc721.get(&address)
+    }
+
+    /// Mutable access to an ERC-721 collection.
+    pub fn erc721_mut(&mut self, address: Address) -> Option<&mut Erc721Collection> {
+        self.erc721.get_mut(&address)
+    }
+
+    /// Shared access to an ERC-1155 collection.
+    pub fn erc1155(&self, address: Address) -> Option<&Erc1155Collection> {
+        self.erc1155.get(&address)
+    }
+
+    /// Mutable access to an ERC-1155 collection.
+    pub fn erc1155_mut(&mut self, address: Address) -> Option<&mut Erc1155Collection> {
+        self.erc1155.get_mut(&address)
+    }
+
+    /// Iterate over all ERC-721 collections.
+    pub fn erc721_collections(&self) -> impl Iterator<Item = &Erc721Collection> {
+        self.erc721.values()
+    }
+
+    /// Iterate over all ERC-20 tokens.
+    pub fn erc20_tokens(&self) -> impl Iterator<Item = &Erc20Token> {
+        self.erc20.values()
+    }
+
+    /// Number of registered contracts of each kind `(erc20, erc721, erc1155)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.erc20.len(), self.erc721.len(), self.erc1155.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::Wei;
+
+    #[test]
+    fn deploying_registers_and_creates_chain_accounts() {
+        let mut chain = Chain::new(Timestamp::from_secs(1_600_000_000));
+        let mut registry = TokenRegistry::new();
+        let weth = registry.deploy_erc20(&mut chain, "weth", "WETH", 18).unwrap();
+        let now = chain.current_timestamp();
+        let meebits = registry
+            .deploy_erc721(&mut chain, "meebits", "Meebits", true, now)
+            .unwrap();
+        let rogue = registry
+            .deploy_erc721(&mut chain, "rogue", "Rogue", false, now)
+            .unwrap();
+        let items = registry.deploy_erc1155(&mut chain, "items", "GameItems").unwrap();
+
+        assert!(chain.is_contract(weth));
+        assert!(chain.is_contract(meebits));
+        assert!(chain.is_contract(items));
+        assert_eq!(registry.counts(), (1, 2, 1));
+        // Compliance is visible from the chain bytecode alone.
+        assert!(crate::compliance::supports_erc721_interface(chain.code_at(meebits).unwrap()));
+        assert!(!crate::compliance::supports_erc721_interface(chain.code_at(rogue).unwrap()));
+        assert!(!crate::compliance::supports_erc721_interface(chain.code_at(weth).unwrap()));
+    }
+
+    #[test]
+    fn duplicate_deploys_fail() {
+        let mut chain = Chain::new(Timestamp::from_secs(1_600_000_000));
+        let mut registry = TokenRegistry::new();
+        registry.deploy_erc20(&mut chain, "weth", "WETH", 18).unwrap();
+        assert!(matches!(
+            registry.deploy_erc20(&mut chain, "weth", "WETH", 18),
+            Err(TokenError::ContractExists(_))
+        ));
+    }
+
+    #[test]
+    fn registry_accessors_work() {
+        let mut chain = Chain::new(Timestamp::from_secs(1_600_000_000));
+        let mut registry = TokenRegistry::new();
+        let weth = registry.deploy_erc20(&mut chain, "weth", "WETH", 18).unwrap();
+        let now = chain.current_timestamp();
+        let meebits = registry
+            .deploy_erc721(&mut chain, "meebits", "Meebits", true, now)
+            .unwrap();
+        let alice = chain.create_eoa("alice").unwrap();
+        chain.fund(alice, Wei::from_eth(1.0));
+
+        registry.erc20_mut(weth).unwrap().mint(alice, 100);
+        assert_eq!(registry.erc20(weth).unwrap().balance_of(alice), 100);
+        let (nft, _) = registry.erc721_mut(meebits).unwrap().mint(alice);
+        assert_eq!(registry.erc721(meebits).unwrap().owner_of(nft.token_id), Some(alice));
+        assert!(registry.erc20(Address::derived("missing")).is_none());
+        assert_eq!(registry.erc721_collections().count(), 1);
+        assert_eq!(registry.erc20_tokens().count(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Ground truth emitted by the world builder.
+//!
+//! Every wash-trading activity the builder executes is recorded here, so the
+//! detection pipeline's output can be evaluated (precision/recall against
+//! planted activities) and the profitability analysis can be cross-checked
+//! against what actually happened on the synthetic chain.
+
+use ethsim::{Address, Timestamp, TxHash, Wei};
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+
+use crate::scenario::{ExitEvidence, FundingEvidence, ScenarioPattern, Venue, WashGoal};
+
+/// Ground-truth record of one executed wash-trading activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WashActivityTruth {
+    /// Scenario id (stable across runs with the same seed).
+    pub id: usize,
+    /// The manipulated NFT.
+    pub nft: NftId,
+    /// The venue the wash trades went through.
+    pub venue: Venue,
+    /// The marketplace exchange contract, if any.
+    pub marketplace_contract: Option<Address>,
+    /// The colluding accounts, in walk-position order (position 0 first).
+    pub accounts: Vec<Address>,
+    /// The planted component shape.
+    pub pattern: ScenarioPattern,
+    /// The planted funding evidence.
+    pub funder: FundingEvidence,
+    /// The planted exit evidence.
+    pub exit: ExitEvidence,
+    /// Whether the activity was constructed to be zero-risk.
+    pub zero_risk: bool,
+    /// What the operators were after.
+    pub goal: WashGoal,
+    /// Timestamp of the first wash trade.
+    pub first_trade: Timestamp,
+    /// Timestamp of the last wash trade.
+    pub last_trade: Timestamp,
+    /// Total wash-traded volume (sum of wash-trade prices).
+    pub wash_volume: Wei,
+    /// Hashes of the wash-trade transactions.
+    pub trade_tx_hashes: Vec<TxHash>,
+    /// Price paid to acquire the NFT from an outsider (zero when minted).
+    pub acquisition_price: Wei,
+    /// Timestamp of the acquisition (mint or purchase).
+    pub acquired_at: Timestamp,
+    /// External resale price, if the NFT was later sold to an outsider.
+    pub resale_price: Option<Wei>,
+    /// Reward-claim transactions performed by the colluders, if any.
+    pub claim_tx_hashes: Vec<TxHash>,
+    /// Total reward tokens claimed (base units of the venue's reward token).
+    pub claimed_tokens: u128,
+    /// Gas fees paid by the colluding accounts across the whole operation.
+    pub gas_fees: Wei,
+    /// Marketplace fees paid across the whole operation.
+    pub marketplace_fees: Wei,
+    /// The collection contract the NFT belongs to.
+    pub collection: Address,
+    /// The day (relative to genesis) the collection contract was created.
+    pub collection_created_day: u64,
+}
+
+impl WashActivityTruth {
+    /// Lifetime in whole days between first and last wash trade.
+    pub fn lifetime_days(&self) -> u64 {
+        self.last_trade.days_since(self.first_trade)
+    }
+
+    /// Days between acquiring the NFT and starting the manipulation.
+    pub fn days_from_acquisition_to_start(&self) -> u64 {
+        self.first_trade.days_since(self.acquired_at)
+    }
+
+    /// Whether the operators claimed reward tokens.
+    pub fn claimed_rewards(&self) -> bool {
+        !self.claim_tx_hashes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::PatternId;
+
+    fn truth() -> WashActivityTruth {
+        let t0 = Timestamp::from_secs(1_609_459_200);
+        WashActivityTruth {
+            id: 0,
+            nft: NftId::new(Address::derived("c"), 1),
+            venue: Venue::LooksRare,
+            marketplace_contract: Some(Address::derived("lr")),
+            accounts: vec![Address::derived("a"), Address::derived("b")],
+            pattern: ScenarioPattern::Catalogued(PatternId(1)),
+            funder: FundingEvidence::Internal,
+            exit: ExitEvidence::Internal,
+            zero_risk: true,
+            goal: WashGoal::RewardExploit { claims: true },
+            first_trade: t0.plus_days(10),
+            last_trade: t0.plus_days(12),
+            wash_volume: Wei::from_eth(100.0),
+            trade_tx_hashes: vec![],
+            acquisition_price: Wei::ZERO,
+            acquired_at: t0.plus_days(9),
+            resale_price: None,
+            claim_tx_hashes: vec![TxHash::hash_of(b"claim")],
+            claimed_tokens: 1,
+            gas_fees: Wei::from_eth(0.01),
+            marketplace_fees: Wei::from_eth(2.0),
+            collection: Address::derived("c"),
+            collection_created_day: 3,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let truth = truth();
+        assert_eq!(truth.lifetime_days(), 2);
+        assert_eq!(truth.days_from_acquisition_to_start(), 1);
+        assert!(truth.claimed_rewards());
+    }
+}

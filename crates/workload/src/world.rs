@@ -1,0 +1,101 @@
+//! The generated world: everything the detection pipeline and the experiment
+//! harness need, bundled together.
+
+use std::collections::HashMap;
+
+use ethsim::{Address, Chain};
+use labels::LabelRegistry;
+use marketplace::{Marketplace, MarketplaceDirectory};
+use oracle::PriceOracle;
+use tokens::TokenRegistry;
+
+use crate::config::WorkloadConfig;
+use crate::truth::WashActivityTruth;
+
+/// A fully built synthetic world.
+///
+/// The fields mirror what the paper's authors had at hand: a synced node
+/// ([`Chain`]), knowledge of marketplaces and their contracts
+/// ([`MarketplaceDirectory`]), Etherscan-style labels ([`LabelRegistry`]),
+/// historical prices ([`PriceOracle`]) — plus, because this is a simulation,
+/// the ground truth of every planted wash-trading activity.
+pub struct World {
+    /// The configuration the world was generated from.
+    pub config: WorkloadConfig,
+    /// The chain with all executed transactions.
+    pub chain: Chain,
+    /// Deployed token contracts and their state.
+    pub tokens: TokenRegistry,
+    /// Account labels (exchanges, CeFi, games, DeFi, marketplaces).
+    pub labels: LabelRegistry,
+    /// Daily USD price series.
+    pub oracle: PriceOracle,
+    /// Marketplace address directory.
+    pub directory: MarketplaceDirectory,
+    /// Marketplace engines keyed by name (kept for post-hoc inspection of
+    /// reward bookkeeping).
+    pub marketplaces: HashMap<String, Marketplace>,
+    /// Addresses of the ERC-165-compliant ERC-721 collections.
+    pub collections: Vec<Address>,
+    /// Ground truth of every planted wash-trading activity.
+    pub truth: Vec<WashActivityTruth>,
+}
+
+impl World {
+    /// Build a world directly from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::builder::BuildError`] from the builder.
+    pub fn generate(config: WorkloadConfig) -> Result<Self, crate::builder::BuildError> {
+        crate::builder::WorldBuilder::new(config).build()
+    }
+
+    /// Ground-truth activities planted on a specific marketplace (by name).
+    pub fn truth_on(&self, marketplace_name: &str) -> Vec<&WashActivityTruth> {
+        self.truth
+            .iter()
+            .filter(|t| t.venue.marketplace_name() == Some(marketplace_name))
+            .collect()
+    }
+
+    /// The set of all accounts that participate in any planted activity.
+    pub fn wash_accounts(&self) -> Vec<Address> {
+        let mut accounts: Vec<Address> = self
+            .truth
+            .iter()
+            .flat_map(|t| t.accounts.iter().copied())
+            .collect();
+        accounts.sort();
+        accounts.dedup();
+        accounts
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("chain", &self.chain)
+            .field("collections", &self.collections.len())
+            .field("wash_activities", &self.truth.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    #[test]
+    fn world_accessors() {
+        let world = World::generate(WorkloadConfig::small(5)).unwrap();
+        let accounts = world.wash_accounts();
+        assert!(!accounts.is_empty());
+        assert!(accounts.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        let on_looksrare = world.truth_on("LooksRare");
+        for truth in on_looksrare {
+            assert_eq!(truth.venue.marketplace_name(), Some("LooksRare"));
+        }
+    }
+}

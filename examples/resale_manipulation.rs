@@ -1,0 +1,131 @@
+//! Reproduction of the paper's second case study (§VII, "NFT resell"): three
+//! accounts move an NFT in a circle on OpenSea, pumping the price from
+//! 0.66 ETH to 12.5 ETH, and finally sell it to an outside buyer for
+//! 14.85 ETH — an investment return of more than 2000% on the 0.99 ETH the
+//! wash trader originally paid.
+//!
+//! ```text
+//! cargo run --example resale_manipulation
+//! ```
+
+use ethsim::{Chain, Timestamp, Wei};
+use labels::LabelRegistry;
+use marketplace::{presets, Marketplace, MarketplaceDirectory};
+use oracle::PriceOracle;
+use tokens::TokenRegistry;
+use washtrade::pipeline::{analyze, AnalysisInput};
+use washtrade::report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let start = Timestamp::from_secs(1_627_689_600); // Jul 31
+    let mut chain = Chain::new(start);
+    let mut tokens = TokenRegistry::new();
+    let mut labels = LabelRegistry::new();
+    let oracle = PriceOracle::paper_presets(start, 120, 11);
+
+    let mut opensea = Marketplace::deploy(&mut chain, &mut tokens, &mut labels, presets::opensea())?;
+    let mut directory = MarketplaceDirectory::new();
+    directory.add(opensea.info());
+    let collection = tokens.deploy_erc721(&mut chain, "og-art", "OG Art", true, start)?;
+    let gas = Wei::from_gwei(45);
+
+    // The original owner sells the NFT to the wash trader for 0.99 ETH.
+    let artist = chain.create_eoa("artist")?;
+    chain.fund(artist, Wei::from_eth(1.0));
+    let (nft, mint_log) = tokens.erc721_mut(collection).unwrap().mint(artist);
+    chain.submit(
+        ethsim::TxRequest::contract_call(
+            artist,
+            collection,
+            ethsim::Selector::of("mint(address)"),
+            Wei::ZERO,
+            90_000,
+            gas,
+        )
+        .with_log(mint_log),
+    )?;
+
+    // Three colluding wallets, funded by a common account.
+    let funder = chain.create_eoa("resale-funder")?;
+    chain.fund(funder, Wei::from_eth(60.0));
+    let wallets: Vec<_> = (0..3)
+        .map(|i| chain.create_eoa(&format!("resale-wallet-{i}")).unwrap())
+        .collect();
+    for wallet in &wallets {
+        chain.submit(ethsim::TxRequest::ether_transfer(funder, *wallet, Wei::from_eth(18.0), gas))?;
+    }
+    chain.seal_block(start.plus_secs(3_600))?;
+    let buy = opensea.execute_sale(&mut chain, &mut tokens, artist, wallets[0], nft, Wei::from_eth(0.99), gas)?;
+    println!("acquired the NFT for {:.2} ETH", buy.price.to_eth());
+
+    // Circular wash trades over 64 days, escalating the price.
+    let prices = [0.66, 4.5, 12.5];
+    for (i, price) in prices.iter().enumerate() {
+        let seller = wallets[i % 3];
+        let buyer = wallets[(i + 1) % 3];
+        chain.advance_to(start.plus_days(1 + (i as u64) * 21))?;
+        let receipt = opensea.execute_sale(
+            &mut chain,
+            &mut tokens,
+            seller,
+            buyer,
+            nft,
+            Wei::from_eth(*price),
+            gas,
+        )?;
+        println!(
+            "wash trade {}: wallet {} -> wallet {} at {:>6.2} ETH",
+            i + 1,
+            i % 3,
+            (i + 1) % 3,
+            receipt.price.to_eth()
+        );
+    }
+
+    // Three days after the last trade an outside collector takes the bait.
+    let collector = chain.create_eoa("outside-collector")?;
+    chain.fund(collector, Wei::from_eth(20.0));
+    chain.advance_to(start.plus_days(66))?;
+    let sale = opensea.execute_sale(
+        &mut chain,
+        &mut tokens,
+        wallets[0],
+        collector,
+        nft,
+        Wei::from_eth(14.85),
+        gas,
+    )?;
+    println!("resold to an outside collector for {:.2} ETH\n", sale.price.to_eth());
+
+    // Run the full pipeline and show the resale profitability analysis.
+    let analysis = analyze(AnalysisInput {
+        chain: &chain,
+        labels: &labels,
+        directory: &directory,
+        oracle: &oracle,
+    });
+    println!("--- detection ---");
+    for activity in &analysis.detection.confirmed {
+        println!(
+            "confirmed: {} accounts, {} internal trades, lifetime {} days, methods: zero-risk={} funder={:?} exit={:?}",
+            activity.accounts().len(),
+            activity.candidate.internal_edges.len(),
+            activity.candidate.lifetime_days(),
+            activity.methods.zero_risk,
+            activity.methods.common_funder.map(|f| f.kind),
+            activity.methods.common_exit.map(|e| e.kind),
+        );
+    }
+    println!("\n--- resale profitability (§VI-B view) ---");
+    println!("{}", report::render_resales(&analysis.resales));
+    if let Some(outcome) = analysis.resales.outcomes.iter().find(|o| o.resold) {
+        println!(
+            "case study: bought at {:.2} ETH, resold at {:.2} ETH, net gain {:.2} ETH (${:.0})",
+            outcome.buy_price_eth,
+            outcome.resale_price_eth.unwrap_or(0.0),
+            outcome.net_gain_eth.unwrap_or(0.0),
+            outcome.net_gain_usd.unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! Detection-quality integration tests: the pipeline's output is compared
+//! against the workload generator's ground truth, per evidence channel.
+
+use std::collections::{HashMap, HashSet};
+
+use tokens::NftId;
+use washtrade::pipeline::{analyze, AnalysisInput, AnalysisReport};
+use workload::{ExitEvidence, FundingEvidence, ScenarioPattern, WorkloadConfig, World};
+
+fn run(seed: u64) -> (World, AnalysisReport) {
+    let world = World::generate(WorkloadConfig::small(seed)).expect("world builds");
+    let report = analyze(AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    });
+    (world, report)
+}
+
+fn detected_by_nft(report: &AnalysisReport) -> HashMap<NftId, &washtrade::ConfirmedActivity> {
+    report
+        .detection
+        .confirmed
+        .iter()
+        .map(|activity| (activity.nft(), activity))
+        .collect()
+}
+
+#[test]
+fn recall_is_high_across_seeds() {
+    for seed in [10, 20, 30] {
+        let (world, report) = run(seed);
+        let planted: HashSet<NftId> = world.truth.iter().map(|t| t.nft).collect();
+        let detected: HashSet<NftId> = report.detection.confirmed.iter().map(|a| a.nft()).collect();
+        let recalled = planted.intersection(&detected).count();
+        let recall = recalled as f64 / planted.len() as f64;
+        assert!(
+            recall >= 0.85,
+            "seed {seed}: recall {recall:.2} ({recalled}/{})",
+            planted.len()
+        );
+    }
+}
+
+#[test]
+fn planted_funder_evidence_is_recovered() {
+    let (world, report) = run(40);
+    let detected = detected_by_nft(&report);
+    let mut with_funder = 0usize;
+    let mut recovered = 0usize;
+    for truth in &world.truth {
+        let planted_funder = matches!(
+            truth.funder,
+            FundingEvidence::Internal | FundingEvidence::External
+        );
+        if !planted_funder {
+            continue;
+        }
+        with_funder += 1;
+        if let Some(activity) = detected.get(&truth.nft) {
+            if activity.methods.common_funder.is_some() {
+                recovered += 1;
+            }
+        }
+    }
+    assert!(with_funder > 0, "the workload should plant funder evidence");
+    assert!(
+        recovered * 10 >= with_funder * 8,
+        "only {recovered}/{with_funder} planted funders recovered"
+    );
+}
+
+#[test]
+fn planted_exit_evidence_is_recovered() {
+    let (world, report) = run(41);
+    let detected = detected_by_nft(&report);
+    let mut with_exit = 0usize;
+    let mut recovered = 0usize;
+    for truth in &world.truth {
+        if truth.exit == ExitEvidence::None {
+            continue;
+        }
+        with_exit += 1;
+        if let Some(activity) = detected.get(&truth.nft) {
+            if activity.methods.common_exit.is_some() {
+                recovered += 1;
+            }
+        }
+    }
+    assert!(with_exit > 0);
+    assert!(
+        recovered * 10 >= with_exit * 7,
+        "only {recovered}/{with_exit} planted exits recovered"
+    );
+}
+
+#[test]
+fn planted_zero_risk_activities_are_flagged_zero_risk() {
+    let (world, report) = run(42);
+    let detected = detected_by_nft(&report);
+    let mut planted = 0usize;
+    let mut flagged = 0usize;
+    for truth in &world.truth {
+        if !truth.zero_risk {
+            continue;
+        }
+        planted += 1;
+        if let Some(activity) = detected.get(&truth.nft) {
+            if activity.methods.zero_risk {
+                flagged += 1;
+            }
+        }
+    }
+    assert!(planted > 0);
+    assert!(
+        flagged * 10 >= planted * 8,
+        "only {flagged}/{planted} planted zero-risk activities flagged"
+    );
+}
+
+#[test]
+fn exchange_funded_activities_do_not_get_funder_credit_from_the_exchange() {
+    let (world, report) = run(43);
+    let detected = detected_by_nft(&report);
+    for truth in &world.truth {
+        if truth.funder != FundingEvidence::Exchange {
+            continue;
+        }
+        if let Some(activity) = detected.get(&truth.nft) {
+            if let Some(funder) = activity.methods.common_funder {
+                // If a funder was still found it must be internal money
+                // movement, never the exchange account itself.
+                assert!(
+                    !world.labels.is_exchange_or_defi(funder.account),
+                    "exchange account credited as common funder"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn self_trades_are_confirmed_de_facto() {
+    let (world, report) = run(44);
+    let detected = detected_by_nft(&report);
+    let mut planted = 0usize;
+    let mut confirmed = 0usize;
+    for truth in &world.truth {
+        if truth.pattern != ScenarioPattern::Catalogued(graphlib::PatternId(0)) {
+            continue;
+        }
+        planted += 1;
+        if let Some(activity) = detected.get(&truth.nft) {
+            if activity.methods.self_trade {
+                confirmed += 1;
+            }
+        }
+    }
+    if planted > 0 {
+        assert!(
+            confirmed * 10 >= planted * 8,
+            "only {confirmed}/{planted} self-trades confirmed"
+        );
+    }
+}
+
+#[test]
+fn detected_patterns_match_planted_shapes() {
+    let (world, report) = run(45);
+    let detected = detected_by_nft(&report);
+    let catalogue = graphlib::PatternCatalogue::paper();
+    let mut compared = 0usize;
+    let mut matching = 0usize;
+    for truth in &world.truth {
+        let ScenarioPattern::Catalogued(expected) = truth.pattern else {
+            continue;
+        };
+        let Some(activity) = detected.get(&truth.nft) else {
+            continue;
+        };
+        // Only compare when the detected component is exactly the planted
+        // account set (otherwise extra parties legitimately change the shape).
+        let mut planted_accounts = truth.accounts.clone();
+        planted_accounts.sort();
+        planted_accounts.dedup();
+        if planted_accounts != activity.candidate.accounts {
+            continue;
+        }
+        compared += 1;
+        let shape = washtrade::characterize::component_shape(&activity.candidate);
+        if catalogue.classify(activity.candidate.accounts.len(), &shape) == Some(expected) {
+            matching += 1;
+        }
+    }
+    assert!(compared > 0, "no comparable activities");
+    assert!(
+        matching * 10 >= compared * 9,
+        "only {matching}/{compared} detected shapes match the planted pattern"
+    );
+}
+
+#[test]
+fn serial_traders_emerge_in_characterization() {
+    let (_, report) = run(46);
+    let serial = &report.characterization.serial_traders;
+    assert!(serial.total_accounts > 0);
+    assert!(
+        serial.serial_accounts > 0,
+        "the workload reuses accounts, so serial traders must appear"
+    );
+    assert!(serial.activities_with_serials <= serial.total_activities);
+    assert!(serial.mean_activities_per_serial >= 2.0);
+}
