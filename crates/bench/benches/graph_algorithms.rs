@@ -41,11 +41,8 @@ fn bench_scc(c: &mut Criterion) {
 fn bench_pattern_classification(c: &mut Criterion) {
     let catalogue = PatternCatalogue::paper();
     let mut group = c.benchmark_group("fig7_pattern_classification");
-    let shapes: Vec<(usize, Vec<(usize, usize)>)> = catalogue
-        .specs()
-        .iter()
-        .map(|spec| (spec.participants, spec.edges.clone()))
-        .collect();
+    let shapes: Vec<(usize, Vec<(usize, usize)>)> =
+        catalogue.specs().iter().map(|spec| (spec.participants, spec.edges.clone())).collect();
     group.bench_function("classify_catalogue_shapes", |b| {
         b.iter(|| {
             for (nodes, edges) in &shapes {

@@ -3,6 +3,10 @@
 //! dataset construction (§III, Table I), graph construction (§IV-A),
 //! refinement (§IV-B), detection (§IV-C/D, Fig. 2), characterization (§V,
 //! Table II / Figs. 3–7) and profitability (§VI, Table III).
+//!
+//! Besides timing each step in isolation, `bench_staged_pipeline` runs the
+//! staged driver end to end and prints the per-stage `StageMetrics` wall
+//! times the pipeline records about itself.
 
 use std::collections::HashMap;
 
@@ -11,8 +15,10 @@ use washtrade::{
     characterize::characterize,
     dataset::Dataset,
     detect::Detector,
+    pipeline::{analyze_with, AnalysisInput, AnalysisOptions},
     profit::{analyze_resales, analyze_rewards},
     refine::Refiner,
+    report,
     txgraph::NftGraph,
 };
 
@@ -42,9 +48,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
 
     let detection = Detector::new(&world.chain, &world.labels).detect(&candidates, &graph_map);
     group.bench_function("table2_fig3to7_characterization", |b| {
-        b.iter(|| {
-            characterize(&detection.confirmed, &dataset, &world.directory, &world.oracle)
-        })
+        b.iter(|| characterize(&detection.confirmed, &dataset, &world.directory, &world.oracle))
     });
 
     group.bench_function("table3_reward_profitability", |b| {
@@ -68,9 +72,32 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     group.finish();
 }
 
+/// The staged driver end to end, at one thread and at all cores, followed by
+/// the per-stage `StageMetrics` breakdown of a representative run.
+fn bench_staged_pipeline(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+    let mut group = c.benchmark_group("staged_pipeline");
+    group.bench_function("end_to_end_1_thread", |b| {
+        b.iter(|| analyze_with(input, AnalysisOptions::single_threaded()))
+    });
+    group.bench_function("end_to_end_all_cores", |b| {
+        b.iter(|| analyze_with(input, AnalysisOptions::default()))
+    });
+    group.finish();
+
+    let report = analyze_with(input, AnalysisOptions::default());
+    println!("{}", report::render_stage_metrics(&report.stage_metrics));
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_pipeline_stages
+    targets = bench_pipeline_stages, bench_staged_pipeline
 }
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! side by side with the paper's reported values.
 //!
 //! ```text
-//! cargo run --release -p bench-suite --bin experiments -- [scale] [seed] [experiment]
+//! cargo run --release -p bench --bin experiments -- [scale] [seed] [experiment]
 //! ```
 //!
 //! `experiment` is one of `table1`, `table2`, `table3`, `fig2`, `fig3`,
@@ -71,7 +71,8 @@ fn table1(analysis: &AnalysisReport) {
     println!("{}", report::render_table1(&analysis.table1));
     println!("Paper shape check: OpenSea carries the overwhelming majority of marketplace");
     println!("transactions; LooksRare has few transactions but a disproportionate volume.");
-    let opensea_txs = analysis.table1.iter().find(|r| r.name == "OpenSea").map(|r| r.transactions).unwrap_or(0);
+    let opensea_txs =
+        analysis.table1.iter().find(|r| r.name == "OpenSea").map(|r| r.transactions).unwrap_or(0);
     let total_txs: usize = analysis.table1.iter().map(|r| r.transactions).sum();
     println!(
         "{}",
@@ -133,13 +134,8 @@ fn fig2(analysis: &AnalysisReport) {
 fn table2(analysis: &AnalysisReport) {
     println!("\n================ Experiment: Table II ================");
     println!("{}", report::render_table2(&analysis.characterization));
-    let row = |name: &str| {
-        analysis
-            .characterization
-            .per_marketplace
-            .iter()
-            .find(|r| r.name == name)
-    };
+    let row =
+        |name: &str| analysis.characterization.per_marketplace.iter().find(|r| r.name == name);
     if let Some(looksrare) = row("LooksRare") {
         println!(
             "{}",
@@ -179,7 +175,10 @@ fn table2(analysis: &AnalysisReport) {
         );
     }
     if let Some(foundation) = row("Foundation") {
-        println!("  NOTE: Foundation shows {} wash activities (paper: none).", foundation.activities);
+        println!(
+            "  NOTE: Foundation shows {} wash activities (paper: none).",
+            foundation.activities
+        );
     } else {
         println!("  Foundation: no wash-trading activity detected — matches the paper.");
     }
@@ -259,24 +258,16 @@ fn fig6_fig7(analysis: &AnalysisReport) {
             ""
         )
     );
-    let measured_total: usize = analysis
-        .characterization
-        .patterns
-        .pattern_occurrences
-        .values()
-        .sum::<usize>()
-        + analysis.characterization.patterns.uncatalogued;
+    let measured_total: usize =
+        analysis.characterization.patterns.pattern_occurrences.values().sum::<usize>()
+            + analysis.characterization.patterns.uncatalogued;
     let paper_total: usize = 12_413;
     println!("Pattern mix (share of all activities, measured vs paper):");
     for (id, occurrences) in paper::PATTERN_OCCURRENCES {
-        let measured = analysis
-            .characterization
-            .patterns
-            .pattern_occurrences
-            .get(&id)
-            .copied()
-            .unwrap_or(0) as f64
-            / measured_total.max(1) as f64;
+        let measured =
+            analysis.characterization.patterns.pattern_occurrences.get(&id).copied().unwrap_or(0)
+                as f64
+                / measured_total.max(1) as f64;
         println!(
             "{}",
             compare(
@@ -339,7 +330,8 @@ fn table3(analysis: &AnalysisReport) {
             "{}",
             compare(
                 &format!("{} gain/loss asymmetry (total gain / total |loss|)", market.marketplace),
-                market.successful.total_balance_usd / market.failed.total_balance_usd.abs().max(1.0),
+                market.successful.total_balance_usd
+                    / market.failed.total_balance_usd.abs().max(1.0),
                 416_963_449.0 / 310_544.0,
                 "x"
             )

@@ -84,9 +84,7 @@ pub mod paper {
 
 /// Format a measured-vs-paper comparison line.
 pub fn compare(label: &str, measured: f64, paper: f64, unit: &str) -> String {
-    format!(
-        "  {label:<52} measured: {measured:>10.3}{unit}   paper: {paper:>10.3}{unit}"
-    )
+    format!("  {label:<52} measured: {measured:>10.3}{unit}   paper: {paper:>10.3}{unit}")
 }
 
 #[cfg(test)]

@@ -132,12 +132,8 @@ pub struct Characterization {
 /// The shape (distinct directed edges over local positions) of a candidate's
 /// internal trading, used for pattern classification.
 pub fn component_shape(candidate: &Candidate) -> Vec<(usize, usize)> {
-    let position: HashMap<Address, usize> = candidate
-        .accounts
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (*a, i))
-        .collect();
+    let position: HashMap<Address, usize> =
+        candidate.accounts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
     let mut shape: Vec<(usize, usize)> = candidate
         .internal_edges
         .iter()
@@ -230,7 +226,8 @@ pub fn characterize(
             }),
         })
         .collect();
-    per_marketplace.sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd));
+    per_marketplace
+        .sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd).then_with(|| a.name.cmp(&b.name)));
 
     // Fig. 3: per-marketplace activity volume CDFs plus a legit baseline.
     let mut volume_cdfs: HashMap<String, Cdf> = per_market
@@ -251,10 +248,8 @@ pub fn characterize(
     volume_cdfs.insert("Volume w/o wash trading".to_string(), Cdf::new(legit_volumes));
 
     // --- Temporal analysis (Fig. 4, §V-B, Fig. 5). ---
-    let lifetimes_days: Vec<f64> = activities
-        .iter()
-        .map(|a| a.candidate.lifetime_days() as f64)
-        .collect();
+    let lifetimes_days: Vec<f64> =
+        activities.iter().map(|a| a.candidate.lifetime_days() as f64).collect();
     let cdf_days = Cdf::new(lifetimes_days);
     let lifetimes = LifetimeStats {
         within_one_day: cdf_days.fraction_at_most(1.0),
@@ -312,13 +307,9 @@ pub fn characterize(
     }
     let mut per_collection: HashMap<Address, TimelineAccumulator> = HashMap::new();
     for activity in activities {
-        let accumulator = per_collection
-            .entry(activity.nft().contract)
-            .or_insert_with(|| TimelineAccumulator {
-                nfts: HashSet::new(),
-                volume_usd: 0.0,
-                times: Vec::new(),
-            });
+        let accumulator = per_collection.entry(activity.nft().contract).or_insert_with(|| {
+            TimelineAccumulator { nfts: HashSet::new(), volume_usd: 0.0, times: Vec::new() }
+        });
         accumulator.nfts.insert(activity.nft());
         accumulator.volume_usd += usd_volume_of(activity);
         accumulator.times.push(activity.candidate.first_trade);
@@ -340,7 +331,10 @@ pub fn characterize(
             }
         })
         .collect();
-    collection_timelines.sort_by(|a, b| b.affected_nfts.cmp(&a.affected_nfts));
+    // Tiebreak on the collection address: `per_collection` is a HashMap, so
+    // without it equal-count collections would rank in random order run to run.
+    collection_timelines
+        .sort_by_key(|timeline| (std::cmp::Reverse(timeline.affected_nfts), timeline.collection));
     collection_timelines.truncate(10);
 
     // --- Patterns (Fig. 6 / Fig. 7). ---
@@ -388,17 +382,11 @@ pub fn characterize(
     let mean_activities_per_serial = if serials.is_empty() {
         0.0
     } else {
-        serials
-            .iter()
-            .map(|account| activities_per_account[account].len())
-            .sum::<usize>() as f64
+        serials.iter().map(|account| activities_per_account[account].len()).sum::<usize>() as f64
             / serials.len() as f64
     };
-    let max_activities_per_account = activities_per_account
-        .values()
-        .map(|list| list.len())
-        .max()
-        .unwrap_or(0);
+    let max_activities_per_account =
+        activities_per_account.values().map(|list| list.len()).max().unwrap_or(0);
     let same_collection_serials = serials
         .iter()
         .filter(|account| {
@@ -508,10 +496,7 @@ mod tests {
                 last_trade: last,
                 internal_edges,
             },
-            methods: MethodSet {
-                zero_risk: true,
-                ..MethodSet::default()
-            },
+            methods: MethodSet { zero_risk: true, ..MethodSet::default() },
         }
     }
 
@@ -603,8 +588,10 @@ mod tests {
         let (dataset, directory, oracle) = empty_dataset_and_friends();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         assert_eq!(characterization.collection_timelines.len(), 2);
-        assert!(characterization.collection_timelines[0].affected_nfts
-            >= characterization.collection_timelines[1].affected_nfts);
+        assert!(
+            characterization.collection_timelines[0].affected_nfts
+                >= characterization.collection_timelines[1].affected_nfts
+        );
     }
 
     #[test]

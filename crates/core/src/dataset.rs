@@ -72,9 +72,8 @@ impl Dataset {
     /// mirroring §III-A: scan transfer events, check compliance, store the
     /// per-NFT transfer lists with price and marketplace annotations.
     pub fn build(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
-        let filter = LogFilter::all()
-            .with_topic0(ethsim::log::transfer_topic())
-            .with_topic_count(4);
+        let filter =
+            LogFilter::all().with_topic0(ethsim::log::transfer_topic()).with_topic_count(4);
         let entries = chain.logs(&filter);
         let raw_transfer_events = entries.len();
 
@@ -201,9 +200,8 @@ impl Dataset {
                 accumulator.nfts.insert(transfer.nft);
                 if accumulator.transactions.insert(transfer.tx_hash) {
                     accumulator.volume_eth += transfer.price.to_eth();
-                    accumulator.volume_usd += oracle
-                        .wei_to_usd(transfer.price, transfer.timestamp)
-                        .unwrap_or(0.0);
+                    accumulator.volume_usd +=
+                        oracle.wei_to_usd(transfer.price, transfer.timestamp).unwrap_or(0.0);
                 }
             }
         }
@@ -245,12 +243,8 @@ mod tests {
             engines.push(engine);
         }
         let genesis = chain.current_timestamp();
-        let good = tokens
-            .deploy_erc721(&mut chain, "good", "Good", true, genesis)
-            .unwrap();
-        let rogue = tokens
-            .deploy_erc721(&mut chain, "rogue", "Rogue", false, genesis)
-            .unwrap();
+        let good = tokens.deploy_erc721(&mut chain, "good", "Good", true, genesis).unwrap();
+        let rogue = tokens.deploy_erc721(&mut chain, "rogue", "Rogue", false, genesis).unwrap();
         let alice = chain.create_eoa("alice").unwrap();
         let bob = chain.create_eoa("bob").unwrap();
         chain.fund(alice, Wei::from_eth(50.0));
@@ -272,7 +266,15 @@ mod tests {
             )
             .unwrap();
         engines[0]
-            .execute_sale(&mut chain, &mut tokens, alice, bob, nft, Wei::from_eth(2.0), Wei::from_gwei(30))
+            .execute_sale(
+                &mut chain,
+                &mut tokens,
+                alice,
+                bob,
+                nft,
+                Wei::from_eth(2.0),
+                Wei::from_gwei(30),
+            )
             .unwrap();
 
         // A transfer on the rogue (non-compliant) collection.
@@ -290,24 +292,19 @@ mod tests {
                 .with_log(rogue_mint),
             )
             .unwrap();
-        let rogue_log = tokens
-            .erc721_mut(rogue)
-            .unwrap()
-            .transfer(alice, bob, rogue_nft.token_id)
-            .unwrap();
+        let rogue_log =
+            tokens.erc721_mut(rogue).unwrap().transfer(alice, bob, rogue_nft.token_id).unwrap();
         chain
-            .submit(
-                TxRequest {
-                    from: bob,
-                    to: Some(alice),
-                    value: Wei::from_eth(1.0),
-                    gas_used: 85_000,
-                    gas_price: Wei::from_gwei(30),
-                    input: vec![],
-                    logs: vec![rogue_log],
-                    internal_transfers: vec![],
-                },
-            )
+            .submit(TxRequest {
+                from: bob,
+                to: Some(alice),
+                value: Wei::from_eth(1.0),
+                gas_used: 85_000,
+                gas_price: Wei::from_gwei(30),
+                input: vec![],
+                logs: vec![rogue_log],
+                internal_transfers: vec![],
+            })
             .unwrap();
 
         (chain, tokens, directory, vec![good, rogue])

@@ -200,9 +200,7 @@ mod tests {
     fn internal_funder_is_found() {
         let mut s = setup();
         s.chain.fund(s.a, Wei::from_eth(10.0));
-        s.chain
-            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         s.chain.seal_block(Timestamp::from_secs(2_000_000)).unwrap();
         let first_trade = Timestamp::from_secs(2_000_000);
         let evidence =
@@ -217,15 +215,11 @@ mod tests {
         let mut s = setup();
         let funder = s.chain.create_eoa("outside-funder").unwrap();
         s.chain.fund(funder, Wei::from_eth(20.0));
-        s.chain
-            .submit(TxRequest::ether_transfer(funder, s.a, Wei::from_eth(3.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(funder, s.a, Wei::from_eth(3.0), gwei())).unwrap();
         let first_trade = Timestamp::from_secs(2_000_000);
         // Only one colluder funded: not enough.
         assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
-        s.chain
-            .submit(TxRequest::ether_transfer(funder, s.b, Wei::from_eth(3.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(funder, s.b, Wei::from_eth(3.0), gwei())).unwrap();
         let evidence =
             common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).expect("funder");
         assert_eq!(evidence.kind, FlowKind::External);
@@ -242,9 +236,7 @@ mod tests {
         let mut s = setup();
         s.chain.fund(s.a, Wei::from_eth(10.0));
         s.chain.seal_block(Timestamp::from_secs(3_000_000)).unwrap();
-        s.chain
-            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         // The "funding" happens after the trades started.
         let first_trade = Timestamp::from_secs(2_000_000);
         assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
@@ -255,9 +247,7 @@ mod tests {
         let mut s = setup();
         s.chain.fund(s.b, Wei::from_eth(10.0));
         s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
-        s.chain
-            .submit(TxRequest::ether_transfer(s.b, s.a, Wei::from_eth(9.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.b, s.a, Wei::from_eth(9.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(4_000_000);
         let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
         assert_eq!(evidence.kind, FlowKind::Internal);
@@ -271,14 +261,10 @@ mod tests {
         s.chain.fund(s.a, Wei::from_eth(5.0));
         s.chain.fund(s.b, Wei::from_eth(5.0));
         s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
-        s.chain
-            .submit(TxRequest::ether_transfer(s.a, sink, Wei::from_eth(4.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.a, sink, Wei::from_eth(4.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(4_000_000);
         assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
-        s.chain
-            .submit(TxRequest::ether_transfer(s.b, sink, Wei::from_eth(4.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.b, sink, Wei::from_eth(4.0), gwei())).unwrap();
         let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
         assert_eq!(evidence.kind, FlowKind::External);
         assert_eq!(evidence.account, sink);
@@ -289,9 +275,7 @@ mod tests {
     fn transfers_before_last_trade_are_ignored_for_exit() {
         let mut s = setup();
         s.chain.fund(s.a, Wei::from_eth(5.0));
-        s.chain
-            .submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei()))
-            .unwrap();
+        s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(9_000_000);
         assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
     }

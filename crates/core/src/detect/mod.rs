@@ -24,6 +24,7 @@ use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
+use crate::parallel::Executor;
 use crate::refine::Candidate;
 use crate::txgraph::NftGraph;
 
@@ -166,40 +167,31 @@ impl<'a> Detector<'a> {
         Detector { chain, labels }
     }
 
-    /// Evaluate every candidate and return the confirmed activities together
-    /// with the method-comparison statistics.
-    ///
-    /// `graphs` must contain the transaction graph of every candidate's NFT
-    /// (the zero-risk computation needs the trades that cross the component
-    /// boundary).
+    /// Evaluate every candidate using one thread per available core; thin
+    /// wrapper over [`Detector::detect_with`].
     pub fn detect(
         &self,
         candidates: &[Candidate],
         graphs: &HashMap<NftId, NftGraph>,
     ) -> DetectionOutcome {
-        // Per-candidate evidence is independent: spread across threads.
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let chunk_size = candidates.len().div_ceil(threads.max(1)).max(1);
-        let evidence = parking_lot::Mutex::new(vec![MethodSet::default(); candidates.len()]);
+        self.detect_with(candidates, graphs, &Executor::default())
+    }
 
-        crossbeam::thread::scope(|scope| {
-            for (chunk_index, chunk) in candidates.chunks(chunk_size).enumerate() {
-                let evidence = &evidence;
-                scope.spawn(move |_| {
-                    let offset = chunk_index * chunk_size;
-                    let mut local = Vec::with_capacity(chunk.len());
-                    for candidate in chunk {
-                        local.push(self.evaluate(candidate, graphs));
-                    }
-                    let mut evidence = evidence.lock();
-                    for (i, methods) in local.into_iter().enumerate() {
-                        evidence[offset + i] = methods;
-                    }
-                });
-            }
-        })
-        .expect("detection worker panicked");
-        let mut evidence = evidence.into_inner();
+    /// Evaluate every candidate and return the confirmed activities together
+    /// with the method-comparison statistics.
+    ///
+    /// `graphs` must contain the transaction graph of every candidate's NFT
+    /// (the zero-risk computation needs the trades that cross the component
+    /// boundary). Per-candidate evidence is independent, so it is gathered
+    /// over the executor's thread budget; evidence comes back in candidate
+    /// order, making the outcome identical at any thread count.
+    pub fn detect_with(
+        &self,
+        candidates: &[Candidate],
+        graphs: &HashMap<NftId, NftGraph>,
+        executor: &Executor,
+    ) -> DetectionOutcome {
+        let mut evidence = executor.map(candidates, |candidate| self.evaluate(candidate, graphs));
 
         // Leverage pass: any unconfirmed candidate whose account set matches a
         // confirmed activity's account set is confirmed too.
@@ -217,9 +209,8 @@ impl<'a> Detector<'a> {
             }
         }
 
-        let mut outcome = DetectionOutcome::default();
-        outcome.leveraged_only = leveraged_only;
-        for (candidate, methods) in candidates.iter().zip(evidence.into_iter()) {
+        let mut outcome = DetectionOutcome { leveraged_only, ..DetectionOutcome::default() };
+        for (candidate, methods) in candidates.iter().zip(evidence) {
             if !methods.confirmed() {
                 outcome.rejected += 1;
                 continue;
@@ -230,31 +221,23 @@ impl<'a> Detector<'a> {
             if methods.self_trade {
                 outcome.self_trades += 1;
             }
-            outcome.confirmed.push(ConfirmedActivity {
-                candidate: candidate.clone(),
-                methods,
-            });
+            outcome.confirmed.push(ConfirmedActivity { candidate: candidate.clone(), methods });
         }
         outcome
     }
 
     fn evaluate(&self, candidate: &Candidate, graphs: &HashMap<NftId, NftGraph>) -> MethodSet {
         let graph = graphs.get(&candidate.nft);
-        let zero_risk = graph
-            .map(|graph| zero_risk::is_zero_risk(graph, &candidate.accounts))
-            .unwrap_or(false);
+        let zero_risk =
+            graph.map(|graph| zero_risk::is_zero_risk(graph, &candidate.accounts)).unwrap_or(false);
         let common_funder = flows::common_funder(
             self.chain,
             self.labels,
             &candidate.accounts,
             candidate.first_trade,
         );
-        let common_exit = flows::common_exit(
-            self.chain,
-            self.labels,
-            &candidate.accounts,
-            candidate.last_trade,
-        );
+        let common_exit =
+            flows::common_exit(self.chain, self.labels, &candidate.accounts, candidate.last_trade);
         MethodSet {
             zero_risk,
             common_funder,
@@ -421,16 +404,17 @@ mod tests {
         chain.fund(b, Wei::from_eth(10.0));
         let labels = LabelRegistry::new();
 
-        let mk = |nft: NftId, from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
-            nft,
-            from,
-            to,
-            tx_hash: TxHash::hash_of(tag.as_bytes()),
-            block: BlockNumber(at),
-            timestamp: Timestamp::from_secs(at * 1_000),
-            price: Wei::from_eth(price),
-            marketplace: None,
-        };
+        let mk =
+            |nft: NftId, from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
+                nft,
+                from,
+                to,
+                tx_hash: TxHash::hash_of(tag.as_bytes()),
+                block: BlockNumber(at),
+                timestamp: Timestamp::from_secs(at * 1_000),
+                price: Wei::from_eth(price),
+                marketplace: None,
+            };
         let nft1 = NftId::new(Address::derived("collection"), 1);
         let nft2 = NftId::new(Address::derived("collection"), 99);
         let graph1 = NftGraph::from_transfers(
@@ -459,18 +443,10 @@ mod tests {
         let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
         assert_eq!(outcome.confirmed.len(), 2);
         assert_eq!(outcome.leveraged_only, 1);
-        let leveraged = outcome
-            .confirmed
-            .iter()
-            .find(|activity| activity.nft() == nft2)
-            .unwrap();
+        let leveraged = outcome.confirmed.iter().find(|activity| activity.nft() == nft2).unwrap();
         assert!(leveraged.methods.leveraged);
         assert_eq!(leveraged.methods.flow_method_count(), 0);
-        let original = outcome
-            .confirmed
-            .iter()
-            .find(|activity| activity.nft() == nft1)
-            .unwrap();
+        let original = outcome.confirmed.iter().find(|activity| activity.nft() == nft1).unwrap();
         assert!(original.methods.zero_risk);
         assert!(!original.methods.leveraged);
     }
@@ -505,13 +481,78 @@ mod tests {
         ];
         let graph = NftGraph::from_transfers(nft, &transfers);
         let labels = LabelRegistry::new();
-        let (candidates, _) = crate::refine::Refiner::new(&chain, &labels)
-            .refine(std::slice::from_ref(&graph));
+        let (candidates, _) =
+            crate::refine::Refiner::new(&chain, &labels).refine(std::slice::from_ref(&graph));
         let mut graphs = HashMap::new();
         graphs.insert(nft, graph);
         let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
         assert_eq!(outcome.confirmed.len(), 1);
         assert!(outcome.confirmed[0].methods.self_trade);
         assert_eq!(outcome.self_trades, 1);
+    }
+
+    #[test]
+    fn method_set_confirmed_iff_any_signal_fires() {
+        assert!(!MethodSet::default().confirmed());
+        let evidence =
+            FlowEvidence { account: Address::derived("x"), kind: FlowKind::Internal, degree: 2 };
+        let singles = [
+            MethodSet { zero_risk: true, ..MethodSet::default() },
+            MethodSet { common_funder: Some(evidence), ..MethodSet::default() },
+            MethodSet { common_exit: Some(evidence), ..MethodSet::default() },
+            MethodSet { self_trade: true, ..MethodSet::default() },
+            MethodSet { leveraged: true, ..MethodSet::default() },
+        ];
+        for (index, methods) in singles.iter().enumerate() {
+            assert!(methods.confirmed(), "signal #{index} alone must confirm");
+        }
+        // flow_method_count covers exactly the three transaction-analysis
+        // signals, never self-trades or leveraging.
+        assert_eq!(singles[0].flow_method_count(), 1);
+        assert_eq!(singles[1].flow_method_count(), 1);
+        assert_eq!(singles[2].flow_method_count(), 1);
+        assert_eq!(singles[3].flow_method_count(), 0);
+        assert_eq!(singles[4].flow_method_count(), 0);
+    }
+
+    #[test]
+    fn venn_total_is_the_sum_of_all_buckets() {
+        let venn = VennCounts {
+            zero_risk_only: 1,
+            funder_only: 2,
+            exit_only: 3,
+            zero_and_funder: 4,
+            zero_and_exit: 5,
+            funder_and_exit: 6,
+            all_three: 7,
+        };
+        assert_eq!(venn.total(), 28);
+        assert_eq!(venn.at_least_two(), 22);
+        assert!(venn.at_least_two() <= venn.total());
+    }
+
+    #[test]
+    fn venn_record_covers_every_combination_once() {
+        let evidence =
+            FlowEvidence { account: Address::derived("x"), kind: FlowKind::Internal, degree: 2 };
+        let mut venn = VennCounts::default();
+        for mask in 0u8..8 {
+            let methods = MethodSet {
+                zero_risk: mask & 1 != 0,
+                common_funder: (mask & 2 != 0).then_some(evidence),
+                common_exit: (mask & 4 != 0).then_some(evidence),
+                ..MethodSet::default()
+            };
+            venn.record(&methods);
+        }
+        // Seven of the eight masks have at least one flow method; the all-off
+        // mask must not be counted anywhere.
+        assert_eq!(venn.total(), 7);
+        assert_eq!(
+            (venn.zero_risk_only, venn.funder_only, venn.exit_only),
+            (1, 1, 1),
+            "each single-method bucket exactly once"
+        );
+        assert_eq!(venn.at_least_two(), 4);
     }
 }

@@ -100,12 +100,8 @@ mod tests {
 
     #[test]
     fn external_resale_breaks_zero_risk() {
-        let graph = graph(&[
-            ("null", "a", 0.0),
-            ("a", "b", 3.0),
-            ("b", "a", 3.0),
-            ("a", "victim", 10.0),
-        ]);
+        let graph =
+            graph(&[("null", "a", 0.0), ("a", "b", 3.0), ("b", "a", 3.0), ("a", "victim", 10.0)]);
         assert!(!is_zero_risk(&graph, &pair()));
         assert_eq!(net_position(&graph, &pair()), Wei::from_eth(10.0).raw() as i128);
     }

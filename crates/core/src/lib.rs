@@ -22,8 +22,10 @@
 //! 6. [`profit`] — reward-system exploitation (Table III) and resale
 //!    profitability (§VI).
 //!
-//! [`pipeline::analyze`] chains all of the above; [`report`] renders each
-//! table and figure as text.
+//! [`pipeline::analyze`] chains all of the above as six [`PipelineStage`]s
+//! over a shared [`pipeline::AnalysisContext`], timing each stage into the
+//! report's [`StageMetrics`]; the parallel stages share the [`parallel`]
+//! fork–join executor. [`report`] renders each table and figure as text.
 //!
 //! ```no_run
 //! use washtrade::pipeline::{analyze, AnalysisInput};
@@ -45,6 +47,7 @@
 pub mod characterize;
 pub mod dataset;
 pub mod detect;
+pub mod parallel;
 pub mod pipeline;
 pub mod profit;
 pub mod refine;
@@ -55,7 +58,11 @@ pub mod txgraph;
 pub use characterize::{characterize, Characterization};
 pub use dataset::{Dataset, MarketplaceVolume, NftTransfer};
 pub use detect::{ConfirmedActivity, DetectionOutcome, Detector, MethodSet, VennCounts};
-pub use pipeline::{analyze, AnalysisInput, AnalysisReport};
+pub use parallel::Executor;
+pub use pipeline::{
+    analyze, analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport, PipelineStage,
+    StageMetrics,
+};
 pub use profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
 pub use refine::{Candidate, RefinementReport, Refiner};
 pub use txgraph::{NftGraph, TradeEdge};

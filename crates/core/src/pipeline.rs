@@ -1,8 +1,15 @@
 //! The end-to-end analysis pipeline: dataset → graphs → refinement →
 //! detection → characterization → profitability, mirroring the paper's
 //! methodology from §III through §VI.
+//!
+//! The pipeline is staged: each step is a [`PipelineStage`] that reads and
+//! writes artifacts on a shared [`AnalysisContext`], and the driver
+//! ([`analyze_with`]) times every stage into a [`StageMetrics`] record. The
+//! staged shape is what later work shards, caches and streams; [`analyze`]
+//! remains the one-call entry point with default options.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use ethsim::Chain;
 use labels::LabelRegistry;
@@ -14,8 +21,9 @@ use tokens::NftId;
 use crate::characterize::{characterize, Characterization};
 use crate::dataset::{Dataset, MarketplaceVolume};
 use crate::detect::{DetectionOutcome, Detector};
+use crate::parallel::Executor;
 use crate::profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
-use crate::refine::{Refiner, RefinementReport};
+use crate::refine::{RefinementReport, Refiner};
 use crate::txgraph::NftGraph;
 
 /// Everything the pipeline needs to read: the chain, the label registry, the
@@ -31,6 +39,318 @@ pub struct AnalysisInput<'a> {
     pub directory: &'a MarketplaceDirectory,
     /// Daily USD price series.
     pub oracle: &'a PriceOracle,
+}
+
+/// Tunables for one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisOptions {
+    /// Thread budget for the parallel stages; `0` means one thread per
+    /// available core. Results are bit-identical at any value.
+    pub threads: usize,
+    /// Whether to record per-stage [`StageMetrics`] into the report.
+    pub collect_metrics: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions { threads: 0, collect_metrics: true }
+    }
+}
+
+impl AnalysisOptions {
+    /// Options pinned to a single thread (useful for deterministic timing
+    /// baselines and differential tests).
+    pub fn single_threaded() -> Self {
+        AnalysisOptions { threads: 1, ..AnalysisOptions::default() }
+    }
+}
+
+/// Instrumentation record for one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage name, as reported by [`PipelineStage::name`].
+    pub stage: String,
+    /// Wall-clock time of the stage in nanoseconds (always nonzero).
+    pub wall_time_ns: u64,
+    /// Items the stage consumed (stage-specific unit, e.g. graphs in).
+    pub items_in: usize,
+    /// Items the stage produced (e.g. surviving candidates).
+    pub items_out: usize,
+    /// Threads the stage actually used.
+    pub threads: usize,
+}
+
+impl StageMetrics {
+    /// The stage's wall-clock time as a [`Duration`].
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_nanos(self.wall_time_ns)
+    }
+}
+
+/// What a stage reports back to the driver for instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageIo {
+    /// Items consumed.
+    pub items_in: usize,
+    /// Items produced.
+    pub items_out: usize,
+    /// Threads actually used (1 for serial stages).
+    pub threads_used: usize,
+}
+
+/// Shared state the stages read and write: the immutable inputs, the thread
+/// executor, and every intermediate artifact of the methodology.
+///
+/// Artifacts are populated in pipeline order; a stage that runs before its
+/// prerequisites panics with the name of the missing artifact. The standard
+/// order is the one [`standard_stages`] returns.
+pub struct AnalysisContext<'a> {
+    /// The immutable analysis inputs.
+    pub input: AnalysisInput<'a>,
+    /// The shared fork–join executor all parallel stages draw threads from.
+    pub executor: Executor,
+    dataset: Option<Dataset>,
+    graphs: Option<Vec<NftGraph>>,
+    graph_map: Option<HashMap<NftId, NftGraph>>,
+    candidates: Option<Vec<crate::refine::Candidate>>,
+    refinement: Option<RefinementReport>,
+    detection: Option<DetectionOutcome>,
+    characterization: Option<Characterization>,
+    rewards: Option<RewardReport>,
+    resales: Option<ResaleReport>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// A fresh context with no artifacts computed yet.
+    pub fn new(input: AnalysisInput<'a>, options: AnalysisOptions) -> Self {
+        AnalysisContext {
+            input,
+            executor: Executor::new(options.threads),
+            dataset: None,
+            graphs: None,
+            graph_map: None,
+            candidates: None,
+            refinement: None,
+            detection: None,
+            characterization: None,
+            rewards: None,
+            resales: None,
+        }
+    }
+
+    fn expect<T>(artifact: Option<T>, name: &str) -> T {
+        artifact.unwrap_or_else(|| panic!("pipeline stage ran before `{name}` was computed"))
+    }
+
+    /// The §III dataset (requires `BuildDataset`).
+    pub fn dataset(&self) -> &Dataset {
+        Self::expect(self.dataset.as_ref(), "dataset")
+    }
+
+    /// The per-NFT graphs (requires `BuildGraphs`; consumed by `Detect`).
+    pub fn graphs(&self) -> &[NftGraph] {
+        Self::expect(self.graphs.as_deref(), "graphs")
+    }
+
+    /// The per-NFT graphs keyed by NFT (requires `Detect`).
+    pub fn graph_map(&self) -> &HashMap<NftId, NftGraph> {
+        Self::expect(self.graph_map.as_ref(), "graph_map")
+    }
+
+    /// The refined candidates (requires `Refine`).
+    pub fn candidates(&self) -> &[crate::refine::Candidate] {
+        Self::expect(self.candidates.as_deref(), "candidates")
+    }
+
+    /// The detection outcome (requires `Detect`).
+    pub fn detection(&self) -> &DetectionOutcome {
+        Self::expect(self.detection.as_ref(), "detection")
+    }
+
+    /// Assemble the final report once every stage has run.
+    fn into_report(self, stage_metrics: Vec<StageMetrics>) -> AnalysisReport {
+        let input = self.input;
+        let dataset = Self::expect(self.dataset, "dataset");
+        AnalysisReport {
+            table1: dataset.marketplace_volumes(input.directory, input.oracle),
+            dataset_nfts: dataset.nft_count(),
+            dataset_transfers: dataset.transfer_count(),
+            raw_transfer_events: dataset.raw_transfer_events,
+            compliant_contracts: dataset.compliant_contracts.len(),
+            non_compliant_contracts: dataset.non_compliant_contracts.len(),
+            refinement: Self::expect(self.refinement, "refinement"),
+            detection: Self::expect(self.detection, "detection"),
+            characterization: Self::expect(self.characterization, "characterization"),
+            rewards: Self::expect(self.rewards, "rewards"),
+            resales: Self::expect(self.resales, "resales"),
+            stage_metrics,
+        }
+    }
+}
+
+/// One step of the methodology, run by [`analyze_with`] over the shared
+/// [`AnalysisContext`]. Implementations must be pure with respect to the
+/// context: read prerequisite artifacts, write their own, touch nothing else.
+pub trait PipelineStage {
+    /// Stable stage name, used in [`StageMetrics::stage`].
+    fn name(&self) -> &'static str;
+    /// Execute the stage against the context.
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo;
+}
+
+/// §III: collect ERC-721 transfers, apply the compliance probe, annotate
+/// prices and marketplaces. Items: raw transfer logs in, compliant transfers
+/// out.
+pub struct BuildDataset;
+
+impl PipelineStage for BuildDataset {
+    fn name(&self) -> &'static str {
+        "build_dataset"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        let dataset = Dataset::build(ctx.input.chain, ctx.input.directory);
+        let io = StageIo {
+            items_in: dataset.raw_transfer_events,
+            items_out: dataset.transfer_count(),
+            threads_used: 1,
+        };
+        ctx.dataset = Some(dataset);
+        io
+    }
+}
+
+/// §IV-A: one directed multigraph per NFT, built in parallel. Items:
+/// compliant transfers in, NFT graphs out.
+pub struct BuildGraphs;
+
+impl PipelineStage for BuildGraphs {
+    fn name(&self) -> &'static str {
+        "build_graphs"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        let dataset = ctx.dataset();
+        let graphs = NftGraph::from_dataset_with(dataset, &ctx.executor);
+        let io = StageIo {
+            items_in: dataset.transfer_count(),
+            items_out: graphs.len(),
+            threads_used: ctx.executor.threads_for(graphs.len()),
+        };
+        ctx.graphs = Some(graphs);
+        io
+    }
+}
+
+/// §IV-B: SCC search plus service-account, contract-account and zero-volume
+/// filtering, in parallel over the graphs. Items: graphs in, surviving
+/// candidates out.
+pub struct Refine;
+
+impl PipelineStage for Refine {
+    fn name(&self) -> &'static str {
+        "refine"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        let graphs = ctx.graphs();
+        let refiner = Refiner::new(ctx.input.chain, ctx.input.labels);
+        let (candidates, refinement) = refiner.refine_with(graphs, &ctx.executor);
+        let io = StageIo {
+            items_in: graphs.len(),
+            items_out: candidates.len(),
+            threads_used: ctx.executor.threads_for(graphs.len()),
+        };
+        ctx.candidates = Some(candidates);
+        ctx.refinement = Some(refinement);
+        io
+    }
+}
+
+/// §IV-C/D: the five confirmation signals, in parallel over the candidates.
+/// Items: candidates in, confirmed activities out.
+pub struct Detect;
+
+impl PipelineStage for Detect {
+    fn name(&self) -> &'static str {
+        "detect"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        // The graph list is no longer needed after this stage; key it by NFT
+        // for the detector's cross-component lookups (and later resales).
+        let graphs = AnalysisContext::expect(ctx.graphs.take(), "graphs");
+        let graph_map: HashMap<NftId, NftGraph> =
+            graphs.into_iter().map(|graph| (graph.nft, graph)).collect();
+        let candidates = ctx.candidates();
+        let detector = Detector::new(ctx.input.chain, ctx.input.labels);
+        let detection = detector.detect_with(candidates, &graph_map, &ctx.executor);
+        let io = StageIo {
+            items_in: candidates.len(),
+            items_out: detection.confirmed.len(),
+            threads_used: ctx.executor.threads_for(candidates.len()),
+        };
+        ctx.graph_map = Some(graph_map);
+        ctx.detection = Some(detection);
+        io
+    }
+}
+
+/// §V: volumes, lifetimes, participation patterns, serial traders. Items:
+/// confirmed activities in, one characterization out.
+pub struct Characterize;
+
+impl PipelineStage for Characterize {
+    fn name(&self) -> &'static str {
+        "characterize"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        let confirmed = &ctx.detection().confirmed;
+        let characterization =
+            characterize(confirmed, ctx.dataset(), ctx.input.directory, ctx.input.oracle);
+        let io = StageIo { items_in: confirmed.len(), items_out: 1, threads_used: 1 };
+        ctx.characterization = Some(characterization);
+        io
+    }
+}
+
+/// §VI: reward-system exploitation and resale profitability. Items:
+/// confirmed activities in, per-activity profit assessments out.
+pub struct Profit;
+
+impl PipelineStage for Profit {
+    fn name(&self) -> &'static str {
+        "profit"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
+        let confirmed = &ctx.detection().confirmed;
+        let input = ctx.input;
+        let rewards = analyze_rewards(confirmed, input.chain, input.directory, input.oracle);
+        let resales =
+            analyze_resales(confirmed, input.chain, input.directory, input.oracle, ctx.graph_map());
+        let io = StageIo {
+            items_in: confirmed.len(),
+            items_out: rewards.outcomes.len() + resales.outcomes.len(),
+            threads_used: 1,
+        };
+        ctx.rewards = Some(rewards);
+        ctx.resales = Some(resales);
+        io
+    }
+}
+
+/// The six stages of the paper's methodology, in execution order.
+pub fn standard_stages() -> Vec<Box<dyn PipelineStage>> {
+    vec![
+        Box::new(BuildDataset),
+        Box::new(BuildGraphs),
+        Box::new(Refine),
+        Box::new(Detect),
+        Box::new(Characterize),
+        Box::new(Profit),
+    ]
 }
 
 /// The complete analysis output; every table and figure of the paper is
@@ -60,42 +380,38 @@ pub struct AnalysisReport {
     pub rewards: RewardReport,
     /// §VI-B: resale profitability.
     pub resales: ResaleReport,
+    /// Per-stage instrumentation (empty when
+    /// [`AnalysisOptions::collect_metrics`] is off).
+    pub stage_metrics: Vec<StageMetrics>,
 }
 
-/// Run the full pipeline.
-pub fn analyze(input: AnalysisInput<'_>) -> AnalysisReport {
-    let dataset = Dataset::build(input.chain, input.directory);
-    let graphs = NftGraph::from_dataset(&dataset);
-    let refiner = Refiner::new(input.chain, input.labels);
-    let (candidates, refinement) = refiner.refine(&graphs);
-    let graph_map: HashMap<NftId, NftGraph> =
-        graphs.into_iter().map(|graph| (graph.nft, graph)).collect();
-    let detector = Detector::new(input.chain, input.labels);
-    let detection = detector.detect(&candidates, &graph_map);
-    let characterization =
-        characterize(&detection.confirmed, &dataset, input.directory, input.oracle);
-    let rewards = analyze_rewards(&detection.confirmed, input.chain, input.directory, input.oracle);
-    let resales = analyze_resales(
-        &detection.confirmed,
-        input.chain,
-        input.directory,
-        input.oracle,
-        &graph_map,
-    );
-
-    AnalysisReport {
-        table1: dataset.marketplace_volumes(input.directory, input.oracle),
-        dataset_nfts: dataset.nft_count(),
-        dataset_transfers: dataset.transfer_count(),
-        raw_transfer_events: dataset.raw_transfer_events,
-        compliant_contracts: dataset.compliant_contracts.len(),
-        non_compliant_contracts: dataset.non_compliant_contracts.len(),
-        refinement,
-        detection,
-        characterization,
-        rewards,
-        resales,
+/// Run the full pipeline with explicit options.
+pub fn analyze_with(input: AnalysisInput<'_>, options: AnalysisOptions) -> AnalysisReport {
+    let mut ctx = AnalysisContext::new(input, options);
+    let mut stage_metrics = Vec::new();
+    for stage in standard_stages() {
+        let started = Instant::now();
+        let io = stage.run(&mut ctx);
+        let wall_time = started.elapsed();
+        if options.collect_metrics {
+            stage_metrics.push(StageMetrics {
+                stage: stage.name().to_string(),
+                // Clamp to 1 ns: a zero reading would be indistinguishable
+                // from "not measured" in downstream tooling.
+                wall_time_ns: u64::try_from(wall_time.as_nanos().max(1)).unwrap_or(u64::MAX),
+                items_in: io.items_in,
+                items_out: io.items_out,
+                threads: io.threads_used,
+            });
+        }
     }
+    ctx.into_report(stage_metrics)
+}
+
+/// Run the full pipeline with default options (all cores, metrics on).
+/// Thin compatibility wrapper over [`analyze_with`].
+pub fn analyze(input: AnalysisInput<'_>) -> AnalysisReport {
+    analyze_with(input, AnalysisOptions::default())
 }
 
 #[cfg(test)]
@@ -143,7 +459,9 @@ mod tests {
         // Structural sanity.
         assert!(report.dataset_nfts > 0);
         assert!(report.raw_transfer_events >= report.dataset_transfers);
-        assert!(report.refinement.initial.components >= report.refinement.after_zero_volume.components);
+        assert!(
+            report.refinement.initial.components >= report.refinement.after_zero_volume.components
+        );
         assert!(report.detection.venn.total() > 0);
         assert_eq!(report.table1.len(), 6);
     }
@@ -171,6 +489,64 @@ mod tests {
                 "confirmed activity with zero volume: {:?}",
                 activity.nft()
             );
+        }
+    }
+
+    #[test]
+    fn stage_metrics_cover_every_stage_with_nonzero_wall_time() {
+        let world = World::generate(WorkloadConfig::small(5)).expect("world");
+        let report = analyze_world(&world);
+        let names: Vec<&str> = report.stage_metrics.iter().map(|m| m.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            ["build_dataset", "build_graphs", "refine", "detect", "characterize", "profit"]
+        );
+        for metrics in &report.stage_metrics {
+            assert!(metrics.wall_time_ns > 0, "stage {} reported zero time", metrics.stage);
+            assert!(metrics.threads >= 1, "stage {} reported zero threads", metrics.stage);
+            assert!(metrics.wall_time() > Duration::ZERO);
+        }
+        // Item counts chain together: graphs out feeds refinement in, and so on.
+        assert_eq!(report.stage_metrics[1].items_out, report.stage_metrics[2].items_in);
+        assert_eq!(report.stage_metrics[2].items_out, report.stage_metrics[3].items_in);
+        assert_eq!(report.stage_metrics[3].items_out, report.stage_metrics[4].items_in);
+    }
+
+    #[test]
+    fn metrics_collection_can_be_disabled() {
+        let world = World::generate(WorkloadConfig::small(5)).expect("world");
+        let report = analyze_with(
+            AnalysisInput {
+                chain: &world.chain,
+                labels: &world.labels,
+                directory: &world.directory,
+                oracle: &world.oracle,
+            },
+            AnalysisOptions { collect_metrics: false, ..AnalysisOptions::default() },
+        );
+        assert!(report.stage_metrics.is_empty());
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let world = World::generate(WorkloadConfig::small(11)).expect("world");
+        let input = AnalysisInput {
+            chain: &world.chain,
+            labels: &world.labels,
+            directory: &world.directory,
+            oracle: &world.oracle,
+        };
+        let baseline = analyze_with(input, AnalysisOptions::single_threaded());
+        for threads in [2, 7, 0] {
+            let report =
+                analyze_with(input, AnalysisOptions { threads, ..AnalysisOptions::default() });
+            assert_eq!(
+                format!("{:?}", baseline.detection),
+                format!("{:?}", report.detection),
+                "detection diverged at threads = {threads}"
+            );
+            assert_eq!(baseline.refinement, report.refinement);
+            assert_eq!(baseline.dataset_transfers, report.dataset_transfers);
         }
     }
 }

@@ -350,11 +350,7 @@ pub fn analyze_resales(
     for activity in activities {
         // Skip reward marketplaces: §VI-B covers the others.
         if let Some(contract) = activity.candidate.dominant_marketplace() {
-            if directory
-                .by_contract(contract)
-                .map(|info| info.reward.is_some())
-                .unwrap_or(false)
-            {
+            if directory.by_contract(contract).map(|info| info.reward.is_some()).unwrap_or(false) {
                 continue;
             }
         }
@@ -397,12 +393,8 @@ pub fn analyze_resales(
         let mut fee_eth = 0.0;
         let mut fee_usd = 0.0;
         let mut seen = HashSet::new();
-        let mut fee_txs: Vec<ethsim::TxHash> = activity
-            .candidate
-            .internal_edges
-            .iter()
-            .map(|(_, _, edge)| edge.tx_hash)
-            .collect();
+        let mut fee_txs: Vec<ethsim::TxHash> =
+            activity.candidate.internal_edges.iter().map(|(_, _, edge)| edge.tx_hash).collect();
         if let Some((_, _, edge)) = resale {
             fee_txs.push(edge.tx_hash);
         }
@@ -478,10 +470,10 @@ pub fn analyze_resales(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::NftTransfer;
     use crate::detect::{ConfirmedActivity, MethodSet};
     use crate::refine::Candidate;
     use crate::txgraph::{NftGraph, TradeEdge};
-    use crate::dataset::NftTransfer;
     use ethsim::{BlockNumber, Timestamp, TxHash};
 
     #[test]
@@ -514,16 +506,17 @@ mod tests {
         let a = Address::derived("wa");
         let b = Address::derived("wb");
         let nft = NftId::new(Address::derived("coll"), 5);
-        let mk_transfer = |from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
-            nft,
-            from,
-            to,
-            tx_hash: TxHash::hash_of(tag.as_bytes()),
-            block: BlockNumber(at),
-            timestamp: Timestamp::from_secs(at * 86_400),
-            price: Wei::from_eth(price),
-            marketplace: None,
-        };
+        let mk_transfer =
+            |from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
+                nft,
+                from,
+                to,
+                tx_hash: TxHash::hash_of(tag.as_bytes()),
+                block: BlockNumber(at),
+                timestamp: Timestamp::from_secs(at * 86_400),
+                price: Wei::from_eth(price),
+                marketplace: None,
+            };
         let transfers = vec![
             mk_transfer(Address::derived("outsider"), a, 1.0, 1, "buy"),
             mk_transfer(a, b, 4.0, 2, "w1"),
@@ -531,8 +524,7 @@ mod tests {
             mk_transfer(a, Address::derived("victim"), 10.0, 4, "sell"),
         ];
         let graph = NftGraph::from_transfers(nft, &transfers);
-        let internal_edges: Vec<(Address, Address, TradeEdge)> =
-            graph.edges_among(&[a, b]);
+        let internal_edges: Vec<(Address, Address, TradeEdge)> = graph.edges_among(&[a, b]);
         let candidate = Candidate {
             nft,
             accounts: vec![a.min(b), a.max(b)],

@@ -7,6 +7,7 @@ use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
+use crate::parallel::Executor;
 use crate::txgraph::{NftGraph, TradeEdge};
 
 /// A refined wash-trading candidate: one strongly connected component of one
@@ -43,10 +44,7 @@ impl Candidate {
                 *volume_by_market.entry(market).or_insert(0) += edge.price.raw().max(1);
             }
         }
-        volume_by_market
-            .into_iter()
-            .max_by_key(|(_, volume)| *volume)
-            .map(|(market, _)| market)
+        volume_by_market.into_iter().max_by_key(|(_, volume)| *volume).map(|(market, _)| market)
     }
 
     /// Lifetime of the component's activity in whole days.
@@ -99,29 +97,23 @@ impl<'a> Refiner<'a> {
         Refiner { chain, labels }
     }
 
-    /// Refine every NFT graph, returning the surviving candidates and the
-    /// per-stage counts. Work is spread across threads, one chunk of NFTs per
-    /// core, because each NFT graph is independent.
+    /// Refine every NFT graph using one thread per available core; thin
+    /// wrapper over [`Refiner::refine_with`].
     pub fn refine(&self, graphs: &[NftGraph]) -> (Vec<Candidate>, RefinementReport) {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let chunk_size = graphs.len().div_ceil(threads.max(1)).max(1);
-        let outcomes = parking_lot::Mutex::new(Vec::with_capacity(graphs.len()));
+        self.refine_with(graphs, &Executor::default())
+    }
 
-        crossbeam::thread::scope(|scope| {
-            for chunk in graphs.chunks(chunk_size) {
-                let outcomes = &outcomes;
-                scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(chunk.len());
-                    for graph in chunk {
-                        local.push(self.refine_one(graph));
-                    }
-                    outcomes.lock().extend(local);
-                });
-            }
-        })
-        .expect("refinement worker panicked");
+    /// Refine every NFT graph, returning the surviving candidates and the
+    /// per-stage counts. Each NFT graph is independent, so the work is spread
+    /// over the executor's thread budget; results are aggregated in graph
+    /// order, making the output identical at any thread count.
+    pub fn refine_with(
+        &self,
+        graphs: &[NftGraph],
+        executor: &Executor,
+    ) -> (Vec<Candidate>, RefinementReport) {
+        let outcomes = executor.map(graphs, |graph| self.refine_one(graph));
 
-        let outcomes = outcomes.into_inner();
         let mut candidates = Vec::new();
         let mut report = RefinementReport::default();
         let mut initial_accounts = std::collections::HashSet::new();
@@ -172,9 +164,8 @@ impl<'a> Refiner<'a> {
         }
 
         // Stage 1: drop labelled service accounts and the null address.
-        let without_service = self.filtered_components(graph, |address| {
-            !self.labels.is_service_account(address)
-        });
+        let without_service =
+            self.filtered_components(graph, |address| !self.labels.is_service_account(address));
         // Stage 2: additionally drop accounts holding bytecode.
         let without_contracts = self.filtered_components(graph, |address| {
             !self.labels.is_service_account(address) && !self.chain.is_contract(address)
@@ -232,10 +223,7 @@ impl<'a> Refiner<'a> {
             }
             // Even with a zero price annotation, the carrying transaction may
             // move ERC-20 value; check the chain before discarding.
-            self.chain
-                .transaction(edge.tx_hash)
-                .map(|tx| tx.moves_value())
-                .unwrap_or(false)
+            self.chain.transaction(edge.tx_hash).map(|tx| tx.moves_value()).unwrap_or(false)
         });
         if !any_value {
             return None;
@@ -375,10 +363,7 @@ mod tests {
     fn self_trade_candidate_is_detected() {
         let nft = NftId::new(Address::derived("collection"), 5);
         let a = Address::derived("selfish");
-        let transfers = vec![
-            transfer(nft, Address::NULL, a, 0.0, 1),
-            transfer(nft, a, a, 2.0, 2),
-        ];
+        let transfers = vec![transfer(nft, Address::NULL, a, 0.0, 1), transfer(nft, a, a, 2.0, 2)];
         let graph = NftGraph::from_transfers(nft, &transfers);
         let chain = chain_with(&[("selfish", false)]);
         let labels = LabelRegistry::new();
@@ -404,7 +389,9 @@ mod tests {
         let labels = LabelRegistry::new();
         let (_, report) = Refiner::new(&chain, &labels).refine(&[graph]);
         assert!(report.initial.components >= report.after_service_removal.components);
-        assert!(report.after_service_removal.components >= report.after_contract_removal.components);
+        assert!(
+            report.after_service_removal.components >= report.after_contract_removal.components
+        );
         assert!(report.after_contract_removal.components >= report.after_zero_volume.components);
     }
 }

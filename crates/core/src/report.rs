@@ -7,14 +7,58 @@ use std::fmt::Write as _;
 use crate::characterize::Characterization;
 use crate::dataset::MarketplaceVolume;
 use crate::detect::VennCounts;
+use crate::pipeline::StageMetrics;
 use crate::profit::{ResaleReport, RewardReport};
 use crate::refine::RefinementReport;
+
+/// Render the per-stage instrumentation table: wall time, item counts and
+/// thread usage for each pipeline stage, plus the end-to-end total.
+pub fn render_stage_metrics(metrics: &[StageMetrics]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Pipeline stages — wall time and throughput");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>12} {:>9}",
+        "stage", "wall time", "items in", "items out", "threads"
+    );
+    let mut total_ns = 0u64;
+    for stage in metrics {
+        total_ns = total_ns.saturating_add(stage.wall_time_ns);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>12} {:>9}",
+            stage.stage,
+            format_ns(stage.wall_time_ns),
+            stage.items_in,
+            stage.items_out,
+            stage.threads
+        );
+    }
+    let _ = writeln!(out, "{:<16} {:>12}", "total", format_ns(total_ns));
+    out
+}
+
+fn format_ns(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
 
 /// Render Table I: dataset totals per marketplace.
 pub fn render_table1(rows: &[MarketplaceVolume]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table I — Data collected about NFTMs");
-    let _ = writeln!(out, "{:<14} {:>10} {:>14} {:>18} {:>18}", "NFTM", "NFTs", "Transactions", "Volume (ETH)", "Volume ($)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>14} {:>18} {:>18}",
+        "NFTM", "NFTs", "Transactions", "Volume (ETH)", "Volume ($)"
+    );
     for row in rows {
         let _ = writeln!(
             out,
@@ -79,7 +123,8 @@ pub fn render_refinement(report: &RefinementReport) -> String {
     let stage = |name: &str, s: &crate::refine::StageCount| {
         format!("  {:<28} {:>8} {:>10} {:>12}", name, s.nfts, s.accounts, s.components)
     };
-    let _ = writeln!(out, "  {:<28} {:>8} {:>10} {:>12}", "stage", "NFTs", "accounts", "components");
+    let _ =
+        writeln!(out, "  {:<28} {:>8} {:>10} {:>12}", "stage", "NFTs", "accounts", "components");
     let _ = writeln!(out, "{}", stage("initial SCC search", &report.initial));
     let _ = writeln!(out, "{}", stage("after service removal", &report.after_service_removal));
     let _ = writeln!(out, "{}", stage("after contract removal", &report.after_contract_removal));
@@ -201,23 +246,59 @@ pub fn render_table3(report: &RewardReport) -> String {
     let _ = writeln!(out, "Table III — Token reward and wash trading");
     for market in &report.markets {
         let _ = writeln!(out, "  {}:", market.marketplace);
-        let _ = writeln!(
-            out,
-            "    {:<22} {:>14} {:>14}",
-            "", "Successful", "Failed"
-        );
+        let _ = writeln!(out, "    {:<22} {:>14} {:>14}", "", "Successful", "Failed");
         let row = |label: &str, s: f64, f: f64| format!("    {label:<22} {s:>14.2} {f:>14.2}");
         let _ = writeln!(
             out,
             "    {:<22} {:>14} {:>14}",
             "# events", market.successful.events, market.failed.events
         );
-        let _ = writeln!(out, "{}", row("min vol. (ETH)", market.successful.min_volume_eth, market.failed.min_volume_eth));
-        let _ = writeln!(out, "{}", row("max vol. (ETH)", market.successful.max_volume_eth, market.failed.max_volume_eth));
-        let _ = writeln!(out, "{}", row("mean vol. (ETH)", market.successful.mean_volume_eth, market.failed.mean_volume_eth));
-        let _ = writeln!(out, "{}", row("max gain/loss ($)", market.successful.max_balance_usd, market.failed.max_balance_usd));
-        let _ = writeln!(out, "{}", row("mean gain/loss ($)", market.successful.mean_balance_usd, market.failed.mean_balance_usd));
-        let _ = writeln!(out, "{}", row("total gain/loss ($)", market.successful.total_balance_usd, market.failed.total_balance_usd));
+        let _ = writeln!(
+            out,
+            "{}",
+            row("min vol. (ETH)", market.successful.min_volume_eth, market.failed.min_volume_eth)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            row("max vol. (ETH)", market.successful.max_volume_eth, market.failed.max_volume_eth)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "mean vol. (ETH)",
+                market.successful.mean_volume_eth,
+                market.failed.mean_volume_eth
+            )
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "max gain/loss ($)",
+                market.successful.max_balance_usd,
+                market.failed.max_balance_usd
+            )
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "mean gain/loss ($)",
+                market.successful.mean_balance_usd,
+                market.failed.mean_balance_usd
+            )
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            row(
+                "total gain/loss ($)",
+                market.successful.total_balance_usd,
+                market.failed.total_balance_usd
+            )
+        );
         let _ = writeln!(out, "    did not claim: {}", market.did_not_claim);
     }
     let _ = writeln!(out, "  overall success rate: {:.1}%", report.success_rate() * 100.0);
@@ -310,11 +391,7 @@ mod tests {
         let serials = render_serials(&characterization);
         assert!(serials.contains("Serial wash traders"));
 
-        let venn = VennCounts {
-            all_three: 3,
-            exit_only: 1,
-            ..VennCounts::default()
-        };
+        let venn = VennCounts { all_three: 3, exit_only: 1, ..VennCounts::default() };
         let fig2 = render_fig2(&venn);
         assert!(fig2.contains("all three:                 3"));
         assert!(fig2.contains("total (≥1 flow method):    4"));

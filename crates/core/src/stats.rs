@@ -122,13 +122,7 @@ impl Summary {
         if count == 0 {
             return Summary::default();
         }
-        Summary {
-            count,
-            min,
-            max,
-            mean: total / count as f64,
-            total,
-        }
+        Summary { count, min, max, mean: total / count as f64, total }
     }
 }
 

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
 use crate::dataset::{Dataset, NftTransfer};
+use crate::parallel::Executor;
 
 /// Annotation of one trade edge, exactly the tuple the paper uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,15 +52,21 @@ impl NftGraph {
         NftGraph { nft, graph }
     }
 
-    /// Build graphs for every NFT in a dataset.
+    /// Build graphs for every NFT in a dataset using one thread per
+    /// available core; thin wrapper over [`NftGraph::from_dataset_with`].
     pub fn from_dataset(dataset: &Dataset) -> Vec<NftGraph> {
-        let mut graphs: Vec<NftGraph> = dataset
-            .transfers_by_nft
-            .iter()
-            .map(|(nft, transfers)| NftGraph::from_transfers(*nft, transfers))
-            .collect();
-        graphs.sort_by_key(|g| g.nft);
-        graphs
+        NftGraph::from_dataset_with(dataset, &Executor::default())
+    }
+
+    /// Build graphs for every NFT in a dataset, spreading construction over
+    /// the executor's thread budget. NFT histories are sorted before the
+    /// fan-out, so the returned order (ascending by NFT) is identical at any
+    /// thread count.
+    pub fn from_dataset_with(dataset: &Dataset, executor: &Executor) -> Vec<NftGraph> {
+        let mut histories: Vec<(&NftId, &Vec<NftTransfer>)> =
+            dataset.transfers_by_nft.iter().collect();
+        histories.sort_by_key(|(nft, _)| **nft);
+        executor.map(&histories, |(nft, transfers)| NftGraph::from_transfers(**nft, transfers))
     }
 
     /// The paper's candidate components: SCCs with at least two nodes, plus
@@ -86,7 +93,8 @@ impl NftGraph {
         self.graph
             .edges()
             .filter(|edge| {
-                set.contains(self.graph.node(edge.source)) && set.contains(self.graph.node(edge.target))
+                set.contains(self.graph.node(edge.source))
+                    && set.contains(self.graph.node(edge.target))
             })
             .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
             .collect()
@@ -100,7 +108,8 @@ impl NftGraph {
         self.graph
             .edges()
             .filter(|edge| {
-                set.contains(self.graph.node(edge.source)) || set.contains(self.graph.node(edge.target))
+                set.contains(self.graph.node(edge.source))
+                    || set.contains(self.graph.node(edge.target))
             })
             .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
             .collect()
@@ -109,10 +118,8 @@ impl NftGraph {
     /// The distinct directed shape of the subgraph induced by `accounts`,
     /// as local positions, suitable for pattern classification.
     pub fn shape_of(&self, accounts: &[Address]) -> Vec<(usize, usize)> {
-        let indices: Vec<NodeIndex> = accounts
-            .iter()
-            .filter_map(|address| self.graph.node_id(address))
-            .collect();
+        let indices: Vec<NodeIndex> =
+            accounts.iter().filter_map(|address| self.graph.node_id(address)).collect();
         self.graph.simple_shape_within(&indices)
     }
 }
@@ -122,13 +129,7 @@ mod tests {
     use super::*;
     use ethsim::BlockNumber;
 
-    fn transfer(
-        nft: NftId,
-        from: &str,
-        to: &str,
-        price_eth: f64,
-        at_secs: u64,
-    ) -> NftTransfer {
+    fn transfer(nft: NftId, from: &str, to: &str, price_eth: f64, at_secs: u64) -> NftTransfer {
         NftTransfer {
             nft,
             from: Address::derived(from),

@@ -35,12 +35,7 @@ pub struct Account {
 impl Account {
     /// Create a fresh externally owned account with zero balance.
     pub fn new_eoa(address: Address) -> Self {
-        Account {
-            address,
-            kind: AccountKind::Eoa,
-            balance: Wei::ZERO,
-            nonce: 0,
-        }
+        Account { address, kind: AccountKind::Eoa, balance: Wei::ZERO, nonce: 0 }
     }
 
     /// Create a fresh contract account holding `code`.
@@ -52,12 +47,7 @@ impl Account {
     /// an EOA in the refinement step.
     pub fn new_contract(address: Address, code: Vec<u8>) -> Self {
         assert!(!code.is_empty(), "contract account must have non-empty bytecode");
-        Account {
-            address,
-            kind: AccountKind::Contract { code },
-            balance: Wei::ZERO,
-            nonce: 0,
-        }
+        Account { address, kind: AccountKind::Contract { code }, balance: Wei::ZERO, nonce: 0 }
     }
 
     /// Whether the account holds bytecode (i.e. is a contract account).

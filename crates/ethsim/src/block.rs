@@ -18,11 +18,7 @@ pub struct Block {
 impl Block {
     /// Create an empty block.
     pub fn new(number: BlockNumber, timestamp: Timestamp) -> Self {
-        Block {
-            number,
-            timestamp,
-            transactions: Vec::new(),
-        }
+        Block { number, timestamp, transactions: Vec::new() }
     }
 
     /// Number of transactions in the block.

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::account::{Account, AccountKind};
 use crate::block::Block;
 use crate::transaction::{Transaction, TxRequest};
-use crate::types::{Address, B256, BlockNumber, Timestamp, TxHash, Wei};
+use crate::types::{Address, BlockNumber, Timestamp, TxHash, Wei, B256};
 
 /// Errors produced when mutating the chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -239,10 +239,7 @@ impl Chain {
     /// Credit `amount` to an account outside of any transaction (genesis
     /// allocation / faucet). Creates the account as an EOA if needed.
     pub fn fund(&mut self, address: Address, amount: Wei) {
-        let account = self
-            .accounts
-            .entry(address)
-            .or_insert_with(|| Account::new_eoa(address));
+        let account = self.accounts.entry(address).or_insert_with(|| Account::new_eoa(address));
         account.balance += amount;
     }
 
@@ -343,10 +340,8 @@ impl Chain {
     /// balance. On error the chain state is unchanged.
     pub fn submit(&mut self, request: TxRequest) -> Result<TxHash, ChainError> {
         // Validate without mutating: simulate the balance changes first.
-        let sender = self
-            .accounts
-            .get(&request.from)
-            .ok_or(ChainError::UnknownAccount(request.from))?;
+        let sender =
+            self.accounts.get(&request.from).ok_or(ChainError::UnknownAccount(request.from))?;
         let fee = request.fee();
         let mut deltas: HashMap<Address, i128> = HashMap::new();
         *deltas.entry(request.from).or_insert(0) -= (request.value.raw() + fee.raw()) as i128;
@@ -382,10 +377,8 @@ impl Chain {
 
         // Commit: apply deltas, bump nonce, record the transaction.
         for (address, delta) in &deltas {
-            let account = self
-                .accounts
-                .entry(*address)
-                .or_insert_with(|| Account::new_eoa(*address));
+            let account =
+                self.accounts.entry(*address).or_insert_with(|| Account::new_eoa(*address));
             let new_balance = account.balance.raw() as i128 + delta;
             debug_assert!(new_balance >= 0, "balance projection must be non-negative");
             account.balance = Wei(new_balance.max(0) as u128);
@@ -557,8 +550,7 @@ mod tests {
     #[test]
     fn ether_transfer_updates_balances_and_burns_gas() {
         let (mut chain, alice, bob) = setup();
-        let request =
-            TxRequest::ether_transfer(alice, bob, Wei::from_eth(1.0), Wei::from_gwei(10));
+        let request = TxRequest::ether_transfer(alice, bob, Wei::from_eth(1.0), Wei::from_gwei(10));
         let fee = request.fee();
         chain.submit(request).unwrap();
         assert_eq!(chain.balance(bob), Wei::from_eth(1.0));
@@ -654,10 +646,7 @@ mod tests {
             }],
         };
         let before = chain.balance(alice);
-        assert!(matches!(
-            chain.submit(request),
-            Err(ChainError::InsufficientBalance { .. })
-        ));
+        assert!(matches!(chain.submit(request), Err(ChainError::InsufficientBalance { .. })));
         assert_eq!(chain.balance(alice), before);
         assert_eq!(chain.stats().transactions, 0);
     }
@@ -717,19 +706,13 @@ mod tests {
         let all = chain.logs(&LogFilter::all());
         assert_eq!(all.len(), 2);
 
-        let erc721 = chain.logs(
-            &LogFilter::all()
-                .with_topic0(crate::log::transfer_topic())
-                .with_topic_count(4),
-        );
+        let erc721 = chain
+            .logs(&LogFilter::all().with_topic0(crate::log::transfer_topic()).with_topic_count(4));
         assert_eq!(erc721.len(), 1);
         assert_eq!(erc721[0].log.address, nft);
 
-        let erc20 = chain.logs(
-            &LogFilter::all()
-                .with_topic0(crate::log::transfer_topic())
-                .with_topic_count(3),
-        );
+        let erc20 = chain
+            .logs(&LogFilter::all().with_topic0(crate::log::transfer_topic()).with_topic_count(3));
         assert_eq!(erc20.len(), 1);
         assert_eq!(erc20[0].log.address, weth);
 
@@ -787,10 +770,7 @@ mod tests {
     #[test]
     fn duplicate_account_creation_fails() {
         let (mut chain, _, _) = setup();
-        assert!(matches!(
-            chain.create_eoa("alice"),
-            Err(ChainError::AccountExists(_))
-        ));
+        assert!(matches!(chain.create_eoa("alice"), Err(ChainError::AccountExists(_))));
         assert!(matches!(
             chain.deploy_contract("nft", vec![1]).and(chain.deploy_contract("nft", vec![1])),
             Err(ChainError::AccountExists(_))

@@ -77,20 +77,16 @@ impl State {
 
     fn theta(&mut self) {
         let mut c = [0u64; 5];
-        for x in 0..5 {
-            c[x] = self.lanes[x][0]
-                ^ self.lanes[x][1]
-                ^ self.lanes[x][2]
-                ^ self.lanes[x][3]
-                ^ self.lanes[x][4];
+        for (column, lanes) in c.iter_mut().zip(&self.lanes) {
+            *column = lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3] ^ lanes[4];
         }
         let mut d = [0u64; 5];
-        for x in 0..5 {
-            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        for (x, parity) in d.iter_mut().enumerate() {
+            *parity = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
         }
-        for x in 0..5 {
-            for y in 0..5 {
-                self.lanes[x][y] ^= d[x];
+        for (lanes, parity) in self.lanes.iter_mut().zip(d) {
+            for lane in lanes {
+                *lane ^= parity;
             }
         }
     }
@@ -107,9 +103,9 @@ impl State {
 
     fn chi(&mut self) {
         let a = self.lanes;
-        for x in 0..5 {
-            for y in 0..5 {
-                self.lanes[x][y] = a[x][y] ^ ((!a[(x + 1) % 5][y]) & a[(x + 2) % 5][y]);
+        for (x, lanes) in self.lanes.iter_mut().enumerate() {
+            for (y, lane) in lanes.iter_mut().enumerate() {
+                *lane = a[x][y] ^ ((!a[(x + 1) % 5][y]) & a[(x + 2) % 5][y]);
             }
         }
     }

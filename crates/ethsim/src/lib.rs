@@ -50,12 +50,12 @@ pub use block::Block;
 pub use chain::{Chain, ChainError, ChainStats, LogEntry, LogFilter};
 pub use log::{Erc20Transfer, Erc721Transfer, Log};
 pub use transaction::{InternalTransfer, Transaction, TxRequest};
-pub use types::{Address, B256, BlockNumber, Selector, Timestamp, TxHash, Wei};
+pub use types::{Address, BlockNumber, Selector, Timestamp, TxHash, Wei, B256};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::chain::{Chain, ChainError, LogEntry, LogFilter};
     pub use crate::log::Log;
     pub use crate::transaction::{Transaction, TxRequest};
-    pub use crate::types::{Address, B256, BlockNumber, Selector, Timestamp, TxHash, Wei};
+    pub use crate::types::{Address, BlockNumber, Selector, Timestamp, TxHash, Wei, B256};
 }

@@ -26,9 +26,7 @@ pub fn transfer_topic() -> B256 {
 pub fn transfer_single_topic() -> B256 {
     static TOPIC: OnceLock<B256> = OnceLock::new();
     *TOPIC.get_or_init(|| {
-        B256(event_topic(
-            "TransferSingle(address,address,address,uint256,uint256)",
-        ))
+        B256(event_topic("TransferSingle(address,address,address,uint256,uint256)"))
     })
 }
 
@@ -88,11 +86,7 @@ impl Log {
     pub fn erc20_transfer(contract: Address, from: Address, to: Address, amount: u128) -> Log {
         Log {
             address: contract,
-            topics: vec![
-                transfer_topic(),
-                B256::from_address(from),
-                B256::from_address(to),
-            ],
+            topics: vec![transfer_topic(), B256::from_address(from), B256::from_address(to)],
             data: B256::from_u128(amount).0.to_vec(),
         }
     }
@@ -174,12 +168,8 @@ mod tests {
 
     #[test]
     fn topic_constants_match_known_values() {
-        assert!(transfer_topic()
-            .to_hex()
-            .starts_with("0xddf252ad"));
-        assert!(transfer_single_topic()
-            .to_hex()
-            .starts_with("0xc3d58168"));
+        assert!(transfer_topic().to_hex().starts_with("0xddf252ad"));
+        assert!(transfer_single_topic().to_hex().starts_with("0xc3d58168"));
     }
 
     #[test]

@@ -159,9 +159,10 @@ impl Transaction {
     pub fn moves_value(&self) -> bool {
         !self.value.is_zero()
             || self.internal_transfers.iter().any(|t| !t.value.is_zero())
-            || self.logs.iter().any(|log| {
-                log.decode_erc20_transfer().map(|t| t.amount > 0).unwrap_or(false)
-            })
+            || self
+                .logs
+                .iter()
+                .any(|log| log.decode_erc20_transfer().map(|t| t.amount > 0).unwrap_or(false))
     }
 
     /// Total ETH credited to `account` by this transaction (top-level value
@@ -204,9 +205,7 @@ impl Transaction {
         }
         let ether_in = !self.ether_received_by(account).is_zero();
         let erc20_in = self.logs.iter().any(|log| {
-            log.decode_erc20_transfer()
-                .map(|t| t.to == account && t.amount > 0)
-                .unwrap_or(false)
+            log.decode_erc20_transfer().map(|t| t.to == account && t.amount > 0).unwrap_or(false)
         });
         ether_in || erc20_in
     }
@@ -219,13 +218,12 @@ impl Transaction {
         if moves_nft {
             return false;
         }
-        let ether_out = (self.from == account
-            && self.to == Some(recipient)
-            && !self.value.is_zero())
-            || self
-                .internal_transfers
-                .iter()
-                .any(|t| t.from == account && t.to == recipient && !t.value.is_zero());
+        let ether_out =
+            (self.from == account && self.to == Some(recipient) && !self.value.is_zero())
+                || self
+                    .internal_transfers
+                    .iter()
+                    .any(|t| t.from == account && t.to == recipient && !t.value.is_zero());
         let erc20_out = self.logs.iter().any(|log| {
             log.decode_erc20_transfer()
                 .map(|t| t.from == account && t.to == recipient && t.amount > 0)
@@ -354,12 +352,8 @@ mod tests {
     fn exit_detection_direct_and_internal() {
         let trader = Address::derived("trader");
         let sink = Address::derived("sink");
-        let tx = mk_tx(TxRequest::ether_transfer(
-            trader,
-            sink,
-            Wei::from_eth(0.5),
-            Wei::from_gwei(10),
-        ));
+        let tx =
+            mk_tx(TxRequest::ether_transfer(trader, sink, Wei::from_eth(0.5), Wei::from_gwei(10)));
         assert!(tx.is_exit_from_to(trader, sink));
         assert!(!tx.is_exit_from_to(sink, trader));
 

@@ -113,7 +113,11 @@ fn parse_hex(kind: &'static str, s: &str, expected_len: usize) -> Result<Vec<u8>
     if stripped.len() != expected_len * 2 {
         return Err(ParseHexError {
             kind,
-            reason: format!("expected {} hex characters, found {}", expected_len * 2, stripped.len()),
+            reason: format!(
+                "expected {} hex characters, found {}",
+                expected_len * 2,
+                stripped.len()
+            ),
         });
     }
     let mut out = Vec::with_capacity(expected_len);
@@ -232,9 +236,7 @@ impl FromStr for B256 {
 
 /// A transaction hash. Newtype over [`B256`] for static distinction from
 /// topics and other 32-byte words.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct TxHash(pub B256);
 
 impl TxHash {
@@ -272,9 +274,7 @@ impl fmt::Debug for TxHash {
 /// assert_eq!(one_eth.to_eth(), 1.0);
 /// assert_eq!(one_eth + one_eth, Wei::from_eth(2.0));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Wei(pub u128);
 
 impl Wei {
@@ -335,7 +335,8 @@ impl Wei {
     /// Multiply by a basis-point fraction (1 bps = 0.01%), rounding down.
     /// Used for marketplace fee computation.
     pub fn bps(self, basis_points: u32) -> Wei {
-        Wei(self.0 / 10_000 * basis_points as u128 + self.0 % 10_000 * basis_points as u128 / 10_000)
+        Wei(self.0 / 10_000 * basis_points as u128
+            + self.0 % 10_000 * basis_points as u128 / 10_000)
     }
 }
 
@@ -470,11 +471,7 @@ impl Selector {
 
 impl fmt::Display for Selector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "0x{:02x}{:02x}{:02x}{:02x}",
-            self.0[0], self.0[1], self.0[2], self.0[3]
-        )
+        write!(f, "0x{:02x}{:02x}{:02x}{:02x}", self.0[0], self.0[1], self.0[2], self.0[3])
     }
 }
 

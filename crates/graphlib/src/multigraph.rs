@@ -223,11 +223,9 @@ impl<N: Eq + Hash + Clone, E> DiMultiGraph<N, E> {
         let mut shape: Vec<(usize, usize)> = self
             .edges
             .iter()
-            .filter_map(|edge| {
-                match (position.get(&edge.source), position.get(&edge.target)) {
-                    (Some(&s), Some(&t)) => Some((s, t)),
-                    _ => None,
-                }
+            .filter_map(|edge| match (position.get(&edge.source), position.get(&edge.target)) {
+                (Some(&s), Some(&t)) => Some((s, t)),
+                _ => None,
             })
             .collect();
         shape.sort_unstable();

@@ -51,18 +51,12 @@ impl CanonicalDigraph {
         let mut best = u64::MAX;
         let mut permutation: Vec<usize> = (0..nodes).collect();
         permute(&mut permutation, 0, &mut |perm| {
-            let candidate = adjacency_bits(
-                nodes,
-                edges_under_permutation(nodes, base, perm),
-            );
+            let candidate = adjacency_bits(nodes, edges_under_permutation(nodes, base, perm));
             if candidate < best {
                 best = candidate;
             }
         });
-        Some(CanonicalDigraph {
-            nodes: nodes as u8,
-            bits: best,
-        })
+        Some(CanonicalDigraph { nodes: nodes as u8, bits: best })
     }
 
     /// Number of distinct directed edges in the canonical graph.
@@ -79,11 +73,7 @@ fn adjacency_bits(nodes: usize, edges: impl IntoIterator<Item = (usize, usize)>)
     bits
 }
 
-fn edges_under_permutation(
-    nodes: usize,
-    bits: u64,
-    permutation: &[usize],
-) -> Vec<(usize, usize)> {
+fn edges_under_permutation(nodes: usize, bits: u64, permutation: &[usize]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for s in 0..nodes {
         for t in 0..nodes {
@@ -108,9 +98,7 @@ fn permute(items: &mut Vec<usize>, start: usize, visit: &mut impl FnMut(&[usize]
 }
 
 /// Identifier of a pattern in the catalogue (0–11 for the paper's Fig. 7).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PatternId(pub usize);
 
 impl std::fmt::Display for PatternId {
@@ -155,7 +143,11 @@ impl PatternCatalogue {
     /// The 12-pattern catalogue of the paper's Fig. 7.
     pub fn paper() -> Self {
         let mut specs = Vec::new();
-        let mut push = |id: usize, name: &str, participants: usize, edges: Vec<(usize, usize)>, occurrences: usize| {
+        let mut push = |id: usize,
+                        name: &str,
+                        participants: usize,
+                        edges: Vec<(usize, usize)>,
+                        occurrences: usize| {
             specs.push(PatternSpec {
                 id: PatternId(id),
                 name: name.to_string(),
@@ -172,58 +164,100 @@ impl PatternCatalogue {
         // Pattern 2: three accounts moving the NFT circularly.
         push(2, "3-cycle", 3, cycle(3), 1592);
         // Pattern 3: chain of round trips over three accounts.
-        push(3, "round-trip chain (3 accounts)", 3, {
-            let mut e = round_trip(0, 1);
-            e.extend(round_trip(1, 2));
-            e
-        }, 786);
+        push(
+            3,
+            "round-trip chain (3 accounts)",
+            3,
+            {
+                let mut e = round_trip(0, 1);
+                e.extend(round_trip(1, 2));
+                e
+            },
+            786,
+        );
         // Pattern 4: fully bidirectional triangle.
-        push(4, "bidirectional triangle", 3, {
-            let mut e = round_trip(0, 1);
-            e.extend(round_trip(1, 2));
-            e.extend(round_trip(0, 2));
-            e
-        }, 17);
+        push(
+            4,
+            "bidirectional triangle",
+            3,
+            {
+                let mut e = round_trip(0, 1);
+                e.extend(round_trip(1, 2));
+                e.extend(round_trip(0, 2));
+                e
+            },
+            17,
+        );
         // Pattern 5: four accounts moving the NFT circularly.
         push(5, "4-cycle", 4, cycle(4), 450);
         // Pattern 6: chain of round trips over four accounts.
-        push(6, "round-trip chain (4 accounts)", 4, {
-            let mut e = round_trip(0, 1);
-            e.extend(round_trip(1, 2));
-            e.extend(round_trip(2, 3));
-            e
-        }, 146);
+        push(
+            6,
+            "round-trip chain (4 accounts)",
+            4,
+            {
+                let mut e = round_trip(0, 1);
+                e.extend(round_trip(1, 2));
+                e.extend(round_trip(2, 3));
+                e
+            },
+            146,
+        );
         // Pattern 7: hub account round-tripping with three spokes.
-        push(7, "round-trip star (4 accounts)", 4, {
-            let mut e = round_trip(0, 1);
-            e.extend(round_trip(0, 2));
-            e.extend(round_trip(0, 3));
-            e
-        }, 134);
+        push(
+            7,
+            "round-trip star (4 accounts)",
+            4,
+            {
+                let mut e = round_trip(0, 1);
+                e.extend(round_trip(0, 2));
+                e.extend(round_trip(0, 3));
+                e
+            },
+            134,
+        );
         // Pattern 8: bidirectional 4-cycle.
-        push(8, "bidirectional 4-cycle", 4, {
-            let mut e = Vec::new();
-            for i in 0..4 {
-                e.extend(round_trip(i, (i + 1) % 4));
-            }
-            e
-        }, 9);
+        push(
+            8,
+            "bidirectional 4-cycle",
+            4,
+            {
+                let mut e = Vec::new();
+                for i in 0..4 {
+                    e.extend(round_trip(i, (i + 1) % 4));
+                }
+                e
+            },
+            9,
+        );
         // Pattern 9: 4-cycle with an extra chord closing a second cycle.
-        push(9, "4-cycle with chord", 4, {
-            let mut e = cycle(4);
-            e.push((2, 0));
-            e
-        }, 4);
+        push(
+            9,
+            "4-cycle with chord",
+            4,
+            {
+                let mut e = cycle(4);
+                e.push((2, 0));
+                e
+            },
+            4,
+        );
         // Pattern 10: five accounts moving the NFT circularly.
         push(10, "5-cycle", 5, cycle(5), 115);
         // Pattern 11: hub account round-tripping with four spokes.
-        push(11, "round-trip star (5 accounts)", 5, {
-            let mut e = round_trip(0, 1);
-            e.extend(round_trip(0, 2));
-            e.extend(round_trip(0, 3));
-            e.extend(round_trip(0, 4));
-            e
-        }, 22);
+        push(
+            11,
+            "round-trip star (5 accounts)",
+            5,
+            {
+                let mut e = round_trip(0, 1);
+                e.extend(round_trip(0, 2));
+                e.extend(round_trip(0, 3));
+                e.extend(round_trip(0, 4));
+                e
+            },
+            22,
+        );
 
         let canonical = specs
             .iter()
@@ -252,10 +286,7 @@ impl PatternCatalogue {
     /// canonicalize.
     pub fn classify(&self, nodes: usize, edges: &[(usize, usize)]) -> Option<PatternId> {
         let canonical = CanonicalDigraph::from_edges(nodes, edges)?;
-        self.canonical
-            .iter()
-            .find(|(c, _)| *c == canonical)
-            .map(|(_, id)| *id)
+        self.canonical.iter().find(|(c, _)| *c == canonical).map(|(_, id)| *id)
     }
 }
 

@@ -111,9 +111,7 @@ pub fn suspicious_components<N: Eq + Hash + Clone, E>(
 ) -> Vec<Vec<NodeIndex>> {
     strongly_connected_components(graph)
         .into_iter()
-        .filter(|component| {
-            component.len() >= 2 || graph.has_self_loop(component[0])
-        })
+        .filter(|component| component.len() >= 2 || graph.has_self_loop(component[0]))
         .collect()
 }
 

@@ -108,13 +108,7 @@ impl LabelRegistry {
         name: impl Into<String>,
         category: LabelCategory,
     ) -> Option<Label> {
-        self.labels.insert(
-            address,
-            Label {
-                name: name.into(),
-                category,
-            },
-        )
+        self.labels.insert(address, Label { name: name.into(), category })
     }
 
     /// The label of an address, if any.
@@ -261,15 +255,10 @@ mod tests {
     #[test]
     fn from_iterator_collects() {
         let a = Address::derived("a");
-        let registry: LabelRegistry = vec![(
-            a,
-            Label {
-                name: "A".to_string(),
-                category: LabelCategory::CeFi,
-            },
-        )]
-        .into_iter()
-        .collect();
+        let registry: LabelRegistry =
+            vec![(a, Label { name: "A".to_string(), category: LabelCategory::CeFi })]
+                .into_iter()
+                .collect();
         assert!(registry.is_service_account(a));
         assert!(!registry.is_empty());
     }

@@ -126,10 +126,7 @@ mod tests {
             vec![info("OpenSea"), info("LooksRare")].into_iter().collect();
         assert_eq!(directory.len(), 2);
         let opensea = directory.by_name("OpenSea").unwrap();
-        assert_eq!(
-            directory.by_contract(opensea.contract).unwrap().name,
-            "OpenSea"
-        );
+        assert_eq!(directory.by_contract(opensea.contract).unwrap().name, "OpenSea");
         assert!(directory.by_contract(Address::derived("unknown")).is_none());
         assert!(directory.by_name("Rarible").is_none());
         assert!(!directory.is_empty());

@@ -103,7 +103,11 @@ impl Marketplace {
             tokens::compliance::generic_contract_bytecode(0xaa),
         )?;
         let treasury = chain.create_eoa(&format!("{seed}-treasury"))?;
-        labels.insert(contract, format!("{}: Exchange Contract", spec.name), LabelCategory::Marketplace);
+        labels.insert(
+            contract,
+            format!("{}: Exchange Contract", spec.name),
+            LabelCategory::Marketplace,
+        );
         labels.insert(treasury, format!("{}: Treasury", spec.name), LabelCategory::Marketplace);
 
         let escrow = if spec.uses_escrow {
@@ -183,6 +187,9 @@ impl Marketplace {
     /// registered, [`MarketError::Token`] if `seller` does not own the token,
     /// and [`MarketError::Chain`] if the buyer cannot cover price plus gas.
     /// Ownership and balances are unchanged on error.
+    // One argument per sale party/parameter; bundling them into a struct
+    // would only move the argument list to the construction site.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_sale(
         &mut self,
         chain: &mut Chain,
@@ -195,9 +202,8 @@ impl Marketplace {
     ) -> Result<SaleReceipt, MarketError> {
         // Validate ownership before touching any state.
         {
-            let collection = tokens
-                .erc721(nft.contract)
-                .ok_or(MarketError::UnknownCollection(nft.contract))?;
+            let collection =
+                tokens.erc721(nft.contract).ok_or(MarketError::UnknownCollection(nft.contract))?;
             match collection.owner_of(nft.token_id) {
                 Some(owner) if owner == seller => {}
                 owner => {
@@ -345,17 +351,10 @@ impl Marketplace {
             .erc20_mut(token_contract)
             .expect("reward token was deployed by this marketplace");
         token.mint(distributor, amount);
-        token
-            .transfer(distributor, account, amount)
-            .expect("distributor was just credited");
+        token.transfer(distributor, account, amount).expect("distributor was just credited");
 
         self.pending_rewards.remove(&account);
-        Ok(ClaimReceipt {
-            tx_hash,
-            account,
-            token_amount: amount,
-            timestamp,
-        })
+        Ok(ClaimReceipt { tx_hash, account, token_amount: amount, timestamp })
     }
 
     /// Total traded volume since deployment.
@@ -391,9 +390,8 @@ mod tests {
         let mut labels = LabelRegistry::new();
         let marketplace = Marketplace::deploy(&mut chain, &mut tokens, &mut labels, spec).unwrap();
         let genesis = chain.current_timestamp();
-        let collection = tokens
-            .deploy_erc721(&mut chain, "collection", "TestArt", true, genesis)
-            .unwrap();
+        let collection =
+            tokens.deploy_erc721(&mut chain, "collection", "TestArt", true, genesis).unwrap();
         let seller = chain.create_eoa("seller").unwrap();
         let buyer = chain.create_eoa("buyer").unwrap();
         chain.fund(seller, Wei::from_eth(10.0));
@@ -410,13 +408,7 @@ mod tests {
         )
         .with_log(mint_log);
         chain.submit(mint_request).unwrap();
-        (
-            World { chain, tokens, labels },
-            marketplace,
-            seller,
-            buyer,
-            nft,
-        )
+        (World { chain, tokens, labels }, marketplace, seller, buyer, nft)
     }
 
     #[test]
@@ -448,10 +440,7 @@ mod tests {
             .unwrap();
         // 2.5% of 2 ETH.
         assert_eq!(receipt.fee, Wei::from_eth(0.05));
-        assert_eq!(
-            world.tokens.erc721(nft.contract).unwrap().owner_of(nft.token_id),
-            Some(buyer)
-        );
+        assert_eq!(world.tokens.erc721(nft.contract).unwrap().owner_of(nft.token_id), Some(buyer));
         assert_eq!(world.chain.balance(marketplace.treasury), Wei::from_eth(0.05));
         // Seller receives the proceeds; the only fee the seller ever paid is
         // the gas of the setup mint transaction (90,000 gas at 30 gwei).
@@ -574,7 +563,12 @@ mod tests {
         assert_eq!(token.balance_of(seller), pending);
         // Claiming again fails.
         assert!(matches!(
-            marketplace.claim_rewards(&mut world.chain, &mut world.tokens, seller, Wei::from_gwei(30)),
+            marketplace.claim_rewards(
+                &mut world.chain,
+                &mut world.tokens,
+                seller,
+                Wei::from_gwei(30)
+            ),
             Err(MarketError::NothingToClaim(_))
         ));
     }
@@ -585,7 +579,12 @@ mod tests {
         marketplace.accrue_all_days();
         assert_eq!(marketplace.pending_reward(seller), 0);
         assert!(matches!(
-            marketplace.claim_rewards(&mut world.chain, &mut world.tokens, seller, Wei::from_gwei(30)),
+            marketplace.claim_rewards(
+                &mut world.chain,
+                &mut world.tokens,
+                seller,
+                Wei::from_gwei(30)
+            ),
             Err(MarketError::NoRewardSystem)
         ));
     }

@@ -31,12 +31,7 @@ pub struct MarketplaceSpec {
 impl MarketplaceSpec {
     /// Create a spec without a reward system.
     pub fn new(name: impl Into<String>, fee_bps: u32, uses_escrow: bool) -> Self {
-        MarketplaceSpec {
-            name: name.into(),
-            fee_bps,
-            uses_escrow,
-            reward: None,
-        }
+        MarketplaceSpec { name: name.into(), fee_bps, uses_escrow, reward: None }
     }
 
     /// Attach a reward system (builder style).
@@ -100,14 +95,7 @@ pub mod presets {
 
     /// All six presets in the paper's Table I order.
     pub fn all() -> Vec<MarketplaceSpec> {
-        vec![
-            opensea(),
-            looksrare(),
-            foundation(),
-            superrare(),
-            rarible(),
-            decentraland(),
-        ]
+        vec![opensea(), looksrare(), foundation(), superrare(), rarible(), decentraland()]
     }
 }
 

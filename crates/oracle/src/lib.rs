@@ -52,10 +52,7 @@ pub struct PriceSeries {
 impl PriceSeries {
     /// A constant price for `days` days.
     pub fn constant(start: Timestamp, days: usize, price: f64) -> Self {
-        PriceSeries {
-            start_day: start.day(),
-            daily_prices: vec![price; days.max(1)],
-        }
+        PriceSeries { start_day: start.day(), daily_prices: vec![price; days.max(1)] }
     }
 
     /// A seeded geometric-Brownian-like path: each day the log-price moves by
@@ -88,10 +85,7 @@ impl PriceSeries {
             // Keep the series bounded away from zero so conversions stay sane.
             price = price.max(start_price * 1e-3);
         }
-        PriceSeries {
-            start_day: start.day(),
-            daily_prices: prices,
-        }
+        PriceSeries { start_day: start.day(), daily_prices: prices }
     }
 
     /// The price on a given day index. Days before the series start or after
@@ -184,8 +178,7 @@ impl PriceOracle {
         at: Timestamp,
     ) -> Option<f64> {
         let scale = 10f64.powi(decimals as i32);
-        self.usd_price(symbol, at)
-            .map(|price| base_units as f64 / scale * price)
+        self.usd_price(symbol, at).map(|price| base_units as f64 / scale * price)
     }
 
     /// Registered symbols.
@@ -242,9 +235,7 @@ mod tests {
         assert!((usd - 2.0 * eth_price).abs() < 1e-6);
         // 18-decimal LOOKS token conversion.
         let looks_price = oracle.usd_price(LOOKS, t).unwrap();
-        let usd_tokens = oracle
-            .token_to_usd(LOOKS, 5 * 10u128.pow(18), 18, t)
-            .unwrap();
+        let usd_tokens = oracle.token_to_usd(LOOKS, 5 * 10u128.pow(18), 18, t).unwrap();
         assert!((usd_tokens - 5.0 * looks_price).abs() < 1e-6);
         assert_eq!(oracle.usd_price(USDC, t), Some(1.0));
         assert_eq!(oracle.usd_price("UNKNOWN", t), None);

@@ -1,0 +1,162 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace's
+//! property tests use: the `proptest!` macro with `pattern in strategy`
+//! arguments, range and tuple strategies, `collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! The build environment has no access to crates.io. Each property runs for
+//! [`CASES`] deterministic cases (seeded from the test name), and failures
+//! report the offending values through the normal assert panic — there is no
+//! shrinking. Swapping the real proptest back in is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Cases generated per property (the real proptest defaults to 256; this
+/// keeps `cargo test` fast while still exercising hundreds of random graphs
+/// across the suite).
+pub const CASES: usize = 96;
+
+/// The deterministic generator driving each property's cases.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Seed a generator from the property's name, so every test has a stable
+    /// stream independent of execution order.
+    pub fn deterministic(name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf29ce484222325u64, |hash, byte| {
+            (hash ^ byte as u64).wrapping_mul(0x100000001b3)
+        });
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::strategy::Strategy`
+/// in spirit (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with random length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `length` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.length.is_empty() {
+                self.length.start
+            } else {
+                rng.0.gen_range(self.length.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests: each function runs [`CASES`] times with fresh
+/// random arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$attr:meta] fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[$attr]
+            fn $name() {
+                let mut proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for _ in 0..$crate::CASES {
+                    $(let $pat = $crate::Strategy::sample(&$strategy, &mut proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under proptest's name (no shrinking, so a plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #[test]
+        fn generated_values_respect_strategies(
+            n in 1usize..10,
+            pairs in crate::collection::vec((0usize..10, 0u64..5), 0..20),
+            mut x in 0.0f64..1.0,
+        ) {
+            crate::prop_assert!((1..10).contains(&n));
+            crate::prop_assert!(pairs.len() < 20);
+            for (a, b) in pairs {
+                crate::prop_assert!(a < 10 && b < 5);
+            }
+            x += 1.0;
+            crate::prop_assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use crate::Strategy;
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        let strategy = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(strategy.sample(&mut a), strategy.sample(&mut b));
+        }
+    }
+}

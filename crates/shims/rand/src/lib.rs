@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate, covering exactly the surface this
+//! workspace uses: `Rng::gen_range` over integer and float ranges,
+//! `Rng::gen_bool`, and `SeedableRng::seed_from_u64`.
+//!
+//! The build environment has no access to crates.io. Generators implementing
+//! [`RngCore`] (see the sibling `rand_chacha` shim) get the high-level
+//! methods through the blanket [`Rng`] impl, mirroring the real crate's
+//! design — including the generic shape of `gen_range`, so integer-literal
+//! inference behaves as with the real crate. Sampling is fully deterministic
+//! per seed, which is all the calibrated workload generator requires; the
+//! exact stream differs from the real rand/ChaCha stack, so planted-world
+//! layouts change if the real crates are ever swapped back in (tests assert
+//! distributions, not exact layouts).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 64 uniformly distributed bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    fn sample_between<G: RngCore>(rng: &mut G, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+/// A range that can produce uniform samples of `T`; implemented for half-open
+/// and inclusive ranges, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one uniform sample.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → the full significand precision of an f64.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` without the worst of the modulo bias:
+/// rejection sampling on the top of the range.
+fn bounded_u128<G: RngCore>(rng: &mut G, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if draw <= zone {
+            return draw % span;
+        }
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<G: RngCore>(rng: &mut G, start: Self, end: Self, inclusive: bool) -> Self {
+                // Validate before computing the span: a reversed inclusive
+                // range would wrap the subtraction and smuggle garbage out.
+                if inclusive {
+                    assert!(start <= end, "empty gen_range {start}..={end}");
+                } else {
+                    assert!(start < end, "empty gen_range {start}..{end}");
+                }
+                let span = (end as i128 - start as i128) as u128 + u128::from(inclusive);
+                (start as i128 + bounded_u128(rng, span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<G: RngCore>(rng: &mut G, start: Self, end: Self, inclusive: bool) -> Self {
+                assert!(if inclusive { start <= end } else { start < end }, "empty gen_range");
+                let sampled = start + unit_f64(rng.next_u64()) as $ty * (end - start);
+                // Rounding in `start + unit * width` can land exactly on the
+                // upper bound; keep half-open ranges strictly exclusive.
+                if !inclusive && sampled >= end {
+                    end.next_down()
+                } else {
+                    sampled
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(2u64..=3);
+            assert!((2..=3).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn output_type_drives_literal_inference() {
+        let mut rng = Counter(9);
+        let table = [10u64, 20, 30];
+        // Compiles only if the literal range infers to usize from the index.
+        let picked = table[rng.gen_range(0..3)];
+        assert!(table.contains(&picked));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty gen_range")]
+    #[allow(clippy::reversed_empty_ranges)] // the reversed range is the point
+    fn reversed_inclusive_range_panics() {
+        let mut rng = Counter(3);
+        let _ = rng.gen_range(5u64..=3);
+    }
+
+    #[test]
+    fn half_open_float_range_excludes_upper_bound() {
+        // A generator pinned to the maximal 53-bit sample, which is exactly
+        // the draw whose rounding can reach the upper bound.
+        struct MaxBits;
+        impl RngCore for MaxBits {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let mut rng = MaxBits;
+        for _ in 0..4 {
+            let v = rng.gen_range(0.10f64..0.28);
+            assert!(v < 0.28, "half-open range returned its upper bound: {v}");
+            let w = rng.gen_range(0.10f64..=0.28);
+            assert!(w <= 0.28);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and their derive macros
+//! so the workspace's annotations compile without network access. The traits
+//! are empty markers: no code in this workspace serializes yet, and the
+//! derives (see `serde_derive`) expand to nothing. Replacing this shim with
+//! the real serde is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only keep the types ready for a real serde.
+//! These derives therefore expand to nothing; they exist so the annotations
+//! (including `#[serde(...)]` field attributes) parse and compile. Swapping
+//! in the real crates later requires touching only the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,11 +26,7 @@ pub struct Erc1155Collection {
 impl Erc1155Collection {
     /// Create a collection bound to a deployed contract address.
     pub fn new(address: Address, name: impl Into<String>) -> Self {
-        Erc1155Collection {
-            address,
-            name: name.into(),
-            balances: HashMap::new(),
-        }
+        Erc1155Collection { address, name: name.into(), balances: HashMap::new() }
     }
 
     /// Balance of `account` for `token_id`.

@@ -65,7 +65,12 @@ impl Erc20Token {
     ///
     /// Returns [`TokenError::InsufficientTokenBalance`] if `from` does not
     /// hold `amount` base units; the balances are unchanged in that case.
-    pub fn transfer(&mut self, from: Address, to: Address, amount: u128) -> Result<Log, TokenError> {
+    pub fn transfer(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: u128,
+    ) -> Result<Log, TokenError> {
         let available = self.balance_of(from);
         if available < amount {
             return Err(TokenError::InsufficientTokenBalance {

@@ -88,12 +88,8 @@ impl Erc721Collection {
 
     /// Token ids currently owned by `account`.
     pub fn tokens_of(&self, account: Address) -> Vec<u64> {
-        let mut tokens: Vec<u64> = self
-            .owners
-            .iter()
-            .filter(|(_, owner)| **owner == account)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut tokens: Vec<u64> =
+            self.owners.iter().filter(|(_, owner)| **owner == account).map(|(id, _)| *id).collect();
         tokens.sort_unstable();
         tokens
     }
@@ -118,12 +114,14 @@ impl Erc721Collection {
     /// Returns [`TokenError::UnknownToken`] if the token was never minted or
     /// has been burned, and [`TokenError::NotTokenOwner`] if `from` does not
     /// own it. Ownership is unchanged on error.
-    pub fn transfer(&mut self, from: Address, to: Address, token_id: u64) -> Result<Log, TokenError> {
+    pub fn transfer(
+        &mut self,
+        from: Address,
+        to: Address,
+        token_id: u64,
+    ) -> Result<Log, TokenError> {
         match self.owners.get(&token_id) {
-            None => Err(TokenError::UnknownToken {
-                contract: self.address,
-                token_id,
-            }),
+            None => Err(TokenError::UnknownToken { contract: self.address, token_id }),
             Some(owner) if *owner != from => Err(TokenError::NotTokenOwner {
                 contract: self.address,
                 token_id,
@@ -144,10 +142,7 @@ impl Erc721Collection {
     /// Same error conditions as [`Erc721Collection::transfer`].
     pub fn burn(&mut self, from: Address, token_id: u64) -> Result<Log, TokenError> {
         match self.owners.get(&token_id) {
-            None => Err(TokenError::UnknownToken {
-                contract: self.address,
-                token_id,
-            }),
+            None => Err(TokenError::UnknownToken { contract: self.address, token_id }),
             Some(owner) if *owner != from => Err(TokenError::NotTokenOwner {
                 contract: self.address,
                 token_id,
@@ -207,10 +202,7 @@ mod tests {
         let err = c.transfer(alice, bob, id.token_id).unwrap_err();
         assert!(matches!(err, TokenError::NotTokenOwner { .. }));
         // Unknown token.
-        assert!(matches!(
-            c.transfer(bob, alice, 999),
-            Err(TokenError::UnknownToken { .. })
-        ));
+        assert!(matches!(c.transfer(bob, alice, 999), Err(TokenError::UnknownToken { .. })));
     }
 
     #[test]
@@ -236,10 +228,7 @@ mod tests {
         assert_eq!(c.owner_of(id.token_id), None);
         assert_eq!(c.total_supply(), 0);
         assert_eq!(c.total_minted(), 1);
-        assert!(matches!(
-            c.burn(alice, id.token_id),
-            Err(TokenError::UnknownToken { .. })
-        ));
+        assert!(matches!(c.burn(alice, id.token_id), Err(TokenError::UnknownToken { .. })));
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl std::fmt::Display for TokenError {
                 write!(f, "token {token_id} does not exist on {contract}")
             }
             TokenError::ContractExists(address) => write!(f, "contract {address} already exists"),
-            TokenError::UnknownContract(address) => write!(f, "contract {address} is not registered"),
+            TokenError::UnknownContract(address) => {
+                write!(f, "contract {address} is not registered")
+            }
         }
     }
 }

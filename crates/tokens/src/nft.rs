@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let id = NftId::new(Address::derived("meebits"), 42);
 /// assert_eq!(id.token_id, 42);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NftId {
     /// The ERC-721 contract (collection) address.
     pub contract: Address,

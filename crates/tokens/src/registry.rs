@@ -151,12 +151,8 @@ mod tests {
         let mut registry = TokenRegistry::new();
         let weth = registry.deploy_erc20(&mut chain, "weth", "WETH", 18).unwrap();
         let now = chain.current_timestamp();
-        let meebits = registry
-            .deploy_erc721(&mut chain, "meebits", "Meebits", true, now)
-            .unwrap();
-        let rogue = registry
-            .deploy_erc721(&mut chain, "rogue", "Rogue", false, now)
-            .unwrap();
+        let meebits = registry.deploy_erc721(&mut chain, "meebits", "Meebits", true, now).unwrap();
+        let rogue = registry.deploy_erc721(&mut chain, "rogue", "Rogue", false, now).unwrap();
         let items = registry.deploy_erc1155(&mut chain, "items", "GameItems").unwrap();
 
         assert!(chain.is_contract(weth));
@@ -186,9 +182,7 @@ mod tests {
         let mut registry = TokenRegistry::new();
         let weth = registry.deploy_erc20(&mut chain, "weth", "WETH", 18).unwrap();
         let now = chain.current_timestamp();
-        let meebits = registry
-            .deploy_erc721(&mut chain, "meebits", "Meebits", true, now)
-            .unwrap();
+        let meebits = registry.deploy_erc721(&mut chain, "meebits", "Meebits", true, now).unwrap();
         let alice = chain.create_eoa("alice").unwrap();
         chain.fund(alice, Wei::from_eth(1.0));
 

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use ethsim::{Address, Chain, ChainError, Selector, Timestamp, TxRequest, Wei};
 use labels::{LabelCategory, LabelRegistry};
-use marketplace::{presets, Marketplace, MarketplaceDirectory, MarketError};
+use marketplace::{presets, MarketError, Marketplace, MarketplaceDirectory};
 use oracle::PriceOracle;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -160,7 +160,11 @@ impl Runner {
         let mut chain = Chain::new(config.start);
         let mut tokens = TokenRegistry::new();
         let mut labels = LabelRegistry::new();
-        let oracle = PriceOracle::paper_presets(config.start, config.duration_days as usize + 90, config.seed);
+        let oracle = PriceOracle::paper_presets(
+            config.start,
+            config.duration_days as usize + 90,
+            config.seed,
+        );
         let gas_price = Wei::from_gwei(config.gas_price_gwei);
 
         // Marketplaces.
@@ -260,10 +264,8 @@ impl Runner {
             let created = collections[spec.collection_index].created_day;
             let uniform: f64 = rng.gen_range(0.0f64..1.0);
             let lag = (-(1.0 - uniform).ln() * 20.0).round() as u64;
-            let latest = config
-                .duration_days
-                .saturating_sub(spec.lifetime_days + 20)
-                .max(created + 1);
+            let latest =
+                config.duration_days.saturating_sub(spec.lifetime_days + 20).max(created + 1);
             spec.start_day = (created + 1 + lag).min(latest);
         }
         let scenarios = specs
@@ -376,7 +378,11 @@ impl Runner {
         };
 
         for (index, collection) in self.collections.iter().enumerate() {
-            push(&mut events, collection.created_day, Event::SeedCollection { collection_index: index });
+            push(
+                &mut events,
+                collection.created_day,
+                Event::SeedCollection { collection_index: index },
+            );
         }
         for index in 0..self.noncompliant.len() {
             let day = self.rng.gen_range(1..self.config.duration_days.max(2));
@@ -556,7 +562,15 @@ impl Runner {
     ) -> Result<marketplace::SaleReceipt, BuildError> {
         let name = venue.marketplace_name().expect("marketplace venue");
         let engine = self.engines.get_mut(name).expect("all presets deployed");
-        Ok(engine.execute_sale(&mut self.chain, &mut self.tokens, seller, buyer, nft, price, self.gas_price)?)
+        Ok(engine.execute_sale(
+            &mut self.chain,
+            &mut self.tokens,
+            seller,
+            buyer,
+            nft,
+            price,
+            self.gas_price,
+        )?)
     }
 
     // ------------------------------------------------------------------
@@ -590,10 +604,8 @@ impl Runner {
         let contract = self.erc1155[index];
         let operator = self.ensure_account(&format!("erc1155-user-{index}"), Wei::from_eth(2.0))?;
         let friend = self.ensure_account(&format!("erc1155-friend-{index}"), Wei::from_eth(2.0))?;
-        let token = self
-            .tokens
-            .erc1155_mut(contract)
-            .ok_or(TokenError::UnknownContract(contract))?;
+        let token =
+            self.tokens.erc1155_mut(contract).ok_or(TokenError::UnknownContract(contract))?;
         let mint_log = token.mint(operator, operator, index as u64, 10);
         let transfer_log = token.transfer(operator, operator, friend, index as u64, 4)?;
         let request = TxRequest::contract_call(
@@ -618,7 +630,8 @@ impl Runner {
     fn legit_sale(&mut self, _index: usize) -> Result<(), BuildError> {
         if self.legit_owned.is_empty() {
             // Nothing minted yet: mint one to a random trader first.
-            let collection = self.collections[self.rng.gen_range(0..self.collections.len())].address;
+            let collection =
+                self.collections[self.rng.gen_range(0..self.collections.len())].address;
             let owner = self.legit_traders[self.rng.gen_range(0..self.legit_traders.len())];
             let nft = self.mint_nft(collection, owner)?;
             self.legit_owned.push((nft, owner));
@@ -627,7 +640,8 @@ impl Runner {
         let (nft, seller) = self.legit_owned[slot];
         let mut buyer = self.legit_traders[self.rng.gen_range(0..self.legit_traders.len())];
         if buyer == seller {
-            buyer = self.legit_traders[(self.rng.gen_range(0..self.legit_traders.len()) + 1) % self.legit_traders.len()];
+            buyer = self.legit_traders
+                [(self.rng.gen_range(0..self.legit_traders.len()) + 1) % self.legit_traders.len()];
             if buyer == seller {
                 return Ok(());
             }
@@ -763,12 +777,20 @@ impl Runner {
             )
         };
         let (nft, acquisition_price, gas) = if acquire_externally {
-            let holder = self.ensure_account(&format!("scenario-{index}-holder"), Wei::from_eth(2.0))?;
+            let holder =
+                self.ensure_account(&format!("scenario-{index}-holder"), Wei::from_eth(2.0))?;
             let nft = self.mint_nft(collection, holder)?;
             let price = Wei::new(base_price.raw() / 100 * 30).saturating_add(Wei::from_eth(0.01));
+            // Serial wash traders share accounts across scenarios, so another
+            // scenario's exit sweep may have drained this one between our
+            // funding day and today; restore the float before buying.
+            if self.chain.balance(first_account) < price.saturating_add(Wei::from_eth(1.0)) {
+                self.top_up(first_account, price.saturating_add(Wei::from_eth(2.0)));
+            }
             let gas = match venue.marketplace_name() {
                 Some(_) => {
-                    let receipt = self.marketplace_sale(venue, nft, holder, first_account, price)?;
+                    let receipt =
+                        self.marketplace_sale(venue, nft, holder, first_account, price)?;
                     self.scenarios[index].marketplace_fees += receipt.fee;
                     receipt.gas_fee
                 }
@@ -915,12 +937,8 @@ impl Runner {
             if balance <= keepback {
                 continue;
             }
-            let request = TxRequest::ether_transfer(
-                account,
-                target,
-                balance - keepback,
-                self.gas_price,
-            );
+            let request =
+                TxRequest::ether_transfer(account, target, balance - keepback, self.gas_price);
             gas += request.fee();
             self.chain.submit(request)?;
         }

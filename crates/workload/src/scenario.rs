@@ -241,9 +241,9 @@ pub mod calibration {
 
     /// Pattern occurrence mix (Fig. 7) plus the uncatalogued tail.
     pub const PATTERN_MIX: [(usize, f64); 13] = [
-        (0, 0.0759),  // self-trade
-        (1, 0.5986),  // round trip
-        (2, 0.1283),  // 3-cycle
+        (0, 0.0759), // self-trade
+        (1, 0.5986), // round trip
+        (2, 0.1283), // 3-cycle
         (3, 0.0633),
         (4, 0.0014),
         (5, 0.0363),
@@ -259,13 +259,13 @@ pub mod calibration {
     /// Evidence-combination mix over non-self-trade activities (Fig. 2 Venn).
     /// Order: (zero-risk, funder, exit) → weight.
     pub const EVIDENCE_MIX: [((bool, bool, bool), f64); 7] = [
-        ((true, false, false), 0.02235),  // 256 / 11,454
-        ((false, true, false), 0.04680),  // 536
-        ((false, false, true), 0.24245),  // 2,777
-        ((true, true, false), 0.02209),   // 253
-        ((true, false, true), 0.05081),   // 582
-        ((false, true, true), 0.43827),   // 5,020
-        ((true, true, true), 0.17723),    // 2,030
+        ((true, false, false), 0.02235), // 256 / 11,454
+        ((false, true, false), 0.04680), // 536
+        ((false, false, true), 0.24245), // 2,777
+        ((true, true, false), 0.02209),  // 253
+        ((true, false, true), 0.05081),  // 582
+        ((false, true, true), 0.43827),  // 5,020
+        ((true, true, true), 0.17723),   // 2,030
     ];
 
     /// Fraction of common funders that are external (1,579 / 7,839).
@@ -276,8 +276,8 @@ pub mod calibration {
     pub const EXCHANGE_FUNDED_FRACTION: f64 = 0.2654;
     /// Lifetime distribution (Fig. 4): (max extra days, cumulative fraction).
     pub const LIFETIME_BUCKETS: [(u64, f64); 4] = [
-        (0, 0.3349),   // same day
-        (9, 0.5917),   // < 10 days
+        (0, 0.3349), // same day
+        (9, 0.5917), // < 10 days
         (60, 0.85),
         (300, 1.0),
     ];
@@ -342,10 +342,7 @@ impl ScenarioSampler {
             } else {
                 FundingEvidence::Internal
             }
-        } else if wants_exit
-            && !zero_risk
-            && rng.gen_bool(calibration::EXCHANGE_FUNDED_FRACTION)
-        {
+        } else if wants_exit && !zero_risk && rng.gen_bool(calibration::EXCHANGE_FUNDED_FRACTION) {
             FundingEvidence::Exchange
         } else {
             FundingEvidence::None
@@ -362,9 +359,7 @@ impl ScenarioSampler {
 
         // Goal and volume.
         let goal = if venue.has_reward_system() {
-            WashGoal::RewardExploit {
-                claims: rng.gen_bool(calibration::REWARD_CLAIM_FRACTION),
-            }
+            WashGoal::RewardExploit { claims: rng.gen_bool(calibration::REWARD_CLAIM_FRACTION) }
         } else if matches!(venue, Venue::OffMarket) {
             WashGoal::VolumeOnly
         } else if rng.gen_bool(calibration::RESALE_FRACTION) {
@@ -394,14 +389,9 @@ impl ScenarioSampler {
         let goal = match goal {
             WashGoal::Resale { resale_price_eth: Some(_) } => {
                 let profitable = rng.gen_bool(calibration::RESALE_PROFIT_FRACTION);
-                let multiplier = if profitable {
-                    rng.gen_range(1.6..6.0)
-                } else {
-                    rng.gen_range(0.10..0.28)
-                };
-                WashGoal::Resale {
-                    resale_price_eth: Some(base_price_eth * multiplier),
-                }
+                let multiplier =
+                    if profitable { rng.gen_range(1.6..6.0) } else { rng.gen_range(0.10..0.28) };
+                WashGoal::Resale { resale_price_eth: Some(base_price_eth * multiplier) }
             }
             other => other,
         };
@@ -421,11 +411,7 @@ impl ScenarioSampler {
             let mut chosen = 0u64;
             for (cap, cumulative) in calibration::LIFETIME_BUCKETS {
                 if draw <= cumulative {
-                    chosen = if cap == 0 {
-                        0
-                    } else {
-                        rng.gen_range(previous_cap + 1..=cap)
-                    };
+                    chosen = if cap == 0 { 0 } else { rng.gen_range(previous_cap + 1..=cap) };
                     break;
                 }
                 previous_cap = cap;
@@ -538,19 +524,18 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let specs = sampler.sample_many(&mut rng, 2_000);
 
-        let round_trips = specs
-            .iter()
-            .filter(|s| s.pattern == ScenarioPattern::Catalogued(PatternId(1)))
-            .count() as f64
-            / specs.len() as f64;
+        let round_trips =
+            specs.iter().filter(|s| s.pattern == ScenarioPattern::Catalogued(PatternId(1))).count()
+                as f64
+                / specs.len() as f64;
         assert!((round_trips - 0.5986).abs() < 0.05, "round-trip share {round_trips}");
 
-        let opensea = specs.iter().filter(|s| s.venue == Venue::OpenSea).count() as f64
-            / specs.len() as f64;
+        let opensea =
+            specs.iter().filter(|s| s.venue == Venue::OpenSea).count() as f64 / specs.len() as f64;
         assert!((opensea - 0.7578).abs() < 0.05, "OpenSea share {opensea}");
 
-        let same_day = specs.iter().filter(|s| s.lifetime_days == 0).count() as f64
-            / specs.len() as f64;
+        let same_day =
+            specs.iter().filter(|s| s.lifetime_days == 0).count() as f64 / specs.len() as f64;
         assert!((same_day - 0.3349).abs() < 0.06, "same-day share {same_day}");
 
         let foundation = specs.iter().filter(|s| s.venue == Venue::Foundation).count();
@@ -560,9 +545,9 @@ mod tests {
         for spec in &specs {
             match spec.goal {
                 WashGoal::RewardExploit { .. } => assert!(spec.venue.has_reward_system()),
-                WashGoal::Resale { .. } => assert!(
-                    !spec.venue.has_reward_system() && spec.venue != Venue::OffMarket
-                ),
+                WashGoal::Resale { .. } => {
+                    assert!(!spec.venue.has_reward_system() && spec.venue != Venue::OffMarket)
+                }
                 WashGoal::VolumeOnly => {}
             }
             assert!(spec.trades + 1 >= spec.pattern.walk().len());

@@ -53,19 +53,13 @@ impl World {
 
     /// Ground-truth activities planted on a specific marketplace (by name).
     pub fn truth_on(&self, marketplace_name: &str) -> Vec<&WashActivityTruth> {
-        self.truth
-            .iter()
-            .filter(|t| t.venue.marketplace_name() == Some(marketplace_name))
-            .collect()
+        self.truth.iter().filter(|t| t.venue.marketplace_name() == Some(marketplace_name)).collect()
     }
 
     /// The set of all accounts that participate in any planted activity.
     pub fn wash_accounts(&self) -> Vec<Address> {
-        let mut accounts: Vec<Address> = self
-            .truth
-            .iter()
-            .flat_map(|t| t.accounts.iter().copied())
-            .collect();
+        let mut accounts: Vec<Address> =
+            self.truth.iter().flat_map(|t| t.accounts.iter().copied()).collect();
         accounts.sort();
         accounts.dedup();
         accounts

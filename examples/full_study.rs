@@ -42,6 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", report::render_table3(&analysis.rewards));
     println!("{}", report::render_resales(&analysis.resales));
 
+    // Per-stage instrumentation: the perf trajectory of the pipeline, visible
+    // from the command line on every run (threads = all cores by default).
+    println!("{}", report::render_stage_metrics(&analysis.stage_metrics));
+
     // Ground-truth comparison, which the paper's authors could not do — one
     // benefit of reproducing the pipeline on a synthetic world.
     let planted: std::collections::HashSet<_> = world.truth.iter().map(|t| t.nft).collect();

@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut labels = LabelRegistry::new();
     let oracle = PriceOracle::paper_presets(start, 120, 11);
 
-    let mut opensea = Marketplace::deploy(&mut chain, &mut tokens, &mut labels, presets::opensea())?;
+    let mut opensea =
+        Marketplace::deploy(&mut chain, &mut tokens, &mut labels, presets::opensea())?;
     let mut directory = MarketplaceDirectory::new();
     directory.add(opensea.info());
     let collection = tokens.deploy_erc721(&mut chain, "og-art", "OG Art", true, start)?;
@@ -48,14 +49,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three colluding wallets, funded by a common account.
     let funder = chain.create_eoa("resale-funder")?;
     chain.fund(funder, Wei::from_eth(60.0));
-    let wallets: Vec<_> = (0..3)
-        .map(|i| chain.create_eoa(&format!("resale-wallet-{i}")).unwrap())
-        .collect();
+    let wallets: Vec<_> =
+        (0..3).map(|i| chain.create_eoa(&format!("resale-wallet-{i}")).unwrap()).collect();
     for wallet in &wallets {
-        chain.submit(ethsim::TxRequest::ether_transfer(funder, *wallet, Wei::from_eth(18.0), gas))?;
+        chain.submit(ethsim::TxRequest::ether_transfer(
+            funder,
+            *wallet,
+            Wei::from_eth(18.0),
+            gas,
+        ))?;
     }
     chain.seal_block(start.plus_secs(3_600))?;
-    let buy = opensea.execute_sale(&mut chain, &mut tokens, artist, wallets[0], nft, Wei::from_eth(0.99), gas)?;
+    let buy = opensea.execute_sale(
+        &mut chain,
+        &mut tokens,
+        artist,
+        wallets[0],
+        nft,
+        Wei::from_eth(0.99),
+        gas,
+    )?;
     println!("acquired the NFT for {:.2} ETH", buy.price.to_eth());
 
     // Circular wash trades over 64 days, escalating the price.

@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = PriceOracle::paper_presets(start, 60, 7);
 
     // Deploy LooksRare (2% fee, LOOKS rewards) and the target collection.
-    let mut looksrare = Marketplace::deploy(&mut chain, &mut tokens, &mut labels, presets::looksrare())?;
+    let mut looksrare =
+        Marketplace::deploy(&mut chain, &mut tokens, &mut labels, presets::looksrare())?;
     let mut directory = MarketplaceDirectory::new();
     directory.add(looksrare.info());
     let collection = tokens.deploy_erc721(&mut chain, "meebits", "Meebits", true, start)?;
@@ -35,8 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wallet_b = chain.create_eoa("case-study-wallet-b")?;
     chain.fund(operator, Wei::from_eth(2_100.0));
     let gas = Wei::from_gwei(60);
-    chain.submit(ethsim::TxRequest::ether_transfer(operator, wallet_a, Wei::from_eth(1_000.0), gas))?;
-    chain.submit(ethsim::TxRequest::ether_transfer(operator, wallet_b, Wei::from_eth(1_000.0), gas))?;
+    chain.submit(ethsim::TxRequest::ether_transfer(
+        operator,
+        wallet_a,
+        Wei::from_eth(1_000.0),
+        gas,
+    ))?;
+    chain.submit(ethsim::TxRequest::ether_transfer(
+        operator,
+        wallet_b,
+        Wei::from_eth(1_000.0),
+        gas,
+    ))?;
     chain.seal_block(start.plus_secs(3_600))?;
 
     // Mint the NFT to wallet A and wash it back and forth eight times.
@@ -61,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..8 {
         let (seller, buyer) = pair[i % 2];
         chain.advance_to(chain.current_timestamp().plus_secs(420))?;
-        let receipt = looksrare.execute_sale(&mut chain, &mut tokens, seller, buyer, nft, price, gas)?;
+        let receipt =
+            looksrare.execute_sale(&mut chain, &mut tokens, seller, buyer, nft, price, gas)?;
         total_volume += price;
         println!(
             "trade {}: {} -> {} at {:>9.3} ETH (fee {:>7.3} ETH)",

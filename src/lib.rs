@@ -1,0 +1,15 @@
+//! Umbrella package for the workspace: it owns the repository-level
+//! integration tests (`tests/`) and runnable examples (`examples/`), and
+//! re-exports the crates they exercise. The actual library code lives in the
+//! workspace members under `crates/`.
+
+#![forbid(unsafe_code)]
+
+pub use ethsim;
+pub use graphlib;
+pub use labels;
+pub use marketplace;
+pub use oracle;
+pub use tokens;
+pub use washtrade;
+pub use workload;

@@ -19,12 +19,7 @@ fn run(seed: u64) -> (World, AnalysisReport) {
 }
 
 fn detected_by_nft(report: &AnalysisReport) -> HashMap<NftId, &washtrade::ConfirmedActivity> {
-    report
-        .detection
-        .confirmed
-        .iter()
-        .map(|activity| (activity.nft(), activity))
-        .collect()
+    report.detection.confirmed.iter().map(|activity| (activity.nft(), activity)).collect()
 }
 
 #[test]
@@ -35,11 +30,7 @@ fn recall_is_high_across_seeds() {
         let detected: HashSet<NftId> = report.detection.confirmed.iter().map(|a| a.nft()).collect();
         let recalled = planted.intersection(&detected).count();
         let recall = recalled as f64 / planted.len() as f64;
-        assert!(
-            recall >= 0.85,
-            "seed {seed}: recall {recall:.2} ({recalled}/{})",
-            planted.len()
-        );
+        assert!(recall >= 0.85, "seed {seed}: recall {recall:.2} ({recalled}/{})", planted.len());
     }
 }
 
@@ -50,10 +41,8 @@ fn planted_funder_evidence_is_recovered() {
     let mut with_funder = 0usize;
     let mut recovered = 0usize;
     for truth in &world.truth {
-        let planted_funder = matches!(
-            truth.funder,
-            FundingEvidence::Internal | FundingEvidence::External
-        );
+        let planted_funder =
+            matches!(truth.funder, FundingEvidence::Internal | FundingEvidence::External);
         if !planted_funder {
             continue;
         }
@@ -158,10 +147,7 @@ fn self_trades_are_confirmed_de_facto() {
         }
     }
     if planted > 0 {
-        assert!(
-            confirmed * 10 >= planted * 8,
-            "only {confirmed}/{planted} self-trades confirmed"
-        );
+        assert!(confirmed * 10 >= planted * 8, "only {confirmed}/{planted} self-trades confirmed");
     }
 }
 

@@ -52,24 +52,15 @@ fn refinement_funnel_shrinks_monotonically() {
 #[test]
 fn venn_counts_are_consistent_with_confirmed_activities() {
     let (_, report) = run(3);
-    let with_flow_evidence = report
-        .detection
-        .confirmed
-        .iter()
-        .filter(|a| a.methods.flow_method_count() > 0)
-        .count();
+    let with_flow_evidence =
+        report.detection.confirmed.iter().filter(|a| a.methods.flow_method_count() > 0).count();
     assert_eq!(report.detection.venn.total(), with_flow_evidence);
     // Everything confirmed must have at least one method.
     for activity in &report.detection.confirmed {
         assert!(activity.methods.confirmed());
     }
     // Self-trade counter matches the per-activity flags.
-    let self_trades = report
-        .detection
-        .confirmed
-        .iter()
-        .filter(|a| a.methods.self_trade)
-        .count();
+    let self_trades = report.detection.confirmed.iter().filter(|a| a.methods.self_trade).count();
     assert_eq!(report.detection.self_trades, self_trades);
 }
 
@@ -122,11 +113,8 @@ fn characterization_totals_are_internally_consistent() {
 #[test]
 fn wash_volume_never_exceeds_marketplace_total_volume() {
     let (_, report) = run(6);
-    let totals: std::collections::HashMap<&str, f64> = report
-        .table1
-        .iter()
-        .map(|row| (row.name.as_str(), row.volume_usd))
-        .collect();
+    let totals: std::collections::HashMap<&str, f64> =
+        report.table1.iter().map(|row| (row.name.as_str(), row.volume_usd)).collect();
     for row in &report.characterization.per_marketplace {
         if let Some(total) = totals.get(row.name.as_str()) {
             assert!(
@@ -153,11 +141,8 @@ fn larger_worlds_scale_without_breaking_invariants() {
     assert!(report.characterization.total_volume_usd > 0.0);
     // The LooksRare wash share of LooksRare volume should be large, as in the
     // paper (84.79%), because its legit volume is tiny in comparison.
-    if let Some(row) = report
-        .characterization
-        .per_marketplace
-        .iter()
-        .find(|row| row.name == "LooksRare")
+    if let Some(row) =
+        report.characterization.per_marketplace.iter().find(|row| row.name == "LooksRare")
     {
         if let Some(share) = row.share_of_marketplace_volume {
             assert!(share > 0.3, "LooksRare wash share unexpectedly low: {share}");

@@ -65,29 +65,18 @@ fn reward_exploitation_is_mostly_profitable() {
     // The paper's headline: exploiting reward systems succeeds in ~80% of the
     // claimed activities, with gains dwarfing the losses.
     let (world, report) = run(102);
-    let claimed_planted = world
-        .truth
-        .iter()
-        .filter(|t| t.venue.has_reward_system() && t.claimed_rewards())
-        .count();
+    let claimed_planted =
+        world.truth.iter().filter(|t| t.venue.has_reward_system() && t.claimed_rewards()).count();
     if claimed_planted >= 3 {
         assert!(
             report.rewards.success_rate() >= 0.5,
             "reward success rate {:.2} unexpectedly low",
             report.rewards.success_rate()
         );
-        let total_gain: f64 = report
-            .rewards
-            .markets
-            .iter()
-            .map(|m| m.successful.total_balance_usd)
-            .sum();
-        let total_loss: f64 = report
-            .rewards
-            .markets
-            .iter()
-            .map(|m| m.failed.total_balance_usd.abs())
-            .sum();
+        let total_gain: f64 =
+            report.rewards.markets.iter().map(|m| m.successful.total_balance_usd).sum();
+        let total_loss: f64 =
+            report.rewards.markets.iter().map(|m| m.failed.total_balance_usd.abs()).sum();
         assert!(
             total_gain > total_loss,
             "gains (${total_gain:.0}) should exceed losses (${total_loss:.0})"
