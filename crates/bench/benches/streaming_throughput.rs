@@ -1,0 +1,95 @@
+//! Streaming-throughput benchmarks: blocks/sec through the cursor and
+//! per-epoch latency versus a full re-analyze, on an epoch-sliced world.
+//!
+//! Besides the criterion timings printed to stdout, a manual measurement
+//! pass writes the numbers into `BENCH_results.json` (section
+//! `bench_streaming`), so the perf trajectory of the streaming subsystem is
+//! tracked as a machine-readable artifact from this PR onward.
+
+use std::time::Instant;
+
+use bench_suite::input_of;
+use bench_suite::json::Json;
+use bench_suite::results::{merge_section, results_path};
+use criterion::{criterion_group, Criterion};
+use washtrade::pipeline::{analyze_with, AnalysisOptions};
+use washtrade_stream::{StreamAnalyzer, StreamOptions};
+
+fn bench_streaming(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let input = input_of(&world);
+    let plan = world.epoch_plan(6);
+    let budgets = plan.budgets();
+
+    let mut group = c.benchmark_group("streaming");
+    group.bench_function("ingest_to_tip_6_epochs", |b| {
+        b.iter(|| {
+            let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+            for budget in &budgets {
+                live.ingest_epoch(*budget);
+            }
+            live.report().detection.confirmed.len()
+        })
+    });
+    group.bench_function("full_reanalyze_baseline", |b| {
+        b.iter(|| analyze_with(input, AnalysisOptions::default()).detection.confirmed.len())
+    });
+    group.finish();
+}
+
+/// One measured streaming pass, recorded into `BENCH_results.json`.
+fn record_results() {
+    let world = bench_suite::build_small_world(1);
+    let input = input_of(&world);
+    let plan = world.epoch_plan(6);
+
+    let started = Instant::now();
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    let mut epoch_ns = Vec::new();
+    for budget in plan.budgets() {
+        let delta = live.ingest_epoch(budget).expect("plan covers the chain");
+        epoch_ns.push(delta.wall_time_ns);
+    }
+    let stream_ns = started.elapsed().as_nanos() as i64;
+
+    let started = Instant::now();
+    let batch = analyze_with(input, AnalysisOptions::default());
+    let batch_ns = started.elapsed().as_nanos() as i64;
+    assert_eq!(
+        live.report().detection.confirmed.len(),
+        batch.detection.confirmed.len(),
+        "streaming and batch must agree before their timings are comparable"
+    );
+
+    let blocks = world.chain.current_block_number().0 + 1;
+    let mut section = Json::object();
+    section.set("world", Json::Str("small(1)".to_string()));
+    section.set("epochs", Json::Int(epoch_ns.len() as i64));
+    section.set("blocks", Json::Int(blocks as i64));
+    section.set("stream_total_ns", Json::Int(stream_ns));
+    section.set("blocks_per_sec", Json::Float(blocks as f64 / (stream_ns.max(1) as f64 / 1e9)));
+    section.set(
+        "epoch_latency_ns",
+        Json::Arr(epoch_ns.iter().map(|ns| Json::Int(*ns as i64)).collect()),
+    );
+    section.set(
+        "mean_epoch_latency_ns",
+        Json::Int((epoch_ns.iter().sum::<u64>() / epoch_ns.len().max(1) as u64) as i64),
+    );
+    section.set("full_reanalyze_ns", Json::Int(batch_ns));
+
+    let path = results_path();
+    merge_section(&path, "bench_streaming", section).expect("write BENCH_results.json");
+    println!("streaming numbers recorded in {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming
+}
+
+fn main() {
+    benches();
+    record_results();
+}

@@ -1,6 +1,9 @@
 //! The experiment harness: regenerates every table and figure of the paper's
 //! evaluation from a calibrated synthetic world and prints measured values
-//! side by side with the paper's reported values.
+//! side by side with the paper's reported values. Alongside the human tables
+//! it writes machine-readable stage timings and streaming-throughput numbers
+//! into `BENCH_results.json` (override the path with `$BENCH_RESULTS_PATH`),
+//! so the perf trajectory is tracked PR over PR.
 //!
 //! ```text
 //! cargo run --release -p bench --bin experiments -- [scale] [seed] [experiment]
@@ -9,9 +12,12 @@
 //! `experiment` is one of `table1`, `table2`, `table3`, `fig2`, `fig3`,
 //! `fig4`, `fig5`, `fig6`, `fig7`, `serial`, `resale`, or `all` (default).
 
-use bench_suite::{analyze_world, build_world, compare, paper};
-use washtrade::pipeline::AnalysisReport;
+use bench_suite::json::Json;
+use bench_suite::results::{merge_section, results_path};
+use bench_suite::{analyze_world, build_world, compare, input_of, paper};
+use washtrade::pipeline::{AnalysisOptions, AnalysisReport};
 use washtrade::report;
+use washtrade_stream::{StreamAnalyzer, StreamOptions};
 use workload::World;
 
 fn main() {
@@ -29,6 +35,7 @@ fn main() {
     );
     eprintln!("== running analysis ==");
     let analysis = analyze_world(&world);
+    write_bench_results(scale, seed, &world, &analysis);
 
     let run = |name: &str| which == "all" || which == name;
     if run("table1") {
@@ -63,6 +70,75 @@ fn main() {
     }
     if which == "all" {
         ground_truth(&world, &analysis);
+    }
+}
+
+/// Record stage timings and a streaming pass into `BENCH_results.json`.
+fn write_bench_results(scale: f64, seed: u64, world: &World, analysis: &AnalysisReport) {
+    let mut meta = Json::object();
+    meta.set("scale", Json::Float(scale));
+    meta.set("seed", Json::Int(seed as i64));
+    meta.set("transactions", Json::Int(world.chain.stats().transactions as i64));
+    meta.set("planted_activities", Json::Int(world.truth.len() as i64));
+
+    let stages = Json::Arr(
+        analysis
+            .stage_metrics
+            .iter()
+            .map(|metrics| {
+                let mut stage = Json::object();
+                stage.set("stage", Json::Str(metrics.stage.clone()));
+                stage.set("wall_time_ns", Json::Int(metrics.wall_time_ns as i64));
+                stage.set("items_in", Json::Int(metrics.items_in as i64));
+                stage.set("items_out", Json::Int(metrics.items_out as i64));
+                stage.set("threads", Json::Int(metrics.threads as i64));
+                stage
+            })
+            .collect(),
+    );
+
+    // A streaming pass over the same world: epoch-sliced ingestion with the
+    // straddling plan, recording per-epoch latency and overall throughput.
+    let input = input_of(world);
+    let plan = world.epoch_plan(8);
+    let started = std::time::Instant::now();
+    let mut live =
+        StreamAnalyzer::new(input, StreamOptions::from_analysis(AnalysisOptions::default()));
+    let mut epochs = Vec::new();
+    for budget in plan.budgets() {
+        if let Some(delta) = live.ingest_epoch(budget) {
+            let mut epoch = Json::object();
+            epoch.set("blocks", Json::Int(delta.blocks() as i64));
+            epoch.set("transfers", Json::Int(delta.transfers as i64));
+            epoch.set("dirty_nfts", Json::Int(delta.dirty_nfts as i64));
+            epoch.set("total_nfts", Json::Int(delta.total_nfts as i64));
+            epoch.set("new_suspects", Json::Int(delta.new_suspects.len() as i64));
+            epoch.set("wall_time_ns", Json::Int(delta.wall_time_ns as i64));
+            epochs.push(epoch);
+        }
+    }
+    let stream_ns = started.elapsed().as_nanos() as i64;
+    let blocks = world.chain.current_block_number().0 + 1;
+    let batch_ns: i64 =
+        analysis.stage_metrics.iter().map(|metrics| metrics.wall_time_ns as i64).sum();
+    let mut streaming = Json::object();
+    streaming.set("epochs", Json::Arr(epochs));
+    streaming.set("blocks", Json::Int(blocks as i64));
+    streaming.set("stream_total_ns", Json::Int(stream_ns));
+    streaming.set("blocks_per_sec", Json::Float(blocks as f64 / (stream_ns.max(1) as f64 / 1e9)));
+    streaming.set("batch_stage_total_ns", Json::Int(batch_ns));
+    streaming.set(
+        "confirmed_matches_batch",
+        Json::Bool(live.report().detection.confirmed.len() == analysis.detection.confirmed.len()),
+    );
+
+    let path = results_path();
+    let written = merge_section(&path, "meta", meta)
+        .and_then(|()| merge_section(&path, "stages", stages))
+        .and_then(|()| merge_section(&path, "streaming", streaming));
+    match written {
+        Ok(()) => eprintln!("== wrote {} ==", path.display()),
+        Err(error) => eprintln!("== could not write {}: {error} ==", path.display()),
     }
 }
 

@@ -1,6 +1,10 @@
 //! Shared helpers for the benchmark suite and the `experiments` binary:
-//! world construction at standard scales, pipeline execution, and the paper's
-//! reference values for every table and figure.
+//! world construction at standard scales, pipeline execution, the paper's
+//! reference values for every table and figure, and the machine-readable
+//! results file ([`results`], [`json`]) tracking the perf trajectory.
+
+pub mod json;
+pub mod results;
 
 use washtrade::pipeline::{analyze, AnalysisInput, AnalysisReport};
 use workload::{WorkloadConfig, World};
@@ -19,14 +23,20 @@ pub fn build_small_world(seed: u64) -> World {
     World::generate(WorkloadConfig::small(seed)).expect("world generation succeeds")
 }
 
-/// Run the full analysis pipeline over a world.
-pub fn analyze_world(world: &World) -> AnalysisReport {
-    analyze(AnalysisInput {
+/// The [`AnalysisInput`] view of a world — one place to keep the field
+/// plumbing when `AnalysisInput` grows.
+pub fn input_of(world: &World) -> AnalysisInput<'_> {
+    AnalysisInput {
         chain: &world.chain,
         labels: &world.labels,
         directory: &world.directory,
         oracle: &world.oracle,
-    })
+    }
+}
+
+/// Run the full analysis pipeline over a world.
+pub fn analyze_world(world: &World) -> AnalysisReport {
+    analyze(input_of(world))
 }
 
 /// The paper's reference values, used by the `experiments` binary to print

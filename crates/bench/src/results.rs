@@ -1,0 +1,81 @@
+//! `BENCH_results.json`: the machine-readable perf trajectory.
+//!
+//! Every perf producer — the `experiments` binary (stage timings, streaming
+//! epochs) and the streaming-throughput bench — merges its section into one
+//! JSON object keyed by section name, so CI can upload a single artifact and
+//! downstream tooling can diff numbers PR over PR.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::{parse, Json};
+
+/// Environment variable overriding where the results file is written.
+pub const RESULTS_PATH_ENV: &str = "BENCH_RESULTS_PATH";
+
+/// Default results file name.
+pub const RESULTS_FILE: &str = "BENCH_results.json";
+
+/// Where to write results: `$BENCH_RESULTS_PATH`, or `BENCH_results.json` at
+/// the workspace root. The root is resolved from this crate's manifest dir,
+/// not the current directory — `cargo run` and `cargo bench` execute with
+/// different working directories, and every producer must hit the same file.
+pub fn results_path() -> PathBuf {
+    if let Some(path) = std::env::var_os(RESULTS_PATH_ENV) {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(RESULTS_FILE)
+}
+
+/// Merge `section` into the JSON object at `path`, replacing any previous
+/// value under that key. A missing or unparseable file starts a fresh object
+/// (the file is a build artifact, not a source of truth).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or writing the file.
+pub fn merge_section(path: &Path, section: &str, value: Json) -> std::io::Result<()> {
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text).unwrap_or_else(|_| Json::object()),
+        Err(_) => Json::object(),
+    };
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set(section, value);
+    std::fs::write(path, root.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_accumulate_and_replace() {
+        let dir = std::env::temp_dir().join(format!("bench-results-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut stages = Json::object();
+        stages.set("detect_ns", Json::Int(123));
+        merge_section(&path, "stages", stages.clone()).unwrap();
+
+        let mut streaming = Json::object();
+        streaming.set("blocks_per_sec", Json::Float(1_000.5));
+        merge_section(&path, "streaming", streaming).unwrap();
+
+        let merged = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.get("stages"), Some(&stages));
+        assert!(merged.get("streaming").is_some());
+
+        // Replacing a section keeps the others.
+        let mut stages2 = Json::object();
+        stages2.set("detect_ns", Json::Int(456));
+        merge_section(&path, "stages", stages2.clone()).unwrap();
+        let merged = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.get("stages"), Some(&stages2));
+        assert!(merged.get("streaming").is_some());
+
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ethsim::{Address, BlockNumber, Chain, LogFilter, Timestamp, TxHash, Wei};
+use ethsim::{Address, BlockNumber, Chain, LogEntry, LogFilter, Timestamp, TxHash, Wei};
 use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
@@ -67,23 +67,61 @@ pub struct Dataset {
     pub raw_transfer_events: usize,
 }
 
+/// What one [`Dataset::apply_entries`] call changed: the NFTs that received
+/// new transfers (sorted, deduplicated) and how many transfers were appended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedEntries {
+    /// NFTs that gained at least one transfer, in ascending order.
+    pub dirty: Vec<NftId>,
+    /// Number of compliant transfers appended across all NFTs.
+    pub appended: usize,
+}
+
 impl Dataset {
+    /// The `eth_getLogs` filter the dataset stage scans (§III-A): every log
+    /// with the `Transfer` topic and four topics is an ERC-721 candidate.
+    pub fn transfer_filter() -> LogFilter {
+        LogFilter::all().with_topic0(ethsim::log::transfer_topic()).with_topic_count(4)
+    }
+
     /// Build the dataset from a chain and the marketplace directory,
     /// mirroring §III-A: scan transfer events, check compliance, store the
     /// per-NFT transfer lists with price and marketplace annotations.
+    ///
+    /// Equivalent to applying every log entry of the chain to an empty
+    /// dataset through [`Dataset::apply_entries`] — the incremental entry
+    /// point the streaming subsystem feeds epoch by epoch.
     pub fn build(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
-        let filter =
-            LogFilter::all().with_topic0(ethsim::log::transfer_topic()).with_topic_count(4);
-        let entries = chain.logs(&filter);
-        let raw_transfer_events = entries.len();
+        let entries = chain.logs(&Self::transfer_filter());
+        let mut dataset = Dataset::default();
+        dataset.apply_entries(chain, directory, &entries);
+        dataset
+    }
+
+    /// Append a batch of transfer-shaped log entries to the dataset: probe
+    /// unseen contracts for ERC-721 compliance, decode and annotate the
+    /// surviving transfers, and keep every per-NFT history sorted.
+    ///
+    /// Entries must arrive in execution order, and successive calls must
+    /// cover disjoint, non-decreasing block ranges (as a block cursor
+    /// produces them); under that contract the final dataset is identical to
+    /// a one-shot [`Dataset::build`] over the same chain.
+    pub fn apply_entries(
+        &mut self,
+        chain: &Chain,
+        directory: &MarketplaceDirectory,
+        entries: &[LogEntry],
+    ) -> AppliedEntries {
+        self.raw_transfer_events += entries.len();
 
         // Compliance check per emitting contract (§III-A "ERC-721 compliance"):
         // the structural equivalent of calling supportsInterface(0x80ac58cd).
-        let mut compliant = HashSet::new();
-        let mut non_compliant = HashSet::new();
-        for entry in &entries {
+        // Verdicts are cached across calls, so each contract is probed once.
+        for entry in entries {
             let contract = entry.log.address;
-            if compliant.contains(&contract) || non_compliant.contains(&contract) {
+            if self.compliant_contracts.contains(&contract)
+                || self.non_compliant_contracts.contains(&contract)
+            {
                 continue;
             }
             let supports = chain
@@ -91,18 +129,18 @@ impl Dataset {
                 .map(tokens::compliance::supports_erc721_interface)
                 .unwrap_or(false);
             if supports {
-                compliant.insert(contract);
+                self.compliant_contracts.insert(contract);
             } else {
-                non_compliant.insert(contract);
+                self.non_compliant_contracts.insert(contract);
             }
         }
 
-        let mut transfers_by_nft: HashMap<NftId, Vec<NftTransfer>> = HashMap::new();
-        for entry in &entries {
+        let mut applied = AppliedEntries::default();
+        for entry in entries {
             let Some(decoded) = entry.log.decode_erc721_transfer() else {
                 continue;
             };
-            if !compliant.contains(&decoded.contract) {
+            if !self.compliant_contracts.contains(&decoded.contract) {
                 continue;
             }
             let tx = chain
@@ -125,7 +163,7 @@ impl Dataset {
             };
             let marketplace = tx.to.filter(|to| directory.by_contract(*to).is_some());
             let nft = NftId::new(decoded.contract, decoded.token_id);
-            transfers_by_nft.entry(nft).or_default().push(NftTransfer {
+            self.transfers_by_nft.entry(nft).or_default().push(NftTransfer {
                 nft,
                 from: decoded.from,
                 to: decoded.to,
@@ -135,19 +173,28 @@ impl Dataset {
                 price,
                 marketplace,
             });
+            applied.dirty.push(nft);
+            applied.appended += 1;
         }
-        // `chain.logs` returns entries in execution order, so each NFT's
-        // transfer list is already chronological; make it explicit anyway.
-        for transfers in transfers_by_nft.values_mut() {
-            transfers.sort_by_key(|t| (t.block, t.timestamp));
+        applied.dirty.sort();
+        applied.dirty.dedup();
+        // Under the ordering contract above, every appended suffix is
+        // chronological and lands after the existing tail, so the histories
+        // stay sorted without re-sorting (a per-epoch re-sort would make hot
+        // NFTs superlinear over a long stream). Debug builds verify the
+        // contract instead.
+        #[cfg(debug_assertions)]
+        for nft in &applied.dirty {
+            if let Some(transfers) = self.transfers_by_nft.get(nft) {
+                debug_assert!(
+                    transfers
+                        .windows(2)
+                        .all(|w| (w[0].block, w[0].timestamp) <= (w[1].block, w[1].timestamp)),
+                    "apply_entries received out-of-order entries for {nft:?}"
+                );
+            }
         }
-
-        Dataset {
-            transfers_by_nft,
-            compliant_contracts: compliant,
-            non_compliant_contracts: non_compliant,
-            raw_transfer_events,
-        }
+        applied
     }
 
     /// Number of distinct NFTs with at least one transfer.
@@ -160,8 +207,10 @@ impl Dataset {
         self.transfers_by_nft.values().map(|v| v.len()).sum()
     }
 
-    /// All accounts appearing as source or recipient of a transfer.
-    pub fn accounts(&self) -> HashSet<Address> {
+    /// All accounts appearing as source or recipient of a transfer, in
+    /// ascending address order (sorted so every consumer — reports, live
+    /// deltas — iterates deterministically).
+    pub fn accounts(&self) -> Vec<Address> {
         let mut accounts = HashSet::new();
         for transfers in self.transfers_by_nft.values() {
             for transfer in transfers {
@@ -169,6 +218,8 @@ impl Dataset {
                 accounts.insert(transfer.to);
             }
         }
+        let mut accounts: Vec<Address> = accounts.into_iter().collect();
+        accounts.sort_unstable();
         accounts
     }
 
@@ -186,8 +237,14 @@ impl Dataset {
             volume_usd: f64,
         }
         let mut per_market: HashMap<Address, Accumulator> = HashMap::new();
-        for transfers in self.transfers_by_nft.values() {
-            for transfer in transfers {
+        // Iterate NFTs in sorted order: the volume fields are f64 sums, and
+        // floating-point addition is order-sensitive, so summing in HashMap
+        // iteration order would make the totals differ in the last ulp from
+        // run to run (and between batch and streaming datasets).
+        let mut nfts: Vec<&NftId> = self.transfers_by_nft.keys().collect();
+        nfts.sort();
+        for nft in nfts {
+            for transfer in &self.transfers_by_nft[nft] {
                 let Some(market) = transfer.marketplace else {
                     continue;
                 };
@@ -357,12 +414,31 @@ mod tests {
     }
 
     #[test]
-    fn accounts_cover_all_transfer_parties() {
+    fn accounts_cover_all_transfer_parties_in_sorted_order() {
         let (chain, _tokens, directory, _) = build_world();
         let dataset = Dataset::build(&chain, &directory);
         let accounts = dataset.accounts();
         assert!(accounts.contains(&Address::derived("alice")));
         assert!(accounts.contains(&Address::derived("bob")));
         assert!(accounts.contains(&Address::NULL));
+        assert!(accounts.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+    }
+
+    #[test]
+    fn incremental_application_matches_one_shot_build() {
+        let (chain, _tokens, directory, _) = build_world();
+        let batch = Dataset::build(&chain, &directory);
+        // Replay the same logs in two slices through the incremental seam.
+        let entries = chain.logs(&Dataset::transfer_filter());
+        let mut incremental = Dataset::default();
+        let split = entries.len() / 2;
+        let first = incremental.apply_entries(&chain, &directory, &entries[..split]);
+        let second = incremental.apply_entries(&chain, &directory, &entries[split..]);
+        assert_eq!(first.appended + second.appended, batch.transfer_count());
+        assert!(first.dirty.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(incremental.transfers_by_nft, batch.transfers_by_nft);
+        assert_eq!(incremental.compliant_contracts, batch.compliant_contracts);
+        assert_eq!(incremental.non_compliant_contracts, batch.non_compliant_contracts);
+        assert_eq!(incremental.raw_transfer_events, batch.raw_transfer_events);
     }
 }

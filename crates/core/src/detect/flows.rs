@@ -70,11 +70,14 @@ pub fn common_funder(
         }
     }
 
-    // Prefer an internal funder (the paper finds them 4× as often).
+    // Prefer an internal funder (the paper finds them 4× as often). Degree
+    // ties are broken towards the lowest address: `funded_by` is a HashMap,
+    // so a plain max would pick whichever tied account iteration reached
+    // last — different from run to run.
     let internal = funded_by
         .iter()
         .filter(|(funder, funded)| set.contains(funder) && !funded.is_empty())
-        .max_by_key(|(_, funded)| funded.len())
+        .max_by_key(|(funder, funded)| (funded.len(), std::cmp::Reverse(**funder)))
         .map(|(funder, funded)| FlowEvidence {
             kind: FlowKind::Internal,
             account: *funder,
@@ -88,7 +91,7 @@ pub fn common_funder(
         .filter(|(funder, funded)| {
             !set.contains(funder) && funded.len() >= 2 && !labels.is_exchange_or_defi(**funder)
         })
-        .max_by_key(|(_, funded)| funded.len())
+        .max_by_key(|(funder, funded)| (funded.len(), std::cmp::Reverse(**funder)))
         .map(|(funder, funded)| FlowEvidence {
             kind: FlowKind::External,
             account: *funder,
@@ -143,10 +146,11 @@ pub fn common_exit(
         }
     }
 
+    // Same deterministic tiebreak as the funder side: lowest address wins.
     let internal = received_from
         .iter()
         .filter(|(recipient, senders)| set.contains(recipient) && !senders.is_empty())
-        .max_by_key(|(_, senders)| senders.len())
+        .max_by_key(|(recipient, senders)| (senders.len(), std::cmp::Reverse(**recipient)))
         .map(|(recipient, senders)| FlowEvidence {
             kind: FlowKind::Internal,
             account: *recipient,
@@ -162,7 +166,7 @@ pub fn common_exit(
                 && senders.len() >= 2
                 && !labels.is_exchange_or_defi(**recipient)
         })
-        .max_by_key(|(_, senders)| senders.len())
+        .max_by_key(|(recipient, senders)| (senders.len(), std::cmp::Reverse(**recipient)))
         .map(|(recipient, senders)| FlowEvidence {
             kind: FlowKind::External,
             account: *recipient,

@@ -141,7 +141,7 @@ impl VennCounts {
 }
 
 /// The outcome of running all detectors over the candidates.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DetectionOutcome {
     /// Confirmed wash-trading activities.
     pub confirmed: Vec<ConfirmedActivity>,
@@ -191,19 +191,34 @@ impl<'a> Detector<'a> {
         graphs: &HashMap<NftId, NftGraph>,
         executor: &Executor,
     ) -> DetectionOutcome {
-        let mut evidence = executor.map(candidates, |candidate| self.evaluate(candidate, graphs));
+        let evidence = executor
+            .map(candidates, |candidate| self.evaluate(candidate, graphs.get(&candidate.nft)));
+        Detector::assemble(candidates, evidence)
+    }
 
+    /// Run the leverage pass (§IV-C v) over per-candidate base evidence and
+    /// assemble the final [`DetectionOutcome`] (Venn counts, self-trade and
+    /// rejection tallies).
+    ///
+    /// `evidence[i]` must be the [`Detector::evaluate`] result for
+    /// `candidates[i]` with `leveraged` still `false`. This is a pure
+    /// function of its inputs: the streaming subsystem caches base evidence
+    /// per NFT and re-assembles the global outcome each epoch through this
+    /// same code path, which is what makes the live and batch outcomes
+    /// bit-identical.
+    pub fn assemble(candidates: &[Candidate], mut evidence: Vec<MethodSet>) -> DetectionOutcome {
+        assert_eq!(candidates.len(), evidence.len(), "one evidence record per candidate");
         // Leverage pass: any unconfirmed candidate whose account set matches a
         // confirmed activity's account set is confirmed too.
-        let confirmed_sets: HashSet<Vec<Address>> = candidates
+        let confirmed_sets: HashSet<&[Address]> = candidates
             .iter()
             .zip(evidence.iter())
             .filter(|(_, methods)| methods.confirmed())
-            .map(|(candidate, _)| candidate.accounts.clone())
+            .map(|(candidate, _)| candidate.accounts.as_slice())
             .collect();
         let mut leveraged_only = 0usize;
         for (candidate, methods) in candidates.iter().zip(evidence.iter_mut()) {
-            if !methods.confirmed() && confirmed_sets.contains(&candidate.accounts) {
+            if !methods.confirmed() && confirmed_sets.contains(candidate.accounts.as_slice()) {
                 methods.leveraged = true;
                 leveraged_only += 1;
             }
@@ -226,8 +241,13 @@ impl<'a> Detector<'a> {
         outcome
     }
 
-    fn evaluate(&self, candidate: &Candidate, graphs: &HashMap<NftId, NftGraph>) -> MethodSet {
-        let graph = graphs.get(&candidate.nft);
+    /// Gather the base evidence (zero-risk, common funder, common exit,
+    /// self-trade) for one candidate. Pure per candidate — it reads only the
+    /// candidate, its NFT's graph and the immutable chain/labels — so results
+    /// can be cached and recomputed only when the NFT's graph changes. The
+    /// `leveraged` flag is always `false` here; it is a global property
+    /// assigned by [`Detector::assemble`].
+    pub fn evaluate(&self, candidate: &Candidate, graph: Option<&NftGraph>) -> MethodSet {
         let zero_risk =
             graph.map(|graph| zero_risk::is_zero_risk(graph, &candidate.accounts)).unwrap_or(false);
         let common_funder = flows::common_funder(

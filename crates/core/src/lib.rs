@@ -56,7 +56,7 @@ pub mod stats;
 pub mod txgraph;
 
 pub use characterize::{characterize, Characterization};
-pub use dataset::{Dataset, MarketplaceVolume, NftTransfer};
+pub use dataset::{AppliedEntries, Dataset, MarketplaceVolume, NftTransfer};
 pub use detect::{ConfirmedActivity, DetectionOutcome, Detector, MethodSet, VennCounts};
 pub use parallel::Executor;
 pub use pipeline::{
@@ -64,5 +64,5 @@ pub use pipeline::{
     StageMetrics,
 };
 pub use profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
-pub use refine::{Candidate, RefinementReport, Refiner};
+pub use refine::{aggregate_refinements, Candidate, NftRefinement, RefinementReport, Refiner};
 pub use txgraph::{NftGraph, TradeEdge};

@@ -34,6 +34,14 @@ impl Candidate {
         self.internal_edges.iter().any(|(from, to, _)| from == to)
     }
 
+    /// The key every candidate list in the system is ordered by: the NFT,
+    /// then the component's first (lowest) account. Batch refinement and the
+    /// streaming re-assembly both sort by this key, which is what keeps their
+    /// outputs bit-identical.
+    pub fn sort_key(&self) -> (NftId, Address) {
+        (self.nft, self.accounts.first().copied().unwrap_or(Address::NULL))
+    }
+
     /// The marketplace contract that carries most of the component's volume,
     /// if any of its sales went through a marketplace.
     pub fn dominant_marketplace(&self) -> Option<Address> {
@@ -44,7 +52,12 @@ impl Candidate {
                 *volume_by_market.entry(market).or_insert(0) += edge.price.raw().max(1);
             }
         }
-        volume_by_market.into_iter().max_by_key(|(_, volume)| *volume).map(|(market, _)| market)
+        // Volume ties break towards the lowest address: the accumulator is a
+        // HashMap, so an unkeyed max would follow iteration order.
+        volume_by_market
+            .into_iter()
+            .max_by_key(|(market, volume)| (*volume, std::cmp::Reverse(*market)))
+            .map(|(market, _)| market)
     }
 
     /// Lifetime of the component's activity in whole days.
@@ -83,11 +96,77 @@ pub struct Refiner<'a> {
     labels: &'a LabelRegistry,
 }
 
-struct PerNftOutcome {
-    initial: Vec<Vec<Address>>,
-    after_service: Vec<Vec<Address>>,
-    after_contract: Vec<Vec<Address>>,
-    candidates: Vec<Candidate>,
+/// The complete refinement outcome for one NFT graph: the suspicious
+/// components surviving each §IV-B stage, plus the final candidates.
+///
+/// Produced by [`Refiner::refine_nft`], which is a pure function of the graph
+/// (given the chain and labels), so outcomes can be cached per NFT and only
+/// recomputed when the graph changes — the seam the streaming subsystem's
+/// dirty-set scheduler is built on. [`aggregate_refinements`] folds any
+/// collection of outcomes into the [`RefinementReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NftRefinement {
+    /// Suspicious components of the raw graph (accounts sorted per component).
+    pub initial: Vec<Vec<Address>>,
+    /// Components surviving the service-account removal.
+    pub after_service: Vec<Vec<Address>>,
+    /// Components additionally surviving the contract-account removal.
+    pub after_contract: Vec<Vec<Address>>,
+    /// Components surviving the zero-volume filter, as full candidates.
+    pub candidates: Vec<Candidate>,
+}
+
+impl NftRefinement {
+    /// Whether the graph produced no suspicious component at any stage.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty()
+            && self.after_service.is_empty()
+            && self.after_contract.is_empty()
+            && self.candidates.is_empty()
+    }
+}
+
+/// Fold per-NFT refinement outcomes into the §IV-B per-stage counts.
+///
+/// Pure aggregation: counts are additive and account totals are set
+/// cardinalities, so the result is independent of iteration order —
+/// [`Refiner::refine_with`] and the streaming re-aggregation share it.
+pub fn aggregate_refinements<'a>(
+    outcomes: impl IntoIterator<Item = &'a NftRefinement>,
+) -> RefinementReport {
+    let mut report = RefinementReport::default();
+    let mut initial_accounts = std::collections::HashSet::new();
+    let mut service_accounts = std::collections::HashSet::new();
+    let mut contract_accounts = std::collections::HashSet::new();
+    let mut final_accounts = std::collections::HashSet::new();
+    for outcome in outcomes {
+        if !outcome.initial.is_empty() {
+            report.initial.nfts += 1;
+            report.initial.components += outcome.initial.len();
+            initial_accounts.extend(outcome.initial.iter().flatten().copied());
+        }
+        if !outcome.after_service.is_empty() {
+            report.after_service_removal.nfts += 1;
+            report.after_service_removal.components += outcome.after_service.len();
+            service_accounts.extend(outcome.after_service.iter().flatten().copied());
+        }
+        if !outcome.after_contract.is_empty() {
+            report.after_contract_removal.nfts += 1;
+            report.after_contract_removal.components += outcome.after_contract.len();
+            contract_accounts.extend(outcome.after_contract.iter().flatten().copied());
+        }
+        if !outcome.candidates.is_empty() {
+            report.after_zero_volume.nfts += 1;
+            report.after_zero_volume.components += outcome.candidates.len();
+            final_accounts
+                .extend(outcome.candidates.iter().flat_map(|c| c.accounts.iter().copied()));
+        }
+    }
+    report.initial.accounts = initial_accounts.len();
+    report.after_service_removal.accounts = service_accounts.len();
+    report.after_contract_removal.accounts = contract_accounts.len();
+    report.after_zero_volume.accounts = final_accounts.len();
+    report
 }
 
 impl<'a> Refiner<'a> {
@@ -112,55 +191,21 @@ impl<'a> Refiner<'a> {
         graphs: &[NftGraph],
         executor: &Executor,
     ) -> (Vec<Candidate>, RefinementReport) {
-        let outcomes = executor.map(graphs, |graph| self.refine_one(graph));
-
-        let mut candidates = Vec::new();
-        let mut report = RefinementReport::default();
-        let mut initial_accounts = std::collections::HashSet::new();
-        let mut service_accounts = std::collections::HashSet::new();
-        let mut contract_accounts = std::collections::HashSet::new();
-        let mut final_accounts = std::collections::HashSet::new();
-        for outcome in outcomes {
-            if !outcome.initial.is_empty() {
-                report.initial.nfts += 1;
-                report.initial.components += outcome.initial.len();
-                initial_accounts.extend(outcome.initial.iter().flatten().copied());
-            }
-            if !outcome.after_service.is_empty() {
-                report.after_service_removal.nfts += 1;
-                report.after_service_removal.components += outcome.after_service.len();
-                service_accounts.extend(outcome.after_service.iter().flatten().copied());
-            }
-            if !outcome.after_contract.is_empty() {
-                report.after_contract_removal.nfts += 1;
-                report.after_contract_removal.components += outcome.after_contract.len();
-                contract_accounts.extend(outcome.after_contract.iter().flatten().copied());
-            }
-            if !outcome.candidates.is_empty() {
-                report.after_zero_volume.nfts += 1;
-                report.after_zero_volume.components += outcome.candidates.len();
-                final_accounts
-                    .extend(outcome.candidates.iter().flat_map(|c| c.accounts.iter().copied()));
-            }
-            candidates.extend(outcome.candidates);
-        }
-        report.initial.accounts = initial_accounts.len();
-        report.after_service_removal.accounts = service_accounts.len();
-        report.after_contract_removal.accounts = contract_accounts.len();
-        report.after_zero_volume.accounts = final_accounts.len();
-        candidates.sort_by_key(|c| (c.nft, c.accounts.first().copied().unwrap_or(Address::NULL)));
+        let outcomes = executor.map(graphs, |graph| self.refine_nft(graph));
+        let report = aggregate_refinements(outcomes.iter());
+        let mut candidates: Vec<Candidate> =
+            outcomes.into_iter().flat_map(|outcome| outcome.candidates).collect();
+        candidates.sort_by_key(Candidate::sort_key);
         (candidates, report)
     }
 
-    fn refine_one(&self, graph: &NftGraph) -> PerNftOutcome {
+    /// Refine a single NFT graph through every §IV-B stage. Pure with respect
+    /// to the graph (chain and labels are read-only), so the outcome can be
+    /// cached and recomputed only when the graph gains edges.
+    pub fn refine_nft(&self, graph: &NftGraph) -> NftRefinement {
         let initial = graph.suspicious_account_sets();
         if initial.is_empty() {
-            return PerNftOutcome {
-                initial,
-                after_service: Vec::new(),
-                after_contract: Vec::new(),
-                candidates: Vec::new(),
-            };
+            return NftRefinement::default();
         }
 
         // Stage 1: drop labelled service accounts and the null address.
@@ -176,7 +221,7 @@ impl<'a> Refiner<'a> {
             .filter_map(|accounts| self.candidate_from(graph, accounts))
             .collect();
 
-        PerNftOutcome {
+        NftRefinement {
             initial,
             after_service: without_service,
             after_contract: without_contracts,

@@ -37,9 +37,18 @@ pub struct NftGraph {
 }
 
 impl NftGraph {
-    /// Build the graph from an NFT's chronological transfer list.
-    pub fn from_transfers(nft: NftId, transfers: &[NftTransfer]) -> Self {
-        let mut graph = DiMultiGraph::new();
+    /// An empty graph for an NFT, ready to receive transfers incrementally
+    /// through [`NftGraph::apply_transfers`].
+    pub fn new(nft: NftId) -> Self {
+        NftGraph { nft, graph: DiMultiGraph::new() }
+    }
+
+    /// Append transfers to the graph in the given order. Feeding an NFT's
+    /// history through any sequence of `apply_transfers` calls produces a
+    /// graph identical to a one-shot [`NftGraph::from_transfers`] over the
+    /// concatenation — the seam the streaming subsystem uses to grow graphs
+    /// epoch by epoch instead of rebuilding them.
+    pub fn apply_transfers(&mut self, transfers: &[NftTransfer]) {
         for transfer in transfers {
             let edge = TradeEdge {
                 timestamp: transfer.timestamp,
@@ -47,9 +56,15 @@ impl NftGraph {
                 marketplace: transfer.marketplace,
                 price: transfer.price,
             };
-            graph.add_edge_by_key(transfer.from, transfer.to, edge);
+            self.graph.add_edge_by_key(transfer.from, transfer.to, edge);
         }
-        NftGraph { nft, graph }
+    }
+
+    /// Build the graph from an NFT's chronological transfer list.
+    pub fn from_transfers(nft: NftId, transfers: &[NftTransfer]) -> Self {
+        let mut graph = NftGraph::new(nft);
+        graph.apply_transfers(transfers);
+        graph
     }
 
     /// Build graphs for every NFT in a dataset using one thread per
@@ -198,6 +213,26 @@ mod tests {
         assert_eq!(suspicious, vec![vec![Address::derived("selfish")]]);
         let shape = graph.shape_of(&suspicious[0]);
         assert_eq!(shape, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn incremental_application_matches_one_shot_build() {
+        let nft = NftId::new(Address::derived("collection"), 1);
+        let transfers = vec![
+            transfer(nft, "minter", "washer-a", 0.0, 100),
+            transfer(nft, "washer-a", "washer-b", 1.0, 200),
+            transfer(nft, "washer-b", "washer-a", 1.0, 300),
+            transfer(nft, "washer-a", "victim", 5.0, 400),
+        ];
+        let batch = NftGraph::from_transfers(nft, &transfers);
+        let mut incremental = NftGraph::new(nft);
+        incremental.apply_transfers(&transfers[..2]);
+        incremental.apply_transfers(&transfers[2..]);
+        assert_eq!(incremental.graph.node_count(), batch.graph.node_count());
+        assert_eq!(incremental.graph.edge_count(), batch.graph.edge_count());
+        assert_eq!(incremental.suspicious_account_sets(), batch.suspicious_account_sets());
+        let component = vec![Address::derived("washer-a"), Address::derived("washer-b")];
+        assert_eq!(incremental.edges_among(&component), batch.edges_among(&component));
     }
 
     #[test]

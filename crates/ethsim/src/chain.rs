@@ -482,21 +482,59 @@ impl Chain {
     pub fn logs(&self, filter: &LogFilter) -> Vec<LogEntry> {
         let mut out = Vec::new();
         for hash in &self.tx_order {
-            let tx = &self.transactions[hash];
-            for (log_index, log) in tx.logs.iter().enumerate() {
-                let entry = LogEntry {
-                    tx_hash: tx.hash,
-                    block: tx.block,
-                    timestamp: tx.timestamp,
-                    log_index,
-                    log: log.clone(),
-                };
-                if filter.matches(&entry) {
-                    out.push(entry);
-                }
+            self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
+        }
+        out
+    }
+
+    /// Scan logs of the blocks in `[from, to]` (inclusive; the open block
+    /// included when it falls in range), in execution order.
+    ///
+    /// Equivalent to [`Chain::logs`] with a block-range filter, but touches
+    /// only the requested blocks instead of the whole transaction history —
+    /// the access path a block cursor tailing the chain epoch by epoch needs
+    /// to keep per-epoch cost proportional to the epoch, not the chain.
+    pub fn logs_in_blocks(
+        &self,
+        from: BlockNumber,
+        to: BlockNumber,
+        filter: &LogFilter,
+    ) -> Vec<LogEntry> {
+        let mut out = Vec::new();
+        if from > to {
+            return out;
+        }
+        // Sealed blocks are contiguous from 0, so block `n` sits at index `n`.
+        let start = from.0 as usize;
+        for block in self.blocks.iter().skip(start) {
+            if block.number > to {
+                break;
+            }
+            for hash in &block.transactions {
+                self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
+            }
+        }
+        if self.open_block.number >= from && self.open_block.number <= to {
+            for hash in &self.open_block.transactions {
+                self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
             }
         }
         out
+    }
+
+    fn collect_tx_logs(&self, tx: &Transaction, filter: &LogFilter, out: &mut Vec<LogEntry>) {
+        for (log_index, log) in tx.logs.iter().enumerate() {
+            let entry = LogEntry {
+                tx_hash: tx.hash,
+                block: tx.block,
+                timestamp: tx.timestamp,
+                log_index,
+                log: log.clone(),
+            };
+            if filter.matches(&entry) {
+                out.push(entry);
+            }
+        }
     }
 
     /// Aggregate statistics for reporting.
@@ -741,6 +779,41 @@ mod tests {
         let middle = chain.logs(&LogFilter::all().with_block_range(BlockNumber(1), BlockNumber(1)));
         assert_eq!(middle.len(), 1);
         assert_eq!(middle[0].log.decode_erc721_transfer().unwrap().token_id, 1);
+    }
+
+    #[test]
+    fn logs_in_blocks_matches_filtered_full_scan() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        for i in 0..5u64 {
+            let request = TxRequest {
+                from: alice,
+                to: Some(nft),
+                value: Wei::ZERO,
+                gas_used: 90_000,
+                gas_price: Wei::from_gwei(10),
+                input: vec![],
+                logs: vec![Log::erc721_transfer(nft, alice, bob, i)],
+                internal_transfers: vec![],
+            };
+            chain.submit(request).unwrap();
+            // Leave the last transaction in the open block.
+            if i < 4 {
+                chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+            }
+        }
+        let filter = LogFilter::all();
+        for (from, to) in [(0, 2), (1, 3), (0, 4), (4, 4), (3, 9)] {
+            let fast = chain.logs_in_blocks(BlockNumber(from), BlockNumber(to), &filter);
+            let slow =
+                chain.logs(&filter.clone().with_block_range(BlockNumber(from), BlockNumber(to)));
+            assert_eq!(fast, slow, "range {from}..={to}");
+        }
+        // The open block (number 4) is covered.
+        assert_eq!(chain.logs_in_blocks(BlockNumber(4), BlockNumber(4), &filter).len(), 1);
+        // An empty / inverted range yields nothing.
+        assert!(chain.logs_in_blocks(BlockNumber(3), BlockNumber(2), &filter).is_empty());
+        assert!(chain.logs_in_blocks(BlockNumber(9), BlockNumber(12), &filter).is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The block cursor: a watermark over an [`ethsim::Chain`] that hands out
+//! contiguous, non-overlapping epochs of blocks for incremental ingestion.
+
+use ethsim::{BlockNumber, Chain};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of blocks forming one ingestion epoch (inclusive on
+/// both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochSpan {
+    /// First block of the epoch.
+    pub first: BlockNumber,
+    /// Last block of the epoch (inclusive).
+    pub last: BlockNumber,
+}
+
+impl EpochSpan {
+    /// Number of blocks covered by the span.
+    pub fn blocks(&self) -> u64 {
+        self.last.0 - self.first.0 + 1
+    }
+}
+
+/// Tails a chain from a watermark block, producing [`EpochSpan`]s that cover
+/// every block exactly once.
+///
+/// The cursor reads up to and including the chain's currently open block, so
+/// after draining to the tip the consumed range equals what a batch scan
+/// sees. When the open block later receives more transactions *and* the
+/// cursor already consumed it, those transactions are skipped — tail a live
+/// chain only past sealed blocks (or after the producer has quiesced), as
+/// any log-range consumer must.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlockCursor {
+    next: BlockNumber,
+}
+
+impl BlockCursor {
+    /// A cursor starting at the genesis block.
+    pub fn new() -> Self {
+        BlockCursor::default()
+    }
+
+    /// A cursor resuming from a watermark: `next` is the first block that has
+    /// *not* been ingested yet.
+    pub fn from_watermark(next: BlockNumber) -> Self {
+        BlockCursor { next }
+    }
+
+    /// The first block the next epoch will cover.
+    pub fn watermark(&self) -> BlockNumber {
+        self.next
+    }
+
+    /// Whether every block currently on the chain has been handed out.
+    pub fn is_caught_up(&self, chain: &Chain) -> bool {
+        self.next > chain.current_block_number()
+    }
+
+    /// Hand out the next epoch of at most `max_blocks` blocks, advancing the
+    /// watermark past it. Returns `None` once the cursor is caught up with
+    /// the chain tip (the open block included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_blocks` is zero.
+    pub fn next_epoch(&mut self, chain: &Chain, max_blocks: u64) -> Option<EpochSpan> {
+        assert!(max_blocks > 0, "an epoch must cover at least one block");
+        let tip = chain.current_block_number();
+        if self.next > tip {
+            return None;
+        }
+        // Saturating: `max_blocks = u64::MAX` ("everything in one epoch")
+        // must clamp to the tip, not overflow.
+        let last = BlockNumber(self.next.0.saturating_add(max_blocks - 1).min(tip.0));
+        let span = EpochSpan { first: self.next, last };
+        self.next = BlockNumber(last.0 + 1);
+        Some(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::Timestamp;
+
+    fn chain_with_blocks(sealed: u64) -> Chain {
+        let mut chain = Chain::new(Timestamp::from_secs(1_000));
+        for i in 0..sealed {
+            chain.seal_block(Timestamp::from_secs(1_000 + (i + 1) * 13)).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn epochs_cover_every_block_exactly_once() {
+        let chain = chain_with_blocks(9); // blocks 0..=9, block 9 open
+        let mut cursor = BlockCursor::new();
+        let mut covered = Vec::new();
+        while let Some(span) = cursor.next_epoch(&chain, 4) {
+            covered.extend(span.first.0..=span.last.0);
+        }
+        assert_eq!(covered, (0..=9).collect::<Vec<_>>());
+        assert!(cursor.is_caught_up(&chain));
+        assert!(cursor.next_epoch(&chain, 4).is_none());
+    }
+
+    #[test]
+    fn cursor_resumes_from_watermark_and_follows_growth() {
+        let mut chain = chain_with_blocks(3);
+        let mut cursor = BlockCursor::from_watermark(BlockNumber(2));
+        let span = cursor.next_epoch(&chain, 10).unwrap();
+        assert_eq!((span.first, span.last), (BlockNumber(2), BlockNumber(3)));
+        assert_eq!(span.blocks(), 2);
+        assert!(cursor.is_caught_up(&chain));
+        // The chain grows: the cursor picks up the new blocks.
+        chain.seal_block(Timestamp::from_secs(10_000)).unwrap();
+        let span = cursor.next_epoch(&chain, 10).unwrap();
+        assert_eq!((span.first, span.last), (BlockNumber(4), BlockNumber(4)));
+        assert_eq!(cursor.watermark(), BlockNumber(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_sized_epochs_are_rejected() {
+        let chain = chain_with_blocks(1);
+        BlockCursor::new().next_epoch(&chain, 0);
+    }
+
+    #[test]
+    fn huge_epoch_budgets_clamp_to_the_tip() {
+        let chain = chain_with_blocks(3);
+        let mut cursor = BlockCursor::new();
+        cursor.next_epoch(&chain, 2).unwrap();
+        let span = cursor.next_epoch(&chain, u64::MAX).unwrap();
+        assert_eq!((span.first, span.last), (BlockNumber(2), BlockNumber(3)));
+        assert!(cursor.is_caught_up(&chain));
+    }
+}

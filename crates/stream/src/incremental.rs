@@ -1,0 +1,172 @@
+//! Incremental dataset and graph maintenance: append-only layers over
+//! `washtrade`'s [`Dataset`] and [`NftGraph`] that grow with each ingested
+//! epoch instead of being rebuilt from scratch.
+
+use std::collections::HashMap;
+
+use ethsim::Chain;
+use marketplace::MarketplaceDirectory;
+use tokens::NftId;
+use washtrade::dataset::Dataset;
+use washtrade::txgraph::NftGraph;
+
+use crate::cursor::EpochSpan;
+
+/// What one ingested epoch changed in the dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppendDelta {
+    /// NFTs that gained at least one transfer, in ascending order.
+    pub dirty: Vec<NftId>,
+    /// Raw ERC-721-shaped logs scanned in the epoch (before compliance).
+    pub raw_events: usize,
+    /// Compliant transfers appended.
+    pub transfers: usize,
+}
+
+/// A [`Dataset`] grown epoch by epoch through the incremental
+/// [`Dataset::apply_entries`] seam.
+///
+/// Feeding a chain's blocks through `apply_span` in any epoch partition
+/// produces a dataset identical to a one-shot [`Dataset::build`] over the
+/// same chain (compliance verdicts are cached across epochs, per-NFT
+/// histories stay sorted).
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalDataset {
+    inner: Dataset,
+}
+
+impl IncrementalDataset {
+    /// An empty dataset, no blocks ingested yet.
+    pub fn new() -> Self {
+        IncrementalDataset::default()
+    }
+
+    /// Scan the span's blocks for ERC-721 transfers and append them,
+    /// returning what changed.
+    pub fn apply_span(
+        &mut self,
+        chain: &Chain,
+        directory: &MarketplaceDirectory,
+        span: EpochSpan,
+    ) -> AppendDelta {
+        let entries = chain.logs_in_blocks(span.first, span.last, &Dataset::transfer_filter());
+        let raw_events = entries.len();
+        let applied = self.inner.apply_entries(chain, directory, &entries);
+        AppendDelta { dirty: applied.dirty, raw_events, transfers: applied.appended }
+    }
+
+    /// The dataset accumulated so far.
+    pub fn dataset(&self) -> &Dataset {
+        &self.inner
+    }
+
+    /// Consume the layer, yielding the accumulated dataset.
+    pub fn into_dataset(self) -> Dataset {
+        self.inner
+    }
+}
+
+/// Per-NFT transaction graphs maintained in place: each sync appends only the
+/// transfers an NFT gained since its last sync, via the incremental
+/// [`NftGraph::apply_transfers`] seam.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalGraphs {
+    graphs: HashMap<NftId, NftGraph>,
+    /// How many of each NFT's dataset transfers are already in its graph.
+    applied: HashMap<NftId, usize>,
+}
+
+impl IncrementalGraphs {
+    /// No graphs yet.
+    pub fn new() -> Self {
+        IncrementalGraphs::default()
+    }
+
+    /// Bring the graphs of the `dirty` NFTs up to date with `dataset`,
+    /// appending each NFT's unseen transfer suffix to its graph (creating the
+    /// graph on first sight).
+    ///
+    /// Sound because epoch ingestion only ever *appends* to a per-NFT
+    /// history: the unseen suffix is exactly the new transfers, so the grown
+    /// graph equals a from-scratch [`NftGraph::from_transfers`] over the full
+    /// history.
+    pub fn sync(&mut self, dataset: &Dataset, dirty: &[NftId]) {
+        for nft in dirty {
+            let Some(transfers) = dataset.transfers_by_nft.get(nft) else {
+                continue;
+            };
+            let seen = self.applied.entry(*nft).or_insert(0);
+            if *seen >= transfers.len() {
+                continue;
+            }
+            let graph = self.graphs.entry(*nft).or_insert_with(|| NftGraph::new(*nft));
+            graph.apply_transfers(&transfers[*seen..]);
+            *seen = transfers.len();
+        }
+    }
+
+    /// The graph of one NFT, if it has any transfers yet.
+    pub fn get(&self, nft: NftId) -> Option<&NftGraph> {
+        self.graphs.get(&nft)
+    }
+
+    /// Number of NFTs with a graph.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether no NFT has a graph yet.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Address, BlockNumber, Timestamp, TxHash, Wei};
+    use washtrade::dataset::NftTransfer;
+
+    fn transfer(nft: NftId, from: &str, to: &str, block: u64) -> NftTransfer {
+        NftTransfer {
+            nft,
+            from: Address::derived(from),
+            to: Address::derived(to),
+            tx_hash: TxHash::hash_of(format!("{from}->{to}@{block}").as_bytes()),
+            block: BlockNumber(block),
+            timestamp: Timestamp::from_secs(block * 13),
+            price: Wei::from_eth(1.0),
+            marketplace: None,
+        }
+    }
+
+    #[test]
+    fn sync_appends_only_the_unseen_suffix() {
+        let nft = NftId::new(Address::derived("c"), 1);
+        let mut dataset = Dataset::default();
+        dataset
+            .transfers_by_nft
+            .insert(nft, vec![transfer(nft, "a", "b", 1), transfer(nft, "b", "a", 2)]);
+
+        let mut graphs = IncrementalGraphs::new();
+        graphs.sync(&dataset, &[nft]);
+        assert_eq!(graphs.get(nft).unwrap().graph.edge_count(), 2);
+
+        // Re-syncing without new transfers is a no-op.
+        graphs.sync(&dataset, &[nft]);
+        assert_eq!(graphs.get(nft).unwrap().graph.edge_count(), 2);
+
+        // A new transfer arrives: only it is appended.
+        dataset.transfers_by_nft.get_mut(&nft).unwrap().push(transfer(nft, "a", "c", 3));
+        graphs.sync(&dataset, &[nft]);
+        let grown = graphs.get(nft).unwrap();
+        assert_eq!(grown.graph.edge_count(), 3);
+
+        // And the grown graph equals a from-scratch build.
+        let batch = NftGraph::from_transfers(nft, &dataset.transfers_by_nft[&nft]);
+        assert_eq!(grown.suspicious_account_sets(), batch.suspicious_account_sets());
+        assert_eq!(grown.graph.node_count(), batch.graph.node_count());
+        assert_eq!(graphs.len(), 1);
+        assert!(!graphs.is_empty());
+    }
+}

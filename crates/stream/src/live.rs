@@ -1,0 +1,402 @@
+//! The live analyzer: a dirty-set scheduler over the incremental dataset and
+//! graphs that keeps a [`LiveReport`] continuously up to date and guarantees
+//! convergence to the batch result at the chain tip (see the mid-stream
+//! semantics note on [`StreamAnalyzer`] for what "up to date" means before
+//! the tip).
+//!
+//! Per epoch, only the NFTs touched by new transfers are re-refined and
+//! re-evaluated (a pure per-NFT computation, fanned out over the shared
+//! [`Executor`]); the global artifacts — leverage pass, Venn counts,
+//! refinement report, characterization — are then re-assembled from the
+//! per-NFT caches through the exact same code paths the batch pipeline uses.
+//! That shared-code-path design is what makes the headline invariant hold:
+//! after ingesting all epochs, the live report is bit-identical to batch
+//! analysis of the same chain, at any epoch size and thread count.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use ethsim::{BlockNumber, Wei};
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+use washtrade::characterize::{characterize, Characterization};
+use washtrade::detect::{DetectionOutcome, Detector, MethodSet};
+use washtrade::parallel::Executor;
+use washtrade::pipeline::{AnalysisInput, AnalysisOptions};
+use washtrade::refine::{
+    aggregate_refinements, Candidate, NftRefinement, RefinementReport, Refiner,
+};
+use washtrade::txgraph::NftGraph;
+
+use crate::cursor::BlockCursor;
+use crate::incremental::{IncrementalDataset, IncrementalGraphs};
+
+/// What one ingested epoch changed, as reported back to the caller and kept
+/// in [`LiveReport::epochs`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochDelta {
+    /// Zero-based epoch index.
+    pub index: usize,
+    /// First block of the epoch.
+    pub first_block: BlockNumber,
+    /// Last block of the epoch (inclusive).
+    pub last_block: BlockNumber,
+    /// Raw ERC-721-shaped logs scanned.
+    pub raw_events: usize,
+    /// Compliant transfers appended.
+    pub transfers: usize,
+    /// NFTs whose graphs changed — the only NFTs re-refined and re-detected
+    /// this epoch (the dirty-set metric).
+    pub dirty_nfts: usize,
+    /// Total NFTs known after the epoch, for comparison with `dirty_nfts`.
+    pub total_nfts: usize,
+    /// NFTs newly confirmed as wash-traded this epoch, ascending.
+    pub new_suspects: Vec<NftId>,
+    /// Previously confirmed NFTs no longer confirmed (components can merge as
+    /// edges arrive, changing the surviving candidate set).
+    pub lost_suspects: usize,
+    /// Confirmed activities after the epoch.
+    pub confirmed_total: usize,
+    /// Wall-clock time of the epoch's ingestion + re-detection, nanoseconds.
+    pub wall_time_ns: u64,
+}
+
+impl EpochDelta {
+    /// Number of blocks the epoch covered.
+    pub fn blocks(&self) -> u64 {
+        self.last_block.0 - self.first_block.0 + 1
+    }
+
+    /// The epoch's wall-clock time as a [`Duration`].
+    pub fn wall_time(&self) -> Duration {
+        Duration::from_nanos(self.wall_time_ns)
+    }
+}
+
+/// The continuously maintained analysis state, exposing the same §IV-B/§IV-C
+/// and §V numbers as the batch `AnalysisReport` plus the per-epoch history.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// §IV-B: counts after each refinement stage.
+    pub refinement: RefinementReport,
+    /// §IV-C/D: confirmed activities and method overlap.
+    pub detection: DetectionOutcome,
+    /// §V: volumes, temporal behaviour, patterns, serial traders.
+    pub characterization: Characterization,
+    /// Distinct NFTs with at least one compliant transfer.
+    pub dataset_nfts: usize,
+    /// Compliant transfers ingested.
+    pub dataset_transfers: usize,
+    /// Raw ERC-721-shaped logs scanned (before the compliance filter).
+    pub raw_transfer_events: usize,
+    /// Contracts passing the compliance probe.
+    pub compliant_contracts: usize,
+    /// Contracts failing the probe.
+    pub non_compliant_contracts: usize,
+    /// The cursor watermark: first block not yet ingested.
+    pub watermark: BlockNumber,
+    /// One delta per ingested epoch, in order.
+    pub epochs: Vec<EpochDelta>,
+}
+
+/// The streaming status of one NFT, as answered by
+/// [`StreamAnalyzer::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NftStatus {
+    /// No transfer of this NFT has been ingested.
+    Unseen,
+    /// The NFT has transfers but no suspicious component.
+    Clean {
+        /// Transfers ingested for the NFT.
+        transfers: usize,
+    },
+    /// Suspicious components survive refinement but none is confirmed.
+    Candidate {
+        /// Surviving candidate components.
+        components: usize,
+    },
+    /// At least one component is confirmed as wash trading.
+    Confirmed {
+        /// Confirmed activities on the NFT.
+        activities: usize,
+        /// Total confirmed wash volume on the NFT.
+        volume: Wei,
+    },
+}
+
+/// Tunables for a [`StreamAnalyzer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamOptions {
+    /// Thread budget for the per-epoch dirty-set fan-out; `0` (the default)
+    /// means one thread per available core. Results are bit-identical at any
+    /// value.
+    pub threads: usize,
+}
+
+impl StreamOptions {
+    /// Options pinned to a single thread.
+    pub fn single_threaded() -> Self {
+        StreamOptions { threads: 1 }
+    }
+
+    /// Adopt the thread budget of batch [`AnalysisOptions`].
+    pub fn from_analysis(options: AnalysisOptions) -> Self {
+        StreamOptions { threads: options.threads }
+    }
+}
+
+/// Cached per-NFT analysis state: the refinement outcome and the base
+/// detection evidence for each of its candidates, valid until the NFT's
+/// graph next changes.
+#[derive(Debug, Clone)]
+struct NftState {
+    refinement: NftRefinement,
+    evidence: Vec<MethodSet>,
+}
+
+/// The streaming analyzer: owns the cursor, the incremental layers, the
+/// per-NFT caches and the live report.
+///
+/// # Mid-stream semantics
+///
+/// Graphs and candidates are built strictly from the ingested prefix, but
+/// the flow evidence (`common_funder` / `common_exit`) scans the chain's
+/// account histories, which on an already-materialized chain include blocks
+/// past the watermark. Mid-stream confirmations are therefore
+/// *final-chain-informed*: an activity whose exit sweep lies in a future
+/// epoch can already be confirmed when its trades arrive. This is the right
+/// behaviour when catching up over history (no detection flapping while the
+/// evidence is already on disk), and it vanishes at the tip: once every
+/// block is ingested, the [`LiveReport`] is bit-identical to batch
+/// `analyze()` — the invariant the equivalence suite enforces. A true
+/// prefix-only mid-stream view would need per-account dirty tracking so
+/// cached evidence could expire as the watermark moves; that is future work.
+pub struct StreamAnalyzer<'a> {
+    input: AnalysisInput<'a>,
+    executor: Executor,
+    cursor: BlockCursor,
+    dataset: IncrementalDataset,
+    graphs: IncrementalGraphs,
+    states: BTreeMap<NftId, NftState>,
+    confirmed_nfts: BTreeSet<NftId>,
+    first_confirmed: HashMap<NftId, BlockNumber>,
+    live: LiveReport,
+}
+
+impl<'a> StreamAnalyzer<'a> {
+    /// A fresh analyzer over the given inputs, cursor at genesis, nothing
+    /// ingested.
+    pub fn new(input: AnalysisInput<'a>, options: StreamOptions) -> Self {
+        let empty = IncrementalDataset::new();
+        let live = LiveReport {
+            refinement: RefinementReport::default(),
+            detection: DetectionOutcome::default(),
+            characterization: characterize(&[], empty.dataset(), input.directory, input.oracle),
+            dataset_nfts: 0,
+            dataset_transfers: 0,
+            raw_transfer_events: 0,
+            compliant_contracts: 0,
+            non_compliant_contracts: 0,
+            watermark: BlockNumber(0),
+            epochs: Vec::new(),
+        };
+        StreamAnalyzer {
+            input,
+            executor: Executor::new(options.threads),
+            cursor: BlockCursor::new(),
+            dataset: empty,
+            graphs: IncrementalGraphs::new(),
+            states: BTreeMap::new(),
+            confirmed_nfts: BTreeSet::new(),
+            first_confirmed: HashMap::new(),
+            live,
+        }
+    }
+
+    /// Ingest the next epoch of at most `max_blocks` blocks: append the new
+    /// transfers, grow the touched graphs, re-refine and re-evaluate exactly
+    /// the dirty NFT set, and re-assemble the live report. Returns `None`
+    /// once the cursor is caught up with the chain tip.
+    pub fn ingest_epoch(&mut self, max_blocks: u64) -> Option<EpochDelta> {
+        let span = self.cursor.next_epoch(self.input.chain, max_blocks)?;
+        let started = Instant::now();
+
+        let applied = self.dataset.apply_span(self.input.chain, self.input.directory, span);
+        self.graphs.sync(self.dataset.dataset(), &applied.dirty);
+
+        // Dirty-set re-detection: refinement and base evidence are pure per
+        // NFT, so only the touched graphs are recomputed, fanned out over the
+        // executor. `applied.dirty` is sorted, so the fan-out order — and
+        // with it every downstream artifact — is thread-count independent.
+        let refiner = Refiner::new(self.input.chain, self.input.labels);
+        let detector = Detector::new(self.input.chain, self.input.labels);
+        let dirty_graphs: Vec<&NftGraph> = applied
+            .dirty
+            .iter()
+            .map(|nft| self.graphs.get(*nft).expect("dirty NFT has a synced graph"))
+            .collect();
+        let recomputed: Vec<(NftId, NftState)> = self.executor.map(&dirty_graphs, |graph| {
+            let refinement = refiner.refine_nft(graph);
+            let evidence = refinement
+                .candidates
+                .iter()
+                .map(|candidate| detector.evaluate(candidate, Some(graph)))
+                .collect();
+            (graph.nft, NftState { refinement, evidence })
+        });
+        drop(dirty_graphs);
+        for (nft, state) in recomputed {
+            if state.refinement.is_empty() {
+                self.states.remove(&nft);
+            } else {
+                self.states.insert(nft, state);
+            }
+        }
+
+        self.reassemble(span.last);
+
+        // Delta bookkeeping.
+        let now_confirmed: BTreeSet<NftId> =
+            self.live.detection.confirmed.iter().map(|activity| activity.nft()).collect();
+        let new_suspects: Vec<NftId> =
+            now_confirmed.difference(&self.confirmed_nfts).copied().collect();
+        let lost_suspects = self.confirmed_nfts.difference(&now_confirmed).count();
+        for nft in &new_suspects {
+            // Plain insert, not or_insert: an NFT that lost its confirmation
+            // and regained it later must report the *latest* transition, so
+            // `suspects_since` stays consistent with the epoch delta that
+            // just listed it under `new_suspects`.
+            self.first_confirmed.insert(*nft, span.last);
+        }
+        self.confirmed_nfts = now_confirmed;
+
+        let delta = EpochDelta {
+            index: self.live.epochs.len(),
+            first_block: span.first,
+            last_block: span.last,
+            raw_events: applied.raw_events,
+            transfers: applied.transfers,
+            dirty_nfts: applied.dirty.len(),
+            total_nfts: self.dataset.dataset().nft_count(),
+            new_suspects,
+            lost_suspects,
+            confirmed_total: self.live.detection.confirmed.len(),
+            wall_time_ns: u64::try_from(started.elapsed().as_nanos().max(1)).unwrap_or(u64::MAX),
+        };
+        self.live.epochs.push(delta.clone());
+        Some(delta)
+    }
+
+    /// Ingest epochs of `max_blocks` until caught up with the chain tip;
+    /// returns how many epochs were ingested.
+    pub fn run_to_tip(&mut self, max_blocks: u64) -> usize {
+        let mut epochs = 0;
+        while self.ingest_epoch(max_blocks).is_some() {
+            epochs += 1;
+        }
+        epochs
+    }
+
+    /// Re-assemble the global artifacts from the per-NFT caches, mirroring
+    /// the batch pipeline's refine → detect → characterize tail over the
+    /// ingested prefix.
+    fn reassemble(&mut self, last_block: BlockNumber) {
+        self.live.refinement =
+            aggregate_refinements(self.states.values().map(|state| &state.refinement));
+
+        // Candidates flattened in NFT order, then sorted by the same key the
+        // batch refiner uses — a stable sort, so the live candidate sequence
+        // is identical to the batch one.
+        let mut pairs: Vec<(Candidate, MethodSet)> = self
+            .states
+            .values()
+            .flat_map(|state| {
+                state.refinement.candidates.iter().cloned().zip(state.evidence.iter().copied())
+            })
+            .collect();
+        pairs.sort_by_key(|(candidate, _)| candidate.sort_key());
+        let (candidates, evidence): (Vec<Candidate>, Vec<MethodSet>) = pairs.into_iter().unzip();
+        self.live.detection = Detector::assemble(&candidates, evidence);
+
+        let dataset = self.dataset.dataset();
+        self.live.characterization = characterize(
+            &self.live.detection.confirmed,
+            dataset,
+            self.input.directory,
+            self.input.oracle,
+        );
+        self.live.dataset_nfts = dataset.nft_count();
+        self.live.dataset_transfers = dataset.transfer_count();
+        self.live.raw_transfer_events = dataset.raw_transfer_events;
+        self.live.compliant_contracts = dataset.compliant_contracts.len();
+        self.live.non_compliant_contracts = dataset.non_compliant_contracts.len();
+        self.live.watermark = BlockNumber(last_block.0 + 1);
+    }
+
+    /// The live report as of the last ingested epoch.
+    pub fn report(&self) -> &LiveReport {
+        &self.live
+    }
+
+    /// Whether every block currently on the chain has been ingested.
+    pub fn is_caught_up(&self) -> bool {
+        self.cursor.is_caught_up(self.input.chain)
+    }
+
+    /// The streaming status of one NFT.
+    pub fn status(&self, nft: NftId) -> NftStatus {
+        let confirmed: Vec<&Candidate> = self
+            .live
+            .detection
+            .confirmed
+            .iter()
+            .filter(|activity| activity.nft() == nft)
+            .map(|activity| &activity.candidate)
+            .collect();
+        if !confirmed.is_empty() {
+            return NftStatus::Confirmed {
+                activities: confirmed.len(),
+                volume: confirmed.iter().map(|candidate| candidate.volume).sum(),
+            };
+        }
+        if let Some(state) = self.states.get(&nft) {
+            if !state.refinement.candidates.is_empty() {
+                return NftStatus::Candidate { components: state.refinement.candidates.len() };
+            }
+        }
+        match self.dataset.dataset().transfers_by_nft.get(&nft) {
+            Some(transfers) => NftStatus::Clean { transfers: transfers.len() },
+            None => NftStatus::Unseen,
+        }
+    }
+
+    /// Currently confirmed NFTs whose latest transition into the confirmed
+    /// set happened at or after `block` (measured by the last block of the
+    /// epoch that confirmed them), ascending.
+    pub fn suspects_since(&self, block: BlockNumber) -> Vec<NftId> {
+        let mut suspects: Vec<NftId> = self
+            .first_confirmed
+            .iter()
+            .filter(|(nft, confirmed_at)| {
+                **confirmed_at >= block && self.confirmed_nfts.contains(*nft)
+            })
+            .map(|(nft, _)| *nft)
+            .collect();
+        suspects.sort_unstable();
+        suspects
+    }
+
+    /// The `n` confirmed NFTs with the largest wash volume, descending
+    /// (ties broken by NFT id, so the ranking is deterministic).
+    pub fn top_movers(&self, n: usize) -> Vec<(NftId, Wei)> {
+        let mut volume_by_nft: BTreeMap<NftId, Wei> = BTreeMap::new();
+        for activity in &self.live.detection.confirmed {
+            let entry = volume_by_nft.entry(activity.nft()).or_insert(Wei::ZERO);
+            *entry += activity.candidate.volume;
+        }
+        let mut ranked: Vec<(NftId, Wei)> = volume_by_nft.into_iter().collect();
+        ranked.sort_by_key(|(nft, volume)| (std::cmp::Reverse(*volume), *nft));
+        ranked.truncate(n);
+        ranked
+    }
+}

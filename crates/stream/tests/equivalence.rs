@@ -1,0 +1,178 @@
+//! The headline invariant of the streaming subsystem: after ingesting all
+//! epochs, the [`LiveReport`] is bit-identical to a batch `analyze()` over
+//! the same chain — same wash-trade sets, Venn counts and characterization —
+//! at any epoch size and any thread count. Plus the dirty-set guarantee:
+//! mid-stream epochs re-detect strictly fewer NFTs than the total.
+
+use ethsim::Timestamp;
+use washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport};
+use washtrade_stream::{LiveReport, NftStatus, StreamAnalyzer, StreamOptions};
+use workload::{WorkloadConfig, World};
+
+fn input_of(world: &World) -> AnalysisInput<'_> {
+    AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    }
+}
+
+fn assert_live_equals_batch(live: &LiveReport, batch: &AnalysisReport, context: &str) {
+    assert_eq!(live.detection, batch.detection, "detection diverged ({context})");
+    assert_eq!(live.refinement, batch.refinement, "refinement diverged ({context})");
+    assert_eq!(
+        live.characterization, batch.characterization,
+        "characterization diverged ({context})"
+    );
+    assert_eq!(live.dataset_nfts, batch.dataset_nfts, "NFT count diverged ({context})");
+    assert_eq!(
+        live.dataset_transfers, batch.dataset_transfers,
+        "transfer count diverged ({context})"
+    );
+    assert_eq!(
+        live.raw_transfer_events, batch.raw_transfer_events,
+        "raw event count diverged ({context})"
+    );
+    assert_eq!(
+        (live.compliant_contracts, live.non_compliant_contracts),
+        (batch.compliant_contracts, batch.non_compliant_contracts),
+        "compliance counts diverged ({context})"
+    );
+}
+
+/// A world small enough that the proptest's 96 cases stay fast, while still
+/// containing every ingredient (non-compliant contracts, shuffles, serial
+/// traders) the pipeline filters on.
+fn tiny_config(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        start: Timestamp::from_secs(1_609_459_200),
+        duration_days: 80,
+        collections: 4,
+        non_compliant_collections: 1,
+        erc1155_collections: 1,
+        dex_position_nfts: 2,
+        legit_traders: 12,
+        legit_sales: 30,
+        zero_volume_shuffles: 2,
+        wash_activities: 10,
+        serial_trader_fraction: 0.3,
+        gas_price_gwei: 40,
+    }
+}
+
+#[test]
+fn live_report_matches_batch_at_any_thread_count() {
+    let world = World::generate(WorkloadConfig::small(2024)).expect("world");
+    let input = input_of(&world);
+    let batch = analyze_with(input, AnalysisOptions::single_threaded());
+    assert!(!batch.detection.confirmed.is_empty(), "world must contain detectable activity");
+
+    let plan = world.epoch_plan(4);
+    assert!(plan.len() >= 3, "the straddling plan must produce at least 3 epochs");
+    for threads in [1, 0] {
+        let mut live = StreamAnalyzer::new(input, StreamOptions { threads });
+        let mut deltas = Vec::new();
+        for budget in plan.budgets() {
+            deltas.push(live.ingest_epoch(budget).expect("plan budgets cover the chain"));
+        }
+        assert!(live.is_caught_up());
+        assert!(live.ingest_epoch(1).is_none());
+        assert_live_equals_batch(live.report(), &batch, &format!("threads = {threads}"));
+
+        // Dirty-set guarantee: once the NFT population is established, an
+        // epoch re-detects strictly fewer NFTs than the total.
+        let mid_stream = deltas.iter().skip(1).find(|d| d.total_nfts > 0).expect("mid epochs");
+        assert!(
+            mid_stream.dirty_nfts < mid_stream.total_nfts,
+            "epoch {} re-detected every NFT ({} of {}), dirty-set scheduling is broken",
+            mid_stream.index,
+            mid_stream.dirty_nfts,
+            mid_stream.total_nfts,
+        );
+        assert!(deltas.iter().any(|d| d.dirty_nfts > 0), "some epoch must touch NFTs");
+    }
+}
+
+#[test]
+fn query_api_is_consistent_with_the_live_report() {
+    let world = World::generate(WorkloadConfig::small(7)).expect("world");
+    let input = input_of(&world);
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    let epochs = live.run_to_tip(400);
+    assert!(epochs >= 2, "expected a multi-epoch run, got {epochs}");
+
+    let report = live.report();
+    assert!(!report.detection.confirmed.is_empty());
+    for activity in &report.detection.confirmed {
+        match live.status(activity.nft()) {
+            NftStatus::Confirmed { activities, volume } => {
+                assert!(activities >= 1);
+                assert!(!volume.is_zero() || activity.candidate.volume.is_zero());
+            }
+            other => panic!("confirmed NFT {:?} reported as {other:?}", activity.nft()),
+        }
+    }
+    // Every confirmed NFT was first confirmed somewhere within the chain.
+    let all = live.suspects_since(ethsim::BlockNumber(0));
+    let confirmed: std::collections::BTreeSet<_> =
+        report.detection.confirmed.iter().map(|a| a.nft()).collect();
+    assert_eq!(all, confirmed.iter().copied().collect::<Vec<_>>());
+    // Top movers are ranked by volume, descending, and drawn from the
+    // confirmed set.
+    let movers = live.top_movers(5);
+    assert!(movers.windows(2).all(|w| w[0].1 >= w[1].1));
+    for (nft, _) in &movers {
+        assert!(confirmed.contains(nft));
+    }
+    // An NFT that never traded is unseen.
+    let ghost = tokens::NftId::new(ethsim::Address::derived("no-such-collection"), 0);
+    assert_eq!(live.status(ghost), NftStatus::Unseen);
+}
+
+proptest::proptest! {
+    #[test]
+    fn streaming_equals_batch_at_random_epoch_slicings(
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+        budgets in proptest::collection::vec(1u64..120, 1..6),
+    ) {
+        let world = World::generate(tiny_config(seed)).expect("world");
+        let input = input_of(&world);
+        let batch = analyze_with(
+            input,
+            AnalysisOptions { threads, ..AnalysisOptions::default() },
+        );
+
+        let mut live = StreamAnalyzer::new(input, StreamOptions { threads });
+        let mut cycle = budgets.iter().cycle();
+        while live.ingest_epoch(*cycle.next().expect("non-empty budgets")).is_some() {}
+
+        let context = format!("seed {seed}, threads {threads}, budgets {budgets:?}");
+        assert_live_equals_batch(live.report(), &batch, &context);
+
+        // The wash-trade sets agree exactly (redundant with the detection
+        // equality above, but this is the set the paper's tables build on —
+        // assert it explicitly).
+        let live_sets: Vec<_> = live
+            .report()
+            .detection
+            .confirmed
+            .iter()
+            .map(|a| (a.nft(), a.accounts().to_vec()))
+            .collect();
+        let batch_sets: Vec<_> = batch
+            .detection
+            .confirmed
+            .iter()
+            .map(|a| (a.nft(), a.accounts().to_vec()))
+            .collect();
+        proptest::prop_assert_eq!(live_sets, batch_sets);
+        proptest::prop_assert_eq!(live.report().detection.venn, batch.detection.venn);
+        proptest::prop_assert_eq!(
+            live.report().characterization.total_activities,
+            batch.characterization.total_activities
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Epoch slicing for streaming analysis: cut a generated world's block range
+//! into ingestion epochs whose boundaries *straddle* planted scenarios.
+//!
+//! A streaming analyzer is only meaningfully exercised when an epoch boundary
+//! falls in the middle of a wash-trading activity — a round-trip half
+//! completed at the cut, funding executed before it and the exit sweep after.
+//! [`EpochPlan::straddling`] therefore prefers boundaries taken from the
+//! midpoints of planted activities' trade spans, falling back to uniform
+//! splits only when the world offers too few multi-block activities.
+
+use ethsim::BlockNumber;
+
+use crate::world::World;
+
+/// A partition of a chain's blocks into ingestion epochs.
+///
+/// `ends[i]` is the last block (inclusive) of epoch `i`; the final entry is
+/// always the chain tip, so feeding every epoch through a block cursor covers
+/// the whole chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPlan {
+    /// Last block of each epoch, strictly ascending; the final entry is the
+    /// chain tip at planning time.
+    pub ends: Vec<BlockNumber>,
+}
+
+impl EpochPlan {
+    /// Slice `world` into (at most) `epochs` epochs whose internal boundaries
+    /// straddle planted activities wherever possible.
+    ///
+    /// For every ground-truth activity with trades spread over more than two
+    /// blocks, the midpoint of its trade span is a candidate cut: an epoch
+    /// ending there has seen the activity's funding and some of its trades,
+    /// but not its remaining trades or exit sweep. Candidates are spread
+    /// evenly over the requested boundary count and topped up with uniform
+    /// splits; degenerate inputs (one epoch, empty chain) collapse to a
+    /// single epoch covering everything.
+    pub fn straddling(world: &World, epochs: usize) -> EpochPlan {
+        let tip = world.chain.current_block_number();
+        if epochs <= 1 || tip.0 == 0 {
+            return EpochPlan { ends: vec![tip] };
+        }
+        let wanted = epochs - 1;
+
+        // Candidate cuts: midpoints of the planted activities' trade spans.
+        let mut cuts: Vec<u64> = world
+            .truth
+            .iter()
+            .filter_map(|truth| {
+                let blocks: Vec<u64> = truth
+                    .trade_tx_hashes
+                    .iter()
+                    .filter_map(|hash| world.chain.transaction(*hash))
+                    .map(|tx| tx.block.0)
+                    .collect();
+                let first = *blocks.iter().min()?;
+                let last = *blocks.iter().max()?;
+                // A midpoint strictly inside (first, last) guarantees the
+                // activity straddles the boundary.
+                (last > first + 1).then_some(first + (last - first) / 2)
+            })
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.retain(|block| *block < tip.0);
+
+        let mut ends: Vec<u64> = if cuts.is_empty() {
+            Vec::new()
+        } else {
+            // Spread the requested boundaries evenly over the candidates.
+            (0..wanted.min(cuts.len()))
+                .map(|i| cuts[i * cuts.len() / wanted.min(cuts.len())])
+                .collect()
+        };
+        // Top up with uniform splits until we have `wanted` distinct
+        // boundaries (or run out of blocks).
+        let mut offset = 1u64;
+        while ends.len() < wanted && offset <= wanted as u64 {
+            let uniform = offset * tip.0 / epochs as u64;
+            if uniform > 0 && uniform < tip.0 && !ends.contains(&uniform) {
+                ends.push(uniform);
+            }
+            offset += 1;
+        }
+        ends.sort_unstable();
+        ends.dedup();
+        ends.truncate(wanted);
+        ends.push(tip.0);
+        EpochPlan { ends: ends.into_iter().map(BlockNumber).collect() }
+    }
+
+    /// Number of epochs in the plan.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the plan has no epochs (never produced by the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Per-epoch block budgets for a cursor starting at block 0: feeding
+    /// `budgets()[i]` as the i-th `max_blocks` walks the cursor exactly along
+    /// this plan's boundaries.
+    pub fn budgets(&self) -> Vec<u64> {
+        let mut budgets = Vec::with_capacity(self.ends.len());
+        let mut previous: Option<u64> = None;
+        for end in &self.ends {
+            let budget = match previous {
+                None => end.0 + 1,
+                Some(prev) => end.0 - prev,
+            };
+            budgets.push(budget);
+            previous = Some(end.0);
+        }
+        budgets
+    }
+
+    /// Whether `truth`'s trades straddle the internal boundary `end`: at
+    /// least one trade lands at or before it and at least one strictly after.
+    pub fn straddles(
+        world: &World,
+        truth: &crate::truth::WashActivityTruth,
+        end: BlockNumber,
+    ) -> bool {
+        let blocks: Vec<u64> = truth
+            .trade_tx_hashes
+            .iter()
+            .filter_map(|hash| world.chain.transaction(*hash))
+            .map(|tx| tx.block.0)
+            .collect();
+        match (blocks.iter().min(), blocks.iter().max()) {
+            (Some(&first), Some(&last)) => first <= end.0 && last > end.0,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    #[test]
+    fn plan_covers_the_chain_with_increasing_boundaries() {
+        let world = World::generate(WorkloadConfig::small(9)).unwrap();
+        let plan = EpochPlan::straddling(&world, 5);
+        assert!(plan.len() >= 2 && plan.len() <= 5);
+        assert!(plan.ends.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert_eq!(*plan.ends.last().unwrap(), world.chain.current_block_number());
+        let budgets = plan.budgets();
+        assert_eq!(budgets.len(), plan.len());
+        assert!(budgets.iter().all(|b| *b > 0));
+        assert_eq!(
+            budgets.iter().sum::<u64>(),
+            world.chain.current_block_number().0 + 1,
+            "budgets cover every block exactly once"
+        );
+    }
+
+    #[test]
+    fn internal_boundaries_straddle_planted_activities() {
+        let world = World::generate(WorkloadConfig::small(13)).unwrap();
+        let plan = EpochPlan::straddling(&world, 4);
+        let internal = &plan.ends[..plan.ends.len() - 1];
+        assert!(!internal.is_empty(), "multi-epoch plan has internal boundaries");
+        let straddled = internal
+            .iter()
+            .filter(|end| world.truth.iter().any(|t| EpochPlan::straddles(&world, t, **end)))
+            .count();
+        assert!(
+            straddled > 0,
+            "at least one boundary must cut through a planted activity's trades"
+        );
+    }
+
+    #[test]
+    fn single_epoch_plan_is_the_whole_chain() {
+        let world = World::generate(WorkloadConfig::small(3)).unwrap();
+        let plan = EpochPlan::straddling(&world, 1);
+        assert_eq!(plan.ends, vec![world.chain.current_block_number()]);
+        assert_eq!(plan.budgets(), vec![world.chain.current_block_number().0 + 1]);
+    }
+}

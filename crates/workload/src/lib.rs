@@ -27,12 +27,14 @@
 
 pub mod builder;
 pub mod config;
+pub mod epochs;
 pub mod scenario;
 pub mod truth;
 pub mod world;
 
 pub use builder::{BuildError, WorldBuilder};
 pub use config::WorkloadConfig;
+pub use epochs::EpochPlan;
 pub use scenario::{
     ExitEvidence, FundingEvidence, ScenarioPattern, ScenarioSampler, Venue, WashGoal,
     WashScenarioSpec,

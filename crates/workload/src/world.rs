@@ -56,6 +56,13 @@ impl World {
         self.truth.iter().filter(|t| t.venue.marketplace_name() == Some(marketplace_name)).collect()
     }
 
+    /// Slice this world's block range into `epochs` ingestion epochs whose
+    /// boundaries straddle planted activities; convenience for
+    /// [`crate::epochs::EpochPlan::straddling`].
+    pub fn epoch_plan(&self, epochs: usize) -> crate::epochs::EpochPlan {
+        crate::epochs::EpochPlan::straddling(self, epochs)
+    }
+
     /// The set of all accounts that participate in any planted activity.
     pub fn wash_accounts(&self) -> Vec<Address> {
         let mut accounts: Vec<Address> =
