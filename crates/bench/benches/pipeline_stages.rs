@@ -8,8 +8,6 @@
 //! staged driver end to end and prints the per-stage `StageMetrics` wall
 //! times the pipeline records about itself.
 
-use std::collections::HashMap;
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use washtrade::{
     characterize::characterize,
@@ -35,25 +33,36 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         b.iter(|| NftGraph::from_dataset(&dataset))
     });
 
+    // The graph table is NftKey-indexed: no keyed map is needed anywhere.
     let graphs = NftGraph::from_dataset(&dataset);
     group.bench_function("sec4b_refinement", |b| {
-        b.iter(|| Refiner::new(&world.chain, &world.labels).refine(&graphs))
+        b.iter(|| Refiner::new(&world.chain, &world.labels, &dataset.interner).refine(&graphs))
     });
 
-    let (candidates, _) = Refiner::new(&world.chain, &world.labels).refine(&graphs);
-    let graph_map: HashMap<_, _> = graphs.iter().map(|g| (g.nft, g.clone())).collect();
+    let (candidates, _) =
+        Refiner::new(&world.chain, &world.labels, &dataset.interner).refine(&graphs);
     group.bench_function("fig2_detection", |b| {
-        b.iter(|| Detector::new(&world.chain, &world.labels).detect(&candidates, &graph_map))
+        b.iter(|| {
+            Detector::new(&world.chain, &world.labels, &dataset.interner)
+                .detect(&candidates, &graphs)
+        })
     });
 
-    let detection = Detector::new(&world.chain, &world.labels).detect(&candidates, &graph_map);
+    let detection =
+        Detector::new(&world.chain, &world.labels, &dataset.interner).detect(&candidates, &graphs);
     group.bench_function("table2_fig3to7_characterization", |b| {
         b.iter(|| characterize(&detection.confirmed, &dataset, &world.directory, &world.oracle))
     });
 
     group.bench_function("table3_reward_profitability", |b| {
         b.iter(|| {
-            analyze_rewards(&detection.confirmed, &world.chain, &world.directory, &world.oracle)
+            analyze_rewards(
+                &detection.confirmed,
+                &world.chain,
+                &world.directory,
+                &world.oracle,
+                &dataset.interner,
+            )
         })
     });
 
@@ -64,7 +73,8 @@ fn bench_pipeline_stages(c: &mut Criterion) {
                 &world.chain,
                 &world.directory,
                 &world.oracle,
-                &graph_map,
+                &graphs,
+                &dataset.interner,
             )
         })
     });

@@ -1,0 +1,113 @@
+//! Pipeline-throughput benchmark for the interned-ID columnar core: runs the
+//! staged pipeline on the standard experiments workload, records per-stage
+//! wall times, transfers/sec and resident bytes per transfer, and reports
+//! the speedup against the recorded PR-2 (map-based) baseline.
+//!
+//! The measured pass merges a `columnar` section into `BENCH_results.json`:
+//!
+//! ```json
+//! "columnar": {
+//!   "end_to_end_ns": …, "transfers_per_sec": …,
+//!   "resident_bytes_per_transfer": …,
+//!   "baseline_pr2_end_to_end_ns": …, "speedup_vs_pr2_end_to_end": …,
+//!   "stages": [{ "stage": …, "wall_time_ns": …,
+//!                "baseline_pr2_ns": …, "speedup_vs_pr2": … }, …]
+//! }
+//! ```
+
+use std::time::Instant;
+
+use bench_suite::json::Json;
+use bench_suite::pr2_baseline;
+use bench_suite::results::{merge_section, results_path};
+use criterion::{criterion_group, Criterion};
+use washtrade::dataset::Dataset;
+use washtrade::pipeline::{analyze_with, AnalysisOptions};
+
+/// Criterion timings on the cheap small world: the dataset build (interning
+/// + columnar append) and the full staged pipeline.
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let input = bench_suite::input_of(&world);
+
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.bench_function("intern_and_columnize_dataset", |b| {
+        b.iter(|| Dataset::build(&world.chain, &world.directory).transfer_count())
+    });
+    group.bench_function("end_to_end_columnar", |b| {
+        b.iter(|| analyze_with(input, AnalysisOptions::default()).detection.confirmed.len())
+    });
+    group.finish();
+}
+
+/// One measured pass at the standard experiments scale, recorded into the
+/// `columnar` section of `BENCH_results.json`.
+fn record_results() {
+    // The same workload the PR-2 baseline was captured on.
+    let world = bench_suite::build_world(0.02, 7);
+    let input = bench_suite::input_of(&world);
+
+    let started = Instant::now();
+    let report = analyze_with(input, AnalysisOptions::default());
+    let end_to_end_ns = started.elapsed().as_nanos() as u64;
+
+    // Memory accounting: the columnar store plus the interner tables,
+    // divided by the transfers they hold.
+    let dataset = Dataset::build(&world.chain, &world.directory);
+    let resident_bytes = dataset.columns.resident_bytes() + dataset.interner.resident_bytes();
+    let transfers = dataset.transfer_count() as u64;
+
+    let mut stages = Vec::new();
+    for metrics in &report.stage_metrics {
+        let mut stage = Json::object();
+        stage.set("stage", Json::Str(metrics.stage.clone()));
+        stage.set("wall_time_ns", Json::Int(metrics.wall_time_ns as i64));
+        if let Some((_, baseline_ns)) =
+            pr2_baseline::STAGES_NS.iter().find(|(name, _)| *name == metrics.stage)
+        {
+            stage.set("baseline_pr2_ns", Json::Int(*baseline_ns as i64));
+            stage.set(
+                "speedup_vs_pr2",
+                Json::Float(*baseline_ns as f64 / metrics.wall_time_ns.max(1) as f64),
+            );
+        }
+        stages.push(stage);
+    }
+    let stage_total_ns: u64 = report.stage_metrics.iter().map(|m| m.wall_time_ns).sum();
+
+    let mut section = Json::object();
+    section.set("world", Json::Str("paper_scaled(7, 0.02)".to_string()));
+    section.set("transfers", Json::Int(transfers as i64));
+    section.set("end_to_end_ns", Json::Int(end_to_end_ns as i64));
+    section.set("stage_total_ns", Json::Int(stage_total_ns as i64));
+    section.set(
+        "transfers_per_sec",
+        Json::Float(transfers as f64 / (end_to_end_ns.max(1) as f64 / 1e9)),
+    );
+    section.set("resident_bytes", Json::Int(resident_bytes as i64));
+    section.set(
+        "resident_bytes_per_transfer",
+        Json::Float(resident_bytes as f64 / transfers.max(1) as f64),
+    );
+    section.set("baseline_pr2_end_to_end_ns", Json::Int(pr2_baseline::END_TO_END_NS as i64));
+    section.set(
+        "speedup_vs_pr2_end_to_end",
+        Json::Float(pr2_baseline::END_TO_END_NS as f64 / stage_total_ns.max(1) as f64),
+    );
+    section.set("stages", Json::Arr(stages));
+
+    let path = results_path();
+    merge_section(&path, "columnar", section).expect("write BENCH_results.json");
+    println!("columnar pipeline numbers recorded in {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline_throughput
+}
+
+fn main() {
+    benches();
+    record_results();
+}

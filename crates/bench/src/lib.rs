@@ -92,6 +92,30 @@ pub mod paper {
     pub const ACQUIRED_SAME_DAY: f64 = 0.39;
 }
 
+/// The PR-2 (address-keyed, map-based) pipeline's timings on the standard
+/// experiments workload (`paper_scaled(7, 0.02)`, single-core reference
+/// machine), recorded from `BENCH_results.json` immediately before the
+/// interned-ID columnar core landed. The `pipeline_throughput` bench reports
+/// the columnar pipeline's speedup against these numbers so the perf
+/// trajectory stays visible PR over PR.
+pub mod pr2_baseline {
+    /// `(stage name, wall-time ns)` per pipeline stage, in execution order.
+    pub const STAGES_NS: [(&str, u64); 6] = [
+        ("build_dataset", 11_424_256),
+        ("build_graphs", 3_056_126),
+        ("refine", 3_850_612),
+        ("detect", 2_309_878),
+        ("characterize", 37_431_393),
+        ("profit", 2_031_417),
+    ];
+    /// End-to-end wall time (sum of the stage timings), nanoseconds.
+    pub const END_TO_END_NS: u64 = 60_103_682;
+    /// Compliant transfers in the workload at that scale.
+    pub const TRANSFERS: u64 = 8_248;
+    /// The epoch-sliced streaming pass over the same world, nanoseconds.
+    pub const STREAM_TOTAL_NS: u64 = 151_004_424;
+}
+
 /// Format a measured-vs-paper comparison line.
 pub fn compare(label: &str, measured: f64, paper: f64, unit: &str) -> String {
     format!("  {label:<52} measured: {measured:>10.3}{unit}   paper: {paper:>10.3}{unit}")

@@ -1,18 +1,27 @@
 //! Characterization of confirmed wash-trading activities (§V of the paper):
 //! volumes per marketplace and collection, temporal behaviour, participation
 //! patterns and serial wash traders.
+//!
+//! The computation runs on dense activities and the columnar dataset —
+//! accumulators are `Vec`s and bitsets indexed by [`AccountId`]/[`NftKey`],
+//! not address-keyed maps — and resolves to addresses only in the output
+//! structs. Every floating-point sum accumulates in a fixed order derived
+//! from the data (sorted NFT identity, candidate order), never from map
+//! iteration or ingest order, so the report is bit-identical run to run and
+//! between the batch and streaming pipelines.
 
 use std::collections::{HashMap, HashSet};
 
 use ethsim::{Address, Timestamp};
 use graphlib::{PatternCatalogue, PatternId};
+use ids::{BitSet, NftKey};
 use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::detect::ConfirmedActivity;
-use crate::refine::Candidate;
+use crate::detect::DenseActivity;
+use crate::refine::DenseCandidate;
 use crate::stats::Cdf;
 
 /// One row of Table II: wash trading on a marketplace.
@@ -130,32 +139,29 @@ pub struct Characterization {
 }
 
 /// The shape (distinct directed edges over local positions) of a candidate's
-/// internal trading, used for pattern classification.
-pub fn component_shape(candidate: &Candidate) -> Vec<(usize, usize)> {
-    let position: HashMap<Address, usize> =
-        candidate.accounts.iter().enumerate().map(|(i, a)| (*a, i)).collect();
-    let mut shape: Vec<(usize, usize)> = candidate
-        .internal_edges
-        .iter()
-        .map(|(from, to, _)| (position[from], position[to]))
-        .collect();
-    shape.sort_unstable();
-    shape.dedup();
-    shape
+/// internal trading, used for pattern classification. Positions are indices
+/// into the candidate's address-sorted account list.
+pub fn component_shape(candidate: &DenseCandidate) -> Vec<(usize, usize)> {
+    crate::refine::edge_shape(
+        &candidate.accounts,
+        candidate.internal_edges.iter().map(|(from, to, _)| (*from, *to)),
+    )
 }
 
 /// Produce the §V characterization of the confirmed activities.
 ///
-/// `dataset` supplies the unaffected-trading baseline (Fig. 3) and collection
-/// creation times (Fig. 5); `directory` and `oracle` provide marketplace
-/// attribution and USD conversion.
+/// `dataset` supplies the interner, the unaffected-trading baseline (Fig. 3)
+/// and collection creation times (Fig. 5); `directory` and `oracle` provide
+/// marketplace attribution and USD conversion.
 pub fn characterize(
-    activities: &[ConfirmedActivity],
+    activities: &[DenseActivity],
     dataset: &Dataset,
     directory: &MarketplaceDirectory,
     oracle: &PriceOracle,
 ) -> Characterization {
     let catalogue = PatternCatalogue::paper();
+    let interner = &dataset.interner;
+    let columns = &dataset.columns;
 
     // --- Volumes per marketplace (Table II) and per activity (Fig. 3). ---
     let market_totals: HashMap<String, f64> = dataset
@@ -165,7 +171,7 @@ pub fn characterize(
         .collect();
 
     struct MarketAccumulator {
-        nfts: HashSet<tokens::NftId>,
+        nfts: BitSet,
         activities: usize,
         volume_eth: f64,
         volume_usd: f64,
@@ -175,7 +181,7 @@ pub fn characterize(
     let mut total_volume_usd = 0.0;
     let mut total_volume_eth = 0.0;
 
-    let usd_volume_of = |activity: &ConfirmedActivity| -> f64 {
+    let usd_volume_of = |activity: &DenseActivity| -> f64 {
         activity
             .candidate
             .internal_edges
@@ -187,8 +193,8 @@ pub fn characterize(
     for activity in activities {
         let name = activity
             .candidate
-            .dominant_marketplace()
-            .and_then(|contract| directory.by_contract(contract))
+            .dominant_marketplace(interner)
+            .and_then(|id| directory.by_contract(interner.market(id)))
             .map(|info| info.name.clone())
             .unwrap_or_else(|| "Off-market".to_string());
         let volume_usd = usd_volume_of(activity);
@@ -196,13 +202,13 @@ pub fn characterize(
         total_volume_usd += volume_usd;
         total_volume_eth += volume_eth;
         let accumulator = per_market.entry(name).or_insert_with(|| MarketAccumulator {
-            nfts: HashSet::new(),
+            nfts: BitSet::new(),
             activities: 0,
             volume_eth: 0.0,
             volume_usd: 0.0,
             activity_volumes_usd: Vec::new(),
         });
-        accumulator.nfts.insert(activity.nft());
+        accumulator.nfts.insert(activity.nft().index());
         accumulator.activities += 1;
         accumulator.volume_eth += volume_eth;
         accumulator.volume_usd += volume_usd;
@@ -238,12 +244,11 @@ pub fn characterize(
         .iter()
         .flat_map(|a| a.candidate.internal_edges.iter().map(|(_, _, e)| e.tx_hash))
         .collect();
-    let legit_volumes: Vec<f64> = dataset
-        .transfers_by_nft
-        .values()
-        .flatten()
-        .filter(|t| !wash_txs.contains(&t.tx_hash) && !t.price.is_zero())
-        .map(|t| oracle.wei_to_usd(t.price, t.timestamp).unwrap_or(0.0))
+    // One linear pass over the columns; the CDF sorts, so the (fixed) row
+    // order only needs to be deterministic, which chain order is.
+    let legit_volumes: Vec<f64> = (0..columns.len())
+        .filter(|&row| !wash_txs.contains(&columns.tx_hash[row]) && !columns.price[row].is_zero())
+        .map(|row| oracle.wei_to_usd(columns.price[row], columns.timestamp[row]).unwrap_or(0.0))
         .collect();
     volume_cdfs.insert("Volume w/o wash trading".to_string(), Cdf::new(legit_volumes));
 
@@ -258,22 +263,22 @@ pub fn characterize(
     };
 
     // Acquisition lead time: last transfer into the component from outside
-    // (or the mint) before the first internal trade.
+    // (or the mint) before the first internal trade. Component membership is
+    // a linear probe of the (tiny) account list — no per-activity set.
     let mut acquired_same_day = 0usize;
     let mut acquired_within_two_weeks = 0usize;
     for activity in activities {
-        let accounts: HashSet<Address> = activity.candidate.accounts.iter().copied().collect();
-        let acquisition = dataset
-            .transfers_by_nft
-            .get(&activity.nft())
-            .into_iter()
-            .flatten()
-            .filter(|t| {
-                accounts.contains(&t.to)
-                    && !accounts.contains(&t.from)
-                    && t.timestamp <= activity.candidate.first_trade
+        let accounts = activity.accounts();
+        let acquisition = columns
+            .rows_of(activity.nft())
+            .iter()
+            .filter(|&&row| {
+                let i = row as usize;
+                accounts.contains(&columns.to[i])
+                    && !accounts.contains(&columns.from[i])
+                    && columns.timestamp[i] <= activity.candidate.first_trade
             })
-            .map(|t| t.timestamp)
+            .map(|&row| columns.timestamp[row as usize])
             .max();
         if let Some(acquired_at) = acquisition {
             let days = activity.candidate.first_trade.days_since(acquired_at);
@@ -287,30 +292,37 @@ pub fn characterize(
     }
     let acquired_base = activities.len().max(1) as f64;
 
-    // Fig. 5: collection creation vs activity occurrences.
+    // Fig. 5: collection creation vs activity occurrences. Per-NFT histories
+    // are chronological, so each NFT's first row carries its earliest
+    // timestamp; the per-collection minimum folds over those.
     let collection_created: HashMap<Address, Timestamp> = {
         let mut created: HashMap<Address, Timestamp> = HashMap::new();
-        for transfers in dataset.transfers_by_nft.values() {
-            for transfer in transfers {
-                let entry = created.entry(transfer.nft.contract).or_insert(transfer.timestamp);
-                if transfer.timestamp < *entry {
-                    *entry = transfer.timestamp;
-                }
+        for key in 0..interner.nft_count() as u32 {
+            let Some(&first_row) = columns.rows_of(NftKey(key)).first() else {
+                continue;
+            };
+            let first_seen = columns.timestamp[first_row as usize];
+            let entry = created.entry(interner.nft(NftKey(key)).contract).or_insert(first_seen);
+            if first_seen < *entry {
+                *entry = first_seen;
             }
         }
         created
     };
     struct TimelineAccumulator {
-        nfts: HashSet<tokens::NftId>,
+        nfts: BitSet,
         volume_usd: f64,
         times: Vec<Timestamp>,
     }
     let mut per_collection: HashMap<Address, TimelineAccumulator> = HashMap::new();
     for activity in activities {
-        let accumulator = per_collection.entry(activity.nft().contract).or_insert_with(|| {
-            TimelineAccumulator { nfts: HashSet::new(), volume_usd: 0.0, times: Vec::new() }
+        let contract = interner.nft(activity.nft()).contract;
+        let accumulator = per_collection.entry(contract).or_insert_with(|| TimelineAccumulator {
+            nfts: BitSet::new(),
+            volume_usd: 0.0,
+            times: Vec::new(),
         });
-        accumulator.nfts.insert(activity.nft());
+        accumulator.nfts.insert(activity.nft().index());
         accumulator.volume_usd += usd_volume_of(activity);
         accumulator.times.push(activity.candidate.first_trade);
     }
@@ -342,7 +354,7 @@ pub fn characterize(
     let mut self_trades = 0usize;
     let mut two_accounts = 0usize;
     for activity in activities {
-        let accounts = activity.candidate.accounts.len();
+        let accounts = activity.accounts().len();
         let bucket = accounts.clamp(1, 6) - 1;
         patterns.accounts_histogram[bucket] += 1;
         if accounts == 2 {
@@ -363,54 +375,65 @@ pub fn characterize(
     patterns.two_account_fraction = two_accounts as f64 / total;
     patterns.self_trade_fraction = self_trades as f64 / total;
 
-    // --- Serial traders (§V-D). ---
-    let mut activities_per_account: HashMap<Address, Vec<usize>> = HashMap::new();
-    for (index, activity) in activities.iter().enumerate() {
-        for account in &activity.candidate.accounts {
-            activities_per_account.entry(*account).or_default().push(index);
-        }
-    }
-    let serials: HashSet<Address> = activities_per_account
+    // --- Serial traders (§V-D). --- Participation is gathered only for the
+    // accounts that actually appear in activities (a table over the whole
+    // interner would cost O(total accounts) per call — per *epoch* in the
+    // streaming reassembly): sort the (account, activity) pairs and group,
+    // giving per-account activity lists in ascending account-id order.
+    // "Serial" membership stays a bitset over the dense id space.
+    let mut participation: Vec<(usize, usize)> = activities
         .iter()
-        .filter(|(_, list)| list.len() >= 2)
-        .map(|(account, _)| *account)
+        .enumerate()
+        .flat_map(|(index, activity)| {
+            activity.accounts().iter().map(move |account| (account.index(), index))
+        })
         .collect();
+    participation.sort_unstable();
+    let groups: Vec<(usize, &[(usize, usize)])> =
+        participation.chunk_by(|a, b| a.0 == b.0).map(|group| (group[0].0, group)).collect();
+    let serials: BitSet =
+        groups.iter().filter(|(_, group)| group.len() >= 2).map(|(account, _)| *account).collect();
     let activities_with_serials = activities
         .iter()
-        .filter(|a| a.candidate.accounts.iter().any(|account| serials.contains(account)))
+        .filter(|a| a.accounts().iter().any(|account| serials.contains(account.index())))
         .count();
     let mean_activities_per_serial = if serials.is_empty() {
         0.0
     } else {
-        serials.iter().map(|account| activities_per_account[account].len()).sum::<usize>() as f64
+        groups
+            .iter()
+            .filter(|(_, group)| group.len() >= 2)
+            .map(|(_, group)| group.len())
+            .sum::<usize>() as f64
             / serials.len() as f64
     };
-    let max_activities_per_account =
-        activities_per_account.values().map(|list| list.len()).max().unwrap_or(0);
-    let same_collection_serials = serials
+    let max_activities_per_account = groups.iter().map(|(_, group)| group.len()).max().unwrap_or(0);
+    let same_collection_serials = groups
         .iter()
-        .filter(|account| {
-            let collections: HashSet<Address> = activities_per_account[*account]
+        .filter(|(_, group)| group.len() >= 2)
+        .filter(|(_, group)| {
+            let collections: HashSet<Address> = group
                 .iter()
-                .map(|&index| activities[index].nft().contract)
+                .map(|&(_, index)| interner.nft(activities[index].nft()).contract)
                 .collect();
-            collections.len() < activities_per_account[*account].len()
+            collections.len() < group.len()
         })
         .count();
-    let exclusive_collaborators = serials
+    let exclusive_collaborators = groups
         .iter()
-        .filter(|account| {
-            activities_per_account[*account].iter().all(|&index| {
+        .filter(|(_, group)| group.len() >= 2)
+        .filter(|(account, group)| {
+            group.iter().all(|&(_, index)| {
                 activities[index]
-                    .candidate
-                    .accounts
+                    .accounts()
                     .iter()
-                    .all(|other| other == *account || serials.contains(other))
+                    .all(|other| other.index() == *account || serials.contains(other.index()))
             })
         })
         .count();
+    let total_accounts = groups.len();
     let serial_traders = SerialTraderStats {
-        total_accounts: activities_per_account.len(),
+        total_accounts,
         serial_accounts: serials.len(),
         activities_with_serials,
         total_activities: activities.len(),
@@ -447,32 +470,35 @@ pub fn characterize(
 mod tests {
     use super::*;
     use crate::detect::MethodSet;
-    use crate::refine::Candidate;
-    use crate::txgraph::TradeEdge;
+    use crate::txgraph::DenseTradeEdge;
     use ethsim::{TxHash, Wei};
+    use ids::AccountId;
     use tokens::NftId;
 
     fn activity(
+        dataset: &mut Dataset,
         collection: &str,
         token: u64,
         accounts: &[&str],
         edges: &[(usize, usize, f64)],
         start_secs: u64,
         lifetime_days: u64,
-    ) -> ConfirmedActivity {
-        let accounts: Vec<Address> = {
-            let mut a: Vec<Address> = accounts.iter().map(|s| Address::derived(s)).collect();
-            a.sort();
-            a
+    ) -> DenseActivity {
+        let accounts: Vec<AccountId> = {
+            let mut addresses: Vec<Address> =
+                accounts.iter().map(|s| Address::derived(s)).collect();
+            addresses.sort();
+            addresses.into_iter().map(|a| dataset.interner.intern_account(a)).collect()
         };
-        let internal_edges: Vec<(Address, Address, TradeEdge)> = edges
+        let nft = dataset.interner.intern_nft(NftId::new(Address::derived(collection), token));
+        let internal_edges: Vec<(AccountId, AccountId, DenseTradeEdge)> = edges
             .iter()
             .enumerate()
             .map(|(i, (from, to, price))| {
                 (
                     accounts[*from],
                     accounts[*to],
-                    TradeEdge {
+                    DenseTradeEdge {
                         timestamp: Timestamp::from_secs(
                             start_secs
                                 + i as u64 * lifetime_days * 86_400
@@ -487,9 +513,9 @@ mod tests {
             .collect();
         let first = internal_edges.iter().map(|(_, _, e)| e.timestamp).min().unwrap();
         let last = internal_edges.iter().map(|(_, _, e)| e.timestamp).max().unwrap();
-        ConfirmedActivity {
-            candidate: Candidate {
-                nft: NftId::new(Address::derived(collection), token),
+        DenseActivity {
+            candidate: DenseCandidate {
+                nft,
                 accounts,
                 volume: internal_edges.iter().map(|(_, _, e)| e.price).sum(),
                 first_trade: first,
@@ -500,14 +526,32 @@ mod tests {
         }
     }
 
-    fn fixtures() -> Vec<ConfirmedActivity> {
-        vec![
+    fn fixtures() -> (Dataset, Vec<DenseActivity>) {
+        let mut dataset = Dataset::default();
+        let activities = vec![
             // Round trip by two accounts, one-day lifetime.
-            activity("meebits", 1, &["s1", "s2"], &[(0, 1, 1.0), (1, 0, 1.0)], 1_000_000, 0),
+            activity(
+                &mut dataset,
+                "meebits",
+                1,
+                &["s1", "s2"],
+                &[(0, 1, 1.0), (1, 0, 1.0)],
+                1_000_000,
+                0,
+            ),
             // The same pair hits the same collection again (serial traders).
-            activity("meebits", 2, &["s1", "s2"], &[(0, 1, 2.0), (1, 0, 2.0)], 2_000_000, 3),
+            activity(
+                &mut dataset,
+                "meebits",
+                2,
+                &["s1", "s2"],
+                &[(0, 1, 2.0), (1, 0, 2.0)],
+                2_000_000,
+                3,
+            ),
             // A 3-cycle by unrelated accounts, longer lifetime.
             activity(
+                &mut dataset,
                 "loot",
                 7,
                 &["t1", "t2", "t3"],
@@ -516,22 +560,19 @@ mod tests {
                 20,
             ),
             // A self-trade.
-            activity("loot", 9, &["solo"], &[(0, 0, 5.0)], 4_000_000, 0),
-        ]
+            activity(&mut dataset, "loot", 9, &["solo"], &[(0, 0, 5.0)], 4_000_000, 0),
+        ];
+        (dataset, activities)
     }
 
-    fn empty_dataset_and_friends() -> (Dataset, MarketplaceDirectory, PriceOracle) {
-        (
-            Dataset::default(),
-            MarketplaceDirectory::new(),
-            PriceOracle::paper_presets(Timestamp::from_secs(0), 400, 1),
-        )
+    fn directory_and_oracle() -> (MarketplaceDirectory, PriceOracle) {
+        (MarketplaceDirectory::new(), PriceOracle::paper_presets(Timestamp::from_secs(0), 400, 1))
     }
 
     #[test]
     fn pattern_and_account_statistics() {
-        let activities = fixtures();
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let (dataset, activities) = fixtures();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         assert_eq!(characterization.total_activities, 4);
         assert_eq!(characterization.patterns.accounts_histogram[0], 1); // self-trade
@@ -546,8 +587,8 @@ mod tests {
 
     #[test]
     fn lifetime_statistics() {
-        let activities = fixtures();
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let (dataset, activities) = fixtures();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         // Two activities are same-day, one lasts 3 days (within ten), one 20.
         assert!((characterization.lifetimes.within_one_day - 0.5).abs() < 1e-9);
@@ -556,8 +597,8 @@ mod tests {
 
     #[test]
     fn serial_trader_statistics() {
-        let activities = fixtures();
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let (dataset, activities) = fixtures();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         let serial = &characterization.serial_traders;
         assert_eq!(serial.total_accounts, 6);
@@ -572,8 +613,8 @@ mod tests {
 
     #[test]
     fn marketplace_rows_cover_off_market_activity() {
-        let activities = fixtures();
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let (dataset, activities) = fixtures();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         assert_eq!(characterization.per_marketplace.len(), 1);
         assert_eq!(characterization.per_marketplace[0].name, "Off-market");
@@ -584,8 +625,8 @@ mod tests {
 
     #[test]
     fn collection_timelines_rank_by_affected_nfts() {
-        let activities = fixtures();
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let (dataset, activities) = fixtures();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&activities, &dataset, &directory, &oracle);
         assert_eq!(characterization.collection_timelines.len(), 2);
         assert!(
@@ -596,7 +637,8 @@ mod tests {
 
     #[test]
     fn empty_input_produces_empty_characterization() {
-        let (dataset, directory, oracle) = empty_dataset_and_friends();
+        let dataset = Dataset::default();
+        let (directory, oracle) = directory_and_oracle();
         let characterization = characterize(&[], &dataset, &directory, &oracle);
         assert_eq!(characterization.total_activities, 0);
         assert_eq!(characterization.total_volume_usd, 0.0);

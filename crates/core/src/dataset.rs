@@ -3,19 +3,31 @@
 //! The pipeline starts from the chain's event logs: every log with the
 //! `Transfer(address,address,uint256)` topic and four topics is an ERC-721
 //! transfer candidate. The emitting contracts are then checked for ERC-165 /
-//! ERC-721 compliance, and the surviving transfers are grouped per NFT,
-//! annotated with the amount paid and the marketplace the transaction
-//! interacted with.
+//! ERC-721 compliance, and the surviving transfers are annotated with the
+//! amount paid and the marketplace the transaction interacted with.
+//!
+//! Storage is columnar and interned: every account, NFT and marketplace is
+//! mapped to a dense id **once, here at ingest** (batch [`Dataset::build`]
+//! and streaming [`Dataset::apply_entries`] share the same
+//! [`Dataset::push_transfer`] seam, so the [`Interner`] is append-only and
+//! stream-stable), and the transfers live in the struct-of-arrays
+//! [`TransferColumns`]. Downstream stages index `Vec`s by the dense ids;
+//! addresses reappear only at the report boundary.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ethsim::{Address, BlockNumber, Chain, LogEntry, LogFilter, Timestamp, TxHash, Wei};
+use ids::{BitSet, Interner, NftKey};
 use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
-/// A single ERC-721 transfer, annotated for graph construction.
+use crate::columns::{TransferColumns, TransferRow};
+
+/// A single ERC-721 transfer in resolved (address-keyed) form: the
+/// compatibility view materialized from [`TransferColumns`] at the report
+/// boundary, and the input shape [`Dataset::push_transfer`] interns.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NftTransfer {
     /// The NFT being moved.
@@ -51,16 +63,19 @@ pub struct MarketplaceVolume {
     pub volume_usd: f64,
 }
 
-/// The assembled dataset.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The assembled dataset: the entity interner, the columnar transfer store,
+/// and the compliance verdicts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    /// Transfer history per NFT, sorted by (block, transaction order).
-    pub transfers_by_nft: HashMap<NftId, Vec<NftTransfer>>,
+    /// The dense-id assignment for every account, NFT and marketplace seen.
+    pub interner: Interner,
+    /// Transfer history in struct-of-arrays form, with per-NFT row slices.
+    pub columns: TransferColumns,
     /// Contracts that emitted ERC-721-shaped logs and passed the compliance
     /// probe.
     pub compliant_contracts: HashSet<Address>,
     /// Contracts that emitted ERC-721-shaped logs but failed the probe; their
-    /// transfers are excluded from `transfers_by_nft`.
+    /// transfers are excluded from the columns.
     pub non_compliant_contracts: HashSet<Address>,
     /// Number of raw ERC-721-shaped transfer logs scanned (before the
     /// compliance filter).
@@ -68,11 +83,12 @@ pub struct Dataset {
 }
 
 /// What one [`Dataset::apply_entries`] call changed: the NFTs that received
-/// new transfers (sorted, deduplicated) and how many transfers were appended.
+/// new transfers (as dense keys, sorted and deduplicated) and how many
+/// transfers were appended.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AppliedEntries {
-    /// NFTs that gained at least one transfer, in ascending order.
-    pub dirty: Vec<NftId>,
+    /// NFTs that gained at least one transfer, in ascending key order.
+    pub dirty: Vec<NftKey>,
     /// Number of compliant transfers appended across all NFTs.
     pub appended: usize,
 }
@@ -90,7 +106,8 @@ impl Dataset {
     ///
     /// Equivalent to applying every log entry of the chain to an empty
     /// dataset through [`Dataset::apply_entries`] — the incremental entry
-    /// point the streaming subsystem feeds epoch by epoch.
+    /// point the streaming subsystem feeds epoch by epoch. Both paths intern
+    /// through the same seam, so id assignment is identical.
     pub fn build(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
         let entries = chain.logs(&Self::transfer_filter());
         let mut dataset = Dataset::default();
@@ -98,14 +115,35 @@ impl Dataset {
         dataset
     }
 
+    /// Intern and append one transfer — the single seam every producer
+    /// (batch build, streaming epochs, test fixtures) funnels through, which
+    /// is what keeps the id assignment append-only and stream-stable.
+    /// Returns the NFT's dense key.
+    pub fn push_transfer(&mut self, transfer: &NftTransfer) -> NftKey {
+        let nft = self.interner.intern_nft(transfer.nft);
+        let row = TransferRow {
+            nft,
+            from: self.interner.intern_account(transfer.from),
+            to: self.interner.intern_account(transfer.to),
+            tx_hash: transfer.tx_hash,
+            block: transfer.block,
+            timestamp: transfer.timestamp,
+            price: transfer.price,
+            marketplace: transfer.marketplace.map(|market| self.interner.intern_market(market)),
+        };
+        self.columns.push(row);
+        nft
+    }
+
     /// Append a batch of transfer-shaped log entries to the dataset: probe
-    /// unseen contracts for ERC-721 compliance, decode and annotate the
-    /// surviving transfers, and keep every per-NFT history sorted.
+    /// unseen contracts for ERC-721 compliance, decode, intern and annotate
+    /// the surviving transfers.
     ///
     /// Entries must arrive in execution order, and successive calls must
     /// cover disjoint, non-decreasing block ranges (as a block cursor
-    /// produces them); under that contract the final dataset is identical to
-    /// a one-shot [`Dataset::build`] over the same chain.
+    /// produces them); under that contract the final dataset — columns *and*
+    /// id assignment — is identical to a one-shot [`Dataset::build`] over
+    /// the same chain.
     pub fn apply_entries(
         &mut self,
         chain: &Chain,
@@ -162,9 +200,8 @@ impl Dataset {
                 Wei::new(erc20_paid)
             };
             let marketplace = tx.to.filter(|to| directory.by_contract(*to).is_some());
-            let nft = NftId::new(decoded.contract, decoded.token_id);
-            self.transfers_by_nft.entry(nft).or_default().push(NftTransfer {
-                nft,
+            let nft = self.push_transfer(&NftTransfer {
+                nft: NftId::new(decoded.contract, decoded.token_id),
                 from: decoded.from,
                 to: decoded.to,
                 tx_hash: entry.tx_hash,
@@ -176,49 +213,62 @@ impl Dataset {
             applied.dirty.push(nft);
             applied.appended += 1;
         }
-        applied.dirty.sort();
+        applied.dirty.sort_unstable();
         applied.dirty.dedup();
         // Under the ordering contract above, every appended suffix is
-        // chronological and lands after the existing tail, so the histories
-        // stay sorted without re-sorting (a per-epoch re-sort would make hot
-        // NFTs superlinear over a long stream). Debug builds verify the
-        // contract instead.
+        // chronological and lands after the existing tail, so the per-NFT
+        // row slices stay sorted without re-sorting (a per-epoch re-sort
+        // would make hot NFTs superlinear over a long stream). Debug builds
+        // verify the contract instead.
         #[cfg(debug_assertions)]
         for nft in &applied.dirty {
-            if let Some(transfers) = self.transfers_by_nft.get(nft) {
-                debug_assert!(
-                    transfers
-                        .windows(2)
-                        .all(|w| (w[0].block, w[0].timestamp) <= (w[1].block, w[1].timestamp)),
-                    "apply_entries received out-of-order entries for {nft:?}"
-                );
-            }
+            let rows = self.columns.rows_of(*nft);
+            debug_assert!(
+                rows.windows(2).all(|w| {
+                    (self.columns.block[w[0] as usize], self.columns.timestamp[w[0] as usize])
+                        <= (
+                            self.columns.block[w[1] as usize],
+                            self.columns.timestamp[w[1] as usize],
+                        )
+                }),
+                "apply_entries received out-of-order entries for {nft:?}"
+            );
         }
         applied
     }
 
-    /// Number of distinct NFTs with at least one transfer.
+    /// Number of distinct NFTs with at least one transfer. (Every interned
+    /// NFT key has at least one row — keys are assigned on first transfer.)
     pub fn nft_count(&self) -> usize {
-        self.transfers_by_nft.len()
+        self.interner.nft_count()
     }
 
     /// Total number of (compliant) transfers.
     pub fn transfer_count(&self) -> usize {
-        self.transfers_by_nft.values().map(|v| v.len()).sum()
+        self.columns.len()
+    }
+
+    /// The resolved transfer history of one NFT, chronological — the
+    /// report-boundary view of the columnar store (allocates; hot paths use
+    /// [`TransferColumns::rows_of`] directly).
+    pub fn transfers_of(&self, nft: NftId) -> Vec<NftTransfer> {
+        let Some(key) = self.interner.nft_key(nft) else {
+            return Vec::new();
+        };
+        self.columns
+            .rows_of(key)
+            .iter()
+            .map(|&row| self.columns.resolve(row, &self.interner))
+            .collect()
     }
 
     /// All accounts appearing as source or recipient of a transfer, in
     /// ascending address order (sorted so every consumer — reports, live
-    /// deltas — iterates deterministically).
+    /// deltas — iterates deterministically). The interner only assigns
+    /// account ids from transfer endpoints, so this is exactly its account
+    /// table, re-ordered by address.
     pub fn accounts(&self) -> Vec<Address> {
-        let mut accounts = HashSet::new();
-        for transfers in self.transfers_by_nft.values() {
-            for transfer in transfers {
-                accounts.insert(transfer.from);
-                accounts.insert(transfer.to);
-            }
-        }
-        let mut accounts: Vec<Address> = accounts.into_iter().collect();
+        let mut accounts: Vec<Address> = self.interner.accounts().to_vec();
         accounts.sort_unstable();
         accounts
     }
@@ -231,41 +281,47 @@ impl Dataset {
         oracle: &PriceOracle,
     ) -> Vec<MarketplaceVolume> {
         struct Accumulator {
-            nfts: HashSet<NftId>,
+            nfts: BitSet,
             transactions: HashSet<TxHash>,
             volume_eth: f64,
             volume_usd: f64,
         }
-        let mut per_market: HashMap<Address, Accumulator> = HashMap::new();
-        // Iterate NFTs in sorted order: the volume fields are f64 sums, and
-        // floating-point addition is order-sensitive, so summing in HashMap
-        // iteration order would make the totals differ in the last ulp from
-        // run to run (and between batch and streaming datasets).
-        let mut nfts: Vec<&NftId> = self.transfers_by_nft.keys().collect();
-        nfts.sort();
-        for nft in nfts {
-            for transfer in &self.transfers_by_nft[nft] {
-                let Some(market) = transfer.marketplace else {
+        let mut per_market: Vec<Option<Accumulator>> = Vec::new();
+        per_market.resize_with(self.interner.market_count(), || None);
+        // Iterate NFTs sorted by identity, not by first-seen key: the volume
+        // fields are f64 sums, and floating-point addition is
+        // order-sensitive, so the accumulation order must be a property of
+        // the data, never of ingest order.
+        for key in self.interner.nft_keys_sorted_by_id() {
+            for &row in self.columns.rows_of(key) {
+                let Some(market) = self.columns.marketplace[row as usize] else {
                     continue;
                 };
-                let accumulator = per_market.entry(market).or_insert_with(|| Accumulator {
-                    nfts: HashSet::new(),
+                let accumulator = per_market[market.index()].get_or_insert_with(|| Accumulator {
+                    nfts: BitSet::new(),
                     transactions: HashSet::new(),
                     volume_eth: 0.0,
                     volume_usd: 0.0,
                 });
-                accumulator.nfts.insert(transfer.nft);
-                if accumulator.transactions.insert(transfer.tx_hash) {
-                    accumulator.volume_eth += transfer.price.to_eth();
-                    accumulator.volume_usd +=
-                        oracle.wei_to_usd(transfer.price, transfer.timestamp).unwrap_or(0.0);
+                accumulator.nfts.insert(key.index());
+                if accumulator.transactions.insert(self.columns.tx_hash[row as usize]) {
+                    accumulator.volume_eth += self.columns.price[row as usize].to_eth();
+                    accumulator.volume_usd += oracle
+                        .wei_to_usd(
+                            self.columns.price[row as usize],
+                            self.columns.timestamp[row as usize],
+                        )
+                        .unwrap_or(0.0);
                 }
             }
         }
         let mut rows: Vec<MarketplaceVolume> = directory
             .iter()
             .map(|info| {
-                let accumulator = per_market.get(&info.contract);
+                let accumulator = self
+                    .interner
+                    .market_id(info.contract)
+                    .and_then(|id| per_market[id.index()].as_ref());
                 MarketplaceVolume {
                     name: info.name.clone(),
                     nfts: accumulator.map(|a| a.nfts.len()).unwrap_or(0),
@@ -384,7 +440,7 @@ mod tests {
         let (chain, _tokens, directory, contracts) = build_world();
         let dataset = Dataset::build(&chain, &directory);
         let nft = NftId::new(contracts[0], 0);
-        let transfers = &dataset.transfers_by_nft[&nft];
+        let transfers = dataset.transfers_of(nft);
         assert_eq!(transfers.len(), 2);
         // The mint is free and off-market.
         assert!(transfers[0].from.is_null());
@@ -395,6 +451,9 @@ mod tests {
         let opensea = directory.by_name("OpenSea").unwrap().contract;
         assert_eq!(transfers[1].marketplace, Some(opensea));
         assert!(transfers[1].timestamp >= transfers[0].timestamp);
+        // The interner learned the marketplace and both endpoints.
+        assert!(dataset.interner.market_id(opensea).is_some());
+        assert!(dataset.interner.account_id(Address::derived("alice")).is_some());
     }
 
     #[test]
@@ -436,9 +495,8 @@ mod tests {
         let second = incremental.apply_entries(&chain, &directory, &entries[split..]);
         assert_eq!(first.appended + second.appended, batch.transfer_count());
         assert!(first.dirty.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(incremental.transfers_by_nft, batch.transfers_by_nft);
-        assert_eq!(incremental.compliant_contracts, batch.compliant_contracts);
-        assert_eq!(incremental.non_compliant_contracts, batch.non_compliant_contracts);
-        assert_eq!(incremental.raw_transfer_events, batch.raw_transfer_events);
+        // Columns, id assignment and verdicts are all identical: the interner
+        // is stream-stable under any epoch slicing.
+        assert_eq!(incremental, batch);
     }
 }

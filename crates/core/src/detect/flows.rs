@@ -6,10 +6,20 @@
 //! proceeds back to a common account afterwards. Exchange and DeFi addresses
 //! are excluded from being common *external* funders/exits, because they fund
 //! and receive from thousands of unrelated users.
+//!
+//! Both heuristics are the same computation with the flow direction
+//! reversed, so they share [`common_flow`]: collect the counterparties of
+//! each colluding account's qualifying transactions, then pick the account
+//! that touches the most colluders. Per-counterparty colluder sets are
+//! [`BitSet`]s over component-local positions — the counterparty key itself
+//! stays an [`Address`], because funders and exits are arbitrary chain
+//! accounts that need not appear in any transfer (and hence have no dense
+//! id).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use ethsim::{Address, Chain, Timestamp};
+use ids::BitSet;
 use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +43,15 @@ pub struct FlowEvidence {
     pub degree: usize,
 }
 
+/// Which side of the manipulation a flow search looks at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowDirection {
+    /// Money *into* the colluders before the first trade (common funder).
+    Funding,
+    /// Money *out of* the colluders after the last trade (common exit).
+    Exit,
+}
+
 /// Find a common funder for the component: an account that sends ETH or
 /// ERC-20 tokens (in transactions that move no NFT) to colluding accounts
 /// *before* the first wash trade. An internal funder needs to fund at least
@@ -44,59 +63,7 @@ pub fn common_funder(
     accounts: &[Address],
     first_trade: Timestamp,
 ) -> Option<FlowEvidence> {
-    let set: HashSet<Address> = accounts.iter().copied().collect();
-    let mut funded_by: HashMap<Address, HashSet<Address>> = HashMap::new();
-    for &account in accounts {
-        for tx in chain.transactions_of(account) {
-            if tx.timestamp >= first_trade || !tx.is_funding_of(account) {
-                continue;
-            }
-            // The funder is the transaction sender for plain ETH transfers and
-            // the token sender for ERC-20 funding.
-            let mut funders: Vec<Address> = vec![tx.from];
-            for log in &tx.logs {
-                if let Some(transfer) = log.decode_erc20_transfer() {
-                    if transfer.to == account && transfer.amount > 0 {
-                        funders.push(transfer.from);
-                    }
-                }
-            }
-            for funder in funders {
-                if funder == account {
-                    continue;
-                }
-                funded_by.entry(funder).or_default().insert(account);
-            }
-        }
-    }
-
-    // Prefer an internal funder (the paper finds them 4× as often). Degree
-    // ties are broken towards the lowest address: `funded_by` is a HashMap,
-    // so a plain max would pick whichever tied account iteration reached
-    // last — different from run to run.
-    let internal = funded_by
-        .iter()
-        .filter(|(funder, funded)| set.contains(funder) && !funded.is_empty())
-        .max_by_key(|(funder, funded)| (funded.len(), std::cmp::Reverse(**funder)))
-        .map(|(funder, funded)| FlowEvidence {
-            kind: FlowKind::Internal,
-            account: *funder,
-            degree: funded.len(),
-        });
-    if internal.is_some() {
-        return internal;
-    }
-    funded_by
-        .iter()
-        .filter(|(funder, funded)| {
-            !set.contains(funder) && funded.len() >= 2 && !labels.is_exchange_or_defi(**funder)
-        })
-        .max_by_key(|(funder, funded)| (funded.len(), std::cmp::Reverse(**funder)))
-        .map(|(funder, funded)| FlowEvidence {
-            kind: FlowKind::External,
-            account: *funder,
-            degree: funded.len(),
-        })
+    common_flow(chain, labels, accounts, first_trade, FlowDirection::Funding)
 }
 
 /// Find a common exit for the component: an account that receives ETH or
@@ -109,68 +76,113 @@ pub fn common_exit(
     accounts: &[Address],
     last_trade: Timestamp,
 ) -> Option<FlowEvidence> {
-    let set: HashSet<Address> = accounts.iter().copied().collect();
-    let mut received_from: HashMap<Address, HashSet<Address>> = HashMap::new();
-    for &account in accounts {
+    common_flow(chain, labels, accounts, last_trade, FlowDirection::Exit)
+}
+
+/// The shared direction-parameterized search behind both heuristics.
+fn common_flow(
+    chain: &Chain,
+    labels: &LabelRegistry,
+    accounts: &[Address],
+    cutoff: Timestamp,
+    direction: FlowDirection,
+) -> Option<FlowEvidence> {
+    // Counterparty → bitset of component positions it touched.
+    let mut touched: HashMap<Address, BitSet> = HashMap::new();
+    let mut counterparties: Vec<Address> = Vec::new();
+    for (position, &account) in accounts.iter().enumerate() {
         for tx in chain.transactions_of(account) {
-            if tx.timestamp <= last_trade {
-                continue;
-            }
-            if tx.logs.iter().any(|log| log.is_erc721_transfer()) {
-                continue;
-            }
-            let mut recipients: Vec<Address> = Vec::new();
-            if tx.from == account && !tx.value.is_zero() {
-                if let Some(to) = tx.to {
-                    recipients.push(to);
+            counterparties.clear();
+            match direction {
+                FlowDirection::Funding => {
+                    if tx.timestamp >= cutoff || !tx.is_funding_of(account) {
+                        continue;
+                    }
+                    // The funder is the transaction sender for plain ETH
+                    // transfers and the token sender for ERC-20 funding.
+                    counterparties.push(tx.from);
+                    for log in &tx.logs {
+                        if let Some(transfer) = log.decode_erc20_transfer() {
+                            if transfer.to == account && transfer.amount > 0 {
+                                counterparties.push(transfer.from);
+                            }
+                        }
+                    }
                 }
-            }
-            for transfer in &tx.internal_transfers {
-                if transfer.from == account && !transfer.value.is_zero() {
-                    recipients.push(transfer.to);
-                }
-            }
-            for log in &tx.logs {
-                if let Some(transfer) = log.decode_erc20_transfer() {
-                    if transfer.from == account && transfer.amount > 0 {
-                        recipients.push(transfer.to);
+                FlowDirection::Exit => {
+                    if tx.timestamp <= cutoff {
+                        continue;
+                    }
+                    if tx.logs.iter().any(|log| log.is_erc721_transfer()) {
+                        continue;
+                    }
+                    if tx.from == account && !tx.value.is_zero() {
+                        if let Some(to) = tx.to {
+                            counterparties.push(to);
+                        }
+                    }
+                    for transfer in &tx.internal_transfers {
+                        if transfer.from == account && !transfer.value.is_zero() {
+                            counterparties.push(transfer.to);
+                        }
+                    }
+                    for log in &tx.logs {
+                        if let Some(transfer) = log.decode_erc20_transfer() {
+                            if transfer.from == account && transfer.amount > 0 {
+                                counterparties.push(transfer.to);
+                            }
+                        }
                     }
                 }
             }
-            for recipient in recipients {
-                if recipient == account {
+            for &counterparty in &counterparties {
+                if counterparty == account {
                     continue;
                 }
-                received_from.entry(recipient).or_default().insert(account);
+                touched.entry(counterparty).or_default().insert(position);
             }
         }
     }
 
-    // Same deterministic tiebreak as the funder side: lowest address wins.
-    let internal = received_from
+    // Components hold a handful of accounts, so a linear probe beats any
+    // sortedness precondition (and keeps the public API order-insensitive).
+    let kind_of = |counterparty: &Address| {
+        if accounts.contains(counterparty) {
+            FlowKind::Internal
+        } else {
+            FlowKind::External
+        }
+    };
+    // Prefer an internal account (the paper finds internal funders 4× as
+    // often as external ones). Degree ties break towards the lowest address:
+    // `touched` is a HashMap, so an unkeyed max would follow per-process
+    // random iteration order.
+    let internal = touched
         .iter()
-        .filter(|(recipient, senders)| set.contains(recipient) && !senders.is_empty())
-        .max_by_key(|(recipient, senders)| (senders.len(), std::cmp::Reverse(**recipient)))
-        .map(|(recipient, senders)| FlowEvidence {
+        .filter(|(counterparty, set)| {
+            kind_of(counterparty) == FlowKind::Internal && !set.is_empty()
+        })
+        .max_by_key(|(counterparty, set)| (set.len(), std::cmp::Reverse(**counterparty)))
+        .map(|(counterparty, set)| FlowEvidence {
             kind: FlowKind::Internal,
-            account: *recipient,
-            degree: senders.len(),
+            account: *counterparty,
+            degree: set.len(),
         });
     if internal.is_some() {
         return internal;
     }
-    received_from
+    touched
         .iter()
-        .filter(|(recipient, senders)| {
-            !set.contains(recipient)
-                && senders.len() >= 2
-                && !labels.is_exchange_or_defi(**recipient)
+        .filter(|(counterparty, set)| {
+            kind_of(counterparty) == FlowKind::External
+                && set.len() >= 2
+                && !labels.is_exchange_or_defi(**counterparty)
         })
-        .max_by_key(|(recipient, senders)| (senders.len(), std::cmp::Reverse(**recipient)))
-        .map(|(recipient, senders)| FlowEvidence {
+        .max_by_key(|(counterparty, set)| (set.len(), std::cmp::Reverse(**counterparty)))
+        .map(|(counterparty, set)| FlowEvidence {
             kind: FlowKind::External,
-            account: *recipient,
-            degree: senders.len(),
+            account: *counterparty,
+            degree: set.len(),
         })
 }
 
@@ -185,6 +197,15 @@ mod tests {
         labels: LabelRegistry,
         a: Address,
         b: Address,
+    }
+
+    impl Setup {
+        /// The colluding pair, sorted as candidate account lists are.
+        fn pair(&self) -> Vec<Address> {
+            let mut pair = vec![self.a, self.b];
+            pair.sort();
+            pair
+        }
     }
 
     fn setup() -> Setup {
@@ -207,8 +228,7 @@ mod tests {
         s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         s.chain.seal_block(Timestamp::from_secs(2_000_000)).unwrap();
         let first_trade = Timestamp::from_secs(2_000_000);
-        let evidence =
-            common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).expect("funder");
+        let evidence = common_funder(&s.chain, &s.labels, &s.pair(), first_trade).expect("funder");
         assert_eq!(evidence.kind, FlowKind::Internal);
         assert_eq!(evidence.account, s.a);
         assert_eq!(evidence.degree, 1);
@@ -222,17 +242,16 @@ mod tests {
         s.chain.submit(TxRequest::ether_transfer(funder, s.a, Wei::from_eth(3.0), gwei())).unwrap();
         let first_trade = Timestamp::from_secs(2_000_000);
         // Only one colluder funded: not enough.
-        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+        assert!(common_funder(&s.chain, &s.labels, &s.pair(), first_trade).is_none());
         s.chain.submit(TxRequest::ether_transfer(funder, s.b, Wei::from_eth(3.0), gwei())).unwrap();
-        let evidence =
-            common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).expect("funder");
+        let evidence = common_funder(&s.chain, &s.labels, &s.pair(), first_trade).expect("funder");
         assert_eq!(evidence.kind, FlowKind::External);
         assert_eq!(evidence.account, funder);
         assert_eq!(evidence.degree, 2);
 
         // Once the funder is labelled as an exchange, the evidence vanishes.
         s.labels.insert(funder, "Coinbase 12", LabelCategory::Exchange);
-        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+        assert!(common_funder(&s.chain, &s.labels, &s.pair(), first_trade).is_none());
     }
 
     #[test]
@@ -243,7 +262,7 @@ mod tests {
         s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         // The "funding" happens after the trades started.
         let first_trade = Timestamp::from_secs(2_000_000);
-        assert!(common_funder(&s.chain, &s.labels, &[s.a, s.b], first_trade).is_none());
+        assert!(common_funder(&s.chain, &s.labels, &s.pair(), first_trade).is_none());
     }
 
     #[test]
@@ -253,7 +272,7 @@ mod tests {
         s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
         s.chain.submit(TxRequest::ether_transfer(s.b, s.a, Wei::from_eth(9.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(4_000_000);
-        let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
+        let evidence = common_exit(&s.chain, &s.labels, &s.pair(), last_trade).expect("exit");
         assert_eq!(evidence.kind, FlowKind::Internal);
         assert_eq!(evidence.account, s.a);
     }
@@ -267,9 +286,9 @@ mod tests {
         s.chain.seal_block(Timestamp::from_secs(5_000_000)).unwrap();
         s.chain.submit(TxRequest::ether_transfer(s.a, sink, Wei::from_eth(4.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(4_000_000);
-        assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
+        assert!(common_exit(&s.chain, &s.labels, &s.pair(), last_trade).is_none());
         s.chain.submit(TxRequest::ether_transfer(s.b, sink, Wei::from_eth(4.0), gwei())).unwrap();
-        let evidence = common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).expect("exit");
+        let evidence = common_exit(&s.chain, &s.labels, &s.pair(), last_trade).expect("exit");
         assert_eq!(evidence.kind, FlowKind::External);
         assert_eq!(evidence.account, sink);
         assert_eq!(evidence.degree, 2);
@@ -281,6 +300,6 @@ mod tests {
         s.chain.fund(s.a, Wei::from_eth(5.0));
         s.chain.submit(TxRequest::ether_transfer(s.a, s.b, Wei::from_eth(4.0), gwei())).unwrap();
         let last_trade = Timestamp::from_secs(9_000_000);
-        assert!(common_exit(&s.chain, &s.labels, &[s.a, s.b], last_trade).is_none());
+        assert!(common_exit(&s.chain, &s.labels, &s.pair(), last_trade).is_none());
     }
 }

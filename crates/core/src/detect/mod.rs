@@ -13,19 +13,24 @@
 //! 4. **Self-trade** — an account sells the NFT to itself (verified de facto).
 //! 5. **Leveraging confirmed events** — the same set of accounts was already
 //!    confirmed on another NFT.
+//!
+//! Detection runs on dense candidates ([`DenseDetectionOutcome`]); the
+//! address-keyed [`DetectionOutcome`] is produced exactly once, by
+//! [`DenseDetectionOutcome::resolve`], at report assembly.
 
 pub mod flows;
 pub mod zero_risk;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ethsim::{Address, Chain};
+use ids::{AccountId, Interner, NftKey};
 use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
 use crate::parallel::Executor;
-use crate::refine::Candidate;
+use crate::refine::{Candidate, DenseCandidate};
 use crate::txgraph::NftGraph;
 
 pub use flows::{FlowEvidence, FlowKind};
@@ -65,7 +70,8 @@ impl MethodSet {
     }
 }
 
-/// A confirmed wash-trading activity.
+/// A confirmed wash-trading activity in resolved (address-keyed) form: the
+/// report-boundary twin of [`DenseActivity`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfirmedActivity {
     /// The underlying candidate component.
@@ -83,6 +89,32 @@ impl ConfirmedActivity {
     /// The manipulated NFT.
     pub fn nft(&self) -> NftId {
         self.candidate.nft
+    }
+}
+
+/// A confirmed wash-trading activity in dense-id form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseActivity {
+    /// The underlying candidate component.
+    pub candidate: DenseCandidate,
+    /// The methods that confirmed it.
+    pub methods: MethodSet,
+}
+
+impl DenseActivity {
+    /// The colluding accounts (sorted by resolved address).
+    pub fn accounts(&self) -> &[AccountId] {
+        &self.candidate.accounts
+    }
+
+    /// The manipulated NFT.
+    pub fn nft(&self) -> NftKey {
+        self.candidate.nft
+    }
+
+    /// Resolve to the report-boundary [`ConfirmedActivity`].
+    pub fn resolve(&self, interner: &Interner) -> ConfirmedActivity {
+        ConfirmedActivity { candidate: self.candidate.resolve(interner), methods: self.methods }
     }
 }
 
@@ -140,7 +172,9 @@ impl VennCounts {
     }
 }
 
-/// The outcome of running all detectors over the candidates.
+/// The outcome of running all detectors over the candidates, resolved for
+/// the report. Produced once per report assembly by
+/// [`DenseDetectionOutcome::resolve`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DetectionOutcome {
     /// Confirmed wash-trading activities.
@@ -155,50 +189,83 @@ pub struct DetectionOutcome {
     pub self_trades: usize,
 }
 
+/// The outcome of running all detectors over the candidates, in dense form.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DenseDetectionOutcome {
+    /// Confirmed wash-trading activities.
+    pub confirmed: Vec<DenseActivity>,
+    /// Candidates that no method confirmed.
+    pub rejected: usize,
+    /// Overlap of the three transaction-analysis methods (Fig. 2).
+    pub venn: VennCounts,
+    /// How many activities were confirmed only by the leverage rule (§IV-C v).
+    pub leveraged_only: usize,
+    /// How many confirmed activities contain a self-trade edge.
+    pub self_trades: usize,
+}
+
+impl DenseDetectionOutcome {
+    /// Resolve every confirmed activity back to addresses — the single point
+    /// where detection ids become report addresses.
+    pub fn resolve(&self, interner: &Interner) -> DetectionOutcome {
+        DetectionOutcome {
+            confirmed: self.confirmed.iter().map(|activity| activity.resolve(interner)).collect(),
+            rejected: self.rejected,
+            venn: self.venn,
+            leveraged_only: self.leveraged_only,
+            self_trades: self.self_trades,
+        }
+    }
+}
+
 /// Runs the five confirmation methods over refined candidates.
 pub struct Detector<'a> {
     chain: &'a Chain,
     labels: &'a LabelRegistry,
+    interner: &'a Interner,
 }
 
 impl<'a> Detector<'a> {
-    /// Create a detector reading transactions and labels from the chain.
-    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry) -> Self {
-        Detector { chain, labels }
+    /// Create a detector reading transactions and labels from the chain,
+    /// resolving dense ids through `interner`.
+    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry, interner: &'a Interner) -> Self {
+        Detector { chain, labels, interner }
     }
 
     /// Evaluate every candidate using one thread per available core; thin
     /// wrapper over [`Detector::detect_with`].
     pub fn detect(
         &self,
-        candidates: &[Candidate],
-        graphs: &HashMap<NftId, NftGraph>,
-    ) -> DetectionOutcome {
+        candidates: &[DenseCandidate],
+        graphs: &[NftGraph],
+    ) -> DenseDetectionOutcome {
         self.detect_with(candidates, graphs, &Executor::default())
     }
 
     /// Evaluate every candidate and return the confirmed activities together
     /// with the method-comparison statistics.
     ///
-    /// `graphs` must contain the transaction graph of every candidate's NFT
-    /// (the zero-risk computation needs the trades that cross the component
-    /// boundary). Per-candidate evidence is independent, so it is gathered
-    /// over the executor's thread budget; evidence comes back in candidate
-    /// order, making the outcome identical at any thread count.
+    /// `graphs` is the [`NftKey`]-indexed graph table ([`NftGraph::
+    /// from_dataset_with`] output): the zero-risk computation needs the
+    /// trades that cross the component boundary. Per-candidate evidence is
+    /// independent, so it is gathered over the executor's thread budget;
+    /// evidence comes back in candidate order, making the outcome identical
+    /// at any thread count.
     pub fn detect_with(
         &self,
-        candidates: &[Candidate],
-        graphs: &HashMap<NftId, NftGraph>,
+        candidates: &[DenseCandidate],
+        graphs: &[NftGraph],
         executor: &Executor,
-    ) -> DetectionOutcome {
-        let evidence = executor
-            .map(candidates, |candidate| self.evaluate(candidate, graphs.get(&candidate.nft)));
+    ) -> DenseDetectionOutcome {
+        let evidence = executor.map(candidates, |candidate| {
+            self.evaluate(candidate, graphs.get(candidate.nft.index()))
+        });
         Detector::assemble(candidates, evidence)
     }
 
     /// Run the leverage pass (§IV-C v) over per-candidate base evidence and
-    /// assemble the final [`DetectionOutcome`] (Venn counts, self-trade and
-    /// rejection tallies).
+    /// assemble the final [`DenseDetectionOutcome`] (Venn counts, self-trade
+    /// and rejection tallies).
     ///
     /// `evidence[i]` must be the [`Detector::evaluate`] result for
     /// `candidates[i]` with `leveraged` still `false`. This is a pure
@@ -206,11 +273,16 @@ impl<'a> Detector<'a> {
     /// per NFT and re-assembles the global outcome each epoch through this
     /// same code path, which is what makes the live and batch outcomes
     /// bit-identical.
-    pub fn assemble(candidates: &[Candidate], mut evidence: Vec<MethodSet>) -> DetectionOutcome {
+    pub fn assemble(
+        candidates: &[DenseCandidate],
+        mut evidence: Vec<MethodSet>,
+    ) -> DenseDetectionOutcome {
         assert_eq!(candidates.len(), evidence.len(), "one evidence record per candidate");
         // Leverage pass: any unconfirmed candidate whose account set matches a
-        // confirmed activity's account set is confirmed too.
-        let confirmed_sets: HashSet<&[Address]> = candidates
+        // confirmed activity's account set is confirmed too. Account lists
+        // are consistently address-sorted id lists, so slice equality is
+        // exactly set equality of the underlying addresses.
+        let confirmed_sets: HashSet<&[AccountId]> = candidates
             .iter()
             .zip(evidence.iter())
             .filter(|(_, methods)| methods.confirmed())
@@ -224,7 +296,8 @@ impl<'a> Detector<'a> {
             }
         }
 
-        let mut outcome = DetectionOutcome { leveraged_only, ..DetectionOutcome::default() };
+        let mut outcome =
+            DenseDetectionOutcome { leveraged_only, ..DenseDetectionOutcome::default() };
         for (candidate, methods) in candidates.iter().zip(evidence) {
             if !methods.confirmed() {
                 outcome.rejected += 1;
@@ -236,7 +309,7 @@ impl<'a> Detector<'a> {
             if methods.self_trade {
                 outcome.self_trades += 1;
             }
-            outcome.confirmed.push(ConfirmedActivity { candidate: candidate.clone(), methods });
+            outcome.confirmed.push(DenseActivity { candidate: candidate.clone(), methods });
         }
         outcome
     }
@@ -247,17 +320,19 @@ impl<'a> Detector<'a> {
     /// can be cached and recomputed only when the NFT's graph changes. The
     /// `leveraged` flag is always `false` here; it is a global property
     /// assigned by [`Detector::assemble`].
-    pub fn evaluate(&self, candidate: &Candidate, graph: Option<&NftGraph>) -> MethodSet {
+    ///
+    /// The candidate's accounts resolve to addresses exactly once here, for
+    /// the chain-history flow scans (funders and exits are arbitrary chain
+    /// accounts outside the dense id space).
+    pub fn evaluate(&self, candidate: &DenseCandidate, graph: Option<&NftGraph>) -> MethodSet {
         let zero_risk =
             graph.map(|graph| zero_risk::is_zero_risk(graph, &candidate.accounts)).unwrap_or(false);
-        let common_funder = flows::common_funder(
-            self.chain,
-            self.labels,
-            &candidate.accounts,
-            candidate.first_trade,
-        );
+        let addresses: Vec<Address> =
+            candidate.accounts.iter().map(|&id| self.interner.address(id)).collect();
+        let common_funder =
+            flows::common_funder(self.chain, self.labels, &addresses, candidate.first_trade);
         let common_exit =
-            flows::common_exit(self.chain, self.labels, &candidate.accounts, candidate.last_trade);
+            flows::common_exit(self.chain, self.labels, &addresses, candidate.last_trade);
         MethodSet {
             zero_risk,
             common_funder,
@@ -271,12 +346,38 @@ impl<'a> Detector<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::NftTransfer;
+    use crate::dataset::{Dataset, NftTransfer};
+    use crate::refine::Refiner;
+    use crate::txgraph::tests::dataset_of;
     use ethsim::{BlockNumber, Timestamp, TxHash, TxRequest, Wei};
+
+    fn mk(nft: NftId, from: Address, to: Address, price: f64, at: u64, tag: &str) -> NftTransfer {
+        NftTransfer {
+            nft,
+            from,
+            to,
+            tx_hash: TxHash::hash_of(tag.as_bytes()),
+            block: BlockNumber(at),
+            timestamp: Timestamp::from_secs(at * 1_000),
+            price: Wei::from_eth(price),
+            marketplace: None,
+        }
+    }
+
+    /// Refine a dataset's graphs into dense candidates.
+    fn refined(
+        dataset: &Dataset,
+        chain: &Chain,
+        labels: &LabelRegistry,
+    ) -> (Vec<DenseCandidate>, Vec<NftGraph>) {
+        let graphs = NftGraph::from_dataset(dataset);
+        let (candidates, _) = Refiner::new(chain, labels, &dataset.interner).refine(&graphs);
+        (candidates, graphs)
+    }
 
     /// Build a minimal chain + graph where two accounts round-trip an NFT,
     /// funded by account `a` and swept back to `a`.
-    fn wash_world() -> (Chain, LabelRegistry, HashMap<NftId, NftGraph>, Vec<Candidate>) {
+    fn wash_world() -> (Chain, LabelRegistry, Dataset, Vec<DenseCandidate>, Vec<NftGraph>) {
         let mut chain = Chain::new(Timestamp::from_secs(1_000));
         let a = chain.create_eoa("washer-a").unwrap();
         let b = chain.create_eoa("washer-b").unwrap();
@@ -295,52 +396,21 @@ mod tests {
         chain.submit(TxRequest::ether_transfer(b, a, Wei::from_eth(4.0), gas)).unwrap();
 
         let nft = NftId::new(Address::derived("collection"), 1);
-        let transfers = vec![
-            NftTransfer {
-                nft,
-                from: Address::NULL,
-                to: a,
-                tx_hash: TxHash::hash_of(b"mint"),
-                block: BlockNumber(0),
-                timestamp: Timestamp::from_secs(9_000),
-                price: Wei::ZERO,
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: a,
-                to: b,
-                tx_hash: TxHash::hash_of(b"t1"),
-                block: BlockNumber(1),
-                timestamp: Timestamp::from_secs(11_000),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: b,
-                to: a,
-                tx_hash: TxHash::hash_of(b"t2"),
-                block: BlockNumber(2),
-                timestamp: Timestamp::from_secs(12_000),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        let dataset = dataset_of(&[
+            mk(nft, Address::NULL, a, 0.0, 9, "mint"),
+            mk(nft, a, b, 2.0, 11, "t1"),
+            mk(nft, b, a, 2.0, 12, "t2"),
+        ]);
         let labels = LabelRegistry::new();
-        let refiner = crate::refine::Refiner::new(&chain, &labels);
-        let (candidates, _) = refiner.refine(std::slice::from_ref(&graph));
-        let mut graphs = HashMap::new();
-        graphs.insert(nft, graph);
-        (chain, labels, graphs, candidates)
+        let (candidates, graphs) = refined(&dataset, &chain, &labels);
+        (chain, labels, dataset, candidates, graphs)
     }
 
     #[test]
     fn full_evidence_confirms_with_all_three_methods() {
-        let (chain, labels, graphs, candidates) = wash_world();
+        let (chain, labels, dataset, candidates, graphs) = wash_world();
         assert_eq!(candidates.len(), 1);
-        let detector = Detector::new(&chain, &labels);
+        let detector = Detector::new(&chain, &labels, &dataset.interner);
         let outcome = detector.detect(&candidates, &graphs);
         assert_eq!(outcome.confirmed.len(), 1);
         assert_eq!(outcome.rejected, 0);
@@ -352,6 +422,11 @@ mod tests {
         assert_eq!(outcome.venn.all_three, 1);
         assert_eq!(outcome.venn.total(), 1);
         assert_eq!(methods.flow_method_count(), 3);
+        // Resolution reproduces the same evidence on the address-keyed view.
+        let resolved = outcome.resolve(&dataset.interner);
+        assert_eq!(resolved.confirmed[0].methods, methods);
+        assert_eq!(resolved.confirmed[0].nft(), NftId::new(Address::derived("collection"), 1));
+        assert_eq!(resolved.venn, outcome.venn);
     }
 
     #[test]
@@ -365,46 +440,16 @@ mod tests {
         chain.fund(b, Wei::from_eth(10.0));
         let nft = NftId::new(Address::derived("collection"), 2);
         let seller = Address::derived("outside-seller");
-        let transfers = vec![
-            NftTransfer {
-                nft,
-                from: seller,
-                to: a,
-                tx_hash: TxHash::hash_of(b"buy"),
-                block: BlockNumber(1),
-                timestamp: Timestamp::from_secs(5_000),
-                price: Wei::from_eth(1.0),
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: a,
-                to: b,
-                tx_hash: TxHash::hash_of(b"x1"),
-                block: BlockNumber(2),
-                timestamp: Timestamp::from_secs(6_000),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: b,
-                to: a,
-                tx_hash: TxHash::hash_of(b"x2"),
-                block: BlockNumber(3),
-                timestamp: Timestamp::from_secs(7_000),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        let dataset = dataset_of(&[
+            mk(nft, seller, a, 1.0, 5, "buy"),
+            mk(nft, a, b, 2.0, 6, "x1"),
+            mk(nft, b, a, 2.0, 7, "x2"),
+        ]);
         let labels = LabelRegistry::new();
-        let refiner = crate::refine::Refiner::new(&chain, &labels);
-        let (candidates, _) = refiner.refine(std::slice::from_ref(&graph));
+        let (candidates, graphs) = refined(&dataset, &chain, &labels);
         assert_eq!(candidates.len(), 1);
-        let mut graphs = HashMap::new();
-        graphs.insert(nft, graph);
-        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        let outcome =
+            Detector::new(&chain, &labels, &dataset.interner).detect(&candidates, &graphs);
         assert!(outcome.confirmed.is_empty());
         assert_eq!(outcome.rejected, 1);
         assert_eq!(outcome.venn.total(), 0);
@@ -424,49 +469,29 @@ mod tests {
         chain.fund(b, Wei::from_eth(10.0));
         let labels = LabelRegistry::new();
 
-        let mk =
-            |nft: NftId, from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
-                nft,
-                from,
-                to,
-                tx_hash: TxHash::hash_of(tag.as_bytes()),
-                block: BlockNumber(at),
-                timestamp: Timestamp::from_secs(at * 1_000),
-                price: Wei::from_eth(price),
-                marketplace: None,
-            };
         let nft1 = NftId::new(Address::derived("collection"), 1);
         let nft2 = NftId::new(Address::derived("collection"), 99);
-        let graph1 = NftGraph::from_transfers(
-            nft1,
-            &[
-                mk(nft1, Address::NULL, a, 0.0, 1, "mint1"),
-                mk(nft1, a, b, 2.0, 2, "t1"),
-                mk(nft1, b, a, 2.0, 3, "t2"),
-            ],
-        );
-        let graph2 = NftGraph::from_transfers(
-            nft2,
-            &[
-                mk(nft2, Address::derived("someone-else"), a, 1.0, 10, "buy2"),
-                mk(nft2, a, b, 3.0, 11, "y1"),
-                mk(nft2, b, a, 3.0, 12, "y2"),
-            ],
-        );
-        let refiner = crate::refine::Refiner::new(&chain, &labels);
-        let (candidates, _) = refiner.refine(&[graph1.clone(), graph2.clone()]);
+        let dataset = dataset_of(&[
+            mk(nft1, Address::NULL, a, 0.0, 1, "mint1"),
+            mk(nft1, a, b, 2.0, 2, "t1"),
+            mk(nft1, b, a, 2.0, 3, "t2"),
+            mk(nft2, Address::derived("someone-else"), a, 1.0, 10, "buy2"),
+            mk(nft2, a, b, 3.0, 11, "y1"),
+            mk(nft2, b, a, 3.0, 12, "y2"),
+        ]);
+        let (candidates, graphs) = refined(&dataset, &chain, &labels);
         assert_eq!(candidates.len(), 2);
-        let mut graphs = HashMap::new();
-        graphs.insert(nft1, graph1);
-        graphs.insert(nft2, graph2);
 
-        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        let outcome =
+            Detector::new(&chain, &labels, &dataset.interner).detect(&candidates, &graphs);
         assert_eq!(outcome.confirmed.len(), 2);
         assert_eq!(outcome.leveraged_only, 1);
-        let leveraged = outcome.confirmed.iter().find(|activity| activity.nft() == nft2).unwrap();
+        let key2 = dataset.interner.nft_key(nft2).unwrap();
+        let leveraged = outcome.confirmed.iter().find(|activity| activity.nft() == key2).unwrap();
         assert!(leveraged.methods.leveraged);
         assert_eq!(leveraged.methods.flow_method_count(), 0);
-        let original = outcome.confirmed.iter().find(|activity| activity.nft() == nft1).unwrap();
+        let key1 = dataset.interner.nft_key(nft1).unwrap();
+        let original = outcome.confirmed.iter().find(|activity| activity.nft() == key1).unwrap();
         assert!(original.methods.zero_risk);
         assert!(!original.methods.leveraged);
     }
@@ -477,35 +502,14 @@ mod tests {
         let a = chain.create_eoa("selfish").unwrap();
         chain.fund(a, Wei::from_eth(5.0));
         let nft = NftId::new(Address::derived("collection"), 7);
-        let transfers = vec![
-            NftTransfer {
-                nft,
-                from: Address::derived("outside-seller"),
-                to: a,
-                tx_hash: TxHash::hash_of(b"acq"),
-                block: BlockNumber(1),
-                timestamp: Timestamp::from_secs(2_000),
-                price: Wei::from_eth(1.0),
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: a,
-                to: a,
-                tx_hash: TxHash::hash_of(b"self"),
-                block: BlockNumber(2),
-                timestamp: Timestamp::from_secs(3_000),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        let dataset = dataset_of(&[
+            mk(nft, Address::derived("outside-seller"), a, 1.0, 2, "acq"),
+            mk(nft, a, a, 2.0, 3, "self"),
+        ]);
         let labels = LabelRegistry::new();
-        let (candidates, _) =
-            crate::refine::Refiner::new(&chain, &labels).refine(std::slice::from_ref(&graph));
-        let mut graphs = HashMap::new();
-        graphs.insert(nft, graph);
-        let outcome = Detector::new(&chain, &labels).detect(&candidates, &graphs);
+        let (candidates, graphs) = refined(&dataset, &chain, &labels);
+        let outcome =
+            Detector::new(&chain, &labels, &dataset.interner).detect(&candidates, &graphs);
         assert_eq!(outcome.confirmed.len(), 1);
         assert!(outcome.confirmed[0].methods.self_trade);
         assert_eq!(outcome.self_trades, 1);

@@ -10,9 +10,8 @@
 //! the NFT from an outsider for value, or selling it onwards, breaks the
 //! balance and therefore the zero-risk evidence.
 
-use std::collections::HashSet;
-
-use ethsim::{Address, Wei};
+use ethsim::Wei;
+use ids::AccountId;
 
 use crate::txgraph::NftGraph;
 
@@ -22,93 +21,97 @@ pub const ZERO_RISK_TOLERANCE: Wei = Wei(1_000_000_000_000_000);
 
 /// The component's net ETH position over all trades of the NFT that touch it
 /// (positive = the component extracted value, negative = it injected value).
-pub fn net_position(graph: &NftGraph, accounts: &[Address]) -> i128 {
-    let set: HashSet<Address> = accounts.iter().copied().collect();
+///
+/// Membership is a graph-local boolean mask over dense node indices — no
+/// hashing anywhere on this path.
+pub fn net_position(graph: &NftGraph, accounts: &[AccountId]) -> i128 {
+    let member = graph.membership(accounts);
     let mut net: i128 = 0;
-    for (seller, buyer, edge) in graph.edges_touching(accounts) {
-        if set.contains(&seller) {
-            net += edge.price.raw() as i128;
+    for edge in graph.graph.edges() {
+        if member[edge.source] {
+            net += edge.weight.price.raw() as i128;
         }
-        if set.contains(&buyer) {
-            net -= edge.price.raw() as i128;
+        if member[edge.target] {
+            net -= edge.weight.price.raw() as i128;
         }
     }
     net
 }
 
 /// Whether the component holds a zero-risk position.
-pub fn is_zero_risk(graph: &NftGraph, accounts: &[Address]) -> bool {
+pub fn is_zero_risk(graph: &NftGraph, accounts: &[AccountId]) -> bool {
     net_position(graph, accounts).unsigned_abs() <= ZERO_RISK_TOLERANCE.raw()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::NftTransfer;
-    use ethsim::{BlockNumber, Timestamp, TxHash};
+    use crate::dataset::Dataset;
+    use crate::txgraph::tests::{dataset_of, ids_of, transfer};
+    use ethsim::Address;
     use tokens::NftId;
 
-    fn graph(transfers: &[(&str, &str, f64)]) -> NftGraph {
+    fn world(transfers: &[(&str, &str, f64)]) -> (Dataset, NftGraph) {
         let nft = NftId::new(Address::derived("c"), 1);
-        let transfers: Vec<NftTransfer> = transfers
+        let transfers: Vec<_> = transfers
             .iter()
             .enumerate()
-            .map(|(i, (from, to, price))| NftTransfer {
-                nft,
-                from: if *from == "null" { Address::NULL } else { Address::derived(from) },
-                to: Address::derived(to),
-                tx_hash: TxHash::hash_of(format!("{i}").as_bytes()),
-                block: BlockNumber(i as u64),
-                timestamp: Timestamp::from_secs(i as u64 * 100),
-                price: Wei::from_eth(*price),
-                marketplace: None,
-            })
+            .map(|(i, (from, to, price))| transfer(nft, from, to, *price, (i as u64 + 1) * 100))
             .collect();
-        NftGraph::from_transfers(nft, &transfers)
+        let dataset = dataset_of(&transfers);
+        let key = dataset.interner.nft_key(nft).unwrap();
+        let graph = NftGraph::from_columns(key, &dataset.columns);
+        (dataset, graph)
     }
 
-    fn pair() -> Vec<Address> {
-        vec![Address::derived("a"), Address::derived("b")]
+    fn pair(dataset: &Dataset) -> Vec<AccountId> {
+        ids_of(dataset, &["a", "b"])
     }
 
     #[test]
     fn minted_round_trip_is_zero_risk() {
-        let graph = graph(&[("null", "a", 0.0), ("a", "b", 3.0), ("b", "a", 3.0)]);
-        assert!(is_zero_risk(&graph, &pair()));
-        assert_eq!(net_position(&graph, &pair()), 0);
+        let (dataset, graph) = world(&[("null", "a", 0.0), ("a", "b", 3.0), ("b", "a", 3.0)]);
+        assert!(is_zero_risk(&graph, &pair(&dataset)));
+        assert_eq!(net_position(&graph, &pair(&dataset)), 0);
     }
 
     #[test]
     fn internal_trades_cancel_even_with_escalating_prices() {
         // Internal trades always cancel within the component, regardless of
         // price path; only flows across the component boundary matter.
-        let graph = graph(&[("null", "a", 0.0), ("a", "b", 1.0), ("b", "a", 5.0)]);
-        assert!(is_zero_risk(&graph, &pair()));
+        let (dataset, graph) = world(&[("null", "a", 0.0), ("a", "b", 1.0), ("b", "a", 5.0)]);
+        assert!(is_zero_risk(&graph, &pair(&dataset)));
     }
 
     #[test]
     fn external_acquisition_breaks_zero_risk() {
-        let graph = graph(&[
+        let (dataset, graph) = world(&[
             ("null", "seller", 0.0),
             ("seller", "a", 1.0), // bought from an outsider for 1 ETH
             ("a", "b", 3.0),
             ("b", "a", 3.0),
         ]);
-        assert!(!is_zero_risk(&graph, &pair()));
-        assert_eq!(net_position(&graph, &pair()), -(Wei::from_eth(1.0).raw() as i128));
+        assert!(!is_zero_risk(&graph, &pair(&dataset)));
+        assert_eq!(
+            net_position(&graph, &pair(&dataset)),
+            -(ethsim::Wei::from_eth(1.0).raw() as i128)
+        );
     }
 
     #[test]
     fn external_resale_breaks_zero_risk() {
-        let graph =
-            graph(&[("null", "a", 0.0), ("a", "b", 3.0), ("b", "a", 3.0), ("a", "victim", 10.0)]);
-        assert!(!is_zero_risk(&graph, &pair()));
-        assert_eq!(net_position(&graph, &pair()), Wei::from_eth(10.0).raw() as i128);
+        let (dataset, graph) =
+            world(&[("null", "a", 0.0), ("a", "b", 3.0), ("b", "a", 3.0), ("a", "victim", 10.0)]);
+        assert!(!is_zero_risk(&graph, &pair(&dataset)));
+        assert_eq!(
+            net_position(&graph, &pair(&dataset)),
+            ethsim::Wei::from_eth(10.0).raw() as i128
+        );
     }
 
     #[test]
     fn free_mint_and_free_transfers_are_trivially_zero_risk() {
-        let graph = graph(&[("null", "a", 0.0), ("a", "b", 0.0), ("b", "a", 0.0)]);
-        assert!(is_zero_risk(&graph, &pair()));
+        let (dataset, graph) = world(&[("null", "a", 0.0), ("a", "b", 0.0), ("b", "a", 0.0)]);
+        assert!(is_zero_risk(&graph, &pair(&dataset)));
     }
 }

@@ -27,6 +27,14 @@
 //! report's [`StageMetrics`]; the parallel stages share the [`parallel`]
 //! fork–join executor. [`report`] renders each table and figure as text.
 //!
+//! The analysis layers run on **dense interned ids** (the `ids` crate):
+//! the dataset stage maps every account, NFT and marketplace to a `u32`
+//! once at ingest and stores transfers in the columnar [`columns`] store;
+//! graphs, refinement, detection, characterization and profit all index
+//! `Vec`s by those ids, and addresses reappear exactly once, at report
+//! assembly. See the README crate map for the intern-once /
+//! resolve-at-report-boundary rule.
+//!
 //! ```no_run
 //! use washtrade::pipeline::{analyze, AnalysisInput};
 //! use workload::{WorkloadConfig, World};
@@ -45,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod columns;
 pub mod dataset;
 pub mod detect;
 pub mod parallel;
@@ -56,13 +65,19 @@ pub mod stats;
 pub mod txgraph;
 
 pub use characterize::{characterize, Characterization};
+pub use columns::{TransferColumns, TransferRow};
 pub use dataset::{AppliedEntries, Dataset, MarketplaceVolume, NftTransfer};
-pub use detect::{ConfirmedActivity, DetectionOutcome, Detector, MethodSet, VennCounts};
+pub use detect::{
+    ConfirmedActivity, DenseActivity, DenseDetectionOutcome, DetectionOutcome, Detector, MethodSet,
+    VennCounts,
+};
 pub use parallel::Executor;
 pub use pipeline::{
     analyze, analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport, PipelineStage,
     StageMetrics,
 };
 pub use profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
-pub use refine::{aggregate_refinements, Candidate, NftRefinement, RefinementReport, Refiner};
-pub use txgraph::{NftGraph, TradeEdge};
+pub use refine::{
+    aggregate_refinements, Candidate, DenseCandidate, NftRefinement, RefinementReport, Refiner,
+};
+pub use txgraph::{DenseTradeEdge, NftGraph, TradeEdge};

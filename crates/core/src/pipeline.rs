@@ -4,11 +4,16 @@
 //!
 //! The pipeline is staged: each step is a [`PipelineStage`] that reads and
 //! writes artifacts on a shared [`AnalysisContext`], and the driver
-//! ([`analyze_with`]) times every stage into a [`StageMetrics`] record. The
-//! staged shape is what later work shards, caches and streams; [`analyze`]
-//! remains the one-call entry point with default options.
+//! ([`analyze_with`]) times every stage into a [`StageMetrics`] record.
+//!
+//! Artifacts flow through in dense-id form: the dataset stage interns every
+//! entity once, the graph table is indexed by [`ids::NftKey`]
+//! (`graphs[key.index()]` — no keyed map anywhere), and refinement/detection
+//! carry [`DenseCandidate`]/[`DenseDetectionOutcome`]. Resolution back to
+//! addresses happens exactly once, in [`AnalysisContext::into_report`], so
+//! the public [`AnalysisReport`] is identical to the address-keyed
+//! pipeline's output bit for bit.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ethsim::Chain;
@@ -16,14 +21,13 @@ use labels::LabelRegistry;
 use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
-use tokens::NftId;
 
 use crate::characterize::{characterize, Characterization};
 use crate::dataset::{Dataset, MarketplaceVolume};
-use crate::detect::{DetectionOutcome, Detector};
+use crate::detect::{DenseDetectionOutcome, DetectionOutcome, Detector};
 use crate::parallel::Executor;
 use crate::profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
-use crate::refine::{RefinementReport, Refiner};
+use crate::refine::{DenseCandidate, RefinementReport, Refiner};
 use crate::txgraph::NftGraph;
 
 /// Everything the pipeline needs to read: the chain, the label registry, the
@@ -111,10 +115,9 @@ pub struct AnalysisContext<'a> {
     pub executor: Executor,
     dataset: Option<Dataset>,
     graphs: Option<Vec<NftGraph>>,
-    graph_map: Option<HashMap<NftId, NftGraph>>,
-    candidates: Option<Vec<crate::refine::Candidate>>,
+    candidates: Option<Vec<DenseCandidate>>,
     refinement: Option<RefinementReport>,
-    detection: Option<DetectionOutcome>,
+    detection: Option<DenseDetectionOutcome>,
     characterization: Option<Characterization>,
     rewards: Option<RewardReport>,
     resales: Option<ResaleReport>,
@@ -128,7 +131,6 @@ impl<'a> AnalysisContext<'a> {
             executor: Executor::new(options.threads),
             dataset: None,
             graphs: None,
-            graph_map: None,
             candidates: None,
             refinement: None,
             detection: None,
@@ -147,30 +149,28 @@ impl<'a> AnalysisContext<'a> {
         Self::expect(self.dataset.as_ref(), "dataset")
     }
 
-    /// The per-NFT graphs (requires `BuildGraphs`; consumed by `Detect`).
+    /// The per-NFT graphs, indexed by [`ids::NftKey`] (requires `BuildGraphs`).
     pub fn graphs(&self) -> &[NftGraph] {
         Self::expect(self.graphs.as_deref(), "graphs")
     }
 
-    /// The per-NFT graphs keyed by NFT (requires `Detect`).
-    pub fn graph_map(&self) -> &HashMap<NftId, NftGraph> {
-        Self::expect(self.graph_map.as_ref(), "graph_map")
-    }
-
-    /// The refined candidates (requires `Refine`).
-    pub fn candidates(&self) -> &[crate::refine::Candidate] {
+    /// The refined dense candidates (requires `Refine`).
+    pub fn candidates(&self) -> &[DenseCandidate] {
         Self::expect(self.candidates.as_deref(), "candidates")
     }
 
-    /// The detection outcome (requires `Detect`).
-    pub fn detection(&self) -> &DetectionOutcome {
+    /// The dense detection outcome (requires `Detect`). The resolved
+    /// [`DetectionOutcome`] is produced once, at report assembly.
+    pub fn detection(&self) -> &DenseDetectionOutcome {
         Self::expect(self.detection.as_ref(), "detection")
     }
 
-    /// Assemble the final report once every stage has run.
+    /// Assemble the final report once every stage has run — the single
+    /// point where dense ids resolve back to addresses.
     fn into_report(self, stage_metrics: Vec<StageMetrics>) -> AnalysisReport {
         let input = self.input;
         let dataset = Self::expect(self.dataset, "dataset");
+        let detection = Self::expect(self.detection, "detection").resolve(&dataset.interner);
         AnalysisReport {
             table1: dataset.marketplace_volumes(input.directory, input.oracle),
             dataset_nfts: dataset.nft_count(),
@@ -179,7 +179,7 @@ impl<'a> AnalysisContext<'a> {
             compliant_contracts: dataset.compliant_contracts.len(),
             non_compliant_contracts: dataset.non_compliant_contracts.len(),
             refinement: Self::expect(self.refinement, "refinement"),
-            detection: Self::expect(self.detection, "detection"),
+            detection,
             characterization: Self::expect(self.characterization, "characterization"),
             rewards: Self::expect(self.rewards, "rewards"),
             resales: Self::expect(self.resales, "resales"),
@@ -198,9 +198,9 @@ pub trait PipelineStage {
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo;
 }
 
-/// §III: collect ERC-721 transfers, apply the compliance probe, annotate
-/// prices and marketplaces. Items: raw transfer logs in, compliant transfers
-/// out.
+/// §III: collect ERC-721 transfers, apply the compliance probe, intern every
+/// entity and annotate prices and marketplaces. Items: raw transfer logs in,
+/// compliant transfers out.
 pub struct BuildDataset;
 
 impl PipelineStage for BuildDataset {
@@ -220,8 +220,8 @@ impl PipelineStage for BuildDataset {
     }
 }
 
-/// §IV-A: one directed multigraph per NFT, built in parallel. Items:
-/// compliant transfers in, NFT graphs out.
+/// §IV-A: one directed multigraph per NFT, built in parallel over the
+/// columnar store. Items: compliant transfers in, NFT graphs out.
 pub struct BuildGraphs;
 
 impl PipelineStage for BuildGraphs {
@@ -254,7 +254,7 @@ impl PipelineStage for Refine {
 
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
         let graphs = ctx.graphs();
-        let refiner = Refiner::new(ctx.input.chain, ctx.input.labels);
+        let refiner = Refiner::new(ctx.input.chain, ctx.input.labels, &ctx.dataset().interner);
         let (candidates, refinement) = refiner.refine_with(graphs, &ctx.executor);
         let io = StageIo {
             items_in: graphs.len(),
@@ -268,7 +268,9 @@ impl PipelineStage for Refine {
 }
 
 /// §IV-C/D: the five confirmation signals, in parallel over the candidates.
-/// Items: candidates in, confirmed activities out.
+/// The graph table is already `NftKey`-indexed, so the detector's
+/// cross-component lookups are plain `Vec` indexing. Items: candidates in,
+/// confirmed activities out.
 pub struct Detect;
 
 impl PipelineStage for Detect {
@@ -277,20 +279,14 @@ impl PipelineStage for Detect {
     }
 
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
-        // The graph list is no longer needed after this stage; key it by NFT
-        // for the detector's cross-component lookups (and later resales).
-        let graphs = AnalysisContext::expect(ctx.graphs.take(), "graphs");
-        let graph_map: HashMap<NftId, NftGraph> =
-            graphs.into_iter().map(|graph| (graph.nft, graph)).collect();
         let candidates = ctx.candidates();
-        let detector = Detector::new(ctx.input.chain, ctx.input.labels);
-        let detection = detector.detect_with(candidates, &graph_map, &ctx.executor);
+        let detector = Detector::new(ctx.input.chain, ctx.input.labels, &ctx.dataset().interner);
+        let detection = detector.detect_with(candidates, ctx.graphs(), &ctx.executor);
         let io = StageIo {
             items_in: candidates.len(),
             items_out: detection.confirmed.len(),
             threads_used: ctx.executor.threads_for(candidates.len()),
         };
-        ctx.graph_map = Some(graph_map);
         ctx.detection = Some(detection);
         io
     }
@@ -327,9 +323,17 @@ impl PipelineStage for Profit {
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
         let confirmed = &ctx.detection().confirmed;
         let input = ctx.input;
-        let rewards = analyze_rewards(confirmed, input.chain, input.directory, input.oracle);
-        let resales =
-            analyze_resales(confirmed, input.chain, input.directory, input.oracle, ctx.graph_map());
+        let interner = &ctx.dataset().interner;
+        let rewards =
+            analyze_rewards(confirmed, input.chain, input.directory, input.oracle, interner);
+        let resales = analyze_resales(
+            confirmed,
+            input.chain,
+            input.directory,
+            input.oracle,
+            ctx.graphs(),
+            interner,
+        );
         let io = StageIo {
             items_in: confirmed.len(),
             items_out: rewards.outcomes.len() + resales.outcomes.len(),
@@ -354,7 +358,8 @@ pub fn standard_stages() -> Vec<Box<dyn PipelineStage>> {
 }
 
 /// The complete analysis output; every table and figure of the paper is
-/// derived from the fields of this struct.
+/// derived from the fields of this struct. Fully resolved: no dense id
+/// appears anywhere in the report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnalysisReport {
     /// Table I: per-marketplace dataset totals.

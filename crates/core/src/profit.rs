@@ -4,12 +4,13 @@
 use std::collections::{HashMap, HashSet};
 
 use ethsim::{Address, Chain, Wei};
+use ids::Interner;
 use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
-use crate::detect::ConfirmedActivity;
+use crate::detect::DenseActivity;
 use crate::stats::Summary;
 use crate::txgraph::NftGraph;
 
@@ -118,22 +119,26 @@ impl RewardReport {
 }
 
 /// Analyze reward-system exploitation for every confirmed activity whose
-/// dominant marketplace distributes reward tokens.
+/// dominant marketplace distributes reward tokens. Activities arrive in
+/// dense form; colluder addresses are resolved once per activity for the
+/// chain-history claim scans, and the per-activity outcomes (report structs)
+/// carry resolved NFT identities.
 pub fn analyze_rewards(
-    activities: &[ConfirmedActivity],
+    activities: &[DenseActivity],
     chain: &Chain,
     directory: &MarketplaceDirectory,
     oracle: &PriceOracle,
+    interner: &Interner,
 ) -> RewardReport {
     let mut outcomes = Vec::new();
     let mut per_market: HashMap<String, Vec<RewardOutcome>> = HashMap::new();
     let mut did_not_claim: HashMap<String, usize> = HashMap::new();
 
     for activity in activities {
-        let Some(market_contract) = activity.candidate.dominant_marketplace() else {
+        let Some(market) = activity.candidate.dominant_marketplace(interner) else {
             continue;
         };
-        let Some(info) = directory.by_contract(market_contract) else {
+        let Some(info) = directory.by_contract(interner.market(market)) else {
             continue;
         };
         let Some(reward) = &info.reward else {
@@ -145,7 +150,8 @@ pub fn analyze_rewards(
         let mut rewards_usd = 0.0;
         let mut fees_usd = 0.0;
         let mut claimed = false;
-        for &account in &activity.candidate.accounts {
+        for &id in &activity.candidate.accounts {
+            let account = interner.address(id);
             let claim_tx = chain
                 .transactions_of(account)
                 .into_iter()
@@ -203,7 +209,7 @@ pub fn analyze_rewards(
             continue;
         }
         let outcome = RewardOutcome {
-            nft: activity.nft(),
+            nft: interner.nft(activity.nft()),
             marketplace: info.name.clone(),
             volume_eth: activity.candidate.volume.to_eth(),
             rewards_usd,
@@ -334,12 +340,17 @@ pub struct ResaleReport {
 
 /// Analyze resale profitability for every confirmed activity whose dominant
 /// marketplace has no reward system (including off-market activity).
+///
+/// `graphs` is the `NftKey`-indexed graph table the pipeline built in the
+/// graph stage; component membership checks are linear probes over the
+/// (tiny) dense account lists.
 pub fn analyze_resales(
-    activities: &[ConfirmedActivity],
+    activities: &[DenseActivity],
     chain: &Chain,
     directory: &MarketplaceDirectory,
     oracle: &PriceOracle,
-    graphs: &HashMap<NftId, NftGraph>,
+    graphs: &[NftGraph],
+    interner: &Interner,
 ) -> ResaleReport {
     let treasuries: HashSet<Address> = directory.iter().map(|info| info.treasury).collect();
     let mut report = ResaleReport::default();
@@ -349,17 +360,21 @@ pub fn analyze_resales(
 
     for activity in activities {
         // Skip reward marketplaces: §VI-B covers the others.
-        if let Some(contract) = activity.candidate.dominant_marketplace() {
-            if directory.by_contract(contract).map(|info| info.reward.is_some()).unwrap_or(false) {
+        if let Some(market) = activity.candidate.dominant_marketplace(interner) {
+            if directory
+                .by_contract(interner.market(market))
+                .map(|info| info.reward.is_some())
+                .unwrap_or(false)
+            {
                 continue;
             }
         }
-        let Some(graph) = graphs.get(&activity.nft()) else {
+        let Some(graph) = graphs.get(activity.nft().index()) else {
             continue;
         };
         report.total += 1;
-        let accounts: HashSet<Address> = activity.candidate.accounts.iter().copied().collect();
-        let touching = graph.edges_touching(&activity.candidate.accounts);
+        let accounts = activity.accounts();
+        let touching = graph.edges_touching(accounts);
 
         // Acquisition: the last transfer into the component before (or at) the
         // first wash trade.
@@ -434,7 +449,7 @@ pub fn analyze_resales(
                 net_values.push(net);
                 net_usd_values.push(net_usd);
                 ResaleOutcome {
-                    nft: activity.nft(),
+                    nft: interner.nft(activity.nft()),
                     resold: true,
                     buy_price_eth: buy_price.to_eth(),
                     resale_price_eth: Some(edge.price.to_eth()),
@@ -447,7 +462,7 @@ pub fn analyze_resales(
             None => {
                 report.not_resold += 1;
                 ResaleOutcome {
-                    nft: activity.nft(),
+                    nft: interner.nft(activity.nft()),
                     resold: false,
                     buy_price_eth: buy_price.to_eth(),
                     resale_price_eth: None,
@@ -470,10 +485,11 @@ pub fn analyze_resales(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::NftTransfer;
-    use crate::detect::{ConfirmedActivity, MethodSet};
-    use crate::refine::Candidate;
-    use crate::txgraph::{NftGraph, TradeEdge};
+    use crate::dataset::{Dataset, NftTransfer};
+    use crate::detect::{DenseActivity, MethodSet};
+    use crate::refine::DenseCandidate;
+    use crate::txgraph::tests::dataset_of;
+    use crate::txgraph::NftGraph;
     use ethsim::{BlockNumber, Timestamp, TxHash};
 
     #[test]
@@ -496,6 +512,59 @@ mod tests {
         assert_eq!(summary.total_balance_usd, 0.0);
     }
 
+    fn mk(
+        nft: tokens::NftId,
+        from: Address,
+        to: Address,
+        price: f64,
+        at: u64,
+        tag: &str,
+    ) -> NftTransfer {
+        NftTransfer {
+            nft,
+            from,
+            to,
+            tx_hash: TxHash::hash_of(tag.as_bytes()),
+            block: BlockNumber(at),
+            timestamp: Timestamp::from_secs(at * 86_400),
+            price: Wei::from_eth(price),
+            marketplace: None,
+        }
+    }
+
+    /// Build the dense fixture world: a dataset, the NftKey-indexed graphs
+    /// and one activity over the colluding pair `(wa, wb)`.
+    fn world(
+        transfers: &[NftTransfer],
+        first_day: u64,
+        last_day: u64,
+    ) -> (Dataset, Vec<NftGraph>, DenseActivity) {
+        let dataset = dataset_of(transfers);
+        let graphs = NftGraph::from_dataset(&dataset);
+        let a = transfers[1].from;
+        let b = transfers[1].to;
+        let mut pair = vec![a, b];
+        pair.sort();
+        pair.dedup();
+        let accounts: Vec<_> =
+            pair.into_iter().map(|address| dataset.interner.account_id(address).unwrap()).collect();
+        let key = dataset.interner.nft_key(transfers[0].nft).unwrap();
+        let internal_edges = graphs[key.index()].edges_among(&accounts);
+        let candidate = DenseCandidate {
+            nft: key,
+            accounts,
+            first_trade: Timestamp::from_secs(first_day * 86_400),
+            last_trade: Timestamp::from_secs(last_day * 86_400),
+            volume: internal_edges.iter().map(|(_, _, e)| e.price).sum(),
+            internal_edges,
+        };
+        let activity = DenseActivity {
+            candidate,
+            methods: MethodSet { zero_risk: true, ..MethodSet::default() },
+        };
+        (dataset, graphs, activity)
+    }
+
     /// Manually assembled resale scenario: bought at 1 ETH, washed between two
     /// accounts, resold to a victim at 10 ETH.
     #[test]
@@ -506,48 +575,24 @@ mod tests {
         let a = Address::derived("wa");
         let b = Address::derived("wb");
         let nft = NftId::new(Address::derived("coll"), 5);
-        let mk_transfer =
-            |from: Address, to: Address, price: f64, at: u64, tag: &str| NftTransfer {
-                nft,
-                from,
-                to,
-                tx_hash: TxHash::hash_of(tag.as_bytes()),
-                block: BlockNumber(at),
-                timestamp: Timestamp::from_secs(at * 86_400),
-                price: Wei::from_eth(price),
-                marketplace: None,
-            };
         let transfers = vec![
-            mk_transfer(Address::derived("outsider"), a, 1.0, 1, "buy"),
-            mk_transfer(a, b, 4.0, 2, "w1"),
-            mk_transfer(b, a, 4.0, 3, "w2"),
-            mk_transfer(a, Address::derived("victim"), 10.0, 4, "sell"),
+            mk(nft, Address::derived("outsider"), a, 1.0, 1, "buy"),
+            mk(nft, a, b, 4.0, 2, "w1"),
+            mk(nft, b, a, 4.0, 3, "w2"),
+            mk(nft, a, Address::derived("victim"), 10.0, 4, "sell"),
         ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
-        let internal_edges: Vec<(Address, Address, TradeEdge)> = graph.edges_among(&[a, b]);
-        let candidate = Candidate {
-            nft,
-            accounts: vec![a.min(b), a.max(b)],
-            first_trade: Timestamp::from_secs(2 * 86_400),
-            last_trade: Timestamp::from_secs(3 * 86_400),
-            volume: Wei::from_eth(8.0),
-            internal_edges,
-        };
-        let activity = ConfirmedActivity {
-            candidate,
-            methods: MethodSet { zero_risk: false, ..MethodSet::default() },
-        };
-        let mut graphs = HashMap::new();
-        graphs.insert(nft, graph);
-        let report = analyze_resales(&[activity], &chain, &directory, &oracle, &graphs);
+        let (dataset, graphs, activity) = world(&transfers, 2, 3);
+        let report =
+            analyze_resales(&[activity], &chain, &directory, &oracle, &graphs, &dataset.interner);
         assert_eq!(report.total, 1);
         assert_eq!(report.resold, 1);
         assert_eq!(report.not_resold, 0);
         let outcome = &report.outcomes[0];
+        assert_eq!(outcome.nft, nft);
         assert_eq!(outcome.buy_price_eth, 1.0);
         assert_eq!(outcome.resale_price_eth, Some(10.0));
         assert_eq!(outcome.gross_gain_eth, Some(9.0));
-        // No real transactions on the chain → no fee information, so the net
+        // No real transactions on the chain -> no fee information, so the net
         // equals the gross here.
         assert_eq!(outcome.net_gain_eth, Some(9.0));
         assert_eq!(outcome.days_to_resale, Some(1));
@@ -564,53 +609,13 @@ mod tests {
         let b = Address::derived("ub");
         let nft = NftId::new(Address::derived("coll2"), 6);
         let transfers = vec![
-            NftTransfer {
-                nft,
-                from: Address::NULL,
-                to: a,
-                tx_hash: TxHash::hash_of(b"m"),
-                block: BlockNumber(1),
-                timestamp: Timestamp::from_secs(86_400),
-                price: Wei::ZERO,
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: a,
-                to: b,
-                tx_hash: TxHash::hash_of(b"x"),
-                block: BlockNumber(2),
-                timestamp: Timestamp::from_secs(2 * 86_400),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
-            NftTransfer {
-                nft,
-                from: b,
-                to: a,
-                tx_hash: TxHash::hash_of(b"y"),
-                block: BlockNumber(3),
-                timestamp: Timestamp::from_secs(3 * 86_400),
-                price: Wei::from_eth(2.0),
-                marketplace: None,
-            },
+            mk(nft, Address::NULL, a, 0.0, 1, "m"),
+            mk(nft, a, b, 2.0, 2, "x"),
+            mk(nft, b, a, 2.0, 3, "y"),
         ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
-        let candidate = Candidate {
-            nft,
-            accounts: vec![a.min(b), a.max(b)],
-            first_trade: Timestamp::from_secs(2 * 86_400),
-            last_trade: Timestamp::from_secs(3 * 86_400),
-            volume: Wei::from_eth(4.0),
-            internal_edges: graph.edges_among(&[a, b]),
-        };
-        let activity = ConfirmedActivity {
-            candidate,
-            methods: MethodSet { zero_risk: true, ..MethodSet::default() },
-        };
-        let mut graphs = HashMap::new();
-        graphs.insert(nft, graph);
-        let report = analyze_resales(&[activity], &chain, &directory, &oracle, &graphs);
+        let (dataset, graphs, activity) = world(&transfers, 2, 3);
+        let report =
+            analyze_resales(&[activity], &chain, &directory, &oracle, &graphs, &dataset.interner);
         assert_eq!(report.total, 1);
         assert_eq!(report.not_resold, 1);
         assert_eq!(report.resold, 0);

@@ -1,17 +1,24 @@
 //! Graph refinement (§IV-B): removing service accounts, smart-contract
 //! accounts and zero-volume components from the suspicious candidates.
+//!
+//! The refiner operates entirely on dense ids ([`DenseCandidate`]); account
+//! addresses are resolved once per graph node for the label/bytecode probes
+//! (instead of once per *edge*, as the address-keyed pipeline did) and at
+//! the report boundary, where [`DenseCandidate::resolve`] materializes the
+//! address-keyed [`Candidate`] the report exposes.
 
 use ethsim::{Address, Chain, Timestamp, Wei};
 use graphlib::DiMultiGraph;
+use ids::{AccountId, BitSet, Interner, MarketId, NftKey};
 use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
 use crate::parallel::Executor;
-use crate::txgraph::{NftGraph, TradeEdge};
+use crate::txgraph::{DenseTradeEdge, NftGraph, TradeEdge};
 
-/// A refined wash-trading candidate: one strongly connected component of one
-/// NFT's transaction graph that survived every refinement step.
+/// A refined wash-trading candidate in resolved (address-keyed) form: the
+/// report-boundary twin of [`DenseCandidate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Candidate {
     /// The NFT whose graph contains the component.
@@ -35,34 +42,125 @@ impl Candidate {
     }
 
     /// The key every candidate list in the system is ordered by: the NFT,
-    /// then the component's first (lowest) account. Batch refinement and the
-    /// streaming re-assembly both sort by this key, which is what keeps their
-    /// outputs bit-identical.
+    /// then the component's first (lowest) account.
     pub fn sort_key(&self) -> (NftId, Address) {
         (self.nft, self.accounts.first().copied().unwrap_or(Address::NULL))
     }
 
-    /// The marketplace contract that carries most of the component's volume,
-    /// if any of its sales went through a marketplace.
-    pub fn dominant_marketplace(&self) -> Option<Address> {
-        use std::collections::HashMap;
-        let mut volume_by_market: HashMap<Address, u128> = HashMap::new();
+    /// Lifetime of the component's activity in whole days.
+    pub fn lifetime_days(&self) -> u64 {
+        self.last_trade.days_since(self.first_trade)
+    }
+
+    /// The distinct directed shape of the component's internal trading, as
+    /// positions into the sorted account list — the resolved twin of
+    /// [`component_shape`](crate::characterize::component_shape), for
+    /// consumers that work from the report.
+    pub fn shape(&self) -> Vec<(usize, usize)> {
+        edge_shape(&self.accounts, self.internal_edges.iter().map(|(from, to, _)| (*from, *to)))
+    }
+}
+
+/// The one shape computation both candidate representations classify
+/// through: the distinct directed edges of a component's internal trading,
+/// as positions into its account list. Generic over the account type so the
+/// dense pipeline ([`component_shape`](crate::characterize::component_shape))
+/// and the resolved report type ([`Candidate::shape`]) cannot drift apart.
+pub(crate) fn edge_shape<T: Copy + PartialEq>(
+    accounts: &[T],
+    endpoints: impl Iterator<Item = (T, T)>,
+) -> Vec<(usize, usize)> {
+    let position = |account: T| {
+        accounts.iter().position(|&a| a == account).expect("edge endpoints are members")
+    };
+    let mut shape: Vec<(usize, usize)> =
+        endpoints.map(|(from, to)| (position(from), position(to))).collect();
+    shape.sort_unstable();
+    shape.dedup();
+    shape
+}
+
+/// A refined wash-trading candidate: one strongly connected component of one
+/// NFT's transaction graph that survived every refinement step, in dense-id
+/// form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseCandidate {
+    /// The NFT whose graph contains the component.
+    pub nft: NftKey,
+    /// The component's accounts, sorted by resolved address (the position
+    /// order shapes and report account lists are built on).
+    pub accounts: Vec<AccountId>,
+    /// Sales between component accounts (self-loops included), chronological.
+    pub internal_edges: Vec<(AccountId, AccountId, DenseTradeEdge)>,
+    /// Timestamp of the first internal sale.
+    pub first_trade: Timestamp,
+    /// Timestamp of the last internal sale.
+    pub last_trade: Timestamp,
+    /// Total traded volume of the internal sales.
+    pub volume: Wei,
+}
+
+impl DenseCandidate {
+    /// Whether the component contains a self-loop sale.
+    pub fn has_self_trade(&self) -> bool {
+        self.internal_edges.iter().any(|(from, to, _)| from == to)
+    }
+
+    /// The candidate ordering key, on resolved identities: the NFT, then the
+    /// component's first (lowest-address) account. Batch refinement and the
+    /// streaming re-assembly both sort by this key, which is what keeps
+    /// their outputs bit-identical — and identical to the address-keyed
+    /// pipeline, whose first-seen-independent order this reproduces.
+    pub fn sort_key(&self, interner: &Interner) -> (NftId, Address) {
+        (
+            interner.nft(self.nft),
+            self.accounts.first().map(|&id| interner.address(id)).unwrap_or(Address::NULL),
+        )
+    }
+
+    /// The marketplace that carries most of the component's volume, if any
+    /// of its sales went through a marketplace. Volume ties break towards
+    /// the lowest market *address* (resolved through the interner), matching
+    /// the address-keyed pipeline's deterministic tiebreak.
+    pub fn dominant_marketplace(&self, interner: &Interner) -> Option<MarketId> {
+        let mut volume_by_market: Vec<(MarketId, u128)> = Vec::new();
         for (_, _, edge) in &self.internal_edges {
-            if let Some(market) = edge.marketplace {
-                *volume_by_market.entry(market).or_insert(0) += edge.price.raw().max(1);
+            let Some(market) = edge.marketplace else {
+                continue;
+            };
+            match volume_by_market.iter_mut().find(|(m, _)| *m == market) {
+                Some((_, volume)) => *volume += edge.price.raw().max(1),
+                None => volume_by_market.push((market, edge.price.raw().max(1))),
             }
         }
-        // Volume ties break towards the lowest address: the accumulator is a
-        // HashMap, so an unkeyed max would follow iteration order.
         volume_by_market
             .into_iter()
-            .max_by_key(|(market, volume)| (*volume, std::cmp::Reverse(*market)))
+            .max_by_key(|(market, volume)| (*volume, std::cmp::Reverse(interner.market(*market))))
             .map(|(market, _)| market)
     }
 
     /// Lifetime of the component's activity in whole days.
     pub fn lifetime_days(&self) -> u64 {
         self.last_trade.days_since(self.first_trade)
+    }
+
+    /// Resolve to the report-boundary [`Candidate`] — the single point where
+    /// this component's ids become addresses again.
+    pub fn resolve(&self, interner: &Interner) -> Candidate {
+        Candidate {
+            nft: interner.nft(self.nft),
+            accounts: self.accounts.iter().map(|&id| interner.address(id)).collect(),
+            internal_edges: self
+                .internal_edges
+                .iter()
+                .map(|(from, to, edge)| {
+                    (interner.address(*from), interner.address(*to), edge.resolve(interner))
+                })
+                .collect(),
+            first_trade: self.first_trade,
+            last_trade: self.last_trade,
+            volume: self.volume,
+        }
     }
 }
 
@@ -94,26 +192,27 @@ pub struct RefinementReport {
 pub struct Refiner<'a> {
     chain: &'a Chain,
     labels: &'a LabelRegistry,
+    interner: &'a Interner,
 }
 
 /// The complete refinement outcome for one NFT graph: the suspicious
 /// components surviving each §IV-B stage, plus the final candidates.
 ///
 /// Produced by [`Refiner::refine_nft`], which is a pure function of the graph
-/// (given the chain and labels), so outcomes can be cached per NFT and only
-/// recomputed when the graph changes — the seam the streaming subsystem's
-/// dirty-set scheduler is built on. [`aggregate_refinements`] folds any
-/// collection of outcomes into the [`RefinementReport`].
+/// (given the chain, labels and interner), so outcomes can be cached per NFT
+/// and only recomputed when the graph changes — the seam the streaming
+/// subsystem's dirty-set scheduler is built on. [`aggregate_refinements`]
+/// folds any collection of outcomes into the [`RefinementReport`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NftRefinement {
-    /// Suspicious components of the raw graph (accounts sorted per component).
-    pub initial: Vec<Vec<Address>>,
+    /// Suspicious components of the raw graph (address-sorted per component).
+    pub initial: Vec<Vec<AccountId>>,
     /// Components surviving the service-account removal.
-    pub after_service: Vec<Vec<Address>>,
+    pub after_service: Vec<Vec<AccountId>>,
     /// Components additionally surviving the contract-account removal.
-    pub after_contract: Vec<Vec<Address>>,
+    pub after_contract: Vec<Vec<AccountId>>,
     /// Components surviving the zero-volume filter, as full candidates.
-    pub candidates: Vec<Candidate>,
+    pub candidates: Vec<DenseCandidate>,
 }
 
 impl NftRefinement {
@@ -128,38 +227,47 @@ impl NftRefinement {
 
 /// Fold per-NFT refinement outcomes into the §IV-B per-stage counts.
 ///
-/// Pure aggregation: counts are additive and account totals are set
+/// Pure aggregation: counts are additive and account totals are dense bitset
 /// cardinalities, so the result is independent of iteration order —
 /// [`Refiner::refine_with`] and the streaming re-aggregation share it.
 pub fn aggregate_refinements<'a>(
     outcomes: impl IntoIterator<Item = &'a NftRefinement>,
 ) -> RefinementReport {
     let mut report = RefinementReport::default();
-    let mut initial_accounts = std::collections::HashSet::new();
-    let mut service_accounts = std::collections::HashSet::new();
-    let mut contract_accounts = std::collections::HashSet::new();
-    let mut final_accounts = std::collections::HashSet::new();
+    let mut initial_accounts = BitSet::new();
+    let mut service_accounts = BitSet::new();
+    let mut contract_accounts = BitSet::new();
+    let mut final_accounts = BitSet::new();
     for outcome in outcomes {
         if !outcome.initial.is_empty() {
             report.initial.nfts += 1;
             report.initial.components += outcome.initial.len();
-            initial_accounts.extend(outcome.initial.iter().flatten().copied());
+            for &account in outcome.initial.iter().flatten() {
+                initial_accounts.insert(account.index());
+            }
         }
         if !outcome.after_service.is_empty() {
             report.after_service_removal.nfts += 1;
             report.after_service_removal.components += outcome.after_service.len();
-            service_accounts.extend(outcome.after_service.iter().flatten().copied());
+            for &account in outcome.after_service.iter().flatten() {
+                service_accounts.insert(account.index());
+            }
         }
         if !outcome.after_contract.is_empty() {
             report.after_contract_removal.nfts += 1;
             report.after_contract_removal.components += outcome.after_contract.len();
-            contract_accounts.extend(outcome.after_contract.iter().flatten().copied());
+            for &account in outcome.after_contract.iter().flatten() {
+                contract_accounts.insert(account.index());
+            }
         }
         if !outcome.candidates.is_empty() {
             report.after_zero_volume.nfts += 1;
             report.after_zero_volume.components += outcome.candidates.len();
-            final_accounts
-                .extend(outcome.candidates.iter().flat_map(|c| c.accounts.iter().copied()));
+            for candidate in &outcome.candidates {
+                for &account in &candidate.accounts {
+                    final_accounts.insert(account.index());
+                }
+            }
         }
     }
     report.initial.accounts = initial_accounts.len();
@@ -171,50 +279,60 @@ pub fn aggregate_refinements<'a>(
 
 impl<'a> Refiner<'a> {
     /// Create a refiner reading account labels and bytecode from the given
-    /// chain and registry.
-    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry) -> Self {
-        Refiner { chain, labels }
+    /// chain and registry, resolving dense ids through `interner`.
+    pub fn new(chain: &'a Chain, labels: &'a LabelRegistry, interner: &'a Interner) -> Self {
+        Refiner { chain, labels, interner }
     }
 
     /// Refine every NFT graph using one thread per available core; thin
     /// wrapper over [`Refiner::refine_with`].
-    pub fn refine(&self, graphs: &[NftGraph]) -> (Vec<Candidate>, RefinementReport) {
+    pub fn refine(&self, graphs: &[NftGraph]) -> (Vec<DenseCandidate>, RefinementReport) {
         self.refine_with(graphs, &Executor::default())
     }
 
     /// Refine every NFT graph, returning the surviving candidates and the
-    /// per-stage counts. Each NFT graph is independent, so the work is spread
-    /// over the executor's thread budget; results are aggregated in graph
-    /// order, making the output identical at any thread count.
+    /// per-stage counts. Each NFT graph is independent, so the work is
+    /// spread over the executor's thread budget; candidates are sorted by
+    /// their resolved [`DenseCandidate::sort_key`], making the output
+    /// identical at any thread count (and at any graph enumeration order).
     pub fn refine_with(
         &self,
         graphs: &[NftGraph],
         executor: &Executor,
-    ) -> (Vec<Candidate>, RefinementReport) {
+    ) -> (Vec<DenseCandidate>, RefinementReport) {
         let outcomes = executor.map(graphs, |graph| self.refine_nft(graph));
         let report = aggregate_refinements(outcomes.iter());
-        let mut candidates: Vec<Candidate> =
+        let mut candidates: Vec<DenseCandidate> =
             outcomes.into_iter().flat_map(|outcome| outcome.candidates).collect();
-        candidates.sort_by_key(Candidate::sort_key);
+        candidates.sort_by_key(|candidate| candidate.sort_key(self.interner));
         (candidates, report)
     }
 
     /// Refine a single NFT graph through every §IV-B stage. Pure with respect
-    /// to the graph (chain and labels are read-only), so the outcome can be
-    /// cached and recomputed only when the graph gains edges.
+    /// to the graph (chain, labels and interner are read-only), so the
+    /// outcome can be cached and recomputed only when the graph gains edges.
     pub fn refine_nft(&self, graph: &NftGraph) -> NftRefinement {
-        let initial = graph.suspicious_account_sets();
+        let initial = graph.suspicious_account_sets(self.interner);
         if initial.is_empty() {
             return NftRefinement::default();
         }
 
+        // Classify every node once (label lookup + bytecode probe per
+        // *account*, not per edge as the address-keyed refiner did).
+        let node_count = graph.graph.node_count();
+        let mut non_service = vec![false; node_count];
+        let mut non_contract = vec![false; node_count];
+        for (index, &account) in graph.graph.nodes() {
+            let address = self.interner.address(account);
+            let service = self.labels.is_service_account(address);
+            non_service[index] = !service;
+            non_contract[index] = !service && !self.chain.is_contract(address);
+        }
+
         // Stage 1: drop labelled service accounts and the null address.
-        let without_service =
-            self.filtered_components(graph, |address| !self.labels.is_service_account(address));
+        let without_service = self.filtered_components(graph, &non_service);
         // Stage 2: additionally drop accounts holding bytecode.
-        let without_contracts = self.filtered_components(graph, |address| {
-            !self.labels.is_service_account(address) && !self.chain.is_contract(address)
-        });
+        let without_contracts = self.filtered_components(graph, &non_contract);
         // Stage 3: drop zero-volume components.
         let candidates = without_contracts
             .iter()
@@ -229,35 +347,33 @@ impl<'a> Refiner<'a> {
         }
     }
 
-    /// Recompute the suspicious components of `graph` restricted to the nodes
-    /// accepted by `keep`.
-    fn filtered_components(
-        &self,
-        graph: &NftGraph,
-        keep: impl Fn(Address) -> bool,
-    ) -> Vec<Vec<Address>> {
-        let mut filtered: DiMultiGraph<Address, TradeEdge> = DiMultiGraph::new();
+    /// Recompute the suspicious components of `graph` restricted to the
+    /// nodes whose `keep` flag is set.
+    fn filtered_components(&self, graph: &NftGraph, keep: &[bool]) -> Vec<Vec<AccountId>> {
+        let mut filtered: DiMultiGraph<AccountId, DenseTradeEdge> = DiMultiGraph::new();
         for edge in graph.graph.edges() {
-            let source = *graph.graph.node(edge.source);
-            let target = *graph.graph.node(edge.target);
-            if keep(source) && keep(target) {
-                filtered.add_edge_by_key(source, target, edge.weight);
+            if keep[edge.source] && keep[edge.target] {
+                filtered.add_edge_by_key(
+                    *graph.graph.node(edge.source),
+                    *graph.graph.node(edge.target),
+                    edge.weight,
+                );
             }
         }
         graphlib::suspicious_components(&filtered)
             .into_iter()
             .map(|component| {
-                let mut accounts: Vec<Address> =
+                let mut accounts: Vec<AccountId> =
                     component.iter().map(|&index| *filtered.node(index)).collect();
-                accounts.sort();
+                accounts.sort_unstable_by_key(|&id| self.interner.address(id));
                 accounts
             })
             .collect()
     }
 
-    /// Turn a surviving account set into a [`Candidate`], unless all its
-    /// internal sales are zero-volume.
-    fn candidate_from(&self, graph: &NftGraph, accounts: &[Address]) -> Option<Candidate> {
+    /// Turn a surviving account set into a [`DenseCandidate`], unless all
+    /// its internal sales are zero-volume.
+    fn candidate_from(&self, graph: &NftGraph, accounts: &[AccountId]) -> Option<DenseCandidate> {
         let internal_edges = graph.edges_among(accounts);
         if internal_edges.is_empty() {
             return None;
@@ -276,7 +392,7 @@ impl<'a> Refiner<'a> {
         let first_trade = internal_edges.iter().map(|(_, _, e)| e.timestamp).min()?;
         let last_trade = internal_edges.iter().map(|(_, _, e)| e.timestamp).max()?;
         let volume = internal_edges.iter().map(|(_, _, e)| e.price).sum();
-        Some(Candidate {
+        Some(DenseCandidate {
             nft: graph.nft,
             accounts: accounts.to_vec(),
             internal_edges,
@@ -290,7 +406,8 @@ impl<'a> Refiner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::NftTransfer;
+    use crate::dataset::{Dataset, NftTransfer};
+    use crate::txgraph::tests::{dataset_of, ids_of};
     use ethsim::{BlockNumber, Timestamp, TxHash};
     use labels::LabelCategory;
 
@@ -319,27 +436,34 @@ mod tests {
         chain
     }
 
+    fn graphs_of(dataset: &Dataset) -> Vec<NftGraph> {
+        NftGraph::from_dataset(dataset)
+    }
+
     #[test]
     fn wash_pair_survives_refinement() {
         let nft = NftId::new(Address::derived("collection"), 1);
         let a = Address::derived("a");
         let b = Address::derived("b");
-        let transfers = vec![
+        let dataset = dataset_of(&[
             transfer(nft, Address::NULL, a, 0.0, 1),
             transfer(nft, a, b, 1.0, 2),
             transfer(nft, b, a, 1.0, 3),
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        ]);
+        let graphs = graphs_of(&dataset);
         let chain = chain_with(&[("a", false), ("b", false)]);
         let labels = LabelRegistry::new();
-        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (candidates, report) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert_eq!(candidates.len(), 1);
-        assert_eq!(candidates[0].accounts, vec![a.min(b), a.max(b)]);
-        assert_eq!(candidates[0].volume, Wei::from_eth(2.0));
-        assert_eq!(candidates[0].internal_edges.len(), 2);
+        let resolved = candidates[0].resolve(&dataset.interner);
+        assert_eq!(resolved.accounts, vec![a.min(b), a.max(b)]);
+        assert_eq!(resolved.volume, Wei::from_eth(2.0));
+        assert_eq!(resolved.internal_edges.len(), 2);
         assert_eq!(report.initial.components, 1);
         assert_eq!(report.after_zero_volume.components, 1);
         assert!(!candidates[0].has_self_trade());
+        assert!(!resolved.has_self_trade());
+        assert_eq!(resolved.sort_key(), candidates[0].sort_key(&dataset.interner));
     }
 
     #[test]
@@ -349,16 +473,16 @@ mod tests {
         let nft = NftId::new(Address::derived("collection"), 2);
         let user = Address::derived("user");
         let exchange = Address::derived("exchange-hot-wallet");
-        let transfers = vec![
+        let dataset = dataset_of(&[
             transfer(nft, Address::NULL, user, 0.0, 1),
             transfer(nft, user, exchange, 1.0, 2),
             transfer(nft, exchange, user, 1.0, 3),
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        ]);
+        let graphs = graphs_of(&dataset);
         let chain = chain_with(&[("user", false), ("exchange-hot-wallet", false)]);
         let mut labels = LabelRegistry::new();
         labels.insert(exchange, "Binance 7", LabelCategory::Exchange);
-        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (candidates, report) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert!(candidates.is_empty());
         assert_eq!(report.initial.components, 1);
         assert_eq!(report.after_service_removal.components, 0);
@@ -369,17 +493,17 @@ mod tests {
         let nft = NftId::new(Address::derived("collection"), 3);
         let user = Address::derived("user");
         let pool = Address::derived("contract:lending-pool");
-        let transfers = vec![
+        let dataset = dataset_of(&[
             transfer(nft, Address::NULL, user, 0.0, 1),
             transfer(nft, user, pool, 1.0, 2),
             transfer(nft, pool, user, 1.0, 3),
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        ]);
+        let graphs = graphs_of(&dataset);
         let mut chain = Chain::new(Timestamp::from_secs(0));
         chain.register_eoa(user).unwrap();
         chain.deploy_contract("lending-pool", vec![0x60, 0x80]).unwrap();
         let labels = LabelRegistry::new();
-        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (candidates, report) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert!(candidates.is_empty());
         assert_eq!(report.after_service_removal.components, 1);
         assert_eq!(report.after_contract_removal.components, 0);
@@ -390,15 +514,15 @@ mod tests {
         let nft = NftId::new(Address::derived("collection"), 4);
         let a = Address::derived("wallet-1");
         let b = Address::derived("wallet-2");
-        let transfers = vec![
+        let dataset = dataset_of(&[
             transfer(nft, Address::NULL, a, 0.0, 1),
             transfer(nft, a, b, 0.0, 2),
             transfer(nft, b, a, 0.0, 3),
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        ]);
+        let graphs = graphs_of(&dataset);
         let chain = chain_with(&[("wallet-1", false), ("wallet-2", false)]);
         let labels = LabelRegistry::new();
-        let (candidates, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (candidates, report) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert!(candidates.is_empty());
         assert_eq!(report.after_contract_removal.components, 1);
         assert_eq!(report.after_zero_volume.components, 0);
@@ -408,14 +532,16 @@ mod tests {
     fn self_trade_candidate_is_detected() {
         let nft = NftId::new(Address::derived("collection"), 5);
         let a = Address::derived("selfish");
-        let transfers = vec![transfer(nft, Address::NULL, a, 0.0, 1), transfer(nft, a, a, 2.0, 2)];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        let dataset =
+            dataset_of(&[transfer(nft, Address::NULL, a, 0.0, 1), transfer(nft, a, a, 2.0, 2)]);
+        let graphs = graphs_of(&dataset);
         let chain = chain_with(&[("selfish", false)]);
         let labels = LabelRegistry::new();
-        let (candidates, _) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (candidates, _) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert_eq!(candidates.len(), 1);
         assert!(candidates[0].has_self_trade());
         assert_eq!(candidates[0].lifetime_days(), 0);
+        assert_eq!(candidates[0].accounts, ids_of(&dataset, &["selfish"]));
     }
 
     #[test]
@@ -424,15 +550,15 @@ mod tests {
         let nft = NftId::new(Address::derived("collection"), 6);
         let a = Address::derived("p");
         let b = Address::derived("q");
-        let transfers = vec![
+        let dataset = dataset_of(&[
             transfer(nft, Address::NULL, a, 0.0, 1),
             transfer(nft, a, b, 1.0, 2),
             transfer(nft, b, a, 1.2, 3),
-        ];
-        let graph = NftGraph::from_transfers(nft, &transfers);
+        ]);
+        let graphs = graphs_of(&dataset);
         let chain = chain_with(&[("p", false), ("q", false)]);
         let labels = LabelRegistry::new();
-        let (_, report) = Refiner::new(&chain, &labels).refine(&[graph]);
+        let (_, report) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
         assert!(report.initial.components >= report.after_service_removal.components);
         assert!(
             report.after_service_removal.components >= report.after_contract_removal.components

@@ -41,22 +41,8 @@ impl CanonicalDigraph {
     /// Returns `None` when `nodes` is zero or larger than
     /// [`MAX_CANONICAL_NODES`], or when an edge endpoint is out of range.
     pub fn from_edges(nodes: usize, edges: &[(usize, usize)]) -> Option<Self> {
-        if nodes == 0 || nodes > MAX_CANONICAL_NODES {
-            return None;
-        }
-        if edges.iter().any(|&(s, t)| s >= nodes || t >= nodes) {
-            return None;
-        }
-        let base = adjacency_bits(nodes, edges.iter().copied());
-        let mut best = u64::MAX;
-        let mut permutation: Vec<usize> = (0..nodes).collect();
-        permute(&mut permutation, 0, &mut |perm| {
-            let candidate = adjacency_bits(nodes, edges_under_permutation(nodes, base, perm));
-            if candidate < best {
-                best = candidate;
-            }
-        });
-        Some(CanonicalDigraph { nodes: nodes as u8, bits: best })
+        let base = validated_adjacency_bits(nodes, edges)?;
+        Some(CanonicalDigraph { nodes: nodes as u8, bits: canonical_bits(nodes, base) })
     }
 
     /// Number of distinct directed edges in the canonical graph.
@@ -65,24 +51,44 @@ impl CanonicalDigraph {
     }
 }
 
-fn adjacency_bits(nodes: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> u64 {
+/// Validate a shape (node count within canonicalization range, endpoints in
+/// bounds) and collapse it into its adjacency bitmask. The single
+/// construction path shared by [`CanonicalDigraph::from_edges`] and
+/// [`PatternCatalogue::classify`], so both accept exactly the same inputs.
+fn validated_adjacency_bits(nodes: usize, edges: &[(usize, usize)]) -> Option<u64> {
+    if nodes == 0 || nodes > MAX_CANONICAL_NODES {
+        return None;
+    }
+    if edges.iter().any(|&(s, t)| s >= nodes || t >= nodes) {
+        return None;
+    }
     let mut bits = 0u64;
-    for (s, t) in edges {
+    for &(s, t) in edges {
         bits |= 1u64 << (s * nodes + t);
     }
-    bits
+    Some(bits)
 }
 
-fn edges_under_permutation(nodes: usize, bits: u64, permutation: &[usize]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for s in 0..nodes {
-        for t in 0..nodes {
-            if bits & (1u64 << (s * nodes + t)) != 0 {
-                out.push((permutation[s], permutation[t]));
-            }
+/// The lexicographically smallest relabelling of an adjacency bitmask over
+/// all node permutations. Works on the set bits directly — the previous
+/// implementation materialized an edge `Vec` per permutation, which made the
+/// `n!` search allocation-bound for the larger components.
+fn canonical_bits(nodes: usize, base: u64) -> u64 {
+    let mut best = u64::MAX;
+    let mut permutation: Vec<usize> = (0..nodes).collect();
+    permute(&mut permutation, 0, &mut |perm| {
+        let mut candidate = 0u64;
+        let mut bits = base;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            candidate |= 1u64 << (perm[bit / nodes] * nodes + perm[bit % nodes]);
         }
-    }
-    out
+        if candidate < best {
+            best = candidate;
+        }
+    });
+    best
 }
 
 fn permute(items: &mut Vec<usize>, start: usize, visit: &mut impl FnMut(&[usize])) {
@@ -285,7 +291,21 @@ impl PatternCatalogue {
     /// is not one of the 12 catalogued patterns, or when it is too large to
     /// canonicalize.
     pub fn classify(&self, nodes: usize, edges: &[(usize, usize)]) -> Option<PatternId> {
-        let canonical = CanonicalDigraph::from_edges(nodes, edges)?;
+        // Canonicalization preserves node and distinct-edge counts, so a
+        // shape can only match a catalogue entry with the same counts. This
+        // skips the `n!` canonical search entirely for the long tail of
+        // shapes (everything over 5 nodes, and most shapes below) that the
+        // catalogue cannot contain.
+        let base = validated_adjacency_bits(nodes, edges)?;
+        let distinct_edges = base.count_ones();
+        if !self
+            .canonical
+            .iter()
+            .any(|(c, _)| c.nodes as usize == nodes && c.edge_count() == distinct_edges)
+        {
+            return None;
+        }
+        let canonical = CanonicalDigraph { nodes: nodes as u8, bits: canonical_bits(nodes, base) };
         self.canonical.iter().find(|(c, _)| *c == canonical).map(|(_, id)| *id)
     }
 }

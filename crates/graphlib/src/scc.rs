@@ -29,6 +29,18 @@ pub fn strongly_connected_components<N: Eq + Hash + Clone, E>(
     graph: &DiMultiGraph<N, E>,
 ) -> Vec<Vec<NodeIndex>> {
     let n = graph.node_count();
+    // Dense CSR adjacency, built once: the DFS below revisits a node's
+    // successor list every time its frame resumes, so allocating (and
+    // re-sorting) it per visit — as `DiMultiGraph::successors` does — was the
+    // dominant cost of the search. Parallel edges are deduplicated here, once.
+    let mut succ: Vec<Vec<NodeIndex>> = vec![Vec::new(); n];
+    for edge in graph.edges() {
+        succ[edge.source].push(edge.target);
+    }
+    for list in &mut succ {
+        list.sort_unstable();
+        list.dedup();
+    }
     // Nuutila/Tarjan bookkeeping.
     const UNVISITED: usize = usize::MAX;
     let mut index_of = vec![UNVISITED; n];
@@ -60,7 +72,7 @@ pub fn strongly_connected_components<N: Eq + Hash + Clone, E>(
                     call_stack.push(Frame::Resume(v, 0));
                 }
                 Frame::Resume(v, mut child_position) => {
-                    let successors = graph.successors(v);
+                    let successors = &succ[v];
                     let mut descended = false;
                     while child_position < successors.len() {
                         let w = successors[child_position];

@@ -1,12 +1,14 @@
 //! Incremental dataset and graph maintenance: append-only layers over
 //! `washtrade`'s [`Dataset`] and [`NftGraph`] that grow with each ingested
 //! epoch instead of being rebuilt from scratch.
-
-use std::collections::HashMap;
+//!
+//! Both layers are dense: dirty sets are sorted `Vec<NftKey>`s and the graph
+//! table is a `Vec` indexed by [`NftKey`] — the stream never hashes an NFT
+//! identity after ingest.
 
 use ethsim::Chain;
+use ids::NftKey;
 use marketplace::MarketplaceDirectory;
-use tokens::NftId;
 use washtrade::dataset::Dataset;
 use washtrade::txgraph::NftGraph;
 
@@ -15,8 +17,8 @@ use crate::cursor::EpochSpan;
 /// What one ingested epoch changed in the dataset.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AppendDelta {
-    /// NFTs that gained at least one transfer, in ascending order.
-    pub dirty: Vec<NftId>,
+    /// NFTs that gained at least one transfer, in ascending key order.
+    pub dirty: Vec<NftKey>,
     /// Raw ERC-721-shaped logs scanned in the epoch (before compliance).
     pub raw_events: usize,
     /// Compliant transfers appended.
@@ -28,8 +30,8 @@ pub struct AppendDelta {
 ///
 /// Feeding a chain's blocks through `apply_span` in any epoch partition
 /// produces a dataset identical to a one-shot [`Dataset::build`] over the
-/// same chain (compliance verdicts are cached across epochs, per-NFT
-/// histories stay sorted).
+/// same chain — columns, id assignment and compliance verdicts alike
+/// (interning is append-only and first-seen order equals execution order).
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalDataset {
     inner: Dataset,
@@ -66,14 +68,16 @@ impl IncrementalDataset {
     }
 }
 
-/// Per-NFT transaction graphs maintained in place: each sync appends only the
-/// transfers an NFT gained since its last sync, via the incremental
-/// [`NftGraph::apply_transfers`] seam.
+/// Per-NFT transaction graphs maintained in place, indexed by [`NftKey`]:
+/// each sync appends only the column rows an NFT gained since its last sync,
+/// via the incremental [`NftGraph::apply_rows`] seam.
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalGraphs {
-    graphs: HashMap<NftId, NftGraph>,
-    /// How many of each NFT's dataset transfers are already in its graph.
-    applied: HashMap<NftId, usize>,
+    /// `graphs[key.index()]` is that NFT's graph. Keys are dense and
+    /// assigned in first-transfer order, so the table grows at the tail.
+    graphs: Vec<NftGraph>,
+    /// How many of each NFT's column rows are already in its graph.
+    applied: Vec<usize>,
 }
 
 impl IncrementalGraphs {
@@ -83,31 +87,33 @@ impl IncrementalGraphs {
     }
 
     /// Bring the graphs of the `dirty` NFTs up to date with `dataset`,
-    /// appending each NFT's unseen transfer suffix to its graph (creating the
-    /// graph on first sight).
+    /// appending each NFT's unseen row suffix to its graph (creating the
+    /// graph on first sight — dirty keys are dense, so the table extends by
+    /// plain pushes).
     ///
-    /// Sound because epoch ingestion only ever *appends* to a per-NFT
-    /// history: the unseen suffix is exactly the new transfers, so the grown
-    /// graph equals a from-scratch [`NftGraph::from_transfers`] over the full
+    /// Sound because epoch ingestion only ever *appends* to a per-NFT row
+    /// slice: the unseen suffix is exactly the new transfers, so the grown
+    /// graph equals a from-scratch [`NftGraph::from_columns`] over the full
     /// history.
-    pub fn sync(&mut self, dataset: &Dataset, dirty: &[NftId]) {
-        for nft in dirty {
-            let Some(transfers) = dataset.transfers_by_nft.get(nft) else {
-                continue;
-            };
-            let seen = self.applied.entry(*nft).or_insert(0);
-            if *seen >= transfers.len() {
+    pub fn sync(&mut self, dataset: &Dataset, dirty: &[NftKey]) {
+        for &nft in dirty {
+            while self.graphs.len() <= nft.index() {
+                self.graphs.push(NftGraph::new(NftKey(self.graphs.len() as u32)));
+                self.applied.push(0);
+            }
+            let rows = dataset.columns.rows_of(nft);
+            let seen = &mut self.applied[nft.index()];
+            if *seen >= rows.len() {
                 continue;
             }
-            let graph = self.graphs.entry(*nft).or_insert_with(|| NftGraph::new(*nft));
-            graph.apply_transfers(&transfers[*seen..]);
-            *seen = transfers.len();
+            self.graphs[nft.index()].apply_rows(&dataset.columns, &rows[*seen..]);
+            *seen = rows.len();
         }
     }
 
     /// The graph of one NFT, if it has any transfers yet.
-    pub fn get(&self, nft: NftId) -> Option<&NftGraph> {
-        self.graphs.get(&nft)
+    pub fn get(&self, nft: NftKey) -> Option<&NftGraph> {
+        self.graphs.get(nft.index())
     }
 
     /// Number of NFTs with a graph.
@@ -125,6 +131,7 @@ impl IncrementalGraphs {
 mod tests {
     use super::*;
     use ethsim::{Address, BlockNumber, Timestamp, TxHash, Wei};
+    use tokens::NftId;
     use washtrade::dataset::NftTransfer;
 
     fn transfer(nft: NftId, from: &str, to: &str, block: u64) -> NftTransfer {
@@ -144,27 +151,29 @@ mod tests {
     fn sync_appends_only_the_unseen_suffix() {
         let nft = NftId::new(Address::derived("c"), 1);
         let mut dataset = Dataset::default();
-        dataset
-            .transfers_by_nft
-            .insert(nft, vec![transfer(nft, "a", "b", 1), transfer(nft, "b", "a", 2)]);
+        let key = dataset.push_transfer(&transfer(nft, "a", "b", 1));
+        dataset.push_transfer(&transfer(nft, "b", "a", 2));
 
         let mut graphs = IncrementalGraphs::new();
-        graphs.sync(&dataset, &[nft]);
-        assert_eq!(graphs.get(nft).unwrap().graph.edge_count(), 2);
+        graphs.sync(&dataset, &[key]);
+        assert_eq!(graphs.get(key).unwrap().graph.edge_count(), 2);
 
         // Re-syncing without new transfers is a no-op.
-        graphs.sync(&dataset, &[nft]);
-        assert_eq!(graphs.get(nft).unwrap().graph.edge_count(), 2);
+        graphs.sync(&dataset, &[key]);
+        assert_eq!(graphs.get(key).unwrap().graph.edge_count(), 2);
 
         // A new transfer arrives: only it is appended.
-        dataset.transfers_by_nft.get_mut(&nft).unwrap().push(transfer(nft, "a", "c", 3));
-        graphs.sync(&dataset, &[nft]);
-        let grown = graphs.get(nft).unwrap();
+        dataset.push_transfer(&transfer(nft, "a", "c", 3));
+        graphs.sync(&dataset, &[key]);
+        let grown = graphs.get(key).unwrap();
         assert_eq!(grown.graph.edge_count(), 3);
 
         // And the grown graph equals a from-scratch build.
-        let batch = NftGraph::from_transfers(nft, &dataset.transfers_by_nft[&nft]);
-        assert_eq!(grown.suspicious_account_sets(), batch.suspicious_account_sets());
+        let batch = NftGraph::from_columns(key, &dataset.columns);
+        assert_eq!(
+            grown.suspicious_account_sets(&dataset.interner),
+            batch.suspicious_account_sets(&dataset.interner)
+        );
         assert_eq!(grown.graph.node_count(), batch.graph.node_count());
         assert_eq!(graphs.len(), 1);
         assert!(!graphs.is_empty());

@@ -8,9 +8,11 @@
 //!
 //! * [`BlockCursor`] tails an [`ethsim::Chain`] from a watermark block,
 //!   handing out contiguous ingestion epochs;
-//! * [`IncrementalDataset`] and [`IncrementalGraphs`] append the epoch's new
-//!   `NftTransfer`s and grow the per-NFT graphs in place, via the
-//!   `apply_entries` / `apply_transfers` seams in `washtrade`;
+//! * [`IncrementalDataset`] and [`IncrementalGraphs`] intern and append the
+//!   epoch's new transfers into the columnar store and grow the per-NFT
+//!   graphs in place, via the `apply_entries` / `apply_rows` seams in
+//!   `washtrade` (dirty sets travel as dense `Vec<NftKey>`s, the graph
+//!   table is `NftKey`-indexed);
 //! * [`StreamAnalyzer`] re-runs refinement and detection only for the
 //!   *dirty* NFT set (the NFTs touched since the last epoch), fanned out
 //!   over the shared `washtrade::parallel::Executor`, and re-assembles the

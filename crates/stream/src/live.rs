@@ -12,11 +12,17 @@
 //! That shared-code-path design is what makes the headline invariant hold:
 //! after ingesting all epochs, the live report is bit-identical to batch
 //! analysis of the same chain, at any epoch size and thread count.
+//!
+//! The scheduler is dense end to end: dirty sets are `Vec<NftKey>`, the
+//! per-NFT cache is a `Vec` indexed by [`NftKey`], and candidates stay in
+//! dense-id form until the per-epoch [`LiveReport`] is assembled — the same
+//! single resolve-at-report-boundary point the batch pipeline uses.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use ethsim::{BlockNumber, Wei};
+use ids::NftKey;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 use washtrade::characterize::{characterize, Characterization};
@@ -24,7 +30,7 @@ use washtrade::detect::{DetectionOutcome, Detector, MethodSet};
 use washtrade::parallel::Executor;
 use washtrade::pipeline::{AnalysisInput, AnalysisOptions};
 use washtrade::refine::{
-    aggregate_refinements, Candidate, NftRefinement, RefinementReport, Refiner,
+    aggregate_refinements, DenseCandidate, NftRefinement, RefinementReport, Refiner,
 };
 use washtrade::txgraph::NftGraph;
 
@@ -177,7 +183,9 @@ pub struct StreamAnalyzer<'a> {
     cursor: BlockCursor,
     dataset: IncrementalDataset,
     graphs: IncrementalGraphs,
-    states: BTreeMap<NftId, NftState>,
+    /// Per-NFT cache, indexed by [`NftKey`]; `None` for NFTs with no
+    /// suspicious component at any stage.
+    states: Vec<Option<NftState>>,
     confirmed_nfts: BTreeSet<NftId>,
     first_confirmed: HashMap<NftId, BlockNumber>,
     live: LiveReport,
@@ -206,7 +214,7 @@ impl<'a> StreamAnalyzer<'a> {
             cursor: BlockCursor::new(),
             dataset: empty,
             graphs: IncrementalGraphs::new(),
-            states: BTreeMap::new(),
+            states: Vec::new(),
             confirmed_nfts: BTreeSet::new(),
             first_confirmed: HashMap::new(),
             live,
@@ -228,14 +236,15 @@ impl<'a> StreamAnalyzer<'a> {
         // NFT, so only the touched graphs are recomputed, fanned out over the
         // executor. `applied.dirty` is sorted, so the fan-out order — and
         // with it every downstream artifact — is thread-count independent.
-        let refiner = Refiner::new(self.input.chain, self.input.labels);
-        let detector = Detector::new(self.input.chain, self.input.labels);
+        let interner = &self.dataset.dataset().interner;
+        let refiner = Refiner::new(self.input.chain, self.input.labels, interner);
+        let detector = Detector::new(self.input.chain, self.input.labels, interner);
         let dirty_graphs: Vec<&NftGraph> = applied
             .dirty
             .iter()
             .map(|nft| self.graphs.get(*nft).expect("dirty NFT has a synced graph"))
             .collect();
-        let recomputed: Vec<(NftId, NftState)> = self.executor.map(&dirty_graphs, |graph| {
+        let recomputed: Vec<(NftKey, NftState)> = self.executor.map(&dirty_graphs, |graph| {
             let refinement = refiner.refine_nft(graph);
             let evidence = refinement
                 .candidates
@@ -246,11 +255,10 @@ impl<'a> StreamAnalyzer<'a> {
         });
         drop(dirty_graphs);
         for (nft, state) in recomputed {
-            if state.refinement.is_empty() {
-                self.states.remove(&nft);
-            } else {
-                self.states.insert(nft, state);
+            if self.states.len() <= nft.index() {
+                self.states.resize_with(nft.index() + 1, || None);
             }
+            self.states[nft.index()] = if state.refinement.is_empty() { None } else { Some(state) };
         }
 
         self.reassemble(span.last);
@@ -299,32 +307,35 @@ impl<'a> StreamAnalyzer<'a> {
 
     /// Re-assemble the global artifacts from the per-NFT caches, mirroring
     /// the batch pipeline's refine → detect → characterize tail over the
-    /// ingested prefix.
+    /// ingested prefix. Candidates stay dense throughout; the resolved
+    /// [`DetectionOutcome`] for the [`LiveReport`] is produced at the end —
+    /// the same single resolution point the batch report assembly uses.
     fn reassemble(&mut self, last_block: BlockNumber) {
+        let dataset = self.dataset.dataset();
+        let interner = &dataset.interner;
         self.live.refinement =
-            aggregate_refinements(self.states.values().map(|state| &state.refinement));
+            aggregate_refinements(self.states.iter().flatten().map(|state| &state.refinement));
 
-        // Candidates flattened in NFT order, then sorted by the same key the
-        // batch refiner uses — a stable sort, so the live candidate sequence
-        // is identical to the batch one.
-        let mut pairs: Vec<(Candidate, MethodSet)> = self
+        // Candidates flattened in NFT-key order, then sorted by the same
+        // resolved key the batch refiner uses — a stable sort over a strict
+        // total order, so the live candidate sequence is identical to the
+        // batch one.
+        let mut pairs: Vec<(DenseCandidate, MethodSet)> = self
             .states
-            .values()
+            .iter()
+            .flatten()
             .flat_map(|state| {
                 state.refinement.candidates.iter().cloned().zip(state.evidence.iter().copied())
             })
             .collect();
-        pairs.sort_by_key(|(candidate, _)| candidate.sort_key());
-        let (candidates, evidence): (Vec<Candidate>, Vec<MethodSet>) = pairs.into_iter().unzip();
-        self.live.detection = Detector::assemble(&candidates, evidence);
+        pairs.sort_by_key(|(candidate, _)| candidate.sort_key(interner));
+        let (candidates, evidence): (Vec<DenseCandidate>, Vec<MethodSet>) =
+            pairs.into_iter().unzip();
+        let detection = Detector::assemble(&candidates, evidence);
 
-        let dataset = self.dataset.dataset();
-        self.live.characterization = characterize(
-            &self.live.detection.confirmed,
-            dataset,
-            self.input.directory,
-            self.input.oracle,
-        );
+        self.live.characterization =
+            characterize(&detection.confirmed, dataset, self.input.directory, self.input.oracle);
+        self.live.detection = detection.resolve(interner);
         self.live.dataset_nfts = dataset.nft_count();
         self.live.dataset_transfers = dataset.transfer_count();
         self.live.raw_transfer_events = dataset.raw_transfer_events;
@@ -345,7 +356,7 @@ impl<'a> StreamAnalyzer<'a> {
 
     /// The streaming status of one NFT.
     pub fn status(&self, nft: NftId) -> NftStatus {
-        let confirmed: Vec<&Candidate> = self
+        let confirmed: Vec<&washtrade::refine::Candidate> = self
             .live
             .detection
             .confirmed
@@ -359,14 +370,18 @@ impl<'a> StreamAnalyzer<'a> {
                 volume: confirmed.iter().map(|candidate| candidate.volume).sum(),
             };
         }
-        if let Some(state) = self.states.get(&nft) {
+        let dataset = self.dataset.dataset();
+        let Some(key) = dataset.interner.nft_key(nft) else {
+            return NftStatus::Unseen;
+        };
+        if let Some(state) = self.states.get(key.index()).and_then(Option::as_ref) {
             if !state.refinement.candidates.is_empty() {
                 return NftStatus::Candidate { components: state.refinement.candidates.len() };
             }
         }
-        match self.dataset.dataset().transfers_by_nft.get(&nft) {
-            Some(transfers) => NftStatus::Clean { transfers: transfers.len() },
-            None => NftStatus::Unseen,
+        match dataset.columns.transfer_count_of(key) {
+            0 => NftStatus::Unseen,
+            transfers => NftStatus::Clean { transfers },
         }
     }
 

@@ -174,7 +174,7 @@ fn detected_patterns_match_planted_shapes() {
             continue;
         }
         compared += 1;
-        let shape = washtrade::characterize::component_shape(&activity.candidate);
+        let shape = activity.candidate.shape();
         if catalogue.classify(activity.candidate.accounts.len(), &shape) == Some(expected) {
             matching += 1;
         }

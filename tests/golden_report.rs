@@ -1,0 +1,108 @@
+//! Golden-report equivalence gate for the interned-ID refactor: the full
+//! `AnalysisReport` of a fixed world, rendered deterministically, must stay
+//! byte-identical to the snapshot captured from the address-keyed pipeline
+//! before the columnar core landed. Any bit of drift in a float sum, a
+//! candidate ordering or a Venn bucket shows up as a text diff here.
+//!
+//! Regenerate the snapshot (after an *intentional* output change only) with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_report
+//! ```
+
+use std::fmt::Write as _;
+
+use washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport};
+use workload::{WorkloadConfig, World};
+
+const GOLDEN_PATH: &str = "tests/golden/analysis_report_small_2024.txt";
+
+/// Render every deterministic field of the report. `Debug` for `HashMap`
+/// fields would iterate in per-process random order, so map-valued fields
+/// (volume CDFs, pattern occurrences) are emitted as key-sorted vectors;
+/// `stage_metrics` is timing-dependent and excluded.
+fn render(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    let c = &report.characterization;
+    writeln!(out, "table1: {:#?}", report.table1).unwrap();
+    writeln!(
+        out,
+        "dataset: nfts={} transfers={} raw={} compliant={} non_compliant={}",
+        report.dataset_nfts,
+        report.dataset_transfers,
+        report.raw_transfer_events,
+        report.compliant_contracts,
+        report.non_compliant_contracts
+    )
+    .unwrap();
+    writeln!(out, "refinement: {:#?}", report.refinement).unwrap();
+    writeln!(out, "detection: {:#?}", report.detection).unwrap();
+    writeln!(
+        out,
+        "characterization: total_activities={} total_volume_usd={:?} total_volume_eth={:?}",
+        c.total_activities, c.total_volume_usd, c.total_volume_eth
+    )
+    .unwrap();
+    writeln!(out, "per_marketplace: {:#?}", c.per_marketplace).unwrap();
+    let mut cdfs: Vec<_> = c.volume_cdfs.iter().collect();
+    cdfs.sort_by_key(|(name, _)| name.as_str());
+    writeln!(out, "volume_cdfs: {cdfs:#?}").unwrap();
+    writeln!(out, "lifetimes: {:#?}", c.lifetimes).unwrap();
+    writeln!(out, "collection_timelines: {:#?}", c.collection_timelines).unwrap();
+    writeln!(out, "accounts_histogram: {:?}", c.patterns.accounts_histogram).unwrap();
+    let mut occurrences: Vec<_> = c.patterns.pattern_occurrences.iter().collect();
+    occurrences.sort();
+    writeln!(out, "pattern_occurrences: {occurrences:?}").unwrap();
+    writeln!(
+        out,
+        "patterns: uncatalogued={} two_account={:?} self_trade={:?}",
+        c.patterns.uncatalogued, c.patterns.two_account_fraction, c.patterns.self_trade_fraction
+    )
+    .unwrap();
+    writeln!(out, "serial_traders: {:#?}", c.serial_traders).unwrap();
+    writeln!(
+        out,
+        "acquired: same_day={:?} within_two_weeks={:?}",
+        c.acquired_same_day_fraction, c.acquired_within_two_weeks_fraction
+    )
+    .unwrap();
+    writeln!(out, "rewards: {:#?}", report.rewards).unwrap();
+    writeln!(out, "resales: {:#?}", report.resales).unwrap();
+    out
+}
+
+#[test]
+fn report_matches_pre_refactor_golden_snapshot() {
+    let world = World::generate(WorkloadConfig::small(2024)).expect("world");
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+    let rendered = render(&analyze_with(input, AnalysisOptions::default()));
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden snapshot rewritten: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    if rendered != golden {
+        // Point at the first diverging line instead of dumping two reports.
+        let line = rendered
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| rendered.lines().count().min(golden.lines().count()) + 1);
+        panic!(
+            "report diverged from the pre-refactor golden snapshot at line {line}:\n  now:    {}\n  golden: {}",
+            rendered.lines().nth(line - 1).unwrap_or("<eof>"),
+            golden.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
