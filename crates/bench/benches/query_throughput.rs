@@ -1,0 +1,287 @@
+//! Closed-loop load generator for the serving subsystem: reader threads
+//! drive a realistic query mix against a [`QueryService`] whose publisher a
+//! live analyzer keeps re-ingesting into, across reader-thread counts.
+//!
+//! Besides the criterion latency numbers on the cheap small world, a manual
+//! measurement pass on the standard experiments workload writes a `serving`
+//! section into `BENCH_results.json`:
+//!
+//! ```json
+//! "serving": {
+//!   "world": …, "query_mix_size": …, "ingestion_concurrent": true,
+//!   "runs": [ { "reader_threads": …, "queries": …, "elapsed_ns": …,
+//!               "qps": …, "p50_ns": …, "p99_ns": …,
+//!               "cache_hit_rate": … }, … ],
+//!   "peak_qps": …,
+//!   "cached_mean_ns": …, "uncached_mean_ns": …, "cached_speedup": …
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use bench_suite::input_of;
+use bench_suite::json::Json;
+use bench_suite::results::{merge_section, results_path};
+use criterion::{criterion_group, Criterion};
+use ethsim::{Address, BlockNumber};
+use tokens::NftId;
+use washtrade::pipeline::AnalysisInput;
+use washtrade_serve::{CacheConfig, Query, QueryService, Snapshot, SnapshotPublisher};
+use washtrade_stream::{StreamAnalyzer, StreamOptions};
+
+/// A query mix shaped like explorer traffic, drawn from a converged
+/// snapshot: mostly point lookups (NFT status, account dossiers), some
+/// windowed feeds and rankings, a few rollups.
+fn build_mix(snapshot: &Snapshot) -> Vec<Query> {
+    let mut mix = vec![
+        Query::Stats,
+        Query::TopMovers(10),
+        Query::TopCollections(5),
+        Query::Marketplaces,
+        Query::SuspectsSince(BlockNumber(0)),
+        Query::SuspectsSince(BlockNumber(snapshot.watermark().0 / 2)),
+        Query::SuspectsBetween(
+            BlockNumber(snapshot.watermark().0 / 4),
+            BlockNumber(snapshot.watermark().0 / 2),
+        ),
+        Query::Nft(NftId::new(Address::derived("no-such-collection"), 404)),
+        Query::Account(Address::derived("uninvolved-bystander")),
+    ];
+    let suspects = snapshot.suspects();
+    for index in 0..8 {
+        if let Some(summary) = suspects.get(index * suspects.len().max(1) / 8) {
+            mix.push(Query::Nft(summary.nft));
+        }
+    }
+    let accounts = snapshot.accounts();
+    for index in 0..8 {
+        if let Some(account) = accounts.get(index * accounts.len().max(1) / 8) {
+            mix.push(Query::Account(*account));
+        }
+    }
+    mix
+}
+
+struct RunStats {
+    reader_threads: usize,
+    queries: usize,
+    elapsed_ns: u64,
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    cache_hit_rate: f64,
+}
+
+/// One closed-loop run: `reader_threads` readers issue `per_thread` queries
+/// each (every reader starts its walk through the mix at a different offset)
+/// while a generation loop keeps re-ingesting the chain into the shared
+/// publisher — so epochs keep publishing, and the cache keeps getting
+/// invalidated, for the whole measurement window.
+fn measure_run(
+    input: AnalysisInput<'_>,
+    warm: &Snapshot,
+    budgets: &[u64],
+    mix: &[Query],
+    reader_threads: usize,
+    per_thread: usize,
+) -> RunStats {
+    let publisher = SnapshotPublisher::with_initial(warm.clone());
+    let service = QueryService::new(publisher.clone());
+    let done = AtomicBool::new(false);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(reader_threads * per_thread);
+    let mut elapsed_ns = 0u64;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Ingestion generations: re-tail the chain from scratch into the
+            // same publisher until the readers are finished.
+            while !done.load(Ordering::Acquire) {
+                let mut analyzer = StreamAnalyzer::with_publisher(
+                    input,
+                    StreamOptions::default(),
+                    publisher.clone(),
+                );
+                for budget in budgets {
+                    if done.load(Ordering::Acquire) || analyzer.ingest_epoch(*budget).is_none() {
+                        break;
+                    }
+                }
+            }
+        });
+        let readers: Vec<_> = (0..reader_threads)
+            .map(|reader| {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_thread);
+                    for index in 0..per_thread {
+                        let query = &mix[(reader * 7 + index) % mix.len()];
+                        let issued = Instant::now();
+                        let served = service.query(query);
+                        local.push(issued.elapsed().as_nanos() as u64);
+                        std::hint::black_box(&served);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for reader in readers {
+            latencies.extend(reader.join().expect("reader thread"));
+        }
+        // The measurement window closes when the last reader finishes; the
+        // scope still has to wait for the writer's in-flight epoch, which
+        // must not count against the query throughput.
+        elapsed_ns = started.elapsed().as_nanos() as u64;
+        done.store(true, Ordering::Release);
+    });
+
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[((latencies.len() - 1) as f64 * p) as usize]
+    };
+    RunStats {
+        reader_threads,
+        queries: latencies.len(),
+        elapsed_ns,
+        qps: latencies.len() as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        p50_ns: percentile(0.50),
+        p99_ns: percentile(0.99),
+        cache_hit_rate: service.cache_stats().hit_rate(),
+    }
+}
+
+/// Mean latency of `passes` walks over the mix against a static snapshot,
+/// with the given cache configuration — the cached-vs-uncached comparison.
+fn mean_latency_ns(snapshot: &Snapshot, mix: &[Query], config: CacheConfig, passes: usize) -> f64 {
+    let service =
+        QueryService::with_cache(SnapshotPublisher::with_initial(snapshot.clone()), config);
+    // Warm-up pass: populates the cache (a no-op when disabled).
+    for query in mix {
+        std::hint::black_box(service.query(query));
+    }
+    let started = Instant::now();
+    let mut queries = 0usize;
+    for _ in 0..passes {
+        for query in mix {
+            std::hint::black_box(service.query(query));
+            queries += 1;
+        }
+    }
+    started.elapsed().as_nanos() as f64 / queries.max(1) as f64
+}
+
+/// Criterion timings on the cheap small world: single-query latency for a
+/// point lookup, a ranking and the stats line, cache on.
+fn bench_query_latency(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let input = input_of(&world);
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    live.run_to_tip(u64::MAX);
+    let snapshot = live.snapshot();
+    let service = QueryService::new(live.publisher());
+    let nft = snapshot.suspects().first().map(|s| s.nft);
+    let account = snapshot.accounts().first().copied();
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.bench_function("stats", |b| b.iter(|| service.query(&Query::Stats)));
+    group.bench_function("top_movers_10", |b| b.iter(|| service.query(&Query::TopMovers(10))));
+    if let Some(nft) = nft {
+        group.bench_function("nft_point_lookup", |b| b.iter(|| service.query(&Query::Nft(nft))));
+    }
+    if let Some(account) = account {
+        group.bench_function("account_dossier", |b| {
+            b.iter(|| service.query(&Query::Account(account)))
+        });
+    }
+    group.finish();
+}
+
+/// The measured pass on the standard experiments workload, recorded into the
+/// `serving` section of `BENCH_results.json`.
+fn record_results() {
+    let world = bench_suite::build_world(0.02, 7);
+    let input = input_of(&world);
+    let budgets = world.epoch_plan(8).budgets();
+
+    // Converge once to get the steady-state snapshot the mix is drawn from
+    // (and the initial snapshot each run starts serving).
+    let mut warm_analyzer = StreamAnalyzer::new(input, StreamOptions::default());
+    warm_analyzer.run_to_tip(u64::MAX);
+    let warm = warm_analyzer.snapshot();
+    let mix = build_mix(&warm);
+    assert!(
+        warm.stats().confirmed_activities > 0,
+        "the serving bench needs a world with detections"
+    );
+
+    let per_thread = 50_000;
+    let mut runs = Vec::new();
+    let mut peak_qps = 0.0f64;
+    for reader_threads in [1usize, 2, 4] {
+        let run = measure_run(input, &warm, &budgets, &mix, reader_threads, per_thread);
+        println!(
+            "serving: {} reader(s) → {:.0} queries/sec (p50 {} ns, p99 {} ns, hit rate {:.1}%)",
+            run.reader_threads,
+            run.qps,
+            run.p50_ns,
+            run.p99_ns,
+            run.cache_hit_rate * 100.0
+        );
+        peak_qps = peak_qps.max(run.qps);
+        runs.push(run);
+    }
+
+    let cached_mean_ns = mean_latency_ns(&warm, &mix, CacheConfig::default(), 40);
+    let uncached_mean_ns = mean_latency_ns(&warm, &mix, CacheConfig::disabled(), 40);
+    let cached_speedup = uncached_mean_ns / cached_mean_ns.max(1.0);
+    println!(
+        "serving: cached {cached_mean_ns:.0} ns vs uncached {uncached_mean_ns:.0} ns per query \
+         ({cached_speedup:.2}× speedup)"
+    );
+
+    let mut section = Json::object();
+    section.set("world", Json::Str("paper_scaled(7, 0.02)".to_string()));
+    section.set("query_mix_size", Json::Int(mix.len() as i64));
+    section.set("ingestion_concurrent", Json::Bool(true));
+    section.set(
+        "runs",
+        Json::Arr(
+            runs.iter()
+                .map(|run| {
+                    let mut entry = Json::object();
+                    entry.set("reader_threads", Json::Int(run.reader_threads as i64));
+                    entry.set("queries", Json::Int(run.queries as i64));
+                    entry.set("elapsed_ns", Json::Int(run.elapsed_ns as i64));
+                    entry.set("qps", Json::Float(run.qps));
+                    entry.set("p50_ns", Json::Int(run.p50_ns as i64));
+                    entry.set("p99_ns", Json::Int(run.p99_ns as i64));
+                    entry.set("cache_hit_rate", Json::Float(run.cache_hit_rate));
+                    entry
+                })
+                .collect(),
+        ),
+    );
+    section.set("peak_qps", Json::Float(peak_qps));
+    section.set("cached_mean_ns", Json::Float(cached_mean_ns));
+    section.set("uncached_mean_ns", Json::Float(uncached_mean_ns));
+    section.set("cached_speedup", Json::Float(cached_speedup));
+
+    let path = results_path();
+    merge_section(&path, "serving", section).expect("write BENCH_results.json");
+    println!("serving numbers recorded in {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_query_latency
+}
+
+fn main() {
+    benches();
+    record_results();
+}

@@ -52,6 +52,29 @@ impl Candidate {
         self.last_trade.days_since(self.first_trade)
     }
 
+    /// The marketplace contract carrying most of the component's volume, if
+    /// any of its sales went through a marketplace — the resolved twin of
+    /// [`DenseCandidate::dominant_marketplace`], with the identical
+    /// accumulation and lowest-address tiebreak, so a snapshot built from a
+    /// resolved report attributes every activity to the same venue as one
+    /// built from the dense layers.
+    pub fn dominant_marketplace(&self) -> Option<Address> {
+        let mut volume_by_market: Vec<(Address, u128)> = Vec::new();
+        for (_, _, edge) in &self.internal_edges {
+            let Some(market) = edge.marketplace else {
+                continue;
+            };
+            match volume_by_market.iter_mut().find(|(m, _)| *m == market) {
+                Some((_, volume)) => *volume += edge.price.raw().max(1),
+                None => volume_by_market.push((market, edge.price.raw().max(1))),
+            }
+        }
+        volume_by_market
+            .into_iter()
+            .max_by_key(|(market, volume)| (*volume, std::cmp::Reverse(*market)))
+            .map(|(market, _)| market)
+    }
+
     /// The distinct directed shape of the component's internal trading, as
     /// positions into the sorted account list — the resolved twin of
     /// [`component_shape`](crate::characterize::component_shape), for
@@ -542,6 +565,39 @@ mod tests {
         assert!(candidates[0].has_self_trade());
         assert_eq!(candidates[0].lifetime_days(), 0);
         assert_eq!(candidates[0].accounts, ids_of(&dataset, &["selfish"]));
+    }
+
+    #[test]
+    fn dominant_marketplace_agrees_between_dense_and_resolved_views() {
+        // Two venues, the second carrying more volume; a direct (off-market)
+        // sale in between. Both candidate views must attribute the component
+        // to the same marketplace, ties and all.
+        let nft = NftId::new(Address::derived("collection"), 9);
+        let a = Address::derived("m1");
+        let b = Address::derived("m2");
+        let opensea = Address::derived("opensea");
+        let looksrare = Address::derived("looksrare");
+        let mut rows = vec![
+            transfer(nft, Address::NULL, a, 0.0, 1),
+            transfer(nft, a, b, 1.0, 2),
+            transfer(nft, b, a, 1.0, 3),
+            transfer(nft, a, b, 3.0, 4),
+        ];
+        rows[1].marketplace = Some(opensea);
+        rows[2].marketplace = None;
+        rows[3].marketplace = Some(looksrare);
+        let dataset = dataset_of(&rows);
+        let graphs = graphs_of(&dataset);
+        let chain = chain_with(&[("m1", false), ("m2", false)]);
+        let labels = LabelRegistry::new();
+        let (candidates, _) = Refiner::new(&chain, &labels, &dataset.interner).refine(&graphs);
+        assert_eq!(candidates.len(), 1);
+        let dense = candidates[0]
+            .dominant_marketplace(&dataset.interner)
+            .map(|id| dataset.interner.market(id));
+        let resolved = candidates[0].resolve(&dataset.interner).dominant_marketplace();
+        assert_eq!(dense, Some(looksrare));
+        assert_eq!(dense, resolved);
     }
 
     #[test]

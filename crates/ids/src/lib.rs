@@ -23,6 +23,9 @@
 //!
 //! [`BitSet`] is the membership structure the dense stages use in place of
 //! `HashSet<Address>`: constant-time insert/contains over small integer ids.
+//! [`Postings`] is its lookup-side sibling: a compressed-sparse-row table
+//! mapping each dense id to a contiguous slice of values, used by the
+//! serving layer's secondary indexes (account → suspect activities).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -352,6 +355,98 @@ impl FromIterator<usize> for BitSet {
     }
 }
 
+/// A compressed-sparse-row postings table over dense `u32` keys: for each
+/// key, a contiguous slice of values, stored as one values array plus an
+/// offsets array — the secondary-index building block the serving layer uses
+/// for account → suspect-activity lookups.
+///
+/// Keys are dense (`0..keys()`); a key beyond the largest seen simply has an
+/// empty postings list. Construction sorts stably by key, so values with the
+/// same key keep their input order.
+///
+/// # Examples
+///
+/// ```
+/// use ids::Postings;
+///
+/// let postings = Postings::from_pairs(vec![(2u32, "c"), (0, "a"), (2, "b")]);
+/// assert_eq!(postings.get(0), ["a"]);
+/// assert_eq!(postings.get(1), [""; 0]);
+/// assert_eq!(postings.get(2), ["c", "b"], "input order is kept within a key");
+/// assert_eq!(postings.get(99), [""; 0], "out-of-range keys are empty");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postings<V> {
+    /// `offsets[k]..offsets[k + 1]` is key `k`'s slice of `values`.
+    offsets: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V> Default for Postings<V> {
+    fn default() -> Self {
+        Postings { offsets: vec![0], values: Vec::new() }
+    }
+}
+
+impl<V> Postings<V> {
+    /// An empty table: every key has an empty postings list.
+    pub fn new() -> Self {
+        Postings::default()
+    }
+
+    /// Build the table from `(key, value)` pairs, grouping by key. The sort
+    /// is stable: values sharing a key keep the order they were pushed in.
+    pub fn from_pairs(mut pairs: Vec<(u32, V)>) -> Self {
+        if pairs.is_empty() {
+            return Postings::default();
+        }
+        pairs.sort_by_key(|(key, _)| *key);
+        let keys = pairs.last().map(|(key, _)| *key as usize + 1).unwrap_or(0);
+        let mut offsets = Vec::with_capacity(keys + 1);
+        offsets.push(0u32);
+        let mut values = Vec::with_capacity(pairs.len());
+        for (key, value) in pairs {
+            while offsets.len() <= key as usize {
+                offsets.push(values.len() as u32);
+            }
+            values.push(value);
+        }
+        offsets.push(values.len() as u32);
+        Postings { offsets, values }
+    }
+
+    /// Number of keys with an allocated slot (`0..keys()`; trailing keys
+    /// without postings are not represented).
+    pub fn keys(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The postings list of one key; empty for keys never seen.
+    pub fn get(&self, key: u32) -> &[V] {
+        let key = key as usize;
+        if key >= self.keys() {
+            return &[];
+        }
+        &self.values[self.offsets[key] as usize..self.offsets[key + 1] as usize]
+    }
+
+    /// Total number of stored values across all keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no value is stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(key, postings)` over every allocated key, ascending, empty
+    /// lists included.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[V])> + '_ {
+        (0..self.keys() as u32).map(move |key| (key, self.get(key)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,7 +519,49 @@ mod tests {
         assert_ne!(a, b);
     }
 
+    #[test]
+    fn postings_group_by_key_and_keep_input_order() {
+        let postings = Postings::from_pairs(vec![(3u32, 30), (1, 10), (3, 31), (1, 11), (3, 32)]);
+        assert_eq!(postings.keys(), 4);
+        assert_eq!(postings.len(), 5);
+        assert!(!postings.is_empty());
+        assert_eq!(postings.get(0), [0i32; 0]);
+        assert_eq!(postings.get(1), [10, 11]);
+        assert_eq!(postings.get(2), [0i32; 0]);
+        assert_eq!(postings.get(3), [30, 31, 32]);
+        assert_eq!(postings.get(4), [0i32; 0], "out of range is empty, not a panic");
+        let collected: Vec<(u32, usize)> =
+            postings.iter().map(|(key, values)| (key, values.len())).collect();
+        assert_eq!(collected, vec![(0, 0), (1, 2), (2, 0), (3, 3)]);
+    }
+
+    #[test]
+    fn empty_postings_have_no_keys() {
+        let postings: Postings<u8> = Postings::new();
+        assert_eq!(postings.keys(), 0);
+        assert!(postings.is_empty());
+        assert_eq!(postings.get(0), [0u8; 0]);
+        assert_eq!(postings, Postings::from_pairs(Vec::new()));
+    }
+
     proptest::proptest! {
+        #[test]
+        fn postings_match_reference_map(
+            pairs in proptest::collection::vec((0u32..40, 0u64..1000), 0..80)
+        ) {
+            let postings = Postings::from_pairs(pairs.clone());
+            let mut reference: std::collections::BTreeMap<u32, Vec<u64>> =
+                std::collections::BTreeMap::new();
+            for (key, value) in &pairs {
+                reference.entry(*key).or_default().push(*value);
+            }
+            for key in 0u32..45 {
+                let expected = reference.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+                proptest::prop_assert_eq!(postings.get(key), expected);
+            }
+            proptest::prop_assert_eq!(postings.len(), pairs.len());
+        }
+
         #[test]
         fn intern_resolve_round_trips(seeds in proptest::collection::vec(0u64..500, 1..60)) {
             let mut interner = Interner::new();

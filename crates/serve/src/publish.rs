@@ -1,0 +1,82 @@
+//! The publication seam between ingestion and the concurrent read path:
+//! a single atomic slot holding the current [`Snapshot`].
+//!
+//! Writers (the streaming analyzer, once per ingested epoch) swap a freshly
+//! built snapshot in; readers grab a handle with [`SnapshotPublisher::load`]
+//! and then work off that immutable snapshot for as long as they like —
+//! publication never blocks on readers, readers never observe a snapshot
+//! mid-swap, and a reader holding an old snapshot simply keeps the old
+//! epoch's `Arc` alive until it drops the handle. That is the whole
+//! isolation story: one `load` = one epoch, torn reads are impossible by
+//! construction.
+//!
+//! The lock is held only for the duration of an `Arc` clone or swap (no
+//! index is ever built or read under it), so the read path scales with
+//! reader threads.
+
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::Snapshot;
+
+/// The shared, cloneable publication slot. Clones address the same slot:
+/// hand one to the ingestion side and as many as needed to readers.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotPublisher {
+    slot: Arc<RwLock<Snapshot>>,
+}
+
+impl SnapshotPublisher {
+    /// A fresh publisher holding the empty epoch-zero snapshot.
+    pub fn new() -> Self {
+        SnapshotPublisher::default()
+    }
+
+    /// A publisher pre-loaded with `snapshot` (e.g. one rebuilt from a batch
+    /// report, to serve while a stream catches up).
+    pub fn with_initial(snapshot: Snapshot) -> Self {
+        SnapshotPublisher { slot: Arc::new(RwLock::new(snapshot)) }
+    }
+
+    /// The current snapshot: a cheap `Arc` clone taken under the read lock.
+    /// The returned handle stays valid (and unchanged) however many epochs
+    /// are published afterwards.
+    pub fn load(&self) -> Snapshot {
+        self.slot.read().expect("publisher slot poisoned").clone()
+    }
+
+    /// Atomically replace the current snapshot. Readers that loaded before
+    /// this call keep their old snapshot; every later `load` sees the new
+    /// one.
+    pub fn publish(&self, snapshot: Snapshot) {
+        *self.slot.write().expect("publisher slot poisoned") = snapshot;
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_a_stable_handle_across_publishes() {
+        let publisher = SnapshotPublisher::new();
+        assert_eq!(publisher.epoch(), 0);
+        let before = publisher.load();
+
+        let next = Snapshot::empty();
+        publisher.publish(next.clone());
+        // The old handle still reads epoch 0 state; the slot serves the new
+        // snapshot (here also epoch 0 — identity is what matters).
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(publisher.load(), next);
+
+        // Clones of the publisher address the same slot.
+        let clone = publisher.clone();
+        clone.publish(Snapshot::empty());
+        assert_eq!(publisher.load(), clone.load());
+    }
+}

@@ -1,0 +1,163 @@
+//! The typed request/response surface: a [`Query`] goes in, a [`Served`]
+//! response comes out, answered from exactly one published [`Snapshot`]
+//! (whose epoch the response carries) with an optional trip through the
+//! sharded LRU cache.
+//!
+//! The catalog covers the queries the paper's downstream consumers issue:
+//! point status of an NFT, block-windowed suspect feeds, volume rankings,
+//! account dossiers, collection and marketplace rollups, and the aggregate
+//! stats line.
+
+use ethsim::{Address, BlockNumber, Wei};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tokens::NftId;
+use washtrade::characterize::MarketplaceWashRow;
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::publish::SnapshotPublisher;
+use crate::snapshot::{AccountDossier, CollectionRollup, NftSummary, Snapshot, SnapshotStats};
+
+/// A read-side request. `Hash`/`Eq` make queries directly usable as cache
+/// keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Query {
+    /// Aggregate counters of the current snapshot.
+    Stats,
+    /// Point lookup: is this NFT a confirmed suspect, and how bad?
+    Nft(NftId),
+    /// Suspects whose latest confirmation is at or after the block.
+    SuspectsSince(BlockNumber),
+    /// Suspects whose latest confirmation lies in the inclusive block range.
+    SuspectsBetween(BlockNumber, BlockNumber),
+    /// The `n` suspects with the largest wash volume.
+    TopMovers(usize),
+    /// One account's wash-trading dossier.
+    Account(Address),
+    /// The `n` collections with the most wash volume.
+    TopCollections(usize),
+    /// Per-marketplace wash rollups (the Table II rows).
+    Marketplaces,
+}
+
+/// The payload of a served query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Query::Stats`].
+    Stats(SnapshotStats),
+    /// Answer to [`Query::Nft`]; `None` when the NFT is not a suspect.
+    Nft(Option<NftSummary>),
+    /// Answer to [`Query::SuspectsSince`] / [`Query::SuspectsBetween`].
+    Suspects(Vec<NftId>),
+    /// Answer to [`Query::TopMovers`].
+    TopMovers(Vec<(NftId, Wei)>),
+    /// Answer to [`Query::Account`]; `None` when the account is uninvolved.
+    Account(Option<AccountDossier>),
+    /// Answer to [`Query::TopCollections`].
+    Collections(Vec<CollectionRollup>),
+    /// Answer to [`Query::Marketplaces`].
+    Marketplaces(Vec<MarketplaceWashRow>),
+}
+
+/// A response plus its provenance: the epoch of the snapshot that produced
+/// it and whether it came from the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    /// Epoch of the snapshot the response was computed from.
+    pub epoch: u64,
+    /// Whether the response was served from the LRU cache.
+    pub cached: bool,
+    /// The payload.
+    pub response: Response,
+}
+
+impl Snapshot {
+    /// Answer one query from this snapshot. Every arm is an index lookup;
+    /// nothing here touches analysis state.
+    pub fn answer(&self, query: &Query) -> Response {
+        match query {
+            Query::Stats => Response::Stats(self.stats()),
+            Query::Nft(nft) => Response::Nft(self.suspect(*nft)),
+            Query::SuspectsSince(block) => Response::Suspects(self.suspects_since(*block)),
+            Query::SuspectsBetween(first, last) => {
+                Response::Suspects(self.suspects_between(*first, *last))
+            }
+            Query::TopMovers(n) => Response::TopMovers(self.top_movers(*n)),
+            Query::Account(account) => Response::Account(self.dossier(*account)),
+            Query::TopCollections(n) => Response::Collections(self.top_collections(*n)),
+            Query::Marketplaces => Response::Marketplaces(self.marketplaces().to_vec()),
+        }
+    }
+}
+
+/// Cache sizing for a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independent shards (locks).
+    pub shards: usize,
+    /// Entries per shard; `0` disables caching.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { shards: 16, capacity_per_shard: 64 }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration with caching turned off (benchmark baseline).
+    pub fn disabled() -> Self {
+        CacheConfig { shards: 1, capacity_per_shard: 0 }
+    }
+}
+
+/// The concurrent query front end: loads the current snapshot from the
+/// publisher, consults the sharded LRU, computes on miss. Clones share the
+/// publisher slot *and* the cache, so one service can be handed to any
+/// number of reader threads.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    publisher: SnapshotPublisher,
+    cache: Arc<ShardedLru>,
+}
+
+impl QueryService {
+    /// A service over `publisher` with the default cache.
+    pub fn new(publisher: SnapshotPublisher) -> Self {
+        QueryService::with_cache(publisher, CacheConfig::default())
+    }
+
+    /// A service with explicit cache sizing.
+    pub fn with_cache(publisher: SnapshotPublisher, config: CacheConfig) -> Self {
+        QueryService {
+            publisher,
+            cache: Arc::new(ShardedLru::new(config.shards, config.capacity_per_shard)),
+        }
+    }
+
+    /// Serve one query from the currently published snapshot. The returned
+    /// epoch identifies that snapshot; the response is internally consistent
+    /// with it by construction (one `load`, one snapshot, one answer — and
+    /// cache entries only ever match their own epoch).
+    pub fn query(&self, query: &Query) -> Served {
+        let snapshot = self.publisher.load();
+        let epoch = snapshot.epoch();
+        if let Some(response) = self.cache.get(epoch, query) {
+            return Served { epoch, cached: true, response };
+        }
+        let response = snapshot.answer(query);
+        self.cache.insert(epoch, query.clone(), response.clone());
+        Served { epoch, cached: false, response }
+    }
+
+    /// The snapshot the next query would be answered from.
+    pub fn snapshot(&self) -> Snapshot {
+        self.publisher.load()
+    }
+
+    /// Cache hit/miss counters since the service was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}

@@ -1,0 +1,912 @@
+//! The epoch-versioned, immutable [`Snapshot`]: every index a read-side
+//! query needs, frozen at one published epoch.
+//!
+//! A snapshot is built once per epoch — from the streaming analyzer's dense
+//! layers ([`Snapshot::from_dense`]) or from a finished batch report
+//! ([`Snapshot::from_report`]) — and then only ever read. Addresses and NFT
+//! identities are resolved **once, at build time** (the serving boundary's
+//! twin of the pipeline's intern-once/resolve-once rule); queries are index
+//! lookups, never scans over analysis state:
+//!
+//! * account → suspect activities as a [`Postings`] list over the sorted
+//!   involved-account table,
+//! * a suspect log sorted by confirmation block, so block-windowed queries
+//!   ([`Snapshot::suspects_since`], [`Snapshot::suspects_between`]) are a
+//!   binary search plus a suffix walk,
+//! * the full wash-volume ranking, so [`Snapshot::top_movers`] is a prefix
+//!   copy,
+//! * per-collection and per-marketplace rollups, pre-aggregated and
+//!   pre-sorted.
+//!
+//! The struct is a cheap handle: all data lives behind one `Arc`, so cloning
+//! a snapshot is a reference-count bump and a clone can cross threads freely
+//! (`Snapshot: Send + Sync`). Two snapshots compare equal iff their contents
+//! do — the equality the batch/stream parity test pins.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use ethsim::{Address, BlockNumber, Timestamp, Wei};
+use graphlib::{PatternCatalogue, PatternId};
+use ids::Postings;
+use marketplace::MarketplaceDirectory;
+use oracle::PriceOracle;
+use serde::{Deserialize, Serialize};
+use tokens::NftId;
+use washtrade::characterize::{component_shape, MarketplaceWashRow};
+use washtrade::dataset::{Dataset, MarketplaceVolume};
+use washtrade::detect::{DenseActivity, MethodSet};
+use washtrade::pipeline::AnalysisReport;
+
+/// Version and coverage of one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SnapshotMeta {
+    /// Epoch number: how many ingestion epochs produced this state (0 for
+    /// the empty snapshot a fresh publisher holds).
+    pub epoch: u64,
+    /// First block *not* covered by this snapshot.
+    pub watermark: BlockNumber,
+}
+
+/// One confirmed wash-trading activity, fully resolved for serving.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityRecord {
+    /// The manipulated NFT.
+    pub nft: NftId,
+    /// The colluding accounts, sorted by address.
+    pub accounts: Vec<Address>,
+    /// Total traded volume of the internal sales.
+    pub volume: Wei,
+    /// The same volume in USD at trade time.
+    pub volume_usd: f64,
+    /// Name of the marketplace carrying most of the volume; `None` for
+    /// off-market activity.
+    pub marketplace: Option<String>,
+    /// Fig. 7 pattern id of the component's shape, if catalogued.
+    pub pattern: Option<usize>,
+    /// Timestamp of the first internal sale.
+    pub first_trade: Timestamp,
+    /// Timestamp of the last internal sale.
+    pub last_trade: Timestamp,
+    /// The detection methods that confirmed the activity.
+    pub methods: MethodSet,
+}
+
+/// The served summary of one suspect (confirmed) NFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NftSummary {
+    /// The NFT.
+    pub nft: NftId,
+    /// Confirmed activities on the NFT.
+    pub activities: usize,
+    /// Total confirmed wash volume on the NFT.
+    pub volume: Wei,
+    /// Last block of the epoch whose ingestion (most recently) confirmed the
+    /// NFT; for batch-built snapshots, the last covered block.
+    pub confirmed_at: BlockNumber,
+}
+
+/// Wash-trading rollup for one collection contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionRollup {
+    /// The collection (ERC-721 contract).
+    pub collection: Address,
+    /// Distinct suspect NFTs in the collection.
+    pub suspect_nfts: usize,
+    /// Confirmed activities on the collection.
+    pub activities: usize,
+    /// Wash volume in ETH.
+    pub volume_eth: f64,
+    /// Wash volume in USD at trade time.
+    pub volume_usd: f64,
+    /// The most frequent Fig. 7 pattern ids, as `(pattern, occurrences)`,
+    /// most frequent first (ties broken by lowest id), at most three.
+    pub top_patterns: Vec<(usize, usize)>,
+}
+
+/// The answer to an account-dossier query: one account's wash-trading
+/// involvement, derived from the account-postings index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccountDossier {
+    /// The account.
+    pub account: Address,
+    /// Confirmed activities the account participates in.
+    pub activities: usize,
+    /// Distinct NFTs those activities manipulate, ascending.
+    pub nfts: Vec<NftId>,
+    /// Total volume of those activities.
+    pub wash_volume: Wei,
+    /// Distinct co-participants across those activities, ascending.
+    pub collaborators: Vec<Address>,
+}
+
+/// Aggregate counters of one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SnapshotStats {
+    /// Epoch number of the snapshot.
+    pub epoch: u64,
+    /// First block not covered.
+    pub watermark: BlockNumber,
+    /// Distinct NFTs with at least one compliant transfer.
+    pub dataset_nfts: usize,
+    /// Compliant transfers ingested.
+    pub dataset_transfers: usize,
+    /// Raw ERC-721-shaped logs scanned.
+    pub raw_transfer_events: usize,
+    /// Contracts passing the compliance probe.
+    pub compliant_contracts: usize,
+    /// Contracts failing the probe.
+    pub non_compliant_contracts: usize,
+    /// Confirmed wash-trading activities.
+    pub confirmed_activities: usize,
+    /// Distinct NFTs with at least one confirmed activity.
+    pub suspect_nfts: usize,
+    /// Distinct accounts involved in confirmed activities.
+    pub involved_accounts: usize,
+    /// Total confirmed wash volume.
+    pub wash_volume: Wei,
+    /// The same volume in ETH.
+    pub wash_volume_eth: f64,
+    /// The same volume in USD at trade time.
+    pub wash_volume_usd: f64,
+}
+
+/// Dataset-level counters a snapshot reports; extracted from the dataset
+/// (stream path) or the report (batch path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct DatasetTotals {
+    nfts: usize,
+    transfers: usize,
+    raw_transfer_events: usize,
+    compliant_contracts: usize,
+    non_compliant_contracts: usize,
+}
+
+/// The owned snapshot state all clones share.
+#[derive(Debug, PartialEq)]
+struct SnapshotInner {
+    stats: SnapshotStats,
+    /// Confirmed activities in the pipeline's deterministic confirmed order.
+    activities: Vec<ActivityRecord>,
+    /// Involved accounts, sorted by address; the key space of
+    /// `account_postings`.
+    accounts: Vec<Address>,
+    /// Account position → indexes into `activities`.
+    account_postings: Postings<u32>,
+    /// Suspect NFTs sorted by identity, for point lookups.
+    suspects: Vec<NftSummary>,
+    /// Suspect NFTs sorted by `(confirmed_at, nft)` — the block-windowed
+    /// log.
+    suspect_log: Vec<(BlockNumber, NftId)>,
+    /// Suspect NFTs ranked by `(volume desc, nft asc)`.
+    ranking: Vec<(NftId, Wei)>,
+    /// Per-collection rollups, heaviest (USD) first.
+    collections: Vec<CollectionRollup>,
+    /// Per-marketplace rollups, heaviest (USD) first — the Table II shape.
+    marketplaces: Vec<MarketplaceWashRow>,
+}
+
+/// An immutable, epoch-versioned view of the analysis results, shared by
+/// reference count. See the [module docs](self) for the index inventory.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+/// Content equality (not pointer equality): two snapshots are equal iff
+/// every index and counter matches — what the batch/stream parity test
+/// compares.
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::empty()
+    }
+}
+
+impl Snapshot {
+    /// The epoch-zero snapshot: nothing ingested, every query empty.
+    pub fn empty() -> Snapshot {
+        Snapshot::assemble(
+            SnapshotMeta::default(),
+            DatasetTotals::default(),
+            Vec::new(),
+            Vec::new(),
+            &HashMap::new(),
+        )
+    }
+
+    /// Build a snapshot from the streaming analyzer's dense layers: the
+    /// confirmed activities still in dense-id form, the growing dataset
+    /// (interner + columns + compliance verdicts), and the per-NFT
+    /// confirmation blocks. Every id is resolved here, exactly once.
+    pub fn from_dense(
+        meta: SnapshotMeta,
+        confirmed: &[DenseActivity],
+        dataset: &Dataset,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+        confirmed_at: &HashMap<NftId, BlockNumber>,
+    ) -> Snapshot {
+        let records = Snapshot::dense_records(confirmed, dataset, directory, oracle);
+        let table1 = dataset.marketplace_volumes(directory, oracle);
+        let marketplaces = rollup_marketplaces(&records, &table1);
+        Snapshot::assemble(meta, dataset_totals(dataset), records, marketplaces, confirmed_at)
+    }
+
+    /// [`Snapshot::from_dense`] with the per-marketplace rollup rows passed
+    /// in instead of recomputed. The streaming analyzer publishes through
+    /// this seam: its `Characterization::per_marketplace` rows are
+    /// bit-identical to what [`Snapshot::from_dense`] would derive (the
+    /// parity suite pins that), and reusing them avoids a second
+    /// O(all-transfers) `marketplace_volumes` scan per epoch.
+    pub fn from_dense_with_marketplaces(
+        meta: SnapshotMeta,
+        confirmed: &[DenseActivity],
+        dataset: &Dataset,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+        confirmed_at: &HashMap<NftId, BlockNumber>,
+        marketplaces: Vec<MarketplaceWashRow>,
+    ) -> Snapshot {
+        let records = Snapshot::dense_records(confirmed, dataset, directory, oracle);
+        Snapshot::assemble(meta, dataset_totals(dataset), records, marketplaces, confirmed_at)
+    }
+
+    /// Resolve dense confirmed activities into serving records — the one
+    /// place stream-side ids become addresses.
+    fn dense_records(
+        confirmed: &[DenseActivity],
+        dataset: &Dataset,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+    ) -> Vec<ActivityRecord> {
+        let catalogue = PatternCatalogue::paper();
+        let interner = &dataset.interner;
+        let records: Vec<ActivityRecord> = confirmed
+            .iter()
+            .map(|activity| {
+                let candidate = &activity.candidate;
+                let volume_usd = candidate
+                    .internal_edges
+                    .iter()
+                    .map(|(_, _, edge)| {
+                        oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0)
+                    })
+                    .sum();
+                let marketplace = candidate
+                    .dominant_marketplace(interner)
+                    .and_then(|id| directory.by_contract(interner.market(id)))
+                    .map(|info| info.name.clone());
+                let shape = component_shape(candidate);
+                ActivityRecord {
+                    nft: interner.nft(candidate.nft),
+                    accounts: candidate.accounts.iter().map(|&id| interner.address(id)).collect(),
+                    volume: candidate.volume,
+                    volume_usd,
+                    marketplace,
+                    pattern: catalogue
+                        .classify(candidate.accounts.len(), &shape)
+                        .map(|PatternId(id)| id),
+                    first_trade: candidate.first_trade,
+                    last_trade: candidate.last_trade,
+                    methods: activity.methods,
+                }
+            })
+            .collect();
+        records
+    }
+
+    /// Build a snapshot from a finished batch [`AnalysisReport`] — the
+    /// serving layer without a live analyzer. Confirmation blocks are not
+    /// part of a batch report, so every suspect is dated to the last covered
+    /// block (`meta.watermark - 1`); everything else is identical to the
+    /// snapshot a stream publishes after ingesting the same chain.
+    pub fn from_report(
+        report: &AnalysisReport,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+        meta: SnapshotMeta,
+    ) -> Snapshot {
+        let catalogue = PatternCatalogue::paper();
+        let records: Vec<ActivityRecord> = report
+            .detection
+            .confirmed
+            .iter()
+            .map(|activity| {
+                let candidate = &activity.candidate;
+                let volume_usd = candidate
+                    .internal_edges
+                    .iter()
+                    .map(|(_, _, edge)| {
+                        oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0)
+                    })
+                    .sum();
+                let marketplace = candidate
+                    .dominant_marketplace()
+                    .and_then(|contract| directory.by_contract(contract))
+                    .map(|info| info.name.clone());
+                ActivityRecord {
+                    nft: candidate.nft,
+                    accounts: candidate.accounts.clone(),
+                    volume: candidate.volume,
+                    volume_usd,
+                    marketplace,
+                    pattern: catalogue
+                        .classify(candidate.accounts.len(), &candidate.shape())
+                        .map(|PatternId(id)| id),
+                    first_trade: candidate.first_trade,
+                    last_trade: candidate.last_trade,
+                    methods: activity.methods,
+                }
+            })
+            .collect();
+        let totals = DatasetTotals {
+            nfts: report.dataset_nfts,
+            transfers: report.dataset_transfers,
+            raw_transfer_events: report.raw_transfer_events,
+            compliant_contracts: report.compliant_contracts,
+            non_compliant_contracts: report.non_compliant_contracts,
+        };
+        // The report's Table II rows are exactly the rollup this snapshot
+        // would derive from `records` and `report.table1` (the parity suite
+        // pins the equality) — reuse them instead of recomputing.
+        let marketplaces = report.characterization.per_marketplace.clone();
+        Snapshot::assemble(meta, totals, records, marketplaces, &HashMap::new())
+    }
+
+    /// Assemble every index from resolved activity records and pre-computed
+    /// marketplace rollup rows. `confirmed_at` dates each suspect NFT;
+    /// missing entries fall back to the last covered block. All
+    /// floating-point accumulation walks `records` in their given
+    /// (deterministic, confirmed) order, so dense- and report-built
+    /// snapshots of the same state are bit-identical.
+    fn assemble(
+        meta: SnapshotMeta,
+        totals: DatasetTotals,
+        records: Vec<ActivityRecord>,
+        marketplaces: Vec<MarketplaceWashRow>,
+        confirmed_at: &HashMap<NftId, BlockNumber>,
+    ) -> Snapshot {
+        let tip = BlockNumber(meta.watermark.0.saturating_sub(1));
+
+        // Point-lookup table and its two derived orders (log, ranking).
+        let mut by_nft: BTreeMap<NftId, NftSummary> = BTreeMap::new();
+        for record in &records {
+            let summary = by_nft.entry(record.nft).or_insert(NftSummary {
+                nft: record.nft,
+                activities: 0,
+                volume: Wei::ZERO,
+                confirmed_at: confirmed_at.get(&record.nft).copied().unwrap_or(tip),
+            });
+            summary.activities += 1;
+            summary.volume += record.volume;
+        }
+        let suspects: Vec<NftSummary> = by_nft.into_values().collect();
+        let mut suspect_log: Vec<(BlockNumber, NftId)> =
+            suspects.iter().map(|summary| (summary.confirmed_at, summary.nft)).collect();
+        suspect_log.sort_unstable();
+        let mut ranking: Vec<(NftId, Wei)> =
+            suspects.iter().map(|summary| (summary.nft, summary.volume)).collect();
+        ranking.sort_unstable_by_key(|(nft, volume)| (std::cmp::Reverse(*volume), *nft));
+
+        // Account postings: sorted involved-account table + CSR into the
+        // activity list.
+        let mut pairs: Vec<(Address, u32)> = records
+            .iter()
+            .enumerate()
+            .flat_map(|(index, record)| {
+                record.accounts.iter().map(move |account| (*account, index as u32))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut accounts: Vec<Address> = pairs.iter().map(|(account, _)| *account).collect();
+        accounts.dedup();
+        let indexed: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|(account, activity)| {
+                let position = accounts.binary_search(account).expect("account is in the table");
+                (position as u32, *activity)
+            })
+            .collect();
+        let account_postings = Postings::from_pairs(indexed);
+
+        // Collection rollups.
+        struct CollectionAccumulator {
+            nfts: std::collections::BTreeSet<NftId>,
+            activities: usize,
+            volume_eth: f64,
+            volume_usd: f64,
+            patterns: BTreeMap<usize, usize>,
+        }
+        let mut per_collection: BTreeMap<Address, CollectionAccumulator> = BTreeMap::new();
+        for record in &records {
+            let accumulator =
+                per_collection.entry(record.nft.contract).or_insert(CollectionAccumulator {
+                    nfts: std::collections::BTreeSet::new(),
+                    activities: 0,
+                    volume_eth: 0.0,
+                    volume_usd: 0.0,
+                    patterns: BTreeMap::new(),
+                });
+            accumulator.nfts.insert(record.nft);
+            accumulator.activities += 1;
+            accumulator.volume_eth += record.volume.to_eth();
+            accumulator.volume_usd += record.volume_usd;
+            if let Some(pattern) = record.pattern {
+                *accumulator.patterns.entry(pattern).or_insert(0) += 1;
+            }
+        }
+        let mut collections: Vec<CollectionRollup> = per_collection
+            .into_iter()
+            .map(|(collection, accumulator)| {
+                let mut top_patterns: Vec<(usize, usize)> =
+                    accumulator.patterns.into_iter().collect();
+                top_patterns.sort_by_key(|(pattern, count)| (std::cmp::Reverse(*count), *pattern));
+                top_patterns.truncate(3);
+                CollectionRollup {
+                    collection,
+                    suspect_nfts: accumulator.nfts.len(),
+                    activities: accumulator.activities,
+                    volume_eth: accumulator.volume_eth,
+                    volume_usd: accumulator.volume_usd,
+                    top_patterns,
+                }
+            })
+            .collect();
+        collections.sort_by(|a, b| {
+            b.volume_usd.total_cmp(&a.volume_usd).then_with(|| a.collection.cmp(&b.collection))
+        });
+
+        // Totals, accumulated in record order.
+        let mut wash_volume = Wei::ZERO;
+        let mut wash_volume_eth = 0.0;
+        let mut wash_volume_usd = 0.0;
+        for record in &records {
+            wash_volume += record.volume;
+            wash_volume_eth += record.volume.to_eth();
+            wash_volume_usd += record.volume_usd;
+        }
+        let stats = SnapshotStats {
+            epoch: meta.epoch,
+            watermark: meta.watermark,
+            dataset_nfts: totals.nfts,
+            dataset_transfers: totals.transfers,
+            raw_transfer_events: totals.raw_transfer_events,
+            compliant_contracts: totals.compliant_contracts,
+            non_compliant_contracts: totals.non_compliant_contracts,
+            confirmed_activities: records.len(),
+            suspect_nfts: suspects.len(),
+            involved_accounts: accounts.len(),
+            wash_volume,
+            wash_volume_eth,
+            wash_volume_usd,
+        };
+
+        Snapshot {
+            inner: Arc::new(SnapshotInner {
+                stats,
+                activities: records,
+                accounts,
+                account_postings,
+                suspects,
+                suspect_log,
+                ranking,
+                collections,
+                marketplaces,
+            }),
+        }
+    }
+
+    /// Epoch number of this snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.inner.stats.epoch
+    }
+
+    /// First block not covered by this snapshot.
+    pub fn watermark(&self) -> BlockNumber {
+        self.inner.stats.watermark
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SnapshotStats {
+        self.inner.stats
+    }
+
+    /// The confirmed activities, fully resolved, in confirmed order.
+    pub fn activities(&self) -> &[ActivityRecord] {
+        &self.inner.activities
+    }
+
+    /// Accounts involved in at least one confirmed activity, ascending.
+    pub fn accounts(&self) -> &[Address] {
+        &self.inner.accounts
+    }
+
+    /// Every suspect NFT's summary, ascending by NFT identity.
+    pub fn suspects(&self) -> &[NftSummary] {
+        &self.inner.suspects
+    }
+
+    /// Point lookup: the summary of one suspect NFT, `None` if the NFT has
+    /// no confirmed activity in this snapshot.
+    pub fn suspect(&self, nft: NftId) -> Option<NftSummary> {
+        self.inner
+            .suspects
+            .binary_search_by_key(&nft, |summary| summary.nft)
+            .ok()
+            .map(|index| self.inner.suspects[index])
+    }
+
+    /// Suspect NFTs whose latest confirmation happened at or after `block`,
+    /// ascending by NFT identity: a binary search into the block-sorted
+    /// suspect log plus a suffix walk — O(log n + answer), not O(all NFTs).
+    pub fn suspects_since(&self, block: BlockNumber) -> Vec<NftId> {
+        let log = &self.inner.suspect_log;
+        let start = log.partition_point(|(confirmed_at, _)| *confirmed_at < block);
+        let mut suspects: Vec<NftId> = log[start..].iter().map(|(_, nft)| *nft).collect();
+        suspects.sort_unstable();
+        suspects
+    }
+
+    /// Suspect NFTs whose latest confirmation lies in `first..=last`,
+    /// ascending by NFT identity.
+    pub fn suspects_between(&self, first: BlockNumber, last: BlockNumber) -> Vec<NftId> {
+        let log = &self.inner.suspect_log;
+        let start = log.partition_point(|(confirmed_at, _)| *confirmed_at < first);
+        let end = log.partition_point(|(confirmed_at, _)| *confirmed_at <= last);
+        let mut suspects: Vec<NftId> =
+            log[start..end.max(start)].iter().map(|(_, nft)| *nft).collect();
+        suspects.sort_unstable();
+        suspects
+    }
+
+    /// The `n` suspect NFTs with the largest wash volume, descending (ties
+    /// broken by NFT identity): a prefix of the precomputed ranking.
+    pub fn top_movers(&self, n: usize) -> Vec<(NftId, Wei)> {
+        self.inner.ranking.iter().take(n).copied().collect()
+    }
+
+    /// One account's wash-trading dossier, derived from the postings index;
+    /// `None` if the account participates in no confirmed activity.
+    pub fn dossier(&self, account: Address) -> Option<AccountDossier> {
+        let position = self.inner.accounts.binary_search(&account).ok()?;
+        let postings = self.inner.account_postings.get(position as u32);
+        let mut nfts = Vec::new();
+        let mut collaborators = Vec::new();
+        let mut wash_volume = Wei::ZERO;
+        for &index in postings {
+            let record = &self.inner.activities[index as usize];
+            nfts.push(record.nft);
+            wash_volume += record.volume;
+            collaborators.extend(record.accounts.iter().copied().filter(|&a| a != account));
+        }
+        nfts.sort_unstable();
+        nfts.dedup();
+        collaborators.sort_unstable();
+        collaborators.dedup();
+        Some(AccountDossier {
+            account,
+            activities: postings.len(),
+            nfts,
+            wash_volume,
+            collaborators,
+        })
+    }
+
+    /// Per-collection rollups, heaviest wash volume (USD) first.
+    pub fn collections(&self) -> &[CollectionRollup] {
+        &self.inner.collections
+    }
+
+    /// The `n` heaviest collections.
+    pub fn top_collections(&self, n: usize) -> Vec<CollectionRollup> {
+        self.inner.collections.iter().take(n).cloned().collect()
+    }
+
+    /// Per-marketplace wash rollups — the same rows, values and order as
+    /// `Characterization::per_marketplace` (Table II).
+    pub fn marketplaces(&self) -> &[MarketplaceWashRow] {
+        &self.inner.marketplaces
+    }
+}
+
+/// The snapshot's dataset counters, read off the growing dataset.
+fn dataset_totals(dataset: &Dataset) -> DatasetTotals {
+    DatasetTotals {
+        nfts: dataset.nft_count(),
+        transfers: dataset.transfer_count(),
+        raw_transfer_events: dataset.raw_transfer_events,
+        compliant_contracts: dataset.compliant_contracts.len(),
+        non_compliant_contracts: dataset.non_compliant_contracts.len(),
+    }
+}
+
+/// Derive the per-marketplace rollup rows from activity records plus the
+/// Table I venue totals, mirroring the §V Table II computation exactly
+/// (same grouping, accumulation order, share semantics and sort) — so the
+/// derived rows equal `Characterization::per_marketplace` bit for bit, and
+/// callers that already hold those rows may pass them instead
+/// ([`Snapshot::from_dense_with_marketplaces`]).
+fn rollup_marketplaces(
+    records: &[ActivityRecord],
+    table1: &[MarketplaceVolume],
+) -> Vec<MarketplaceWashRow> {
+    let market_totals: HashMap<&str, f64> =
+        table1.iter().map(|row| (row.name.as_str(), row.volume_usd)).collect();
+    struct MarketAccumulator {
+        nfts: std::collections::BTreeSet<NftId>,
+        activities: usize,
+        volume_eth: f64,
+        volume_usd: f64,
+    }
+    let mut per_market: HashMap<String, MarketAccumulator> = HashMap::new();
+    for record in records {
+        let name = record.marketplace.clone().unwrap_or_else(|| "Off-market".to_string());
+        let accumulator = per_market.entry(name).or_insert(MarketAccumulator {
+            nfts: std::collections::BTreeSet::new(),
+            activities: 0,
+            volume_eth: 0.0,
+            volume_usd: 0.0,
+        });
+        accumulator.nfts.insert(record.nft);
+        accumulator.activities += 1;
+        accumulator.volume_eth += record.volume.to_eth();
+        accumulator.volume_usd += record.volume_usd;
+    }
+    let mut marketplaces: Vec<MarketplaceWashRow> = per_market
+        .iter()
+        .map(|(name, accumulator)| MarketplaceWashRow {
+            name: name.clone(),
+            nfts: accumulator.nfts.len(),
+            activities: accumulator.activities,
+            volume_eth: accumulator.volume_eth,
+            volume_usd: accumulator.volume_usd,
+            share_of_marketplace_volume: market_totals.get(name.as_str()).map(|total| {
+                if *total > 0.0 {
+                    accumulator.volume_usd / total
+                } else {
+                    0.0
+                }
+            }),
+        })
+        .collect();
+    marketplaces
+        .sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd).then_with(|| a.name.cmp(&b.name)));
+    marketplaces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Timestamp, TxHash};
+    use ids::AccountId;
+    use washtrade::refine::DenseCandidate;
+    use washtrade::txgraph::DenseTradeEdge;
+
+    /// Intern a small dense activity into `dataset`, mirroring the
+    /// characterization test fixture: `edges` index into the sorted account
+    /// list.
+    fn activity(
+        dataset: &mut Dataset,
+        collection: &str,
+        token: u64,
+        accounts: &[&str],
+        edges: &[(usize, usize, f64)],
+        start_secs: u64,
+    ) -> DenseActivity {
+        let accounts: Vec<AccountId> = {
+            let mut addresses: Vec<Address> =
+                accounts.iter().map(|s| Address::derived(s)).collect();
+            addresses.sort();
+            addresses.into_iter().map(|a| dataset.interner.intern_account(a)).collect()
+        };
+        let nft = dataset.interner.intern_nft(NftId::new(Address::derived(collection), token));
+        let internal_edges: Vec<(AccountId, AccountId, DenseTradeEdge)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, (from, to, price))| {
+                (
+                    accounts[*from],
+                    accounts[*to],
+                    DenseTradeEdge {
+                        timestamp: Timestamp::from_secs(start_secs + i as u64 * 3_600),
+                        tx_hash: TxHash::hash_of(format!("{collection}-{token}-{i}").as_bytes()),
+                        marketplace: None,
+                        price: Wei::from_eth(*price),
+                    },
+                )
+            })
+            .collect();
+        let first = internal_edges.iter().map(|(_, _, e)| e.timestamp).min().unwrap();
+        let last = internal_edges.iter().map(|(_, _, e)| e.timestamp).max().unwrap();
+        DenseActivity {
+            candidate: DenseCandidate {
+                nft,
+                accounts,
+                volume: internal_edges.iter().map(|(_, _, e)| e.price).sum(),
+                first_trade: first,
+                last_trade: last,
+                internal_edges,
+            },
+            methods: MethodSet { zero_risk: true, ..MethodSet::default() },
+        }
+    }
+
+    fn fixture() -> Snapshot {
+        let mut dataset = Dataset::default();
+        let activities = vec![
+            activity(&mut dataset, "meebits", 1, &["s1", "s2"], &[(0, 1, 1.0), (1, 0, 1.0)], 1_000),
+            activity(&mut dataset, "meebits", 2, &["s1", "s2"], &[(0, 1, 2.0), (1, 0, 2.0)], 2_000),
+            activity(
+                &mut dataset,
+                "loot",
+                7,
+                &["t1", "t2", "t3"],
+                &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+                3_000,
+            ),
+            activity(&mut dataset, "loot", 9, &["solo"], &[(0, 0, 5.0)], 4_000),
+        ];
+        let confirmed_at: HashMap<NftId, BlockNumber> = activities
+            .iter()
+            .enumerate()
+            .map(|(index, a)| {
+                (dataset.interner.nft(a.candidate.nft), BlockNumber(10 * (index as u64 + 1)))
+            })
+            .collect();
+        let directory = MarketplaceDirectory::new();
+        let oracle = PriceOracle::paper_presets(Timestamp::from_secs(0), 400, 1);
+        Snapshot::from_dense(
+            SnapshotMeta { epoch: 3, watermark: BlockNumber(100) },
+            &activities,
+            &dataset,
+            &directory,
+            &oracle,
+            &confirmed_at,
+        )
+    }
+
+    #[test]
+    fn stats_and_point_lookups() {
+        let snapshot = fixture();
+        let stats = snapshot.stats();
+        assert_eq!(stats.epoch, 3);
+        assert_eq!(stats.watermark, BlockNumber(100));
+        assert_eq!(stats.confirmed_activities, 4);
+        assert_eq!(stats.suspect_nfts, 4);
+        assert_eq!(stats.involved_accounts, 6);
+        assert_eq!(stats.wash_volume, Wei::from_eth(14.0));
+        assert!(stats.wash_volume_usd > 0.0);
+
+        let meebits1 = NftId::new(Address::derived("meebits"), 1);
+        let summary = snapshot.suspect(meebits1).expect("confirmed NFT");
+        assert_eq!(summary.activities, 1);
+        assert_eq!(summary.volume, Wei::from_eth(2.0));
+        assert_eq!(summary.confirmed_at, BlockNumber(10));
+        assert_eq!(snapshot.suspect(NftId::new(Address::derived("ghost"), 0)), None);
+    }
+
+    #[test]
+    fn suspect_log_answers_block_windows() {
+        let snapshot = fixture();
+        // Confirmation blocks are 10, 20, 30, 40 in activity order.
+        assert_eq!(snapshot.suspects_since(BlockNumber(0)).len(), 4);
+        let since_25 = snapshot.suspects_since(BlockNumber(25));
+        assert_eq!(since_25.len(), 2);
+        assert!(since_25.windows(2).all(|w| w[0] < w[1]), "ascending NFT identity");
+        assert_eq!(snapshot.suspects_since(BlockNumber(41)), Vec::<NftId>::new());
+        assert_eq!(snapshot.suspects_between(BlockNumber(15), BlockNumber(30)).len(), 2);
+        assert_eq!(snapshot.suspects_between(BlockNumber(0), BlockNumber(9)), Vec::<NftId>::new());
+    }
+
+    #[test]
+    fn ranking_serves_top_movers() {
+        let snapshot = fixture();
+        let movers = snapshot.top_movers(2);
+        assert_eq!(movers[0].1, Wei::from_eth(5.0), "the self-trade is the heaviest");
+        assert_eq!(movers[0].0, NftId::new(Address::derived("loot"), 9));
+        assert_eq!(movers[1].1, Wei::from_eth(4.0));
+        assert_eq!(movers[1].0, NftId::new(Address::derived("meebits"), 2));
+        assert_eq!(snapshot.top_movers(0), Vec::new());
+        assert_eq!(snapshot.top_movers(99).len(), 4);
+    }
+
+    #[test]
+    fn account_dossiers_follow_the_postings() {
+        let snapshot = fixture();
+        let s1 = snapshot.dossier(Address::derived("s1")).expect("serial trader");
+        assert_eq!(s1.activities, 2);
+        assert_eq!(s1.nfts.len(), 2);
+        assert_eq!(s1.wash_volume, Wei::from_eth(6.0));
+        assert_eq!(s1.collaborators, vec![Address::derived("s2")]);
+
+        let solo = snapshot.dossier(Address::derived("solo")).expect("self trader");
+        assert_eq!(solo.activities, 1);
+        assert!(solo.collaborators.is_empty());
+
+        assert_eq!(snapshot.dossier(Address::derived("bystander")), None);
+    }
+
+    #[test]
+    fn collection_and_marketplace_rollups() {
+        let snapshot = fixture();
+        let collections = snapshot.collections();
+        assert_eq!(collections.len(), 2);
+        // loot carries 8 ETH (3 + 5) vs meebits' 6 ETH.
+        assert_eq!(collections[0].collection, Address::derived("loot"));
+        assert_eq!(collections[0].suspect_nfts, 2);
+        assert!(collections[0].volume_usd > collections[1].volume_usd);
+        assert!(!collections[0].top_patterns.is_empty());
+        assert_eq!(snapshot.top_collections(1).len(), 1);
+
+        let marketplaces = snapshot.marketplaces();
+        assert_eq!(marketplaces.len(), 1);
+        assert_eq!(marketplaces[0].name, "Off-market");
+        assert_eq!(marketplaces[0].activities, 4);
+        assert_eq!(marketplaces[0].share_of_marketplace_volume, None);
+    }
+
+    #[test]
+    fn from_dense_rollups_equal_the_characterization_rows() {
+        // `Snapshot::from_dense` derives its marketplace rollups itself
+        // (`rollup_marketplaces`); the streaming/batch constructors instead
+        // reuse `Characterization::per_marketplace`. This pins the two
+        // computations to each other — on a fixture with real venue
+        // attribution, not just the Off-market fallback — so Table II logic
+        // cannot drift from the self-contained constructor unnoticed.
+        let mut dataset = Dataset::default();
+        let opensea = Address::derived("opensea");
+        let mut activities = vec![
+            activity(&mut dataset, "meebits", 1, &["s1", "s2"], &[(0, 1, 1.0), (1, 0, 3.0)], 1_000),
+            activity(&mut dataset, "loot", 9, &["solo"], &[(0, 0, 5.0)], 4_000),
+        ];
+        // Route the pair's heavier leg through a real marketplace.
+        let market = dataset.interner.intern_market(opensea);
+        activities[0].candidate.internal_edges[1].2.marketplace = Some(market);
+        let mut directory = MarketplaceDirectory::new();
+        directory.add(marketplace::MarketplaceInfo {
+            name: "OpenSea".to_string(),
+            contract: opensea,
+            treasury: Address::derived("opensea-treasury"),
+            escrow: None,
+            fee_bps: 250,
+            reward: None,
+        });
+        let oracle = PriceOracle::paper_presets(Timestamp::from_secs(0), 400, 1);
+
+        let snapshot = Snapshot::from_dense(
+            SnapshotMeta { epoch: 1, watermark: BlockNumber(50) },
+            &activities,
+            &dataset,
+            &directory,
+            &oracle,
+            &HashMap::new(),
+        );
+        let characterization =
+            washtrade::characterize::characterize(&activities, &dataset, &directory, &oracle);
+        assert_eq!(snapshot.marketplaces(), &characterization.per_marketplace[..]);
+        let names: Vec<&str> =
+            snapshot.marketplaces().iter().map(|row| row.name.as_str()).collect();
+        assert!(names.contains(&"OpenSea") && names.contains(&"Off-market"));
+        assert_eq!(snapshot.stats().wash_volume_usd, characterization.total_volume_usd);
+    }
+
+    #[test]
+    fn snapshots_are_cheap_handles_with_content_equality() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+
+        let snapshot = fixture();
+        let clone = snapshot.clone();
+        assert!(Arc::ptr_eq(&snapshot.inner, &clone.inner), "clone is a refcount bump");
+        assert_eq!(snapshot, clone);
+        assert_eq!(Snapshot::empty(), Snapshot::default());
+        assert_ne!(snapshot, Snapshot::empty());
+    }
+}

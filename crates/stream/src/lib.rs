@@ -18,7 +18,15 @@
 //!   over the shared `washtrade::parallel::Executor`, and re-assembles the
 //!   global artifacts into a persistent [`LiveReport`] with a per-epoch
 //!   [`EpochDelta`] and a query API ([`StreamAnalyzer::status`],
-//!   [`StreamAnalyzer::suspects_since`], [`StreamAnalyzer::top_movers`]).
+//!   [`StreamAnalyzer::suspects_since`], [`StreamAnalyzer::top_movers`]);
+//! * after every epoch the analyzer builds an immutable, epoch-versioned
+//!   `washtrade_serve::Snapshot` from the dense layers and swaps it into a
+//!   [`SnapshotPublisher`](washtrade_serve::SnapshotPublisher) — the
+//!   publication seam the read-side subsystem (`washtrade-serve`) serves
+//!   concurrent queries from while ingestion keeps running. The analyzer's
+//!   own `suspects_since` / `top_movers` helpers are answered from those
+//!   snapshot indexes too (bit-identically to the linear scans they
+//!   replaced).
 //!
 //! **Headline invariant:** after ingesting all epochs, the [`LiveReport`] is
 //! bit-identical to batch `washtrade::pipeline::analyze` on the same chain —

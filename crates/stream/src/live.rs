@@ -18,7 +18,7 @@
 //! dense-id form until the per-epoch [`LiveReport`] is assembled — the same
 //! single resolve-at-report-boundary point the batch pipeline uses.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use ethsim::{BlockNumber, Wei};
@@ -26,13 +26,14 @@ use ids::NftKey;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
 use washtrade::characterize::{characterize, Characterization};
-use washtrade::detect::{DetectionOutcome, Detector, MethodSet};
+use washtrade::detect::{DenseActivity, DetectionOutcome, Detector, MethodSet};
 use washtrade::parallel::Executor;
 use washtrade::pipeline::{AnalysisInput, AnalysisOptions};
 use washtrade::refine::{
     aggregate_refinements, DenseCandidate, NftRefinement, RefinementReport, Refiner,
 };
 use washtrade::txgraph::NftGraph;
+use washtrade_serve::{Snapshot, SnapshotMeta, SnapshotPublisher};
 
 use crate::cursor::BlockCursor;
 use crate::incremental::{IncrementalDataset, IncrementalGraphs};
@@ -188,13 +189,40 @@ pub struct StreamAnalyzer<'a> {
     states: Vec<Option<NftState>>,
     confirmed_nfts: BTreeSet<NftId>,
     first_confirmed: HashMap<NftId, BlockNumber>,
+    /// The confirmed activities still in dense-id form — what each epoch's
+    /// snapshot is built from (the publication seam's input).
+    dense_confirmed: Vec<DenseActivity>,
+    /// The publication slot this analyzer swaps a fresh [`Snapshot`] into
+    /// after every ingested epoch.
+    publisher: SnapshotPublisher,
+    /// Published epoch numbers start above the epoch found in the publisher
+    /// at construction, so epochs stay monotonic across analyzer
+    /// generations sharing one slot — a `(epoch, query)` cache key can
+    /// never collide with a previous generation's.
+    epoch_base: u64,
     live: LiveReport,
 }
 
 impl<'a> StreamAnalyzer<'a> {
     /// A fresh analyzer over the given inputs, cursor at genesis, nothing
-    /// ingested.
+    /// ingested, publishing into a fresh [`SnapshotPublisher`].
     pub fn new(input: AnalysisInput<'a>, options: StreamOptions) -> Self {
+        StreamAnalyzer::with_publisher(input, options, SnapshotPublisher::new())
+    }
+
+    /// A fresh analyzer publishing into an existing [`SnapshotPublisher`] —
+    /// the way to keep a serving slot (and the readers holding clones of it)
+    /// alive across analyzer generations, e.g. when re-ingesting a chain
+    /// from scratch. The previous snapshot keeps serving until this
+    /// analyzer's first epoch publishes, and the new epochs number upward
+    /// from the inherited snapshot's epoch (never reusing one, so cached
+    /// responses from earlier generations can never be served against this
+    /// generation's snapshots).
+    pub fn with_publisher(
+        input: AnalysisInput<'a>,
+        options: StreamOptions,
+        publisher: SnapshotPublisher,
+    ) -> Self {
         let empty = IncrementalDataset::new();
         let live = LiveReport {
             refinement: RefinementReport::default(),
@@ -208,6 +236,7 @@ impl<'a> StreamAnalyzer<'a> {
             watermark: BlockNumber(0),
             epochs: Vec::new(),
         };
+        let epoch_base = publisher.epoch();
         StreamAnalyzer {
             input,
             executor: Executor::new(options.threads),
@@ -217,6 +246,9 @@ impl<'a> StreamAnalyzer<'a> {
             states: Vec::new(),
             confirmed_nfts: BTreeSet::new(),
             first_confirmed: HashMap::new(),
+            dense_confirmed: Vec::new(),
+            publisher,
+            epoch_base,
             live,
         }
     }
@@ -292,7 +324,47 @@ impl<'a> StreamAnalyzer<'a> {
             wall_time_ns: u64::try_from(started.elapsed().as_nanos().max(1)).unwrap_or(u64::MAX),
         };
         self.live.epochs.push(delta.clone());
+        self.publish_snapshot();
         Some(delta)
+    }
+
+    /// Build the read-side [`Snapshot`] for the just-ingested epoch from the
+    /// dense layers and swap it into the publisher — the publication seam
+    /// between ingestion and the concurrent readers. Confirmation blocks are
+    /// restricted to the currently confirmed set, so the snapshot's suspect
+    /// log answers `suspects_since` exactly as the pre-index linear scan
+    /// did. The per-marketplace rollup rows are reused from the
+    /// characterization this epoch just re-assembled (they are bit-identical
+    /// to what the snapshot would re-derive) instead of re-scanning every
+    /// transfer for venue totals.
+    ///
+    /// Cost: like the characterization itself, the snapshot is rebuilt from
+    /// the full confirmed set each epoch — O(confirmed activities), not
+    /// O(dirty) — because every index (postings, ranking, rollups) is a
+    /// global artifact. The per-activity resolution (USD pricing, dominant
+    /// venue, pattern classification) duplicates work `characterize` just
+    /// did; folding the two passes together would need `characterize` to
+    /// expose per-activity artifacts and is left as future work.
+    fn publish_snapshot(&mut self) {
+        let confirmed_at: HashMap<NftId, BlockNumber> = self
+            .first_confirmed
+            .iter()
+            .filter(|(nft, _)| self.confirmed_nfts.contains(*nft))
+            .map(|(nft, block)| (*nft, *block))
+            .collect();
+        let snapshot = Snapshot::from_dense_with_marketplaces(
+            SnapshotMeta {
+                epoch: self.epoch_base + self.live.epochs.len() as u64,
+                watermark: self.live.watermark,
+            },
+            &self.dense_confirmed,
+            self.dataset.dataset(),
+            self.input.directory,
+            self.input.oracle,
+            &confirmed_at,
+            self.live.characterization.per_marketplace.clone(),
+        );
+        self.publisher.publish(snapshot);
     }
 
     /// Ingest epochs of `max_blocks` until caught up with the chain tip;
@@ -336,6 +408,7 @@ impl<'a> StreamAnalyzer<'a> {
         self.live.characterization =
             characterize(&detection.confirmed, dataset, self.input.directory, self.input.oracle);
         self.live.detection = detection.resolve(interner);
+        self.dense_confirmed = detection.confirmed;
         self.live.dataset_nfts = dataset.nft_count();
         self.live.dataset_transfers = dataset.transfer_count();
         self.live.raw_transfer_events = dataset.raw_transfer_events;
@@ -385,33 +458,46 @@ impl<'a> StreamAnalyzer<'a> {
         }
     }
 
+    /// A handle on the publication slot this analyzer publishes into after
+    /// every epoch. Clones are cheap and independent of the analyzer's
+    /// lifetime: hand them to reader threads (or a
+    /// [`washtrade_serve::QueryService`]) and they keep serving the latest
+    /// published snapshot while ingestion continues.
+    pub fn publisher(&self) -> SnapshotPublisher {
+        self.publisher.clone()
+    }
+
+    /// The currently published snapshot — the state of the last ingested
+    /// epoch (the empty epoch-zero snapshot before any ingestion).
+    pub fn snapshot(&self) -> Snapshot {
+        self.publisher.load()
+    }
+
+    /// The confirmed activities still in dense-id form, as the last epoch's
+    /// snapshot was built from them.
+    pub fn dense_confirmed(&self) -> &[DenseActivity] {
+        &self.dense_confirmed
+    }
+
     /// Currently confirmed NFTs whose latest transition into the confirmed
     /// set happened at or after `block` (measured by the last block of the
     /// epoch that confirmed them), ascending.
+    ///
+    /// Served from the published snapshot's block-sorted suspect log —
+    /// O(log suspects + answer) instead of the pre-index scan over every
+    /// NFT ever confirmed — with output bit-identical to that scan (the
+    /// equivalence proptest checks both helpers against reference
+    /// recomputations).
     pub fn suspects_since(&self, block: BlockNumber) -> Vec<NftId> {
-        let mut suspects: Vec<NftId> = self
-            .first_confirmed
-            .iter()
-            .filter(|(nft, confirmed_at)| {
-                **confirmed_at >= block && self.confirmed_nfts.contains(*nft)
-            })
-            .map(|(nft, _)| *nft)
-            .collect();
-        suspects.sort_unstable();
-        suspects
+        self.publisher.load().suspects_since(block)
     }
 
     /// The `n` confirmed NFTs with the largest wash volume, descending
     /// (ties broken by NFT id, so the ranking is deterministic).
+    ///
+    /// Served as a prefix of the published snapshot's precomputed ranking —
+    /// no per-query aggregation over the confirmed set.
     pub fn top_movers(&self, n: usize) -> Vec<(NftId, Wei)> {
-        let mut volume_by_nft: BTreeMap<NftId, Wei> = BTreeMap::new();
-        for activity in &self.live.detection.confirmed {
-            let entry = volume_by_nft.entry(activity.nft()).or_insert(Wei::ZERO);
-            *entry += activity.candidate.volume;
-        }
-        let mut ranked: Vec<(NftId, Wei)> = volume_by_nft.into_iter().collect();
-        ranked.sort_by_key(|(nft, volume)| (std::cmp::Reverse(*volume), *nft));
-        ranked.truncate(n);
-        ranked
+        self.publisher.load().top_movers(n)
     }
 }

@@ -4,7 +4,10 @@
 //! at any epoch size and any thread count. Plus the dirty-set guarantee:
 //! mid-stream epochs re-detect strictly fewer NFTs than the total.
 
-use ethsim::Timestamp;
+use std::collections::{BTreeMap, HashMap};
+
+use ethsim::{BlockNumber, Timestamp, Wei};
+use tokens::NftId;
 use washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport};
 use washtrade_stream::{LiveReport, NftStatus, StreamAnalyzer, StreamOptions};
 use workload::{WorkloadConfig, World};
@@ -39,6 +42,43 @@ fn assert_live_equals_batch(live: &LiveReport, batch: &AnalysisReport, context: 
         (batch.compliant_contracts, batch.non_compliant_contracts),
         "compliance counts diverged ({context})"
     );
+}
+
+/// Reference recomputation of `suspects_since`: replay the per-epoch deltas
+/// to recover each NFT's *latest* confirmation epoch (exactly the
+/// bookkeeping the analyzer keeps), then filter by the currently confirmed
+/// set — the linear scan the snapshot index replaced.
+fn reference_suspects_since(report: &LiveReport, block: BlockNumber) -> Vec<NftId> {
+    let mut first_confirmed: HashMap<NftId, BlockNumber> = HashMap::new();
+    for delta in &report.epochs {
+        for nft in &delta.new_suspects {
+            first_confirmed.insert(*nft, delta.last_block);
+        }
+    }
+    let confirmed: std::collections::BTreeSet<NftId> =
+        report.detection.confirmed.iter().map(|a| a.nft()).collect();
+    let mut suspects: Vec<NftId> = first_confirmed
+        .into_iter()
+        .filter(|(nft, confirmed_at)| *confirmed_at >= block && confirmed.contains(nft))
+        .map(|(nft, _)| nft)
+        .collect();
+    suspects.sort_unstable();
+    suspects
+}
+
+/// Reference recomputation of `top_movers`: aggregate confirmed wash volume
+/// per NFT straight from the live report — the per-query scan the snapshot
+/// ranking replaced.
+fn reference_top_movers(report: &LiveReport, n: usize) -> Vec<(NftId, Wei)> {
+    let mut volume_by_nft: BTreeMap<NftId, Wei> = BTreeMap::new();
+    for activity in &report.detection.confirmed {
+        let entry = volume_by_nft.entry(activity.nft()).or_insert(Wei::ZERO);
+        *entry += activity.candidate.volume;
+    }
+    let mut ranked: Vec<(NftId, Wei)> = volume_by_nft.into_iter().collect();
+    ranked.sort_by_key(|(nft, volume)| (std::cmp::Reverse(*volume), *nft));
+    ranked.truncate(n);
+    ranked
 }
 
 /// A world small enough that the proptest's 96 cases stay fast, while still
@@ -174,5 +214,28 @@ proptest::proptest! {
             live.report().characterization.total_activities,
             batch.characterization.total_activities
         );
+
+        // The snapshot-served query helpers stay bit-identical to the
+        // pre-index linear scans they replaced, at every window and size.
+        let report = live.report();
+        let tip = report.watermark;
+        for block in [0, tip.0 / 3, tip.0 / 2, tip.0.saturating_sub(1), tip.0] {
+            proptest::prop_assert_eq!(
+                live.suspects_since(BlockNumber(block)),
+                reference_suspects_since(report, BlockNumber(block)),
+                "suspects_since diverged at block {} ({})",
+                block,
+                context
+            );
+        }
+        for n in [0, 1, 3, usize::MAX] {
+            proptest::prop_assert_eq!(
+                live.top_movers(n),
+                reference_top_movers(report, n),
+                "top_movers diverged at n = {} ({})",
+                n,
+                context
+            );
+        }
     }
 }

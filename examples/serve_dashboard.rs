@@ -1,0 +1,146 @@
+//! Serve dashboard: ingest a world epoch by epoch while answering a scripted
+//! query mix through the serving layer, printing an explorer-style dashboard
+//! after each epoch — top wash collections, per-marketplace wash share, the
+//! busiest account's dossier — and finally asserting that the served numbers
+//! converged to exactly the batch (`full_study`) figures.
+//!
+//! ```text
+//! cargo run --release --example serve_dashboard -- [epochs] [seed]
+//! ```
+
+use washtrade::pipeline::{analyze, AnalysisInput};
+use washtrade_serve::{Query, QueryService, Response};
+use washtrade_stream::{StreamAnalyzer, StreamOptions};
+use workload::{WorkloadConfig, World};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let epochs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let world = World::generate(WorkloadConfig::small(seed))?;
+    let plan = world.epoch_plan(epochs);
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+
+    // The write side: a streaming analyzer. The read side: a QueryService
+    // over the analyzer's publisher — the same handle any number of reader
+    // threads could hold; here one scripted reader drives it between epochs.
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    let service = QueryService::new(live.publisher());
+
+    println!(
+        "world: {} transactions over {} blocks, {} planted activities, {} epochs\n",
+        world.chain.stats().transactions,
+        world.chain.current_block_number().0 + 1,
+        world.truth.len(),
+        plan.len()
+    );
+
+    for budget in plan.budgets() {
+        let Some(delta) = live.ingest_epoch(budget) else {
+            break;
+        };
+
+        let Response::Stats(stats) = service.query(&Query::Stats).response else {
+            unreachable!("stats query answers with stats")
+        };
+        println!(
+            "── epoch {} (blocks {}..{}) ── {} suspects, {} activities, {:.2} ETH wash volume",
+            stats.epoch,
+            delta.first_block.0,
+            delta.last_block.0,
+            stats.suspect_nfts,
+            stats.confirmed_activities,
+            stats.wash_volume_eth,
+        );
+
+        if let Response::Collections(collections) =
+            service.query(&Query::TopCollections(3)).response
+        {
+            for rollup in &collections {
+                println!(
+                    "   collection {}…  {:>3} NFTs  {:>3} activities  {:>10.2} ETH  patterns {:?}",
+                    &rollup.collection.to_hex()[..10],
+                    rollup.suspect_nfts,
+                    rollup.activities,
+                    rollup.volume_eth,
+                    rollup.top_patterns,
+                );
+            }
+        }
+        if let Response::Marketplaces(rows) = service.query(&Query::Marketplaces).response {
+            for row in rows.iter().take(3) {
+                let share = row
+                    .share_of_marketplace_volume
+                    .map(|s| format!("{:.2}% of venue volume", s * 100.0))
+                    .unwrap_or_else(|| "no venue total".to_string());
+                println!(
+                    "   {:<12} {:>3} activities  {:>10.2} ETH  ({})",
+                    row.name, row.activities, row.volume_eth, share
+                );
+            }
+        }
+        // Account dossier of the current top mover's first colluder.
+        if let Response::TopMovers(movers) = service.query(&Query::TopMovers(1)).response {
+            if let Some((nft, _)) = movers.first() {
+                let snapshot = service.snapshot();
+                if let Some(account) =
+                    snapshot.activities().iter().find(|a| a.nft == *nft).map(|a| a.accounts[0])
+                {
+                    if let Response::Account(Some(dossier)) =
+                        service.query(&Query::Account(account)).response
+                    {
+                        println!(
+                            "   dossier {}…  {} activities on {} NFTs with {} collaborator(s), {:.2} ETH",
+                            &account.to_hex()[..10],
+                            dossier.activities,
+                            dossier.nfts.len(),
+                            dossier.collaborators.len(),
+                            dossier.wash_volume.to_eth(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Convergence: the served numbers equal the batch study's, bit for bit.
+    let batch = analyze(input);
+    let snapshot = service.snapshot();
+    let stats = snapshot.stats();
+    assert_eq!(
+        stats.confirmed_activities,
+        batch.detection.confirmed.len(),
+        "served activity count != batch"
+    );
+    assert_eq!(
+        stats.wash_volume_usd, batch.characterization.total_volume_usd,
+        "served wash volume (USD) != batch characterization"
+    );
+    assert_eq!(
+        stats.wash_volume_eth, batch.characterization.total_volume_eth,
+        "served wash volume (ETH) != batch characterization"
+    );
+    assert_eq!(
+        snapshot.marketplaces(),
+        &batch.characterization.per_marketplace[..],
+        "served marketplace rollups != batch Table II rows"
+    );
+    let cache = service.cache_stats();
+    println!(
+        "\nconverged with full_study: {} activities, {:.2} ETH — identical to batch analyze()",
+        stats.confirmed_activities, stats.wash_volume_eth
+    );
+    println!(
+        "query cache: {} hits / {} misses ({:.1}% hit rate)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+    Ok(())
+}

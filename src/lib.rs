@@ -12,4 +12,6 @@ pub use marketplace;
 pub use oracle;
 pub use tokens;
 pub use washtrade;
+pub use washtrade_serve;
+pub use washtrade_stream;
 pub use workload;

@@ -1,0 +1,303 @@
+//! Snapshot isolation under concurrent reads: reader threads issue queries
+//! *while* the streaming analyzer ingests epochs, and every single response
+//! must be internally consistent with exactly one published epoch — equal to
+//! a reference recomputation from the [`LiveReport`] as it stood when that
+//! epoch was published. Over random worlds, epoch slicings and reader-thread
+//! counts.
+//!
+//! The mechanism under test: one `SnapshotPublisher::load` hands a reader an
+//! immutable epoch-versioned snapshot, so a response can never mix state
+//! from two epochs (no torn reads), and the query cache — keyed by
+//! `(epoch, query)` — can never leak a stale epoch's answer forward.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use nft_wash_study::ethsim::{Address, BlockNumber, Timestamp, Wei};
+use nft_wash_study::tokens::NftId;
+use nft_wash_study::washtrade::pipeline::AnalysisInput;
+use nft_wash_study::washtrade_serve::{AccountDossier, Query, QueryService, Response};
+use nft_wash_study::washtrade_stream::{LiveReport, StreamAnalyzer, StreamOptions};
+use nft_wash_study::workload::{WorkloadConfig, World};
+
+/// The reference state of one published epoch, captured from the analyzer's
+/// [`LiveReport`] right after the epoch was ingested: the resolved confirmed
+/// activities plus the counters a `Stats` response must report.
+#[derive(Debug, Clone, Default)]
+struct Expected {
+    /// `(nft, accounts, volume)` per confirmed activity, in confirmed order.
+    activities: Vec<(NftId, Vec<Address>, Wei)>,
+    watermark: BlockNumber,
+    dataset_transfers: usize,
+}
+
+impl Expected {
+    fn of(report: &LiveReport) -> Expected {
+        Expected {
+            activities: report
+                .detection
+                .confirmed
+                .iter()
+                .map(|a| (a.nft(), a.accounts().to_vec(), a.candidate.volume))
+                .collect(),
+            watermark: report.watermark,
+            dataset_transfers: report.dataset_transfers,
+        }
+    }
+
+    /// All currently confirmed NFTs, ascending (what `SuspectsSince(0)`
+    /// must return).
+    fn suspects(&self) -> Vec<NftId> {
+        let mut nfts: Vec<NftId> = self.activities.iter().map(|(nft, _, _)| *nft).collect();
+        nfts.sort_unstable();
+        nfts.dedup();
+        nfts
+    }
+
+    /// The pre-index `top_movers` aggregation.
+    fn top_movers(&self, n: usize) -> Vec<(NftId, Wei)> {
+        let mut volume_by_nft: BTreeMap<NftId, Wei> = BTreeMap::new();
+        for (nft, _, volume) in &self.activities {
+            *volume_by_nft.entry(*nft).or_insert(Wei::ZERO) += *volume;
+        }
+        let mut ranked: Vec<(NftId, Wei)> = volume_by_nft.into_iter().collect();
+        ranked.sort_by_key(|(nft, volume)| (std::cmp::Reverse(*volume), *nft));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// The dossier one account's query must come back with, recomputed by a
+    /// plain scan over the epoch's activities.
+    fn dossier(&self, account: Address) -> Option<AccountDossier> {
+        let mine: Vec<&(NftId, Vec<Address>, Wei)> =
+            self.activities.iter().filter(|(_, accounts, _)| accounts.contains(&account)).collect();
+        if mine.is_empty() {
+            return None;
+        }
+        let mut nfts: Vec<NftId> = mine.iter().map(|(nft, _, _)| *nft).collect();
+        nfts.sort_unstable();
+        nfts.dedup();
+        let mut collaborators: Vec<Address> = mine
+            .iter()
+            .flat_map(|(_, accounts, _)| accounts.iter().copied())
+            .filter(|&a| a != account)
+            .collect();
+        collaborators.sort_unstable();
+        collaborators.dedup();
+        Some(AccountDossier {
+            account,
+            activities: mine.len(),
+            nfts,
+            wash_volume: mine.iter().map(|(_, _, volume)| *volume).sum(),
+            collaborators,
+        })
+    }
+
+    /// Per-collection `(activities, suspect NFTs)` counts.
+    fn collection_counts(&self) -> BTreeMap<Address, (usize, usize)> {
+        let mut per_collection: BTreeMap<Address, (usize, std::collections::BTreeSet<NftId>)> =
+            BTreeMap::new();
+        for (nft, _, _) in &self.activities {
+            let entry = per_collection.entry(nft.contract).or_default();
+            entry.0 += 1;
+            entry.1.insert(*nft);
+        }
+        per_collection
+            .into_iter()
+            .map(|(contract, (activities, nfts))| (contract, (activities, nfts.len())))
+            .collect()
+    }
+}
+
+/// Check one served response against the reference state of the epoch it
+/// claims to come from. Panics (inside the proptest case) on any mismatch.
+fn verify(epoch: u64, query: &Query, response: &Response, expected: &Expected, context: &str) {
+    match (query, response) {
+        (Query::Stats, Response::Stats(stats)) => {
+            assert_eq!(stats.epoch, epoch, "stats epoch tag ({context})");
+            assert_eq!(stats.watermark, expected.watermark, "watermark ({context})");
+            assert_eq!(
+                stats.confirmed_activities,
+                expected.activities.len(),
+                "confirmed count ({context})"
+            );
+            assert_eq!(stats.suspect_nfts, expected.suspects().len(), "suspect NFTs ({context})");
+            assert_eq!(
+                stats.wash_volume,
+                expected.activities.iter().map(|(_, _, volume)| *volume).sum::<Wei>(),
+                "wash volume ({context})"
+            );
+            assert_eq!(
+                stats.dataset_transfers, expected.dataset_transfers,
+                "transfer count ({context})"
+            );
+        }
+        (Query::SuspectsSince(block), Response::Suspects(suspects)) => {
+            assert_eq!(block.0, 0, "the mix only issues the all-time window");
+            assert_eq!(suspects, &expected.suspects(), "suspect set ({context})");
+        }
+        (Query::TopMovers(n), Response::TopMovers(movers)) => {
+            assert_eq!(movers, &expected.top_movers(*n), "top movers ({context})");
+        }
+        (Query::Account(account), Response::Account(dossier)) => {
+            assert_eq!(dossier, &expected.dossier(*account), "dossier ({context})");
+        }
+        (Query::TopCollections(_), Response::Collections(collections)) => {
+            let counts = expected.collection_counts();
+            assert_eq!(collections.len(), counts.len(), "collection count ({context})");
+            for rollup in collections {
+                let (activities, suspect_nfts) =
+                    counts.get(&rollup.collection).unwrap_or_else(|| {
+                        panic!("unexpected collection {:?} ({context})", rollup.collection)
+                    });
+                assert_eq!(rollup.activities, *activities, "rollup activities ({context})");
+                assert_eq!(rollup.suspect_nfts, *suspect_nfts, "rollup NFTs ({context})");
+            }
+            assert!(
+                collections.windows(2).all(|w| w[0].volume_usd >= w[1].volume_usd),
+                "rollups ranked by volume ({context})"
+            );
+        }
+        (query, response) => {
+            panic!("response shape does not match query: {query:?} → {response:?} ({context})")
+        }
+    }
+}
+
+/// A world with every pipeline ingredient, small enough for 96 threaded
+/// cases.
+fn tiny_config(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        start: Timestamp::from_secs(1_609_459_200),
+        duration_days: 80,
+        collections: 4,
+        non_compliant_collections: 1,
+        erc1155_collections: 1,
+        dex_position_nfts: 2,
+        legit_traders: 12,
+        legit_sales: 30,
+        zero_volume_shuffles: 2,
+        wash_activities: 10,
+        serial_trader_fraction: 0.3,
+        gas_price_gwei: 40,
+    }
+}
+
+proptest::proptest! {
+    #[test]
+    fn concurrent_readers_always_observe_one_published_epoch(
+        seed in 0u64..1_000,
+        reader_threads in 1usize..4,
+        budgets in proptest::collection::vec(1u64..120, 1..6),
+    ) {
+        let world = World::generate(tiny_config(seed)).expect("world");
+        let input = AnalysisInput {
+            chain: &world.chain,
+            labels: &world.labels,
+            directory: &world.directory,
+            oracle: &world.oracle,
+        };
+
+        let mut analyzer =
+            StreamAnalyzer::new(input, StreamOptions::single_threaded());
+        let service = QueryService::new(analyzer.publisher());
+
+        // Reference state per published epoch; epoch 0 is the empty
+        // snapshot a fresh publisher holds.
+        let expectations: Mutex<BTreeMap<u64, Expected>> =
+            Mutex::new([(0u64, Expected::default())].into_iter().collect());
+        let samples: Mutex<Vec<(u64, Query, Response)>> = Mutex::new(Vec::new());
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            // Writer: ingest every epoch, recording the reference state the
+            // just-published snapshot must serve. Readers may race ahead of
+            // the recording — samples are verified after the join, when the
+            // map is complete.
+            scope.spawn(|| {
+                let mut cycle = budgets.iter().cycle();
+                while let Some(delta) =
+                    analyzer.ingest_epoch(*cycle.next().expect("non-empty budgets"))
+                {
+                    let epoch = delta.index as u64 + 1;
+                    expectations
+                        .lock()
+                        .expect("expectations lock")
+                        .insert(epoch, Expected::of(analyzer.report()));
+                }
+                done.store(true, Ordering::Release);
+            });
+
+            // Readers: hammer the typed query mix through the shared service
+            // (and its cache) while ingestion runs, collecting epoch-tagged
+            // responses.
+            for reader in 0..reader_threads {
+                let service = service.clone();
+                let samples = &samples;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut round = reader;
+                    loop {
+                        let finishing = done.load(Ordering::Acquire);
+                        // Soft cap mid-ingestion so sample memory stays
+                        // bounded; the pass after the writer finished always
+                        // runs, so the final epoch is sampled.
+                        if local.len() < 600 || finishing {
+                            let snapshot = service.snapshot();
+                            let account = snapshot
+                                .accounts()
+                                .get(round % snapshot.accounts().len().max(1))
+                                .copied()
+                                .unwrap_or(Address::NULL);
+                            let mix = [
+                                Query::Stats,
+                                Query::SuspectsSince(BlockNumber(0)),
+                                Query::TopMovers(1 + round % 7),
+                                Query::Account(account),
+                                Query::TopCollections(usize::MAX),
+                            ];
+                            for query in mix {
+                                let served = service.query(&query);
+                                local.push((served.epoch, query, served.response));
+                            }
+                            round += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        if finishing {
+                            break;
+                        }
+                    }
+                    samples.lock().expect("samples lock").extend(local);
+                });
+            }
+        });
+
+        let expectations = expectations.into_inner().expect("expectations lock");
+        let samples = samples.into_inner().expect("samples lock");
+        proptest::prop_assert!(!samples.is_empty(), "readers must have sampled something");
+        for (epoch, query, response) in &samples {
+            let expected = expectations.get(epoch).unwrap_or_else(|| {
+                panic!("response claims never-published epoch {epoch} (seed {seed})")
+            });
+            let context = format!(
+                "seed {seed}, readers {reader_threads}, budgets {budgets:?}, epoch {epoch}"
+            );
+            verify(*epoch, query, response, expected, &context);
+        }
+
+        // The final epoch must have been observed at least once (the
+        // post-completion pass guarantees it), so the loop above genuinely
+        // covered the converged state.
+        let last_epoch = *expectations.keys().next_back().expect("at least epoch 0");
+        proptest::prop_assert!(
+            samples.iter().any(|(epoch, _, _)| *epoch == last_epoch),
+            "no sample observed the final epoch {} (seed {})",
+            last_epoch,
+            seed
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Batch/stream parity of the serving layer: a [`Snapshot`] built from a
+//! finished batch `AnalysisReport` equals the snapshot the streaming
+//! analyzer publishes over the same chain — exactly (when the stream covers
+//! the chain in one epoch, so confirmation blocks coincide) and on every
+//! confirmation-block-independent index (at any epoch slicing).
+
+use nft_wash_study::washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions};
+use nft_wash_study::washtrade_serve::{Snapshot, SnapshotMeta};
+use nft_wash_study::washtrade_stream::{StreamAnalyzer, StreamOptions};
+use nft_wash_study::workload::{WorkloadConfig, World};
+
+fn input_of(world: &World) -> AnalysisInput<'_> {
+    AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    }
+}
+
+#[test]
+fn batch_snapshot_equals_single_epoch_stream_snapshot() {
+    let world = World::generate(WorkloadConfig::small(2024)).expect("world");
+    let input = input_of(&world);
+
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    let epochs = live.run_to_tip(u64::MAX);
+    assert_eq!(epochs, 1, "one budgetless epoch covers the whole chain");
+    let streamed = live.snapshot();
+    assert!(streamed.stats().confirmed_activities > 0, "world must contain detections");
+
+    let report = analyze_with(input, AnalysisOptions::default());
+    let batched = Snapshot::from_report(
+        &report,
+        &world.directory,
+        &world.oracle,
+        SnapshotMeta { epoch: 1, watermark: streamed.watermark() },
+    );
+
+    // Full content equality: every index, rollup, counter and float.
+    assert_eq!(batched, streamed);
+}
+
+#[test]
+fn batch_snapshot_matches_multi_epoch_stream_on_every_block_free_index() {
+    let world = World::generate(WorkloadConfig::small(7)).expect("world");
+    let input = input_of(&world);
+
+    let plan = world.epoch_plan(5);
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    for budget in plan.budgets() {
+        live.ingest_epoch(budget).expect("plan budgets cover the chain");
+    }
+    assert!(live.is_caught_up());
+    let streamed = live.snapshot();
+    assert!(streamed.epoch() >= 2, "the plan must slice the chain into several epochs");
+
+    let report = analyze_with(input, AnalysisOptions::default());
+    let batched = Snapshot::from_report(
+        &report,
+        &world.directory,
+        &world.oracle,
+        SnapshotMeta { epoch: streamed.epoch(), watermark: streamed.watermark() },
+    );
+
+    // Confirmation blocks depend on the epoch slicing, so the suspect log
+    // differs; everything derived from the analysis state alone must agree.
+    assert_eq!(batched.activities(), streamed.activities());
+    assert_eq!(batched.accounts(), streamed.accounts());
+    assert_eq!(batched.collections(), streamed.collections());
+    assert_eq!(batched.marketplaces(), streamed.marketplaces());
+    assert_eq!(batched.top_movers(usize::MAX), streamed.top_movers(usize::MAX));
+    assert_eq!(
+        batched.suspects_since(ethsim::BlockNumber(0)),
+        streamed.suspects_since(ethsim::BlockNumber(0)),
+        "the all-time suspect set is slicing-independent"
+    );
+    for account in streamed.accounts() {
+        assert_eq!(batched.dossier(*account), streamed.dossier(*account));
+    }
+    let (b, s) = (batched.stats(), streamed.stats());
+    assert_eq!(
+        (b.confirmed_activities, b.suspect_nfts, b.involved_accounts, b.wash_volume),
+        (s.confirmed_activities, s.suspect_nfts, s.involved_accounts, s.wash_volume)
+    );
+    assert_eq!(b.wash_volume_usd, s.wash_volume_usd, "float totals are bit-identical");
+    assert_eq!(b.wash_volume_eth, s.wash_volume_eth);
+    assert_eq!((b.dataset_nfts, b.dataset_transfers), (s.dataset_nfts, s.dataset_transfers));
+
+    // Per-NFT summaries agree on everything but the confirmation block.
+    for streamed_summary in streamed.suspects() {
+        let batched_summary = batched.suspect(streamed_summary.nft).expect("same suspect set");
+        assert_eq!(batched_summary.activities, streamed_summary.activities);
+        assert_eq!(batched_summary.volume, streamed_summary.volume);
+        assert!(streamed_summary.confirmed_at < streamed.watermark());
+    }
+}
+
+#[test]
+fn analyzer_generations_continue_the_publishers_epoch_numbering() {
+    // Re-ingesting through a shared publisher must never reuse an epoch
+    // number: a `(epoch, query)` cache key from generation one may not
+    // collide with generation two's snapshots.
+    let world = World::generate(WorkloadConfig::small(5)).expect("world");
+    let input = input_of(&world);
+
+    let mut first = StreamAnalyzer::new(input, StreamOptions::default());
+    first.run_to_tip(150);
+    let publisher = first.publisher();
+    let first_epoch = publisher.epoch();
+    assert!(first_epoch >= 2, "expected a multi-epoch first generation");
+
+    let mut second = StreamAnalyzer::with_publisher(input, StreamOptions::default(), publisher);
+    assert_eq!(
+        second.snapshot().epoch(),
+        first_epoch,
+        "the inherited snapshot keeps serving until the new generation publishes"
+    );
+    second.ingest_epoch(150).expect("chain has blocks");
+    assert_eq!(
+        second.snapshot().epoch(),
+        first_epoch + 1,
+        "generation two's first epoch numbers above generation one's last"
+    );
+    second.run_to_tip(150);
+    assert!(second.snapshot().epoch() > first_epoch + 1);
+}
+
+#[test]
+fn marketplace_rollups_mirror_the_characterization_table() {
+    // The served marketplace rollups are the Table II rows: same grouping,
+    // same floats, same order as `Characterization::per_marketplace`.
+    let world = World::generate(WorkloadConfig::small(11)).expect("world");
+    let input = input_of(&world);
+    let report = analyze_with(input, AnalysisOptions::default());
+    let snapshot = Snapshot::from_report(
+        &report,
+        &world.directory,
+        &world.oracle,
+        SnapshotMeta { epoch: 1, watermark: ethsim::BlockNumber(0) },
+    );
+    assert_eq!(snapshot.marketplaces(), &report.characterization.per_marketplace[..]);
+    assert_eq!(snapshot.stats().wash_volume_usd, report.characterization.total_volume_usd);
+    assert_eq!(snapshot.stats().wash_volume_eth, report.characterization.total_volume_eth);
+}
