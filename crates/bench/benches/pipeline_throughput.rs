@@ -41,10 +41,24 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
 }
 
 /// One measured pass at the standard experiments scale, recorded into the
-/// `columnar` section of `BENCH_results.json`.
+/// `columnar` section of `BENCH_results.json`, plus one at the large sweep
+/// scale (`columnar_large`) so future PRs inherit a scale baseline beyond
+/// the small worlds.
 fn record_results() {
     // The same workload the PR-2 baseline was captured on.
-    let world = bench_suite::build_world(0.02, 7);
+    record_world(bench_suite::build_world(0.02, 7), "paper_scaled(7, 0.02)", "columnar", true);
+    record_world(
+        bench_suite::build_sized_world(workload::WorldScale::Large),
+        "large",
+        "columnar_large",
+        false,
+    );
+}
+
+/// Measure one world's staged pipeline and merge it under `section`;
+/// `with_pr2` attaches the recorded PR-2 stage baselines (only meaningful on
+/// the world they were captured on).
+fn record_world(world: workload::World, world_label: &str, section_name: &str, with_pr2: bool) {
     let input = bench_suite::input_of(&world);
 
     let started = Instant::now();
@@ -62,21 +76,23 @@ fn record_results() {
         let mut stage = Json::object();
         stage.set("stage", Json::Str(metrics.stage.clone()));
         stage.set("wall_time_ns", Json::Int(metrics.wall_time_ns as i64));
-        if let Some((_, baseline_ns)) =
-            pr2_baseline::STAGES_NS.iter().find(|(name, _)| *name == metrics.stage)
-        {
-            stage.set("baseline_pr2_ns", Json::Int(*baseline_ns as i64));
-            stage.set(
-                "speedup_vs_pr2",
-                Json::Float(*baseline_ns as f64 / metrics.wall_time_ns.max(1) as f64),
-            );
+        if with_pr2 {
+            if let Some((_, baseline_ns)) =
+                pr2_baseline::STAGES_NS.iter().find(|(name, _)| *name == metrics.stage)
+            {
+                stage.set("baseline_pr2_ns", Json::Int(*baseline_ns as i64));
+                stage.set(
+                    "speedup_vs_pr2",
+                    Json::Float(*baseline_ns as f64 / metrics.wall_time_ns.max(1) as f64),
+                );
+            }
         }
         stages.push(stage);
     }
     let stage_total_ns: u64 = report.stage_metrics.iter().map(|m| m.wall_time_ns).sum();
 
     let mut section = Json::object();
-    section.set("world", Json::Str("paper_scaled(7, 0.02)".to_string()));
+    section.set("world", Json::Str(world_label.to_string()));
     section.set("transfers", Json::Int(transfers as i64));
     section.set("end_to_end_ns", Json::Int(end_to_end_ns as i64));
     section.set("stage_total_ns", Json::Int(stage_total_ns as i64));
@@ -89,16 +105,18 @@ fn record_results() {
         "resident_bytes_per_transfer",
         Json::Float(resident_bytes as f64 / transfers.max(1) as f64),
     );
-    section.set("baseline_pr2_end_to_end_ns", Json::Int(pr2_baseline::END_TO_END_NS as i64));
-    section.set(
-        "speedup_vs_pr2_end_to_end",
-        Json::Float(pr2_baseline::END_TO_END_NS as f64 / stage_total_ns.max(1) as f64),
-    );
+    if with_pr2 {
+        section.set("baseline_pr2_end_to_end_ns", Json::Int(pr2_baseline::END_TO_END_NS as i64));
+        section.set(
+            "speedup_vs_pr2_end_to_end",
+            Json::Float(pr2_baseline::END_TO_END_NS as f64 / stage_total_ns.max(1) as f64),
+        );
+    }
     section.set("stages", Json::Arr(stages));
 
     let path = results_path();
-    merge_section(&path, "columnar", section).expect("write BENCH_results.json");
-    println!("columnar pipeline numbers recorded in {}", path.display());
+    merge_section(&path, section_name, section).expect("write BENCH_results.json");
+    println!("{section_name} pipeline numbers recorded in {}", path.display());
 }
 
 criterion_group! {

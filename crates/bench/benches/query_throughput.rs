@@ -200,10 +200,20 @@ fn bench_query_latency(c: &mut Criterion) {
     group.finish();
 }
 
-/// The measured pass on the standard experiments workload, recorded into the
-/// `serving` section of `BENCH_results.json`.
+/// The measured pass on the standard experiments workload (`serving`
+/// section), plus one at the large sweep scale (`serving_large`) so future
+/// PRs have a scale baseline, recorded into `BENCH_results.json`.
 fn record_results() {
-    let world = bench_suite::build_world(0.02, 7);
+    record_world(bench_suite::build_world(0.02, 7), "paper_scaled(7, 0.02)", "serving", 50_000);
+    record_world(
+        bench_suite::build_sized_world(workload::WorldScale::Large),
+        "large",
+        "serving_large",
+        20_000,
+    );
+}
+
+fn record_world(world: workload::World, world_label: &str, section_name: &str, per_thread: usize) {
     let input = input_of(&world);
     let budgets = world.epoch_plan(8).budgets();
 
@@ -218,7 +228,6 @@ fn record_results() {
         "the serving bench needs a world with detections"
     );
 
-    let per_thread = 50_000;
     let mut runs = Vec::new();
     let mut peak_qps = 0.0f64;
     for reader_threads in [1usize, 2, 4] {
@@ -244,7 +253,7 @@ fn record_results() {
     );
 
     let mut section = Json::object();
-    section.set("world", Json::Str("paper_scaled(7, 0.02)".to_string()));
+    section.set("world", Json::Str(world_label.to_string()));
     section.set("query_mix_size", Json::Int(mix.len() as i64));
     section.set("ingestion_concurrent", Json::Bool(true));
     section.set(
@@ -271,8 +280,8 @@ fn record_results() {
     section.set("cached_speedup", Json::Float(cached_speedup));
 
     let path = results_path();
-    merge_section(&path, "serving", section).expect("write BENCH_results.json");
-    println!("serving numbers recorded in {}", path.display());
+    merge_section(&path, section_name, section).expect("write BENCH_results.json");
+    println!("{section_name} numbers recorded in {}", path.display());
 }
 
 criterion_group! {

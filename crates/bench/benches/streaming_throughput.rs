@@ -37,11 +37,22 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-/// One measured streaming pass, recorded into `BENCH_results.json`.
+/// One measured streaming pass on the small test world, plus one at the
+/// large sweep scale (`bench_streaming_large`) so future PRs have a scale
+/// baseline, recorded into `BENCH_results.json`.
 fn record_results() {
-    let world = bench_suite::build_small_world(1);
+    record_world(bench_suite::build_small_world(1), "small(1)", "bench_streaming", 6);
+    record_world(
+        bench_suite::build_sized_world(workload::WorldScale::Large),
+        "large",
+        "bench_streaming_large",
+        12,
+    );
+}
+
+fn record_world(world: workload::World, world_label: &str, section_name: &str, epochs: usize) {
     let input = input_of(&world);
-    let plan = world.epoch_plan(6);
+    let plan = world.epoch_plan(epochs);
 
     let started = Instant::now();
     let mut live = StreamAnalyzer::new(input, StreamOptions::default());
@@ -63,7 +74,7 @@ fn record_results() {
 
     let blocks = world.chain.current_block_number().0 + 1;
     let mut section = Json::object();
-    section.set("world", Json::Str("small(1)".to_string()));
+    section.set("world", Json::Str(world_label.to_string()));
     section.set("epochs", Json::Int(epoch_ns.len() as i64));
     section.set("blocks", Json::Int(blocks as i64));
     section.set("stream_total_ns", Json::Int(stream_ns));
@@ -79,8 +90,8 @@ fn record_results() {
     section.set("full_reanalyze_ns", Json::Int(batch_ns));
 
     let path = results_path();
-    merge_section(&path, "bench_streaming", section).expect("write BENCH_results.json");
-    println!("streaming numbers recorded in {}", path.display());
+    merge_section(&path, section_name, section).expect("write BENCH_results.json");
+    println!("{section_name} numbers recorded in {}", path.display());
 }
 
 criterion_group! {

@@ -1,0 +1,164 @@
+//! Print the perf trajectory recorded in `BENCH_results.json` as readable
+//! tables — the non-gating summary step CI runs after the benches, so the
+//! stage and ingest speedups are visible in the job log without downloading
+//! the artifact.
+//!
+//! Reads the results file from `$BENCH_RESULTS_PATH` or the workspace root
+//! (the same resolution every producer uses); missing sections are reported,
+//! not fatal — the summary never fails the job.
+
+use bench_suite::json::{parse, Json};
+use bench_suite::results::results_path;
+
+fn float_of(value: Option<&Json>) -> Option<f64> {
+    match value {
+        Some(Json::Float(f)) => Some(*f),
+        Some(Json::Int(i)) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn int_of(value: Option<&Json>) -> Option<i64> {
+    match value {
+        Some(Json::Int(i)) => Some(*i),
+        Some(Json::Float(f)) => Some(*f as i64),
+        _ => None,
+    }
+}
+
+fn str_of(value: Option<&Json>) -> Option<&str> {
+    match value {
+        Some(Json::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn ms(ns: i64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn print_stage_table(root: &Json) {
+    let Some(columnar) = root.get("columnar") else {
+        println!(
+            "(no `columnar` section — run `cargo bench -p bench --bench pipeline_throughput`)"
+        );
+        return;
+    };
+    println!("pipeline stages ({}):", str_of(columnar.get("world")).unwrap_or("?"));
+    println!("  {:<16} {:>12} {:>14} {:>10}", "stage", "wall ms", "pr2 base ms", "speedup");
+    if let Some(Json::Arr(stages)) = columnar.get("stages") {
+        for stage in stages {
+            let name = str_of(stage.get("stage")).unwrap_or("?");
+            let wall = int_of(stage.get("wall_time_ns")).unwrap_or(0);
+            let base = int_of(stage.get("baseline_pr2_ns"));
+            let speedup = float_of(stage.get("speedup_vs_pr2"));
+            match (base, speedup) {
+                (Some(base), Some(speedup)) => println!(
+                    "  {:<16} {:>12.3} {:>14.3} {:>9.2}x",
+                    name,
+                    ms(wall),
+                    ms(base),
+                    speedup
+                ),
+                _ => println!("  {:<16} {:>12.3}", name, ms(wall)),
+            }
+        }
+    }
+    if let Some(speedup) = float_of(columnar.get("speedup_vs_pr2_end_to_end")) {
+        println!("  end-to-end speedup vs PR-2: {speedup:.2}x");
+    }
+}
+
+fn print_ingest_table(root: &Json) {
+    let Some(ingest) = root.get("ingest") else {
+        println!("(no `ingest` section — run `cargo bench -p bench --bench ingest_throughput`)");
+        return;
+    };
+    let host = int_of(ingest.get("host_threads")).unwrap_or(0);
+    println!("ingest scale sweep (two-phase decode→commit, host threads: {host}):");
+    println!(
+        "  {:<8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "scale", "transfers", "threads", "wall ms", "decode ms", "commit ms", "vs PR-4", "vs mat."
+    );
+    if let Some(Json::Arr(worlds)) = ingest.get("worlds") {
+        for world in worlds {
+            let scale = str_of(world.get("scale")).unwrap_or("?");
+            let transfers = int_of(world.get("transfers")).unwrap_or(0);
+            if let Some(Json::Arr(runs)) = world.get("runs") {
+                for run in runs {
+                    println!(
+                        "  {:<8} {:>10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>8.2}x",
+                        scale,
+                        transfers,
+                        int_of(run.get("threads")).unwrap_or(0),
+                        ms(int_of(run.get("wall_ns")).unwrap_or(0)),
+                        ms(int_of(run.get("decode_ns")).unwrap_or(0)),
+                        ms(int_of(run.get("commit_ns")).unwrap_or(0)),
+                        float_of(run.get("speedup_vs_pr4")).unwrap_or(0.0),
+                        float_of(run.get("speedup_vs_materializing")).unwrap_or(0.0),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(headline) = float_of(ingest.get("build_dataset_speedup_large_8_threads")) {
+        println!("  build_dataset speedup, large world @ 8 threads vs PR-4: {headline:.2}x");
+    }
+}
+
+fn print_scale_baselines(root: &Json) {
+    for (section, label) in [
+        ("columnar_large", "pipeline (large world)"),
+        ("bench_streaming_large", "streaming (large world)"),
+        ("serving_large", "serving (large world)"),
+    ] {
+        let Some(value) = root.get(section) else {
+            continue;
+        };
+        match section {
+            "columnar_large" => {
+                if let (Some(end), Some(tps)) =
+                    (int_of(value.get("end_to_end_ns")), float_of(value.get("transfers_per_sec")))
+                {
+                    println!("{label}: end-to-end {:.1} ms, {:.0} transfers/sec", ms(end), tps);
+                }
+            }
+            "bench_streaming_large" => {
+                if let (Some(total), Some(bps)) =
+                    (int_of(value.get("stream_total_ns")), float_of(value.get("blocks_per_sec")))
+                {
+                    println!("{label}: full pass {:.1} ms, {:.0} blocks/sec", ms(total), bps);
+                }
+            }
+            _ => {
+                if let Some(qps) = float_of(value.get("peak_qps")) {
+                    println!("{label}: peak {qps:.0} qps");
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let path = results_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => {
+            println!("no results file at {} ({error}); nothing to summarize", path.display());
+            return;
+        }
+    };
+    let root = match parse(&text) {
+        Ok(root) => root,
+        Err(error) => {
+            println!("could not parse {}: {error}", path.display());
+            return;
+        }
+    };
+    println!("== perf summary ({}) ==", path.display());
+    print_stage_table(&root);
+    println!();
+    print_ingest_table(&root);
+    println!();
+    print_scale_baselines(&root);
+}

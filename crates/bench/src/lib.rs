@@ -6,8 +6,9 @@
 pub mod json;
 pub mod results;
 
+use washtrade::dataset::{Dataset, NftTransfer};
 use washtrade::pipeline::{analyze, AnalysisInput, AnalysisReport};
-use workload::{WorkloadConfig, World};
+use workload::{WorkloadConfig, World, WorldScale};
 
 /// Build a world at one of the standard experiment scales.
 ///
@@ -21,6 +22,116 @@ pub fn build_world(scale: f64, seed: u64) -> World {
 /// Build the small test-sized world used by the cheaper benchmarks.
 pub fn build_small_world(seed: u64) -> World {
     World::generate(WorkloadConfig::small(seed)).expect("world generation succeeds")
+}
+
+/// The standard seed every scale-sweep world uses, so numbers recorded at
+/// different times (and the [`pr4_baseline`] constants) describe the same
+/// chains.
+pub const SWEEP_SEED: u64 = 7;
+
+/// Build one of the three standard sweep worlds ([`WorldScale`]) at the
+/// standard seed.
+pub fn build_sized_world(scale: WorldScale) -> World {
+    World::generate(scale.config(SWEEP_SEED)).expect("world generation succeeds")
+}
+
+/// The serial, materializing ingest path as it shipped before the two-phase
+/// sharded pipeline: `chain.logs` clones every matching log into a
+/// `Vec<LogEntry>`, a first pass probes compliance per entry, a second pass
+/// re-looks the transaction up by hash and re-scans its ERC-20 payment logs
+/// for every ERC-721 log it carries.
+///
+/// Kept (in the bench crate only) as the same-binary baseline the
+/// ingest-throughput sweep measures against; `sweeps_match_the_sharded_path`
+/// pins it bit-identical to the production path.
+pub mod legacy {
+    use super::*;
+    use ethsim::{Chain, Wei};
+    use marketplace::MarketplaceDirectory;
+    use tokens::NftId;
+
+    /// Build a dataset through the pre-sharding ingest path.
+    pub fn materializing_ingest(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
+        let entries = chain.logs(&Dataset::transfer_filter());
+        let mut dataset = Dataset::default();
+        dataset.raw_transfer_events += entries.len();
+        for entry in &entries {
+            let contract = entry.log.address;
+            if dataset.compliant_contracts.contains(&contract)
+                || dataset.non_compliant_contracts.contains(&contract)
+            {
+                continue;
+            }
+            let supports = chain
+                .code_at(contract)
+                .map(tokens::compliance::supports_erc721_interface)
+                .unwrap_or(false);
+            if supports {
+                dataset.compliant_contracts.insert(contract);
+            } else {
+                dataset.non_compliant_contracts.insert(contract);
+            }
+        }
+        for entry in &entries {
+            let Some(decoded) = entry.log.decode_erc721_transfer() else {
+                continue;
+            };
+            if !dataset.compliant_contracts.contains(&decoded.contract) {
+                continue;
+            }
+            let tx = chain.transaction(entry.tx_hash).expect("log entries have transactions");
+            let price = if !tx.value.is_zero() {
+                tx.value
+            } else {
+                let erc20_paid: u128 = tx
+                    .logs
+                    .iter()
+                    .filter_map(|log| log.decode_erc20_transfer())
+                    .filter(|t| t.from == decoded.to)
+                    .map(|t| t.amount)
+                    .sum();
+                Wei::new(erc20_paid)
+            };
+            let marketplace = tx.to.filter(|to| directory.by_contract(*to).is_some());
+            dataset.push_transfer(&NftTransfer {
+                nft: NftId::new(decoded.contract, decoded.token_id),
+                from: decoded.from,
+                to: decoded.to,
+                tx_hash: entry.tx_hash,
+                block: entry.block,
+                timestamp: entry.timestamp,
+                price,
+                marketplace,
+            });
+        }
+        dataset
+    }
+}
+
+/// The `build_dataset` stage of the PR-4 binary (the commit immediately
+/// before the two-phase sharded ingest landed), measured on the single-core
+/// reference machine over the exact sweep worlds ([`WorldScale`] × seed
+/// [`SWEEP_SEED`]) right before this PR's changes — the cross-PR trajectory
+/// baseline the ingest bench reports speedups against, following the
+/// [`pr2_baseline`] convention. (The [`legacy`] path is the complementary
+/// *same-binary* baseline: the old algorithm recompiled against the current
+/// substrate, so both algorithm-level and end-state speedups stay visible.)
+pub mod pr4_baseline {
+    /// `(scale label, build_dataset wall ns, compliant transfers)` per sweep
+    /// world.
+    pub const BUILD_DATASET_NS: [(&str, u64, u64); 3] = [
+        ("small", 4_237_411, 4_352),
+        ("medium", 23_617_846, 17_819),
+        ("large", 57_541_310, 40_151),
+    ];
+
+    /// The recorded baseline for one scale label.
+    pub fn for_scale(label: &str) -> Option<(u64, u64)> {
+        BUILD_DATASET_NS
+            .iter()
+            .find(|(scale, _, _)| *scale == label)
+            .map(|(_, ns, transfers)| (*ns, *transfers))
+    }
 }
 
 /// The [`AnalysisInput`] view of a world — one place to keep the field
@@ -135,5 +246,25 @@ mod tests {
     #[test]
     fn paper_venn_buckets_sum_to_total() {
         assert_eq!(paper::VENN_BUCKETS.iter().sum::<usize>(), paper::VENN_TOTAL);
+    }
+
+    #[test]
+    fn legacy_ingest_matches_the_sharded_path() {
+        let world = build_small_world(9);
+        let baseline = legacy::materializing_ingest(&world.chain, &world.directory);
+        let sharded = Dataset::build_with(
+            &world.chain,
+            &world.directory,
+            &washtrade::parallel::Executor::new(4),
+        );
+        assert_eq!(baseline, sharded, "legacy baseline drifted from the production ingest");
+    }
+
+    #[test]
+    fn pr4_baseline_covers_every_sweep_scale() {
+        for scale in WorldScale::ALL {
+            assert!(pr4_baseline::for_scale(scale.label()).is_some(), "{:?}", scale);
+        }
+        assert!(pr4_baseline::for_scale("galactic").is_none());
     }
 }

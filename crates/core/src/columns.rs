@@ -87,6 +87,20 @@ impl TransferColumns {
         self.nft.is_empty()
     }
 
+    /// Reserve room for `additional` more transfers across every column —
+    /// the commit phase calls this once per ingested batch, since the decode
+    /// phase already knows exactly how many rows are coming.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nft.reserve(additional);
+        self.from.reserve(additional);
+        self.to.reserve(additional);
+        self.tx_hash.reserve(additional);
+        self.block.reserve(additional);
+        self.timestamp.reserve(additional);
+        self.price.reserve(additional);
+        self.marketplace.reserve(additional);
+    }
+
     /// Append a transfer; returns its row number.
     pub fn push(&mut self, row: TransferRow) -> u32 {
         let index = u32::try_from(self.nft.len()).expect("row space fits u32");

@@ -14,8 +14,7 @@
 //! [`TransferColumns`]. Downstream stages index `Vec`s by the dense ids;
 //! addresses reappear only at the report boundary.
 
-use std::collections::HashSet;
-
+use ethsim::fxhash::FxHashSet;
 use ethsim::{Address, BlockNumber, Chain, LogEntry, LogFilter, Timestamp, TxHash, Wei};
 use ids::{BitSet, Interner, NftKey};
 use marketplace::MarketplaceDirectory;
@@ -24,6 +23,8 @@ use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
 use crate::columns::{TransferColumns, TransferRow};
+use crate::ingest::TxPayment;
+use crate::parallel::Executor;
 
 /// A single ERC-721 transfer in resolved (address-keyed) form: the
 /// compatibility view materialized from [`TransferColumns`] at the report
@@ -73,10 +74,10 @@ pub struct Dataset {
     pub columns: TransferColumns,
     /// Contracts that emitted ERC-721-shaped logs and passed the compliance
     /// probe.
-    pub compliant_contracts: HashSet<Address>,
+    pub compliant_contracts: FxHashSet<Address>,
     /// Contracts that emitted ERC-721-shaped logs but failed the probe; their
     /// transfers are excluded from the columns.
-    pub non_compliant_contracts: HashSet<Address>,
+    pub non_compliant_contracts: FxHashSet<Address>,
     /// Number of raw ERC-721-shaped transfer logs scanned (before the
     /// compliance filter).
     pub raw_transfer_events: usize,
@@ -104,14 +105,31 @@ impl Dataset {
     /// mirroring §III-A: scan transfer events, check compliance, store the
     /// per-NFT transfer lists with price and marketplace annotations.
     ///
-    /// Equivalent to applying every log entry of the chain to an empty
-    /// dataset through [`Dataset::apply_entries`] — the incremental entry
-    /// point the streaming subsystem feeds epoch by epoch. Both paths intern
-    /// through the same seam, so id assignment is identical.
+    /// Runs the two-phase ingest pipeline ([`Dataset::ingest_blocks`]) on a
+    /// single thread. Equivalent to applying every log entry of the chain to
+    /// an empty dataset through [`Dataset::apply_entries`] — the
+    /// arbitrary-slice incremental entry point — and bit-identical to
+    /// [`Dataset::build_with`] at any thread count: every path interns
+    /// through the same [`Dataset::push_transfer`] seam in execution order.
     pub fn build(chain: &Chain, directory: &MarketplaceDirectory) -> Dataset {
-        let entries = chain.logs(&Self::transfer_filter());
+        Self::build_with(chain, directory, &Executor::new(1))
+    }
+
+    /// [`Dataset::build`] with an explicit thread budget for the parallel
+    /// decode phase. The result is bit-identical at any thread count.
+    pub fn build_with(
+        chain: &Chain,
+        directory: &MarketplaceDirectory,
+        executor: &Executor,
+    ) -> Dataset {
         let mut dataset = Dataset::default();
-        dataset.apply_entries(chain, directory, &entries);
+        dataset.ingest_blocks(
+            chain,
+            directory,
+            BlockNumber(0),
+            chain.current_block_number(),
+            executor,
+        );
         dataset
     }
 
@@ -152,28 +170,18 @@ impl Dataset {
     ) -> AppliedEntries {
         self.raw_transfer_events += entries.len();
 
-        // Compliance check per emitting contract (§III-A "ERC-721 compliance"):
-        // the structural equivalent of calling supportsInterface(0x80ac58cd).
+        // Compliance check per emitting contract (§III-A "ERC-721 compliance").
         // Verdicts are cached across calls, so each contract is probed once.
         for entry in entries {
-            let contract = entry.log.address;
-            if self.compliant_contracts.contains(&contract)
-                || self.non_compliant_contracts.contains(&contract)
-            {
-                continue;
-            }
-            let supports = chain
-                .code_at(contract)
-                .map(tokens::compliance::supports_erc721_interface)
-                .unwrap_or(false);
-            if supports {
-                self.compliant_contracts.insert(contract);
-            } else {
-                self.non_compliant_contracts.insert(contract);
-            }
+            self.probe_contract(chain, entry.log.address);
         }
 
         let mut applied = AppliedEntries::default();
+        // Entries arrive in execution order, so all logs of one transaction
+        // are consecutive: the transaction lookup, the marketplace
+        // attribution and the ERC-20 payment-log decode are resolved once
+        // per transaction and reused for every ERC-721 log it carries.
+        let mut payment: Option<TxPayment> = None;
         for entry in entries {
             let Some(decoded) = entry.log.decode_erc721_transfer() else {
                 continue;
@@ -181,25 +189,13 @@ impl Dataset {
             if !self.compliant_contracts.contains(&decoded.contract) {
                 continue;
             }
-            let tx = chain
-                .transaction(entry.tx_hash)
-                .expect("log entries reference existing transactions");
-            // Amount paid: the ETH attached to the transaction, or — when the
-            // payment went through an ERC-20 token (e.g. WETH bids) — the sum
-            // the buyer sent in that token's transfer logs.
-            let price = if !tx.value.is_zero() {
-                tx.value
-            } else {
-                let erc20_paid: u128 = tx
-                    .logs
-                    .iter()
-                    .filter_map(|log| log.decode_erc20_transfer())
-                    .filter(|t| t.from == decoded.to)
-                    .map(|t| t.amount)
-                    .sum();
-                Wei::new(erc20_paid)
-            };
-            let marketplace = tx.to.filter(|to| directory.by_contract(*to).is_some());
+            if payment.as_ref().map(|cached| cached.tx_hash) != Some(entry.tx_hash) {
+                let tx = chain
+                    .transaction(entry.tx_hash)
+                    .expect("log entries reference existing transactions");
+                payment = Some(TxPayment::resolve(tx, directory));
+            }
+            let payment = payment.as_ref().expect("payment context resolved above");
             let nft = self.push_transfer(&NftTransfer {
                 nft: NftId::new(decoded.contract, decoded.token_id),
                 from: decoded.from,
@@ -207,8 +203,8 @@ impl Dataset {
                 tx_hash: entry.tx_hash,
                 block: entry.block,
                 timestamp: entry.timestamp,
-                price,
-                marketplace,
+                price: payment.price_paid_by(decoded.to),
+                marketplace: payment.marketplace,
             });
             applied.dirty.push(nft);
             applied.appended += 1;
@@ -235,6 +231,28 @@ impl Dataset {
             );
         }
         applied
+    }
+
+    /// Probe `contract` for ERC-721 compliance — the structural equivalent
+    /// of calling `supportsInterface(0x80ac58cd)` — unless a verdict is
+    /// already cached. The single probe rule every ingest path
+    /// ([`Dataset::apply_entries`] and the sharded commit phase) shares, so
+    /// the verdict sets cannot diverge between them.
+    pub(crate) fn probe_contract(&mut self, chain: &Chain, contract: Address) {
+        if self.compliant_contracts.contains(&contract)
+            || self.non_compliant_contracts.contains(&contract)
+        {
+            return;
+        }
+        let supports = chain
+            .code_at(contract)
+            .map(tokens::compliance::supports_erc721_interface)
+            .unwrap_or(false);
+        if supports {
+            self.compliant_contracts.insert(contract);
+        } else {
+            self.non_compliant_contracts.insert(contract);
+        }
     }
 
     /// Number of distinct NFTs with at least one transfer. (Every interned
@@ -282,7 +300,7 @@ impl Dataset {
     ) -> Vec<MarketplaceVolume> {
         struct Accumulator {
             nfts: BitSet,
-            transactions: HashSet<TxHash>,
+            transactions: FxHashSet<TxHash>,
             volume_eth: f64,
             volume_usd: f64,
         }
@@ -299,7 +317,7 @@ impl Dataset {
                 };
                 let accumulator = per_market[market.index()].get_or_insert_with(|| Accumulator {
                     nfts: BitSet::new(),
-                    transactions: HashSet::new(),
+                    transactions: FxHashSet::default(),
                     volume_eth: 0.0,
                     volume_usd: 0.0,
                 });

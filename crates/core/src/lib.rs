@@ -10,7 +10,10 @@
 //!
 //! 1. [`dataset`] — collect ERC-721 transfer events by log shape, filter
 //!    contracts through the ERC-165 compliance probe, annotate each transfer
-//!    with the amount paid and the marketplace interacted with (§III).
+//!    with the amount paid and the marketplace interacted with (§III). The
+//!    scan runs as a two-phase pipeline ([`ingest`]): parallel block-sharded
+//!    decode, then a serial order-preserving commit that keeps id assignment
+//!    bit-identical at any thread count.
 //! 2. [`txgraph`] — build the per-NFT directed multigraph of sales (§IV-A).
 //! 3. [`refine`] — drop service accounts, contract accounts and zero-volume
 //!    components from the suspicious strongly connected components (§IV-B).
@@ -56,6 +59,7 @@ pub mod characterize;
 pub mod columns;
 pub mod dataset;
 pub mod detect;
+pub mod ingest;
 pub mod parallel;
 pub mod pipeline;
 pub mod profit;
@@ -71,6 +75,7 @@ pub use detect::{
     ConfirmedActivity, DenseActivity, DenseDetectionOutcome, DetectionOutcome, Detector, MethodSet,
     VennCounts,
 };
+pub use ingest::IngestMetrics;
 pub use parallel::Executor;
 pub use pipeline::{
     analyze, analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport, PipelineStage,

@@ -199,8 +199,10 @@ pub trait PipelineStage {
 }
 
 /// §III: collect ERC-721 transfers, apply the compliance probe, intern every
-/// entity and annotate prices and marketplaces. Items: raw transfer logs in,
-/// compliant transfers out.
+/// entity and annotate prices and marketplaces — the two-phase ingest
+/// pipeline (parallel block-sharded decode, serial ordered commit) fanned
+/// out over the shared executor. Items: raw transfer logs in, compliant
+/// transfers out.
 pub struct BuildDataset;
 
 impl PipelineStage for BuildDataset {
@@ -209,11 +211,18 @@ impl PipelineStage for BuildDataset {
     }
 
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
-        let dataset = Dataset::build(ctx.input.chain, ctx.input.directory);
+        let mut dataset = Dataset::default();
+        let (_, metrics) = dataset.ingest_blocks_instrumented(
+            ctx.input.chain,
+            ctx.input.directory,
+            ethsim::BlockNumber(0),
+            ctx.input.chain.current_block_number(),
+            &ctx.executor,
+        );
         let io = StageIo {
             items_in: dataset.raw_transfer_events,
             items_out: dataset.transfer_count(),
-            threads_used: 1,
+            threads_used: metrics.threads,
         };
         ctx.dataset = Some(dataset);
         io

@@ -6,12 +6,12 @@
 //! accounting, assigns hashes/blocks/timestamps, and maintains the indexes
 //! that the `node` query API (the Web3 substitute) exposes.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::account::{Account, AccountKind};
 use crate::block::Block;
+use crate::fxhash::FxHashMap;
+use crate::log::Log;
 use crate::transaction::{Transaction, TxRequest};
 use crate::types::{Address, BlockNumber, Timestamp, TxHash, Wei, B256};
 
@@ -121,34 +121,51 @@ impl LogFilter {
         self
     }
 
-    fn matches(&self, entry: &LogEntry) -> bool {
+    /// Whether a log emitted at `block` matches — the borrow-only form the
+    /// visitor scan uses, so matching never requires a materialized
+    /// [`LogEntry`].
+    #[inline]
+    fn matches_log(&self, block: BlockNumber, log: &Log) -> bool {
+        // Cheapest discriminator first: the topic count is one integer
+        // compare and rejects the bulk of non-matching logs (ERC-20
+        // transfers share ERC-721's topic0 but not its topic count).
+        if let Some(count) = self.topic_count {
+            if log.topics.len() != count {
+                return false;
+            }
+        }
         if let Some(topic0) = self.topic0 {
-            if entry.log.topics.first() != Some(&topic0) {
+            if log.topics.first() != Some(&topic0) {
                 return false;
             }
         }
         if let Some(address) = self.address {
-            if entry.log.address != address {
-                return false;
-            }
-        }
-        if let Some(count) = self.topic_count {
-            if entry.log.topics.len() != count {
+            if log.address != address {
                 return false;
             }
         }
         if let Some(from) = self.from_block {
-            if entry.block < from {
+            if block < from {
                 return false;
             }
         }
         if let Some(to) = self.to_block {
-            if entry.block > to {
+            if block > to {
                 return false;
             }
         }
         true
     }
+}
+
+/// A contiguous, inclusive range of blocks — what [`Chain::shard_blocks`]
+/// hands to each parallel decode shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpan {
+    /// First block of the span.
+    pub first: BlockNumber,
+    /// Last block of the span (inclusive).
+    pub last: BlockNumber,
 }
 
 /// Aggregate statistics about a chain, used in reports and tests.
@@ -169,13 +186,23 @@ pub struct ChainStats {
 }
 
 /// The in-memory blockchain.
+///
+/// Transactions are stored in one `Vec` in execution order — the layout the
+/// log scans iterate directly — with a hash → position index on the side for
+/// point lookups. Block numbers are non-decreasing along that `Vec`, so any
+/// block range maps to a contiguous transaction slice found by binary search.
 pub struct Chain {
-    accounts: HashMap<Address, Account>,
+    accounts: FxHashMap<Address, Account>,
     blocks: Vec<Block>,
     open_block: Block,
-    transactions: HashMap<TxHash, Transaction>,
-    tx_order: Vec<TxHash>,
-    txs_by_account: HashMap<Address, Vec<TxHash>>,
+    /// All executed transactions, in execution order.
+    transactions: Vec<Transaction>,
+    /// Hash → position in `transactions`.
+    tx_index: FxHashMap<TxHash, u32>,
+    /// Positions (into `transactions`) of every transaction an address
+    /// participates in — positions, not hashes, so the per-account scan
+    /// never re-hashes.
+    txs_by_account: FxHashMap<Address, Vec<u32>>,
     log_count: usize,
     gas_burned: Wei,
     hash_salt: u64,
@@ -185,12 +212,12 @@ impl Chain {
     /// Create a chain whose first (open) block has the given timestamp.
     pub fn new(genesis_timestamp: Timestamp) -> Self {
         Chain {
-            accounts: HashMap::new(),
+            accounts: FxHashMap::default(),
             blocks: Vec::new(),
             open_block: Block::new(BlockNumber::GENESIS, genesis_timestamp),
-            transactions: HashMap::new(),
-            tx_order: Vec::new(),
-            txs_by_account: HashMap::new(),
+            transactions: Vec::new(),
+            tx_index: FxHashMap::default(),
+            txs_by_account: FxHashMap::default(),
             log_count: 0,
             gas_burned: Wei::ZERO,
             hash_salt: 0,
@@ -343,7 +370,7 @@ impl Chain {
         let sender =
             self.accounts.get(&request.from).ok_or(ChainError::UnknownAccount(request.from))?;
         let fee = request.fee();
-        let mut deltas: HashMap<Address, i128> = HashMap::new();
+        let mut deltas: FxHashMap<Address, i128> = FxHashMap::default();
         *deltas.entry(request.from).or_insert(0) -= (request.value.raw() + fee.raw()) as i128;
         if let Some(to) = request.to {
             *deltas.entry(to).or_insert(0) += request.value.raw() as i128;
@@ -412,14 +439,15 @@ impl Chain {
             internal_transfers: request.internal_transfers,
         };
         self.log_count += tx.logs.len();
-        self.index_transaction(&tx);
+        let position = u32::try_from(self.transactions.len()).expect("tx space fits u32");
+        self.index_transaction(&tx, position);
         self.open_block.transactions.push(hash);
-        self.transactions.insert(hash, tx);
-        self.tx_order.push(hash);
+        self.tx_index.insert(hash, position);
+        self.transactions.push(tx);
         Ok(hash)
     }
 
-    fn index_transaction(&mut self, tx: &Transaction) {
+    fn index_transaction(&mut self, tx: &Transaction, position: u32) {
         let mut participants = vec![tx.from];
         if let Some(to) = tx.to {
             participants.push(to);
@@ -440,7 +468,7 @@ impl Chain {
         participants.sort();
         participants.dedup();
         for address in participants {
-            self.txs_by_account.entry(address).or_default().push(tx.hash);
+            self.txs_by_account.entry(address).or_default().push(position);
         }
     }
 
@@ -450,12 +478,12 @@ impl Chain {
 
     /// Fetch a transaction by hash.
     pub fn transaction(&self, hash: TxHash) -> Option<&Transaction> {
-        self.transactions.get(&hash)
+        self.tx_index.get(&hash).map(|&position| &self.transactions[position as usize])
     }
 
     /// All transactions in execution order.
     pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
-        self.tx_order.iter().map(|hash| &self.transactions[hash])
+        self.transactions.iter()
     }
 
     /// All transactions in which `address` participates (sender, recipient,
@@ -464,7 +492,9 @@ impl Chain {
     pub fn transactions_of(&self, address: Address) -> Vec<&Transaction> {
         self.txs_by_account
             .get(&address)
-            .map(|hashes| hashes.iter().map(|hash| &self.transactions[hash]).collect())
+            .map(|positions| {
+                positions.iter().map(|&position| &self.transactions[position as usize]).collect()
+            })
             .unwrap_or_default()
     }
 
@@ -481,10 +511,29 @@ impl Chain {
     /// Scan logs matching `filter`, in execution order. Mirrors `eth_getLogs`.
     pub fn logs(&self, filter: &LogFilter) -> Vec<LogEntry> {
         let mut out = Vec::new();
-        for hash in &self.tx_order {
-            self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
+        for tx in &self.transactions {
+            collect_tx_logs(tx, filter, &mut out);
         }
         out
+    }
+
+    /// The contiguous slice of `transactions` whose blocks fall in
+    /// `[from, to]`. Block numbers are non-decreasing in execution order, so
+    /// the range is found by binary search — O(log txs), independent of the
+    /// range size.
+    fn txs_in_blocks(&self, from: BlockNumber, to: BlockNumber) -> &[Transaction] {
+        if from > to {
+            return &[];
+        }
+        let start = self.transactions.partition_point(|tx| tx.block < from);
+        let end = self.transactions.partition_point(|tx| tx.block <= to);
+        &self.transactions[start..end]
+    }
+
+    /// Number of transactions executed in blocks `[from, to]` — the size
+    /// hint a decode shard pre-allocates from.
+    pub fn transaction_count_in_blocks(&self, from: BlockNumber, to: BlockNumber) -> usize {
+        self.txs_in_blocks(from, to).len()
     }
 
     /// Scan logs of the blocks in `[from, to]` (inclusive; the open block
@@ -501,40 +550,83 @@ impl Chain {
         filter: &LogFilter,
     ) -> Vec<LogEntry> {
         let mut out = Vec::new();
-        if from > to {
-            return out;
-        }
-        // Sealed blocks are contiguous from 0, so block `n` sits at index `n`.
-        let start = from.0 as usize;
-        for block in self.blocks.iter().skip(start) {
-            if block.number > to {
-                break;
-            }
-            for hash in &block.transactions {
-                self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
-            }
-        }
-        if self.open_block.number >= from && self.open_block.number <= to {
-            for hash in &self.open_block.transactions {
-                self.collect_tx_logs(&self.transactions[hash], filter, &mut out);
-            }
+        for tx in self.txs_in_blocks(from, to) {
+            collect_tx_logs(tx, filter, &mut out);
         }
         out
     }
 
-    fn collect_tx_logs(&self, tx: &Transaction, filter: &LogFilter, out: &mut Vec<LogEntry>) {
-        for (log_index, log) in tx.logs.iter().enumerate() {
-            let entry = LogEntry {
-                tx_hash: tx.hash,
-                block: tx.block,
-                timestamp: tx.timestamp,
-                log_index,
-                log: log.clone(),
-            };
-            if filter.matches(&entry) {
-                out.push(entry);
+    /// Visit every log of the blocks in `[from, to]` that matches `filter`,
+    /// in execution order, without materializing anything: the visitor
+    /// borrows the owning transaction (so per-transaction context — value,
+    /// payment logs, recipient — is in hand with no hash lookup), the log's
+    /// index within it, and the log itself.
+    ///
+    /// This is the non-allocating sibling of [`Chain::logs_in_blocks`] the
+    /// ingest decode shards run on: a shard scans its blocks borrowing every
+    /// log instead of cloning a `Vec<LogEntry>` of them.
+    pub fn for_each_log_in_blocks<F>(
+        &self,
+        from: BlockNumber,
+        to: BlockNumber,
+        filter: &LogFilter,
+        mut visit: F,
+    ) where
+        F: FnMut(&Transaction, usize, &Log),
+    {
+        for tx in self.txs_in_blocks(from, to) {
+            for (log_index, log) in tx.logs.iter().enumerate() {
+                if filter.matches_log(tx.block, log) {
+                    visit(tx, log_index, log);
+                }
             }
         }
+    }
+
+    /// Split the blocks of `[from, to]` into at most `parts` contiguous,
+    /// non-overlapping spans that together cover the range exactly, balanced
+    /// by transaction count (block boundaries are respected, so a busy block
+    /// is never split). Returns a single span when the range holds too few
+    /// transactions to split further.
+    ///
+    /// This is the shard planner for parallel ingest: each span is scanned
+    /// independently via [`Chain::for_each_log_in_blocks`], and concatenating
+    /// the spans' results in order reproduces the serial scan exactly.
+    pub fn shard_blocks(&self, from: BlockNumber, to: BlockNumber, parts: usize) -> Vec<BlockSpan> {
+        if from > to {
+            return Vec::new();
+        }
+        let txs = self.txs_in_blocks(from, to);
+        let parts = parts.max(1);
+        if parts == 1 || txs.len() < 2 {
+            return vec![BlockSpan { first: from, last: to }];
+        }
+        let mut spans = Vec::with_capacity(parts);
+        let mut span_first = from;
+        let mut consumed = 0usize;
+        for part in 1..=parts {
+            // Ideal cut: an even split of the transaction range…
+            let target = (txs.len() * part).div_ceil(parts);
+            if target <= consumed {
+                continue;
+            }
+            // …snapped forward to the end of the block holding the cut, so
+            // spans stay block-aligned.
+            let boundary = txs[target - 1].block;
+            let mut end = target;
+            while end < txs.len() && txs[end].block == boundary {
+                end += 1;
+            }
+            // Trailing transaction-free blocks belong to the final span.
+            let span_last = if end == txs.len() { to } else { boundary };
+            spans.push(BlockSpan { first: span_first, last: span_last });
+            span_first = BlockNumber(span_last.0 + 1);
+            consumed = end;
+            if end == txs.len() {
+                break;
+            }
+        }
+        spans
     }
 
     /// Aggregate statistics for reporting.
@@ -557,6 +649,22 @@ impl Chain {
     /// total funding (used by tests and debug assertions).
     pub fn total_balance(&self) -> Wei {
         self.accounts.values().map(|a| a.balance).sum()
+    }
+}
+
+/// Materialize the matching logs of one transaction into `out` — the
+/// allocating path behind [`Chain::logs`] / [`Chain::logs_in_blocks`].
+fn collect_tx_logs(tx: &Transaction, filter: &LogFilter, out: &mut Vec<LogEntry>) {
+    for (log_index, log) in tx.logs.iter().enumerate() {
+        if filter.matches_log(tx.block, log) {
+            out.push(LogEntry {
+                tx_hash: tx.hash,
+                block: tx.block,
+                timestamp: tx.timestamp,
+                log_index,
+                log: log.clone(),
+            });
+        }
     }
 }
 
@@ -814,6 +922,102 @@ mod tests {
         // An empty / inverted range yields nothing.
         assert!(chain.logs_in_blocks(BlockNumber(3), BlockNumber(2), &filter).is_empty());
         assert!(chain.logs_in_blocks(BlockNumber(9), BlockNumber(12), &filter).is_empty());
+    }
+
+    #[test]
+    fn visitor_scan_matches_materializing_scan() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        let weth = chain.deploy_contract("weth", vec![0xfe]).unwrap();
+        for i in 0..6u64 {
+            let request = TxRequest {
+                from: alice,
+                to: Some(nft),
+                value: Wei::ZERO,
+                gas_used: 90_000,
+                gas_price: Wei::from_gwei(10),
+                input: vec![],
+                logs: vec![
+                    Log::erc721_transfer(nft, alice, bob, i),
+                    Log::erc20_transfer(weth, bob, alice, 100 + i as u128),
+                ],
+                internal_transfers: vec![],
+            };
+            chain.submit(request).unwrap();
+            if i % 2 == 0 {
+                chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+            }
+        }
+        let filter = LogFilter::all().with_topic_count(4);
+        for (from, to) in [(0, 0), (0, 3), (1, 2), (2, 9)] {
+            let materialized = chain.logs_in_blocks(BlockNumber(from), BlockNumber(to), &filter);
+            let mut visited = Vec::new();
+            chain.for_each_log_in_blocks(
+                BlockNumber(from),
+                BlockNumber(to),
+                &filter,
+                |tx, log_index, log| {
+                    visited.push(LogEntry {
+                        tx_hash: tx.hash,
+                        block: tx.block,
+                        timestamp: tx.timestamp,
+                        log_index,
+                        log: log.clone(),
+                    });
+                },
+            );
+            assert_eq!(visited, materialized, "range {from}..={to}");
+        }
+    }
+
+    #[test]
+    fn shard_blocks_partition_the_range_and_reproduce_the_serial_scan() {
+        let (mut chain, alice, bob) = setup();
+        let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+        // Uneven blocks: block i holds i+1 transactions; the last two blocks
+        // are empty.
+        for block in 0..5u64 {
+            for tx in 0..=block {
+                let request = TxRequest {
+                    from: alice,
+                    to: Some(nft),
+                    value: Wei::ZERO,
+                    gas_used: 90_000,
+                    gas_price: Wei::from_gwei(10),
+                    input: vec![],
+                    logs: vec![Log::erc721_transfer(nft, alice, bob, block * 10 + tx)],
+                    internal_transfers: vec![],
+                };
+                chain.submit(request).unwrap();
+            }
+            chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+        }
+        chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+        let tip = chain.current_block_number();
+        let filter = LogFilter::all();
+        let serial = chain.logs_in_blocks(BlockNumber(0), tip, &filter);
+        for parts in [1, 2, 3, 4, 16] {
+            let spans = chain.shard_blocks(BlockNumber(0), tip, parts);
+            assert!(!spans.is_empty() && spans.len() <= parts);
+            // Contiguous cover of [0, tip], in order.
+            assert_eq!(spans.first().unwrap().first, BlockNumber(0));
+            assert_eq!(spans.last().unwrap().last, tip);
+            for window in spans.windows(2) {
+                assert_eq!(window[1].first.0, window[0].last.0 + 1, "parts {parts}");
+            }
+            // Concatenating per-span scans reproduces the serial scan.
+            let sharded: Vec<LogEntry> = spans
+                .iter()
+                .flat_map(|span| chain.logs_in_blocks(span.first, span.last, &filter))
+                .collect();
+            assert_eq!(sharded, serial, "parts {parts}");
+        }
+        assert!(chain.shard_blocks(BlockNumber(3), BlockNumber(2), 4).is_empty());
+        // A transaction-free range still yields a covering span.
+        assert_eq!(
+            chain.shard_blocks(BlockNumber(5), tip, 4),
+            vec![BlockSpan { first: BlockNumber(5), last: tip }]
+        );
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! A fast, deterministic hasher for the simulator's internal maps.
+//!
+//! The chain and the interning layers key their maps by fixed-width byte
+//! identifiers (20-byte addresses, 32-byte transaction hashes) that are
+//! already uniformly distributed, so the std `RandomState` SipHash buys no
+//! robustness here and costs a large share of the ingest hot path (one hash
+//! per log for the compliance verdict, three per transfer for interning).
+//! [`FxHasher`] is the word-at-a-time multiply-rotate hash used by rustc:
+//! not DoS-resistant, which is fine for trusted simulator-internal keys, and
+//! several times cheaper on short fixed-size keys.
+//!
+//! Determinism note: none of the workspace's maps leak iteration order into
+//! results (every ordered output is explicitly sorted), so the hasher choice
+//! is unobservable — but a fixed-seed hasher also makes any accidental
+//! order leak reproducible instead of per-process random.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// The `BuildHasher` producing [`FxHasher`]s (zero-sized, fixed seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hash state: fold each input word into the accumulator
+/// with a rotate, xor and multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time: the dominant keys are 20- and 32-byte arrays, so
+        // this folds them in 3–4 multiplies instead of a per-byte loop.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add(value as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.add(value as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add(value);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, value: u128) {
+        self.add(value as u64);
+        self.add((value >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add(value as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_deterministically() {
+        let a = crate::Address::derived("alice");
+        let b = crate::Address::derived("alice");
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // Fixed seed: the value is stable across hasher instances.
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_ne!(hash_of(&a), hash_of(&crate::Address::derived("bob")));
+    }
+
+    #[test]
+    fn tails_shorter_than_a_word_still_differentiate() {
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&1u128), hash_of(&(1u128 << 64)));
+    }
+
+    #[test]
+    fn maps_and_sets_work_with_byte_array_keys() {
+        let mut map: FxHashMap<crate::TxHash, usize> = FxHashMap::default();
+        let mut set: FxHashSet<crate::Address> = FxHashSet::default();
+        for i in 0..1000u64 {
+            map.insert(crate::TxHash::hash_of(&i.to_be_bytes()), i as usize);
+            set.insert(crate::Address::derived(&format!("a{i}")));
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(set.len(), 1000);
+        assert_eq!(map[&crate::TxHash::hash_of(&7u64.to_be_bytes())], 7);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod account;
 pub mod block;
 pub mod chain;
+pub mod fxhash;
 pub mod keccak;
 pub mod log;
 pub mod transaction;
@@ -47,7 +48,8 @@ pub mod types;
 
 pub use account::{Account, AccountKind};
 pub use block::Block;
-pub use chain::{Chain, ChainError, ChainStats, LogEntry, LogFilter};
+pub use chain::{BlockSpan, Chain, ChainError, ChainStats, LogEntry, LogFilter};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use log::{Erc20Transfer, Erc721Transfer, Log};
 pub use transaction::{InternalTransfer, Transaction, TxRequest};
 pub use types::{Address, BlockNumber, Selector, Timestamp, TxHash, Wei, B256};

@@ -30,8 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
+use ethsim::fxhash::FxHashMap;
 use ethsim::Address;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
@@ -98,11 +97,11 @@ impl MarketId {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Interner {
     accounts: Vec<Address>,
-    account_ids: HashMap<Address, AccountId>,
+    account_ids: FxHashMap<Address, AccountId>,
     nfts: Vec<NftId>,
-    nft_keys: HashMap<NftId, NftKey>,
+    nft_keys: FxHashMap<NftId, NftKey>,
     markets: Vec<Address>,
-    market_ids: HashMap<Address, MarketId>,
+    market_ids: FxHashMap<Address, MarketId>,
 }
 
 impl Interner {

@@ -8,8 +8,7 @@
 //! distribution contracts. [`MarketplaceDirectory`] packages exactly that
 //! address knowledge, decoupled from the mutable engine state.
 
-use std::collections::HashMap;
-
+use ethsim::fxhash::FxHashMap;
 use ethsim::Address;
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +49,7 @@ pub struct MarketplaceInfo {
 pub struct MarketplaceDirectory {
     entries: Vec<MarketplaceInfo>,
     #[serde(skip)]
-    by_contract: HashMap<Address, usize>,
+    by_contract: FxHashMap<Address, usize>,
 }
 
 impl MarketplaceDirectory {

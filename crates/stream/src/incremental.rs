@@ -10,6 +10,7 @@ use ethsim::Chain;
 use ids::NftKey;
 use marketplace::MarketplaceDirectory;
 use washtrade::dataset::Dataset;
+use washtrade::parallel::Executor;
 use washtrade::txgraph::NftGraph;
 
 use crate::cursor::EpochSpan;
@@ -44,17 +45,25 @@ impl IncrementalDataset {
     }
 
     /// Scan the span's blocks for ERC-721 transfers and append them,
-    /// returning what changed.
+    /// returning what changed. Runs the same two-phase sharded ingest as the
+    /// batch path ([`Dataset::ingest_blocks`]): the span's blocks are the
+    /// shard boundaries, decoded in parallel over `executor` and committed
+    /// in order — so an epoch's cost parallelizes exactly like a batch
+    /// build's, and the resulting dataset stays bit-identical to it.
     pub fn apply_span(
         &mut self,
         chain: &Chain,
         directory: &MarketplaceDirectory,
         span: EpochSpan,
+        executor: &Executor,
     ) -> AppendDelta {
-        let entries = chain.logs_in_blocks(span.first, span.last, &Dataset::transfer_filter());
-        let raw_events = entries.len();
-        let applied = self.inner.apply_entries(chain, directory, &entries);
-        AppendDelta { dirty: applied.dirty, raw_events, transfers: applied.appended }
+        let raw_before = self.inner.raw_transfer_events;
+        let applied = self.inner.ingest_blocks(chain, directory, span.first, span.last, executor);
+        AppendDelta {
+            dirty: applied.dirty,
+            raw_events: self.inner.raw_transfer_events - raw_before,
+            transfers: applied.appended,
+        }
     }
 
     /// The dataset accumulated so far.

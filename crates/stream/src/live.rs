@@ -261,7 +261,8 @@ impl<'a> StreamAnalyzer<'a> {
         let span = self.cursor.next_epoch(self.input.chain, max_blocks)?;
         let started = Instant::now();
 
-        let applied = self.dataset.apply_span(self.input.chain, self.input.directory, span);
+        let applied =
+            self.dataset.apply_span(self.input.chain, self.input.directory, span, &self.executor);
         self.graphs.sync(self.dataset.dataset(), &applied.dirty);
 
         // Dirty-set re-detection: refinement and base evidence are pure per

@@ -33,7 +33,7 @@ pub mod truth;
 pub mod world;
 
 pub use builder::{BuildError, WorldBuilder};
-pub use config::WorkloadConfig;
+pub use config::{WorkloadConfig, WorldScale};
 pub use epochs::EpochPlan;
 pub use scenario::{
     ExitEvidence, FundingEvidence, ScenarioPattern, ScenarioSampler, Venue, WashGoal,

@@ -10,66 +10,11 @@
 //! GOLDEN_UPDATE=1 cargo test --test golden_report
 //! ```
 
-use std::fmt::Write as _;
-
-use washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions, AnalysisReport};
+use washtrade::pipeline::{analyze_with, AnalysisInput, AnalysisOptions};
+use washtrade::report::render_deterministic as render;
 use workload::{WorkloadConfig, World};
 
 const GOLDEN_PATH: &str = "tests/golden/analysis_report_small_2024.txt";
-
-/// Render every deterministic field of the report. `Debug` for `HashMap`
-/// fields would iterate in per-process random order, so map-valued fields
-/// (volume CDFs, pattern occurrences) are emitted as key-sorted vectors;
-/// `stage_metrics` is timing-dependent and excluded.
-fn render(report: &AnalysisReport) -> String {
-    let mut out = String::new();
-    let c = &report.characterization;
-    writeln!(out, "table1: {:#?}", report.table1).unwrap();
-    writeln!(
-        out,
-        "dataset: nfts={} transfers={} raw={} compliant={} non_compliant={}",
-        report.dataset_nfts,
-        report.dataset_transfers,
-        report.raw_transfer_events,
-        report.compliant_contracts,
-        report.non_compliant_contracts
-    )
-    .unwrap();
-    writeln!(out, "refinement: {:#?}", report.refinement).unwrap();
-    writeln!(out, "detection: {:#?}", report.detection).unwrap();
-    writeln!(
-        out,
-        "characterization: total_activities={} total_volume_usd={:?} total_volume_eth={:?}",
-        c.total_activities, c.total_volume_usd, c.total_volume_eth
-    )
-    .unwrap();
-    writeln!(out, "per_marketplace: {:#?}", c.per_marketplace).unwrap();
-    let mut cdfs: Vec<_> = c.volume_cdfs.iter().collect();
-    cdfs.sort_by_key(|(name, _)| name.as_str());
-    writeln!(out, "volume_cdfs: {cdfs:#?}").unwrap();
-    writeln!(out, "lifetimes: {:#?}", c.lifetimes).unwrap();
-    writeln!(out, "collection_timelines: {:#?}", c.collection_timelines).unwrap();
-    writeln!(out, "accounts_histogram: {:?}", c.patterns.accounts_histogram).unwrap();
-    let mut occurrences: Vec<_> = c.patterns.pattern_occurrences.iter().collect();
-    occurrences.sort();
-    writeln!(out, "pattern_occurrences: {occurrences:?}").unwrap();
-    writeln!(
-        out,
-        "patterns: uncatalogued={} two_account={:?} self_trade={:?}",
-        c.patterns.uncatalogued, c.patterns.two_account_fraction, c.patterns.self_trade_fraction
-    )
-    .unwrap();
-    writeln!(out, "serial_traders: {:#?}", c.serial_traders).unwrap();
-    writeln!(
-        out,
-        "acquired: same_day={:?} within_two_weeks={:?}",
-        c.acquired_same_day_fraction, c.acquired_within_two_weeks_fraction
-    )
-    .unwrap();
-    writeln!(out, "rewards: {:#?}", report.rewards).unwrap();
-    writeln!(out, "resales: {:#?}", report.resales).unwrap();
-    out
-}
 
 #[test]
 fn report_matches_pre_refactor_golden_snapshot() {
