@@ -1,6 +1,6 @@
-//! Ingest-throughput scale sweep: the two-phase (parallel decode → ordered
-//! commit) dataset build, measured over world size × thread count, against
-//! two baselines:
+//! Ingest-throughput scale sweep: the three-phase (parallel decode →
+//! serial reconcile → parallel splice) dataset build, measured over world
+//! size × thread count, against two baselines:
 //!
 //! * `pr4_baseline` — the `build_dataset` stage of the PR-4 binary on the
 //!   same worlds and host (recorded constants, the cross-PR trajectory),
@@ -22,13 +22,24 @@
 //!                 "baseline_pr4_ns": …, "baseline_materializing_ns": …,
 //!                 "report_identical_across_threads": true,
 //!                 "runs": [ { "threads": …, "wall_ns": …, "decode_ns": …,
-//!                             "commit_ns": …, "shards": …,
-//!                             "transfers_per_sec": …,
+//!                             "commit_ns": …, "reconcile_ns": …,
+//!                             "shards": …, "transfers_per_sec": …,
 //!                             "speedup_vs_pr4": …,
-//!                             "speedup_vs_materializing": … }, … ] }, … ],
-//!   "build_dataset_speedup_large_8_threads": …
+//!                             "speedup_vs_materializing": … }, … ],
+//!                 "commit_scaling": [ { "threads": …, "commit_ns": …,
+//!                                       "speedup_vs_serial_commit": …,
+//!                                       "efficiency": … }, … ] }, … ],
+//!   "build_dataset_speedup_large_8_threads": …,
+//!   "scaling_efficiency": …
 //! }
 //! ```
+//!
+//! `commit_scaling` is the commit-phase thread-scaling curve: at each thread
+//! count, the commit's speedup over the same world's single-thread (fully
+//! serial) commit, and that speedup divided by the thread count
+//! (`efficiency`, 1.0 = perfect scaling). The section-level
+//! `scaling_efficiency` is the large world's efficiency at 8 threads — the
+//! headline number for how well the parallel commit saturates cores.
 
 use std::time::Instant;
 
@@ -55,11 +66,11 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     group.bench_function("materializing_serial_baseline", |b| {
         b.iter(|| legacy::materializing_ingest(&world.chain, &world.directory).transfer_count())
     });
-    group.bench_function("two_phase_1_thread", |b| {
+    group.bench_function("three_phase_1_thread", |b| {
         let executor = Executor::new(1);
         b.iter(|| Dataset::build_with(&world.chain, &world.directory, &executor).transfer_count())
     });
-    group.bench_function("two_phase_8_threads", |b| {
+    group.bench_function("three_phase_8_threads", |b| {
         let executor = Executor::new(8);
         b.iter(|| Dataset::build_with(&world.chain, &world.directory, &executor).transfer_count())
     });
@@ -106,6 +117,7 @@ fn measure_legacy(world: &workload::World) -> (u64, Dataset) {
 fn record_results() {
     let mut worlds = Vec::new();
     let mut headline: Option<f64> = None;
+    let mut scaling_headline: Option<f64> = None;
 
     for scale in WorldScale::ALL {
         let world = bench_suite::build_sized_world(scale);
@@ -130,6 +142,8 @@ fn record_results() {
         ));
 
         let mut runs = Vec::new();
+        // (threads, commit_ns) per run, for the commit-phase scaling curve.
+        let mut commit_points: Vec<(usize, u64)> = Vec::new();
         for threads in THREAD_COUNTS {
             let executor = Executor::new(threads);
             let (wall_ns, metrics, dataset) = measure_build(&world, &executor);
@@ -159,7 +173,9 @@ fn record_results() {
             run.set("wall_ns", Json::Int(wall_ns as i64));
             run.set("decode_ns", Json::Int(metrics.decode_ns as i64));
             run.set("commit_ns", Json::Int(metrics.commit_ns as i64));
+            run.set("reconcile_ns", Json::Int(metrics.reconcile_ns as i64));
             run.set("shards", Json::Int(metrics.shards as i64));
+            commit_points.push((threads, metrics.commit_ns));
             run.set(
                 "transfers_per_sec",
                 Json::Float(metrics.appended as f64 / (wall_ns.max(1) as f64 / 1e9)),
@@ -172,6 +188,26 @@ fn record_results() {
             runs.push(run);
         }
 
+        // Commit-phase thread-scaling curve: speedup of each run's commit
+        // over this world's single-thread (fully serial) commit, and the
+        // per-thread efficiency of that speedup.
+        let serial_commit_ns =
+            commit_points.iter().find(|(threads, _)| *threads == 1).map(|(_, ns)| *ns).unwrap_or(0);
+        let mut commit_scaling = Vec::new();
+        for &(threads, commit_ns) in &commit_points {
+            let speedup = serial_commit_ns as f64 / commit_ns.max(1) as f64;
+            let efficiency = speedup / threads as f64;
+            if scale == WorldScale::Large && threads == 8 {
+                scaling_headline = Some(efficiency);
+            }
+            let mut point = Json::object();
+            point.set("threads", Json::Int(threads as i64));
+            point.set("commit_ns", Json::Int(commit_ns as i64));
+            point.set("speedup_vs_serial_commit", Json::Float(speedup));
+            point.set("efficiency", Json::Float(efficiency));
+            commit_scaling.push(point);
+        }
+
         let mut entry = Json::object();
         entry.set("scale", Json::Str(scale.label().to_string()));
         entry.set("transfers", Json::Int(reference.transfer_count() as i64));
@@ -181,6 +217,7 @@ fn record_results() {
         entry.set("baseline_materializing_ns", Json::Int(legacy_ns as i64));
         entry.set("report_identical_across_threads", Json::Bool(true));
         entry.set("runs", Json::Arr(runs));
+        entry.set("commit_scaling", Json::Arr(commit_scaling));
         worlds.push(entry);
         println!(
             "ingest sweep {}: {} transfers verified identical across threads {:?}",
@@ -204,6 +241,10 @@ fn record_results() {
     section.set(
         "build_dataset_speedup_large_8_threads",
         Json::Float(headline.expect("the sweep covers large at 8 threads")),
+    );
+    section.set(
+        "scaling_efficiency",
+        Json::Float(scaling_headline.expect("the sweep covers large at 8 threads")),
     );
 
     let path = results_path();

@@ -1,7 +1,9 @@
 //! Pipeline-throughput benchmark for the interned-ID columnar core: runs the
 //! staged pipeline on the standard experiments workload, records per-stage
 //! wall times, transfers/sec and resident bytes per transfer, and reports
-//! the speedup against the recorded PR-2 (map-based) baseline.
+//! speedups against the recorded cross-PR baselines — PR-2 (map-based
+//! pipeline, on the workload it was captured on) and PR-5 (pre
+//! parallel-commit / arena-graph, on the large sweep world).
 //!
 //! The measured pass merges a `columnar` section into `BENCH_results.json`:
 //!
@@ -14,15 +16,30 @@
 //!                "baseline_pr2_ns": …, "speedup_vs_pr2": … }, …]
 //! }
 //! ```
+//!
+//! and a `columnar_large` section of the same shape carrying
+//! `baseline_pr5_ns` / `speedup_vs_pr5` per stage plus
+//! `speedup_vs_pr5_end_to_end` — the trajectory gate for the refine and
+//! graph-construction hotspots this sweep world exercises. Stage timings are
+//! the best of three passes, so one scheduler hiccup cannot distort the
+//! recorded trajectory.
 
 use std::time::Instant;
 
 use bench_suite::json::Json;
-use bench_suite::pr2_baseline;
 use bench_suite::results::{merge_section, results_path};
+use bench_suite::{pr2_baseline, pr5_baseline};
 use criterion::{criterion_group, Criterion};
 use washtrade::dataset::Dataset;
-use washtrade::pipeline::{analyze_with, AnalysisOptions};
+use washtrade::pipeline::{analyze_with, AnalysisOptions, AnalysisReport};
+
+/// Which cross-PR baseline a recorded world compares against (only
+/// meaningful on the world the baseline was captured on).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Baseline {
+    Pr2,
+    Pr5,
+}
 
 /// Criterion timings on the cheap small world: the dataset build (interning
 /// + columnar append) and the full staged pipeline.
@@ -46,24 +63,43 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
 /// the small worlds.
 fn record_results() {
     // The same workload the PR-2 baseline was captured on.
-    record_world(bench_suite::build_world(0.02, 7), "paper_scaled(7, 0.02)", "columnar", true);
+    record_world(
+        bench_suite::build_world(0.02, 7),
+        "paper_scaled(7, 0.02)",
+        "columnar",
+        Baseline::Pr2,
+    );
+    // The same world the PR-5 baseline was captured on.
     record_world(
         bench_suite::build_sized_world(workload::WorldScale::Large),
         "large",
         "columnar_large",
-        false,
+        Baseline::Pr5,
     );
 }
 
-/// Measure one world's staged pipeline and merge it under `section`;
-/// `with_pr2` attaches the recorded PR-2 stage baselines (only meaningful on
-/// the world they were captured on).
-fn record_world(world: workload::World, world_label: &str, section_name: &str, with_pr2: bool) {
-    let input = bench_suite::input_of(&world);
+/// Best-of-three full pipeline pass: the run with the smallest stage total
+/// wins, so the recorded stages describe one coherent low-noise pass.
+fn measure_pipeline(input: washtrade::pipeline::AnalysisInput<'_>) -> (u64, AnalysisReport) {
+    let mut best: Option<(u64, u64, AnalysisReport)> = None;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let report = analyze_with(input, AnalysisOptions::default());
+        let end_to_end_ns = started.elapsed().as_nanos() as u64;
+        let stage_total_ns: u64 = report.stage_metrics.iter().map(|m| m.wall_time_ns).sum();
+        if best.as_ref().is_none_or(|(fastest, _, _)| stage_total_ns < *fastest) {
+            best = Some((stage_total_ns, end_to_end_ns, report));
+        }
+    }
+    let (_, end_to_end_ns, report) = best.expect("three runs happened");
+    (end_to_end_ns, report)
+}
 
-    let started = Instant::now();
-    let report = analyze_with(input, AnalysisOptions::default());
-    let end_to_end_ns = started.elapsed().as_nanos() as u64;
+/// Measure one world's staged pipeline and merge it under `section`,
+/// attaching the stage speedups of `baseline`.
+fn record_world(world: workload::World, world_label: &str, section_name: &str, baseline: Baseline) {
+    let input = bench_suite::input_of(&world);
+    let (end_to_end_ns, report) = measure_pipeline(input);
 
     // Memory accounting: the columnar store plus the interner tables,
     // divided by the transfers they hold.
@@ -76,16 +112,23 @@ fn record_world(world: workload::World, world_label: &str, section_name: &str, w
         let mut stage = Json::object();
         stage.set("stage", Json::Str(metrics.stage.clone()));
         stage.set("wall_time_ns", Json::Int(metrics.wall_time_ns as i64));
-        if with_pr2 {
-            if let Some((_, baseline_ns)) =
-                pr2_baseline::STAGES_NS.iter().find(|(name, _)| *name == metrics.stage)
-            {
-                stage.set("baseline_pr2_ns", Json::Int(*baseline_ns as i64));
-                stage.set(
-                    "speedup_vs_pr2",
-                    Json::Float(*baseline_ns as f64 / metrics.wall_time_ns.max(1) as f64),
-                );
-            }
+        let recorded = match baseline {
+            Baseline::Pr2 => pr2_baseline::STAGES_NS
+                .iter()
+                .find(|(name, _)| *name == metrics.stage)
+                .map(|(_, ns)| *ns),
+            Baseline::Pr5 => pr5_baseline::for_stage(&metrics.stage),
+        };
+        if let Some(baseline_ns) = recorded {
+            let (key_ns, key_speedup) = match baseline {
+                Baseline::Pr2 => ("baseline_pr2_ns", "speedup_vs_pr2"),
+                Baseline::Pr5 => ("baseline_pr5_ns", "speedup_vs_pr5"),
+            };
+            stage.set(key_ns, Json::Int(baseline_ns as i64));
+            stage.set(
+                key_speedup,
+                Json::Float(baseline_ns as f64 / metrics.wall_time_ns.max(1) as f64),
+            );
         }
         stages.push(stage);
     }
@@ -105,12 +148,23 @@ fn record_world(world: workload::World, world_label: &str, section_name: &str, w
         "resident_bytes_per_transfer",
         Json::Float(resident_bytes as f64 / transfers.max(1) as f64),
     );
-    if with_pr2 {
-        section.set("baseline_pr2_end_to_end_ns", Json::Int(pr2_baseline::END_TO_END_NS as i64));
-        section.set(
-            "speedup_vs_pr2_end_to_end",
-            Json::Float(pr2_baseline::END_TO_END_NS as f64 / stage_total_ns.max(1) as f64),
-        );
+    match baseline {
+        Baseline::Pr2 => {
+            section
+                .set("baseline_pr2_end_to_end_ns", Json::Int(pr2_baseline::END_TO_END_NS as i64));
+            section.set(
+                "speedup_vs_pr2_end_to_end",
+                Json::Float(pr2_baseline::END_TO_END_NS as f64 / stage_total_ns.max(1) as f64),
+            );
+        }
+        Baseline::Pr5 => {
+            section
+                .set("baseline_pr5_stage_total_ns", Json::Int(pr5_baseline::STAGE_TOTAL_NS as i64));
+            section.set(
+                "speedup_vs_pr5_end_to_end",
+                Json::Float(pr5_baseline::STAGE_TOTAL_NS as f64 / stage_total_ns.max(1) as f64),
+            );
+        }
     }
     section.set("stages", Json::Arr(stages));
 

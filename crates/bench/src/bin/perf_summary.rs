@@ -75,10 +75,18 @@ fn print_ingest_table(root: &Json) {
         return;
     };
     let host = int_of(ingest.get("host_threads")).unwrap_or(0);
-    println!("ingest scale sweep (two-phase decode→commit, host threads: {host}):");
+    println!("ingest scale sweep (three-phase decode→reconcile→splice, host threads: {host}):");
     println!(
-        "  {:<8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>9} {:>9}",
-        "scale", "transfers", "threads", "wall ms", "decode ms", "commit ms", "vs PR-4", "vs mat."
+        "  {:<8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>9} {:>9}",
+        "scale",
+        "transfers",
+        "threads",
+        "wall ms",
+        "decode ms",
+        "commit ms",
+        "reconcile ms",
+        "vs PR-4",
+        "vs mat."
     );
     if let Some(Json::Arr(worlds)) = ingest.get("worlds") {
         for world in worlds {
@@ -87,13 +95,14 @@ fn print_ingest_table(root: &Json) {
             if let Some(Json::Arr(runs)) = world.get("runs") {
                 for run in runs {
                     println!(
-                        "  {:<8} {:>10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>8.2}x",
+                        "  {:<8} {:>10} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>8.2}x {:>8.2}x",
                         scale,
                         transfers,
                         int_of(run.get("threads")).unwrap_or(0),
                         ms(int_of(run.get("wall_ns")).unwrap_or(0)),
                         ms(int_of(run.get("decode_ns")).unwrap_or(0)),
                         ms(int_of(run.get("commit_ns")).unwrap_or(0)),
+                        ms(int_of(run.get("reconcile_ns")).unwrap_or(0)),
                         float_of(run.get("speedup_vs_pr4")).unwrap_or(0.0),
                         float_of(run.get("speedup_vs_materializing")).unwrap_or(0.0),
                     );
@@ -103,6 +112,41 @@ fn print_ingest_table(root: &Json) {
     }
     if let Some(headline) = float_of(ingest.get("build_dataset_speedup_large_8_threads")) {
         println!("  build_dataset speedup, large world @ 8 threads vs PR-4: {headline:.2}x");
+    }
+    print_commit_scaling(ingest, host);
+}
+
+/// The commit-phase thread-scaling curve per sweep world: how much of the
+/// formerly serial probe-and-commit the parallel reconcile + splice actually
+/// buys at each thread count. Printed with the host's thread count, since
+/// efficiency above the host's physical parallelism is noise, not signal.
+fn print_commit_scaling(ingest: &Json, host: i64) {
+    let Some(Json::Arr(worlds)) = ingest.get("worlds") else {
+        return;
+    };
+    println!(
+        "  commit-phase scaling (speedup over each world's serial commit, host threads: {host}):"
+    );
+    for world in worlds {
+        let scale = str_of(world.get("scale")).unwrap_or("?");
+        let Some(Json::Arr(points)) = world.get("commit_scaling") else {
+            continue;
+        };
+        let curve: Vec<String> = points
+            .iter()
+            .map(|point| {
+                format!(
+                    "{}t {:.2}x (eff {:.2})",
+                    int_of(point.get("threads")).unwrap_or(0),
+                    float_of(point.get("speedup_vs_serial_commit")).unwrap_or(0.0),
+                    float_of(point.get("efficiency")).unwrap_or(0.0),
+                )
+            })
+            .collect();
+        println!("    {:<8} {}", scale, curve.join("  "));
+    }
+    if let Some(efficiency) = float_of(ingest.get("scaling_efficiency")) {
+        println!("  commit scaling efficiency, large world @ 8 threads: {efficiency:.2}");
     }
 }
 
@@ -121,6 +165,25 @@ fn print_scale_baselines(root: &Json) {
                     (int_of(value.get("end_to_end_ns")), float_of(value.get("transfers_per_sec")))
                 {
                     println!("{label}: end-to-end {:.1} ms, {:.0} transfers/sec", ms(end), tps);
+                }
+                if let Some(Json::Arr(stages)) = value.get("stages") {
+                    for stage in stages {
+                        if let (Some(name), Some(wall), Some(speedup)) = (
+                            str_of(stage.get("stage")),
+                            int_of(stage.get("wall_time_ns")),
+                            float_of(stage.get("speedup_vs_pr5")),
+                        ) {
+                            println!(
+                                "  {:<16} {:>10.3} ms   vs PR-5: {:>6.2}x",
+                                name,
+                                ms(wall),
+                                speedup
+                            );
+                        }
+                    }
+                }
+                if let Some(speedup) = float_of(value.get("speedup_vs_pr5_end_to_end")) {
+                    println!("  stage-total speedup vs PR-5: {speedup:.2}x");
                 }
             }
             "bench_streaming_large" => {

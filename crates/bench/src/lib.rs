@@ -134,6 +134,35 @@ pub mod pr4_baseline {
     }
 }
 
+/// The staged pipeline's timings on the **large** sweep world
+/// ([`WorldScale::Large`] × seed [`SWEEP_SEED`]) as of PR 5 — the
+/// `columnar_large` section of `BENCH_results.json` measured on the
+/// single-core reference machine immediately before the parallel-commit +
+/// arena-graph PR landed, best of five passes per stage to filter scheduler
+/// noise. The `pipeline_throughput` bench reports `speedup_vs_pr5` against
+/// these numbers: refine and graph construction were the rising hotspots
+/// this PR attacks, so their trajectory is the headline.
+pub mod pr5_baseline {
+    /// `(stage name, wall-time ns)` per pipeline stage, in execution order.
+    pub const STAGES_NS: [(&str, u64); 6] = [
+        ("build_dataset", 22_229_824),
+        ("build_graphs", 17_358_180),
+        ("refine", 22_000_782),
+        ("detect", 10_065_224),
+        ("characterize", 18_483_705),
+        ("profit", 8_232_889),
+    ];
+    /// Sum of the stage timings, nanoseconds.
+    pub const STAGE_TOTAL_NS: u64 = 98_370_604;
+    /// Compliant transfers in the large sweep world at that commit.
+    pub const TRANSFERS: u64 = 40_151;
+
+    /// The recorded baseline for one stage name.
+    pub fn for_stage(name: &str) -> Option<u64> {
+        STAGES_NS.iter().find(|(stage, _)| *stage == name).map(|(_, ns)| *ns)
+    }
+}
+
 /// The [`AnalysisInput`] view of a world — one place to keep the field
 /// plumbing when `AnalysisInput` grows.
 pub fn input_of(world: &World) -> AnalysisInput<'_> {
@@ -258,6 +287,18 @@ mod tests {
             &washtrade::parallel::Executor::new(4),
         );
         assert_eq!(baseline, sharded, "legacy baseline drifted from the production ingest");
+    }
+
+    #[test]
+    fn pr5_baseline_stages_are_consistent() {
+        assert_eq!(pr5_baseline::STAGES_NS.iter().map(|(_, ns)| ns).sum::<u64>(), {
+            pr5_baseline::STAGE_TOTAL_NS
+        });
+        assert_eq!(pr5_baseline::for_stage("refine"), Some(22_000_782));
+        assert!(pr5_baseline::for_stage("galactic").is_none());
+        // The baseline describes the same world the pr4 sweep constants do.
+        let (_, pr4_transfers) = pr4_baseline::for_scale("large").unwrap();
+        assert_eq!(pr5_baseline::TRANSFERS, pr4_transfers);
     }
 
     #[test]

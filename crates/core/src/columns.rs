@@ -170,6 +170,30 @@ impl TransferColumns {
         }
     }
 
+    /// Concatenate a shard's column segment onto the tail of the store —
+    /// exactly equivalent to pushing each of the segment's rows through
+    /// [`TransferColumns::push`] in order, including the per-NFT row-index
+    /// maintenance, but with one bulk `append` per column instead of a
+    /// per-row fan-out. The segment is drained.
+    pub fn splice(&mut self, segment: &mut ColumnSegment) {
+        let base = self.nft.len();
+        u32::try_from(base + segment.nft.len()).expect("row space fits u32");
+        self.nft.append(&mut segment.nft);
+        self.from.append(&mut segment.from);
+        self.to.append(&mut segment.to);
+        self.tx_hash.append(&mut segment.tx_hash);
+        self.block.append(&mut segment.block);
+        self.timestamp.append(&mut segment.timestamp);
+        self.price.append(&mut segment.price);
+        self.marketplace.append(&mut segment.marketplace);
+        for (offset, &nft) in self.nft[base..].iter().enumerate() {
+            if self.rows_by_nft.len() <= nft.index() {
+                self.rows_by_nft.resize_with(nft.index() + 1, Vec::new);
+            }
+            self.rows_by_nft[nft.index()].push((base + offset) as u32);
+        }
+    }
+
     /// Approximate resident bytes of the columns and the row index (for the
     /// bytes-per-transfer accounting in the perf trajectory).
     pub fn resident_bytes(&self) -> usize {
@@ -184,6 +208,66 @@ impl TransferColumns {
             + self.marketplace.capacity() * size_of::<Option<MarketId>>()
             + self.rows_by_nft.iter().map(|rows| rows.capacity() * size_of::<u32>()).sum::<usize>()
             + self.rows_by_nft.capacity() * size_of::<Vec<u32>>()
+    }
+}
+
+/// One shard's rewritten rows, in the same struct-of-arrays shape as
+/// [`TransferColumns`] but with no row index: segments are built in parallel
+/// (one per shard, ids already settled) and concatenated in shard order
+/// through [`TransferColumns::splice`].
+#[derive(Debug, Clone, Default)]
+pub struct ColumnSegment {
+    nft: Vec<NftKey>,
+    from: Vec<AccountId>,
+    to: Vec<AccountId>,
+    tx_hash: Vec<TxHash>,
+    block: Vec<BlockNumber>,
+    timestamp: Vec<Timestamp>,
+    price: Vec<Wei>,
+    marketplace: Vec<Option<MarketId>>,
+}
+
+impl ColumnSegment {
+    /// An empty segment sized for `rows` transfers.
+    pub fn with_capacity(rows: usize) -> Self {
+        ColumnSegment {
+            nft: Vec::with_capacity(rows),
+            from: Vec::with_capacity(rows),
+            to: Vec::with_capacity(rows),
+            tx_hash: Vec::with_capacity(rows),
+            block: Vec::with_capacity(rows),
+            timestamp: Vec::with_capacity(rows),
+            price: Vec::with_capacity(rows),
+            marketplace: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Append one settled row.
+    pub fn push(&mut self, row: TransferRow) {
+        self.nft.push(row.nft);
+        self.from.push(row.from);
+        self.to.push(row.to);
+        self.tx_hash.push(row.tx_hash);
+        self.block.push(row.block);
+        self.timestamp.push(row.timestamp);
+        self.price.push(row.price);
+        self.marketplace.push(row.marketplace);
+    }
+
+    /// Number of rows in the segment.
+    pub fn len(&self) -> usize {
+        self.nft.len()
+    }
+
+    /// Whether the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nft.is_empty()
+    }
+
+    /// The NFT keys of the segment's rows, in row order — the commit phase
+    /// reads these to accumulate the dirty set before the segment is spliced.
+    pub fn nft_keys(&self) -> &[NftKey] {
+        &self.nft
     }
 }
 
@@ -220,6 +304,33 @@ mod tests {
         let back = columns.row(2);
         assert_eq!((back.nft, back.from, back.to), (NftKey(0), AccountId(1), AccountId(0)));
         assert!(columns.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn splice_matches_per_row_pushes() {
+        let rows: Vec<TransferRow> =
+            (0u32..9).map(|i| row(i % 3, i, i + 1, u64::from(i) + 1)).collect();
+        let mut pushed = TransferColumns::new();
+        for transfer in &rows {
+            pushed.push(*transfer);
+        }
+        let mut spliced = TransferColumns::new();
+        let mut first = ColumnSegment::with_capacity(4);
+        for transfer in &rows[..4] {
+            first.push(*transfer);
+        }
+        let mut second = ColumnSegment::with_capacity(5);
+        for transfer in &rows[4..] {
+            second.push(*transfer);
+        }
+        assert_eq!(first.len(), 4);
+        assert!(!first.is_empty());
+        assert_eq!(first.nft_keys().len(), 4);
+        spliced.splice(&mut first);
+        spliced.splice(&mut second);
+        assert!(second.is_empty(), "splice drains the segment");
+        assert_eq!(spliced, pushed, "splice reproduces push semantics bit for bit");
+        assert_eq!(spliced.rows_of(NftKey(0)), pushed.rows_of(NftKey(0)));
     }
 
     #[test]

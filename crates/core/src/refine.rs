@@ -8,7 +8,6 @@
 //! address-keyed [`Candidate`] the report exposes.
 
 use ethsim::{Address, Chain, Timestamp, Wei};
-use graphlib::DiMultiGraph;
 use ids::{AccountId, BitSet, Interner, MarketId, NftKey};
 use labels::LabelRegistry;
 use serde::{Deserialize, Serialize};
@@ -372,22 +371,20 @@ impl<'a> Refiner<'a> {
 
     /// Recompute the suspicious components of `graph` restricted to the
     /// nodes whose `keep` flag is set.
+    ///
+    /// Runs the masked SCC directly on the original graph — no filtered
+    /// subgraph is materialized (the address-keyed refiner rebuilt a fresh
+    /// `DiMultiGraph` per stage per NFT, two allocations-heavy copies of
+    /// every hot graph). Equivalence: a masked search never enters a dropped
+    /// node and skips edges into them, which is SCC on the induced subgraph;
+    /// kept nodes with no kept edges fall out as loop-free singletons, just
+    /// as they fell out of the edge-driven rebuild.
     fn filtered_components(&self, graph: &NftGraph, keep: &[bool]) -> Vec<Vec<AccountId>> {
-        let mut filtered: DiMultiGraph<AccountId, DenseTradeEdge> = DiMultiGraph::new();
-        for edge in graph.graph.edges() {
-            if keep[edge.source] && keep[edge.target] {
-                filtered.add_edge_by_key(
-                    *graph.graph.node(edge.source),
-                    *graph.graph.node(edge.target),
-                    edge.weight,
-                );
-            }
-        }
-        graphlib::suspicious_components(&filtered)
+        graphlib::suspicious_components_masked(&graph.graph, keep)
             .into_iter()
             .map(|component| {
                 let mut accounts: Vec<AccountId> =
-                    component.iter().map(|&index| *filtered.node(index)).collect();
+                    component.iter().map(|&index| *graph.graph.node(index)).collect();
                 accounts.sort_unstable_by_key(|&id| self.interner.address(id));
                 accounts
             })

@@ -94,10 +94,14 @@ impl NftGraph {
         }
     }
 
-    /// Build the graph of one NFT from its chronological column slice.
+    /// Build the graph of one NFT from its chronological column slice. The
+    /// row count is known up front, so the edge columns are sized exactly
+    /// once (node capacity is left to grow: most NFT graphs have far fewer
+    /// distinct accounts than transfers).
     pub fn from_columns(nft: NftKey, columns: &TransferColumns) -> Self {
-        let mut graph = NftGraph::new(nft);
-        graph.apply_rows(columns, columns.rows_of(nft));
+        let rows = columns.rows_of(nft);
+        let mut graph = NftGraph { nft, graph: DiMultiGraph::with_capacity(4, rows.len()) };
+        graph.apply_rows(columns, rows);
         graph
     }
 
@@ -160,7 +164,9 @@ impl NftGraph {
         self.graph
             .edges()
             .filter(|edge| mask[edge.source] && mask[edge.target])
-            .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
+            .map(|edge| {
+                (*self.graph.node(edge.source), *self.graph.node(edge.target), *edge.weight)
+            })
             .collect()
     }
 
@@ -175,7 +181,9 @@ impl NftGraph {
         self.graph
             .edges()
             .filter(|edge| mask[edge.source] || mask[edge.target])
-            .map(|edge| (*self.graph.node(edge.source), *self.graph.node(edge.target), edge.weight))
+            .map(|edge| {
+                (*self.graph.node(edge.source), *self.graph.node(edge.target), *edge.weight)
+            })
             .collect()
     }
 

@@ -1020,6 +1020,66 @@ mod tests {
         );
     }
 
+    proptest::proptest! {
+        #[test]
+        fn shard_blocks_exactly_partition_and_balance_the_range(
+            tx_counts in proptest::collection::vec(0usize..6, 1..9),
+            parts in 1usize..10
+        ) {
+            let (mut chain, alice, bob) = setup();
+            let nft = chain.deploy_contract("nft", vec![0xfe]).unwrap();
+            let mut token = 0u64;
+            for &count in &tx_counts {
+                for _ in 0..count {
+                    let request = TxRequest {
+                        from: alice,
+                        to: Some(nft),
+                        value: Wei::ZERO,
+                        gas_used: 90_000,
+                        gas_price: Wei::from_gwei(10),
+                        input: vec![],
+                        logs: vec![Log::erc721_transfer(nft, alice, bob, token)],
+                        internal_transfers: vec![],
+                    };
+                    chain.submit(request).unwrap();
+                    token += 1;
+                }
+                chain.seal_block(chain.current_timestamp().plus_secs(13)).unwrap();
+            }
+            let tip = chain.current_block_number();
+            let spans = chain.shard_blocks(BlockNumber(0), tip, parts);
+
+            // Exact partition: ordered, contiguous, no gap or overlap, and
+            // the union covers [0, tip] precisely.
+            proptest::prop_assert!(!spans.is_empty());
+            proptest::prop_assert!(spans.len() <= parts);
+            proptest::prop_assert_eq!(spans.first().unwrap().first, BlockNumber(0));
+            proptest::prop_assert_eq!(spans.last().unwrap().last, tip);
+            for window in spans.windows(2) {
+                proptest::prop_assert!(window[0].last < window[1].first);
+                proptest::prop_assert_eq!(window[0].last.0 + 1, window[1].first.0);
+            }
+
+            // Balance: once a split actually happens, every span's
+            // transaction count stays within a factor 2 of the ideal even
+            // chunk — where "ideal" accounts for the busiest block, since
+            // blocks are never split across spans.
+            if spans.len() > 1 {
+                let total = chain.transaction_count_in_blocks(BlockNumber(0), tip);
+                let busiest = tx_counts.iter().copied().max().unwrap_or(0);
+                let ideal = total.div_ceil(parts).max(busiest).max(1);
+                for span in &spans {
+                    let span_txs = chain.transaction_count_in_blocks(span.first, span.last);
+                    proptest::prop_assert!(
+                        span_txs <= 2 * ideal,
+                        "span {:?} holds {} txs, ideal {} (total {}, parts {})",
+                        span, span_txs, ideal, total, parts
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn transactions_of_indexes_all_participants() {
         let (mut chain, alice, bob) = setup();

@@ -41,6 +41,10 @@ pub mod multigraph;
 pub mod pattern;
 pub mod scc;
 
-pub use multigraph::{DiMultiGraph, Edge, EdgeIndex, NodeIndex};
+pub use multigraph::{DiMultiGraph, EdgeIndex, EdgeRef, NodeIndex};
 pub use pattern::{CanonicalDigraph, PatternCatalogue, PatternId, PatternSpec};
-pub use scc::{kosaraju_scc, strongly_connected_components, suspicious_components};
+pub use scc::{
+    kosaraju_scc, strongly_connected_components, strongly_connected_components_with,
+    suspicious_components, suspicious_components_masked, suspicious_components_masked_with,
+    SccScratch,
+};

@@ -36,6 +36,31 @@ fn report_matches_pre_refactor_golden_snapshot() {
     }
     let golden = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    diff_against_golden(&rendered, &golden);
+}
+
+/// The same golden gate with the thread budget pinned to 8: the parallel
+/// decode, commit splice and per-NFT fan-outs must reproduce the snapshot
+/// byte for byte when they actually fan out. CI runs this as its own named
+/// step so a parallelism-only regression is labelled unambiguously.
+#[test]
+fn report_matches_golden_snapshot_at_eight_threads() {
+    let world = World::generate(WorkloadConfig::small(2024)).expect("world");
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+    let rendered =
+        render(&analyze_with(input, AnalysisOptions { threads: 8, collect_metrics: false }));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    diff_against_golden(&rendered, &golden);
+}
+
+fn diff_against_golden(rendered: &str, golden: &str) {
     if rendered != golden {
         // Point at the first diverging line instead of dumping two reports.
         let line = rendered
