@@ -202,6 +202,38 @@ fn print_scale_baselines(root: &Json) {
     }
 }
 
+fn print_observability(root: &Json) {
+    let Some(section) = root.get("observability") else {
+        println!("(no `observability` section — run `cargo bench -p bench --bench observability`)");
+        return;
+    };
+    let mode = str_of(section.get("mode")).unwrap_or("?");
+    println!("observability overhead (mode: {mode}):");
+    println!(
+        "  per-op: counter {:.1} ns, histogram {:.1} ns, span {:.1} ns",
+        float_of(section.get("counter_add_ns")).unwrap_or(0.0),
+        float_of(section.get("histogram_record_ns")).unwrap_or(0.0),
+        float_of(section.get("span_guard_ns")).unwrap_or(0.0),
+    );
+    println!(
+        "  snapshot: {:.3} ms over {} metrics",
+        ms(int_of(section.get("snapshot_ns")).unwrap_or(0)),
+        int_of(section.get("snapshot_metrics")).unwrap_or(0),
+    );
+    if let (Some(on), Some(off), Some(pct)) = (
+        int_of(section.get("large_world_instrumented_ns")),
+        int_of(section.get("large_world_recording_off_ns")),
+        float_of(section.get("overhead_pct")),
+    ) {
+        println!(
+            "  large world end-to-end: instrumented {:.1} ms vs recording-off {:.1} ms ({:+.2}%)",
+            ms(on),
+            ms(off),
+            pct
+        );
+    }
+}
+
 fn main() {
     let path = results_path();
     let text = match std::fs::read_to_string(&path) {
@@ -224,4 +256,6 @@ fn main() {
     print_ingest_table(&root);
     println!();
     print_scale_baselines(&root);
+    println!();
+    print_observability(&root);
 }

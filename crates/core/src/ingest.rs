@@ -250,11 +250,42 @@ impl Dataset {
         let spans = chain.shard_blocks(from, to, executor.threads());
         metrics.shards = spans.len();
         metrics.threads = executor.threads_for(spans.len());
-        if metrics.threads <= 1 {
+        let entities_before = (
+            self.interner.account_count(),
+            self.interner.nft_count(),
+            self.interner.market_count(),
+        );
+        let result = if metrics.threads <= 1 {
             self.ingest_serial_commit(chain, directory, &spans, executor, &mut metrics)
         } else {
             self.ingest_parallel_commit(chain, directory, &spans, executor, &mut metrics)
+        };
+        self.record_ingest_metrics(&result.1, entities_before);
+        result
+    }
+
+    /// Publish one ingest call's phase timings and entity deltas into the
+    /// process-wide metrics registry (`ingest.*` — see the README's metric
+    /// catalog). Purely observational: nothing here feeds back into results.
+    fn record_ingest_metrics(
+        &self,
+        metrics: &IngestMetrics,
+        entities_before: (usize, usize, usize),
+    ) {
+        if !obs::recording() {
+            return;
         }
+        obs::counter!("ingest.calls");
+        obs::counter!("ingest.raw_events", metrics.raw_events as u64);
+        obs::counter!("ingest.transfers", metrics.appended as u64);
+        obs::counter!("ingest.shards", metrics.shards as u64);
+        obs::histogram!("ingest.decode_ns", metrics.decode_ns);
+        obs::histogram!("ingest.reconcile_ns", metrics.reconcile_ns);
+        obs::histogram!("ingest.splice_ns", metrics.commit_ns - metrics.reconcile_ns);
+        let (accounts, nfts, markets) = entities_before;
+        obs::counter!("ingest.new_accounts", (self.interner.account_count() - accounts) as u64);
+        obs::counter!("ingest.new_nfts", (self.interner.nft_count() - nfts) as u64);
+        obs::counter!("ingest.new_markets", (self.interner.market_count() - markets) as u64);
     }
 
     /// The legacy two-phase path: parallel decode into [`NftTransfer`]
@@ -291,6 +322,8 @@ impl Dataset {
         for batch in &batches {
             self.raw_transfer_events += batch.raw_events;
             metrics.raw_events += batch.raw_events;
+            // Shard balance: how evenly decode distributed the rows.
+            obs::histogram!("ingest.shard_transfers", batch.transfers.len() as u64);
             // Compliance probe (§III-A) for contracts this shard saw first,
             // through the same single probe rule `apply_entries` uses.
             for &contract in &batch.contracts {
@@ -357,6 +390,8 @@ impl Dataset {
         for batch in &batches {
             self.raw_transfer_events += batch.raw_events;
             metrics.raw_events += batch.raw_events;
+            // Shard balance: how evenly decode distributed the rows.
+            obs::histogram!("ingest.shard_transfers", batch.rows.len() as u64);
             // Probes are pure code inspection, so shard-local verdicts merge
             // by plain insert; re-inserting a contract another shard also
             // probed is a no-op, and the insertion order matches the serial

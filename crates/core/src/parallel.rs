@@ -56,6 +56,14 @@ impl Executor {
     /// `f` must be pure with respect to ordering: it receives one `&T` and
     /// returns one `U`, and may not rely on being called in any particular
     /// sequence. Panics in `f` propagate.
+    ///
+    /// Parallel fan-outs are instrumented (`executor.*` metrics): each worker
+    /// reports its busy time back to the calling thread, which records
+    /// everything — workers never touch the metrics registry, because their
+    /// threads are short-lived and per-thread metric shards would be
+    /// allocated and retired on every call. The inline path (one thread)
+    /// stays untouched; instrumentation costs one `Instant` read per worker
+    /// and only while recording is on.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
         T: Sync,
@@ -68,17 +76,42 @@ impl Executor {
         }
         let chunk_size = items.len().div_ceil(threads);
         let f = &f;
-        std::thread::scope(|scope| {
+        let instrumented = obs::recording();
+        let started = instrumented.then(std::time::Instant::now);
+        let (results, busy_ns) = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let started = instrumented.then(std::time::Instant::now);
+                        let out = chunk.iter().map(f).collect::<Vec<U>>();
+                        let busy = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                        (out, busy)
+                    })
+                })
                 .collect();
             let mut results = Vec::with_capacity(items.len());
+            let mut busy_ns = 0u64;
             for handle in handles {
-                results.extend(handle.join().expect("parallel worker panicked"));
+                let (out, busy) = handle.join().expect("parallel worker panicked");
+                results.extend(out);
+                if instrumented {
+                    obs::histogram!("executor.worker_busy_ns", busy);
+                    busy_ns += busy;
+                }
             }
-            results
-        })
+            (results, busy_ns)
+        });
+        if let Some(started) = started {
+            // span_ns ≥ busy_ns always; busy_ns / span_ns is the fan-out's
+            // worker utilization (1.0 = perfectly balanced chunks).
+            let span_ns = started.elapsed().as_nanos() as u64 * threads as u64;
+            obs::counter!("executor.fanouts");
+            obs::counter!("executor.tasks", items.len() as u64);
+            obs::counter!("executor.busy_ns", busy_ns);
+            obs::counter!("executor.span_ns", span_ns);
+        }
+        results
     }
 }
 

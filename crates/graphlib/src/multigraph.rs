@@ -339,8 +339,8 @@ impl<N: Eq + Hash + Clone, E> DiMultiGraph<N, E> {
     /// Iterate the targets of a node's outgoing edges, in insertion order —
     /// one entry **per parallel edge** (no deduplication, no allocation).
     /// Traversals with a visited set (DFS/BFS/SCC) want exactly this; for
-    /// the old sorted-distinct semantics see the deprecated
-    /// [`DiMultiGraph::successors`].
+    /// sorted-distinct successors, collect and `sort_unstable` + `dedup` at
+    /// the call site.
     pub fn successors_iter(&self, node: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
         self.outgoing_edges(node).iter().map(|&edge| self.targets[edge])
     }
@@ -349,33 +349,6 @@ impl<N: Eq + Hash + Clone, E> DiMultiGraph<N, E> {
     /// one entry **per parallel edge** (no deduplication, no allocation).
     pub fn predecessors_iter(&self, node: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
         self.incoming_edges(node).iter().map(|&edge| self.sources[edge])
-    }
-
-    /// Distinct successor node indices of a node (parallel edges
-    /// deduplicated), sorted ascending.
-    #[deprecated(
-        since = "0.6.0",
-        note = "allocates a Vec per call; iterate `successors_iter` (or walk \
-                `outgoing_edges`) instead"
-    )]
-    pub fn successors(&self, node: NodeIndex) -> Vec<NodeIndex> {
-        let mut out: Vec<NodeIndex> = self.successors_iter(node).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// Distinct predecessor node indices of a node, sorted ascending.
-    #[deprecated(
-        since = "0.6.0",
-        note = "allocates a Vec per call; iterate `predecessors_iter` (or walk \
-                `incoming_edges`) instead"
-    )]
-    pub fn predecessors(&self, node: NodeIndex) -> Vec<NodeIndex> {
-        let mut out: Vec<NodeIndex> = self.predecessors_iter(node).collect();
-        out.sort_unstable();
-        out.dedup();
-        out
     }
 
     /// Out-degree counting parallel edges.
@@ -463,7 +436,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn parallel_edges_and_degrees() {
         let mut graph: DiMultiGraph<u32, &str> = DiMultiGraph::new();
         let a = graph.add_node(1);
@@ -474,10 +446,13 @@ mod tests {
         assert_eq!(graph.edge_count(), 3);
         assert_eq!(graph.out_degree(a), 2);
         assert_eq!(graph.in_degree(a), 1);
-        assert_eq!(graph.successors(a), vec![b]);
-        assert_eq!(graph.predecessors(a), vec![b]);
+        // Parallel edges appear once per edge; dedup is a call-site concern.
         assert_eq!(graph.successors_iter(a).collect::<Vec<_>>(), vec![b, b]);
         assert_eq!(graph.predecessors_iter(a).collect::<Vec<_>>(), vec![b]);
+        let mut distinct: Vec<_> = graph.successors_iter(a).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, vec![b]);
     }
 
     #[test]
@@ -531,14 +506,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn self_loops() {
         let mut graph: DiMultiGraph<&str, ()> = DiMultiGraph::new();
         let a = graph.add_node("self");
         assert!(!graph.has_self_loop(a));
         graph.add_edge(a, a, ());
         assert!(graph.has_self_loop(a));
-        assert_eq!(graph.successors(a), vec![a]);
+        assert_eq!(graph.successors_iter(a).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(graph.predecessors_iter(a).collect::<Vec<_>>(), vec![a]);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Bounded recent-event log: each thread owns a small ring buffer; exited
+//! threads fold their ring into a shared retired ring. Intended for coarse
+//! milestones (an epoch ingested, a snapshot published) — never per-query.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Capacity of each per-thread ring.
+const THREAD_CAP: usize = 128;
+/// Capacity of the shared ring that absorbs exited threads' events.
+const RETIRED_CAP: usize = 512;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Process-wide sequence number; totally orders events across threads.
+    pub seq: u64,
+    /// Static event name, e.g. `stream.epoch`.
+    pub name: &'static str,
+    /// Free-form detail string (may be empty).
+    pub detail: String,
+}
+
+struct Ring {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring { cap, buf: Mutex::new(VecDeque::with_capacity(cap)) }
+    }
+
+    fn push(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("obs event ring poisoned");
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    }
+
+    fn entries(&self) -> Vec<Event> {
+        self.buf.lock().expect("obs event ring poisoned").iter().cloned().collect()
+    }
+}
+
+struct Hub {
+    rings: Mutex<Vec<Arc<Ring>>>,
+    retired: Ring,
+    seq: AtomicU64,
+}
+
+fn hub() -> &'static Hub {
+    static HUB: OnceLock<Hub> = OnceLock::new();
+    HUB.get_or_init(|| Hub {
+        rings: Mutex::new(Vec::new()),
+        retired: Ring::new(RETIRED_CAP),
+        seq: AtomicU64::new(0),
+    })
+}
+
+struct LocalRing {
+    ring: Arc<Ring>,
+}
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        let hub = hub();
+        hub.rings
+            .lock()
+            .expect("obs event hub poisoned")
+            .retain(|live| !Arc::ptr_eq(live, &self.ring));
+        for event in self.ring.entries() {
+            hub.retired.push(event);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalRing = {
+        let ring = Arc::new(Ring::new(THREAD_CAP));
+        hub().rings.lock().expect("obs event hub poisoned").push(Arc::clone(&ring));
+        LocalRing { ring }
+    };
+}
+
+pub(crate) fn record(name: &'static str, detail: String) {
+    if !crate::recording() {
+        return;
+    }
+    let hub = hub();
+    let event = Event { seq: hub.seq.fetch_add(1, Relaxed), name, detail };
+    match LOCAL.try_with(|local| Arc::clone(&local.ring)) {
+        Ok(ring) => ring.push(event),
+        // Thread-local teardown already ran: record into the retired ring.
+        Err(_) => hub.retired.push(event),
+    }
+}
+
+/// The most recent `limit` events across all threads, ordered by sequence
+/// number (oldest first).
+pub fn recent_events(limit: usize) -> Vec<Event> {
+    if !crate::enabled() {
+        return Vec::new();
+    }
+    let hub = hub();
+    let mut events: Vec<Event> = hub
+        .rings
+        .lock()
+        .expect("obs event hub poisoned")
+        .iter()
+        .flat_map(|ring| ring.entries())
+        .collect();
+    events.extend(hub.retired.entries());
+    events.sort_by_key(|event| event.seq);
+    if events.len() > limit {
+        events.drain(..events.len() - limit);
+    }
+    events
+}

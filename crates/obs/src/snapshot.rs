@@ -1,0 +1,326 @@
+//! Deterministic point-in-time views of the registry.
+//!
+//! [`snapshot`] merges every live thread shard plus the retired shard into a
+//! [`MetricsSnapshot`]: metrics sorted by name, stamped with a monotonically
+//! increasing version. Two snapshots taken with no recording in between are
+//! identical except for the version — the determinism test pins this.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering::Relaxed;
+
+use crate::registry::{
+    bucket_upper_bound, registry, MetricKind, Shard, BUCKETS, MAX_OFFSET, SUM_OFFSET,
+};
+
+/// A merged, name-sorted view of every registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonically increasing per-process snapshot version; two snapshots
+    /// can be ordered by comparing versions.
+    pub version: u64,
+    /// All metrics, sorted by name.
+    pub metrics: Vec<Metric>,
+}
+
+/// One named metric inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// The registered name, e.g. `ingest.decode_ns`.
+    pub name: String,
+    /// The merged value.
+    pub value: MetricValue,
+}
+
+/// The merged value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Sum of all increments across threads.
+    Counter(u64),
+    /// Last value stored.
+    Gauge(i64),
+    /// Merged distribution.
+    Histogram(HistogramSummary),
+}
+
+/// Merged histogram state: total count/sum/max plus the non-empty buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(inclusive upper bound, sample count)` for each non-empty bucket, in
+    /// ascending bound order. The top bucket's bound is `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket in
+    /// which the q-th sample falls, clamped to the observed max so the top
+    /// bucket does not report `u64::MAX`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(bound, bucket_count) in &self.buckets {
+            cumulative += bucket_count;
+            if cumulative >= target {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by exact name (the metrics vec is sorted, so this is
+    /// a binary search).
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|metric| metric.name.as_str().cmp(name))
+            .ok()
+            .map(|index| &self.metrics[index].value)
+    }
+
+    /// Counter value by name, if the name is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if the name is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary by name, if the name is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Render as an aligned, human-readable table. Histogram metrics whose
+    /// names end in `_ns` are formatted as durations.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== metrics snapshot v{} ({} metrics) ==",
+            self.version,
+            self.metrics.len()
+        );
+        let width = self.metrics.iter().map(|m| m.name.len()).max().unwrap_or(0).max(8);
+        for metric in &self.metrics {
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "counter    {:<width$} {v}", metric.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "gauge      {:<width$} {v}", metric.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let as_time = metric.name.ends_with("_ns");
+                    let fmt = |v: u64| {
+                        if as_time {
+                            fmt_ns(v)
+                        } else {
+                            v.to_string()
+                        }
+                    };
+                    let mean =
+                        if as_time { fmt_ns(h.mean() as u64) } else { format!("{:.1}", h.mean()) };
+                    let _ = writeln!(
+                        out,
+                        "histogram  {:<width$} count {:<8} mean {:<10} p50 {:<10} p99 {:<10} max {}",
+                        metric.name,
+                        h.count,
+                        mean,
+                        fmt(h.quantile(0.50)),
+                        fmt(h.quantile(0.99)),
+                        fmt(h.max),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a deterministic single-line JSON document (hand-rolled — the
+    /// workspace builds offline, so there is no serde_json).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"version\":{},\"metrics\":[", self.version);
+        for (index, metric) in self.metrics.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", escape_json(&metric.name));
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"kind\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"kind\":\"gauge\",\"value\":{v}}}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.quantile(0.50),
+                        h.quantile(0.99),
+                    );
+                    for (bucket_index, (bound, count)) in h.buckets.iter().enumerate() {
+                        if bucket_index > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{bound},{count}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Take a deterministic snapshot of every registered metric: merge all live
+/// thread shards plus the retired shard, sort by name, stamp a fresh version.
+/// Under the `noop` feature this returns the empty snapshot (version 0).
+pub fn snapshot() -> MetricsSnapshot {
+    if !crate::enabled() {
+        return MetricsSnapshot { version: 0, metrics: Vec::new() };
+    }
+    let reg = registry();
+    let version = reg.version.fetch_add(1, Relaxed) + 1;
+    let inner = reg.lock();
+    let mut shards: Vec<&Shard> = inner.shards.iter().map(|s| s.as_ref()).collect();
+    shards.push(&reg.retired);
+    let sum_cell =
+        |slot: usize| -> u64 { shards.iter().map(|shard| shard.cells[slot].load(Relaxed)).sum() };
+    let max_cell = |slot: usize| -> u64 {
+        shards.iter().map(|shard| shard.cells[slot].load(Relaxed)).max().unwrap_or(0)
+    };
+    let mut metrics: Vec<Metric> = inner
+        .defs
+        .iter()
+        .map(|def| {
+            let value = match def.kind {
+                MetricKind::Counter => MetricValue::Counter(sum_cell(def.slot)),
+                MetricKind::Gauge => MetricValue::Gauge(inner.gauges[def.slot].load(Relaxed)),
+                MetricKind::Histogram => {
+                    let mut summary = HistogramSummary {
+                        count: 0,
+                        sum: sum_cell(def.slot + SUM_OFFSET),
+                        max: max_cell(def.slot + MAX_OFFSET),
+                        buckets: Vec::new(),
+                    };
+                    for bucket in 0..BUCKETS {
+                        let count = sum_cell(def.slot + bucket);
+                        if count > 0 {
+                            summary.count += count;
+                            summary.buckets.push((bucket_upper_bound(bucket), count));
+                        }
+                    }
+                    MetricValue::Histogram(summary)
+                }
+            };
+            Metric { name: def.name.clone(), value }
+        })
+        .collect();
+    drop(inner);
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { version, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_walk_cumulative_bucket_counts() {
+        let summary = HistogramSummary {
+            count: 10,
+            sum: 100,
+            max: 60,
+            buckets: vec![(7, 4), (15, 3), (63, 3)],
+        };
+        assert_eq!(summary.quantile(0.0), 7);
+        assert_eq!(summary.quantile(0.4), 7);
+        assert_eq!(summary.quantile(0.5), 15);
+        assert_eq!(summary.quantile(0.7), 15);
+        assert_eq!(summary.quantile(0.71), 60); // clamped from bound 63 to max
+        assert_eq!(summary.quantile(1.0), 60);
+        assert!((summary.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let summary = HistogramSummary::default();
+        assert_eq!(summary.quantile(0.5), 0);
+        assert_eq!(summary.mean(), 0.0);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn ns_formatting_picks_the_right_unit() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_250_000), "2.25ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

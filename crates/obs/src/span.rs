@@ -1,0 +1,46 @@
+//! Span guards: scope-based timing that feeds latency histograms.
+
+use std::time::Instant;
+
+use crate::registry::{histogram, Histogram};
+
+/// A guard that measures its own lifetime and records the elapsed nanoseconds
+/// into a histogram when dropped. Created by [`crate::span!`] (static name)
+/// or [`span`] (dynamic name).
+///
+/// When recording is off at construction time the guard holds no timestamp
+/// and its drop is free — spans cost nothing in a `noop` build.
+#[must_use = "a span guard records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Open a span feeding the given histogram.
+    #[inline]
+    pub fn new(hist: Histogram) -> Self {
+        let start = if crate::recording() { Some(Instant::now()) } else { None };
+        SpanGuard { hist, start }
+    }
+
+    /// Close the span early, before scope end.
+    #[inline]
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+/// Open a span against a dynamically built histogram name, e.g.
+/// `obs::span(&format!("stage.{name}_ns"))`. Pays a registry lookup per call;
+/// prefer [`crate::span!`] when the name is a literal.
+pub fn span(name: &str) -> SpanGuard {
+    SpanGuard::new(histogram(name))
+}

@@ -1,0 +1,39 @@
+//! The runtime recording switch. Kept in its own integration-test binary —
+//! and therefore its own process — because `set_recording` is process-global
+//! and flipping it would race with the other test binaries' recordings.
+
+#[test]
+fn set_recording_false_suppresses_all_record_paths() {
+    let counter = obs::counter("toggle.counter");
+    let hist = obs::histogram("toggle.hist");
+    let gauge = obs::gauge("toggle.gauge");
+    counter.add(2);
+    hist.record(10);
+    gauge.set(1);
+
+    obs::set_recording(false);
+    assert!(!obs::recording());
+    counter.add(100);
+    hist.record(100);
+    gauge.set(100);
+    obs::event!("toggle.event", "should not appear");
+    {
+        // A span opened while recording is off holds no timestamp.
+        let _span = obs::span!("toggle.span_ns");
+    }
+    obs::set_recording(true);
+
+    counter.add(1);
+    let snap = obs::snapshot();
+    if obs::enabled() {
+        assert_eq!(snap.counter("toggle.counter"), Some(3));
+        let summary = snap.histogram("toggle.hist").expect("registered before toggle");
+        assert_eq!((summary.count, summary.sum, summary.max), (1, 10, 10));
+        assert_eq!(snap.gauge("toggle.gauge"), Some(1));
+        assert_eq!(snap.histogram("toggle.span_ns").map(|h| h.count), Some(0));
+        assert!(obs::recent_events(usize::MAX).is_empty());
+    } else {
+        assert!(snap.metrics.is_empty());
+        assert!(!obs::recording(), "noop builds never record");
+    }
+}

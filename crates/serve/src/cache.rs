@@ -15,13 +15,16 @@ use std::sync::Mutex;
 
 use crate::query::{Query, Response};
 
-/// Hit/miss counters of a cache (monotonic since construction).
+/// Hit/miss/eviction counters of a cache (monotonic since construction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute (including epoch-stale entries).
     pub misses: u64,
+    /// Entries removed to make room: LRU victims plus epoch-stale entries
+    /// purged when a newer epoch's insert lands in their shard.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -32,6 +35,15 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Sum two stat sets (used when aggregating across caches).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -60,6 +72,7 @@ pub struct ShardedLru {
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedLru {
@@ -82,6 +95,7 @@ impl ShardedLru {
             capacity_per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -103,10 +117,12 @@ impl ShardedLru {
             let response = entry.response.clone();
             drop(shard);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("serve.cache.hits");
             return Some(response);
         }
         drop(shard);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("serve.cache.misses");
         None
     }
 
@@ -122,12 +138,16 @@ impl ShardedLru {
         let mut shard = self.shard_of(&query).lock().expect("cache shard poisoned");
         shard.clock += 1;
         let clock = shard.clock;
+        let before = shard.entries.len();
         shard.entries.retain(|entry| entry.epoch >= epoch);
+        let mut evicted = (before - shard.entries.len()) as u64;
         if let Some(entry) =
             shard.entries.iter_mut().find(|entry| entry.epoch == epoch && entry.query == query)
         {
             entry.response = response;
             entry.last_used = clock;
+            drop(shard);
+            self.note_evictions(evicted);
             return;
         }
         if shard.entries.len() >= self.capacity_per_shard {
@@ -139,16 +159,27 @@ impl ShardedLru {
                 .map(|(index, _)| index)
             {
                 shard.entries.swap_remove(lru);
+                evicted += 1;
             }
         }
         shard.entries.push(CacheEntry { epoch, query, response, last_used: clock });
+        drop(shard);
+        self.note_evictions(evicted);
     }
 
-    /// Hit/miss counters since construction.
+    fn note_evictions(&self, evicted: u64) {
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs::counter!("serve.cache.evictions", evicted);
+        }
+    }
+
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +221,22 @@ mod tests {
         assert!(cache.get(7, &stats_query(1)).is_some(), "recently used survives");
         assert!(cache.get(7, &stats_query(2)).is_none(), "LRU entry evicted");
         assert!(cache.get(7, &stats_query(3)).is_some());
+    }
+
+    #[test]
+    fn eviction_counter_covers_lru_and_stale_purges() {
+        let cache = ShardedLru::new(1, 2);
+        cache.insert(1, stats_query(1), response(1));
+        cache.insert(1, stats_query(2), response(2));
+        assert_eq!(cache.stats().evictions, 0);
+        // Capacity reached: the third same-epoch insert claims an LRU victim.
+        cache.insert(1, stats_query(3), response(3));
+        assert_eq!(cache.stats().evictions, 1);
+        // A newer epoch's insert purges both remaining epoch-1 entries.
+        cache.insert(2, stats_query(4), response(4));
+        assert_eq!(cache.stats().evictions, 3);
+        let merged = cache.stats().merge(&CacheStats { hits: 1, misses: 2, evictions: 4 });
+        assert_eq!(merged, CacheStats { hits: 1, misses: 2, evictions: 7 });
     }
 
     #[test]

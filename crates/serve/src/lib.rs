@@ -42,6 +42,7 @@ pub mod query;
 pub mod snapshot;
 
 pub use cache::{CacheStats, ShardedLru};
+pub use obs::MetricsSnapshot;
 pub use publish::SnapshotPublisher;
 pub use query::{CacheConfig, Query, QueryService, Response, Served};
 pub use snapshot::{

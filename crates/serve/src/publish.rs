@@ -13,9 +13,19 @@
 //! The lock is held only for the duration of an `Arc` clone or swap (no
 //! index is ever built or read under it), so the read path scales with
 //! reader threads.
+//!
+//! The publisher is also the runtime aggregation point for the read side's
+//! operational state: query services register their response caches here
+//! (weakly — a dropped service unregisters itself by expiring), so
+//! [`SnapshotPublisher::cache_stats`] answers "how is the cache tier doing"
+//! without touching any individual service, and
+//! [`SnapshotPublisher::current_epoch`] reads the published epoch from a
+//! single atomic instead of cloning the snapshot.
 
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
+use crate::cache::{CacheStats, ShardedLru};
 use crate::snapshot::Snapshot;
 
 /// The shared, cloneable publication slot. Clones address the same slot:
@@ -23,6 +33,14 @@ use crate::snapshot::Snapshot;
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotPublisher {
     slot: Arc<RwLock<Snapshot>>,
+    /// Epoch of the snapshot in `slot`, mirrored into an atomic so epoch
+    /// probes (lag measurement, monitoring) cost one relaxed load instead of
+    /// a lock + `Arc` clone.
+    epoch_cell: Arc<AtomicU64>,
+    /// Caches registered by the query services reading from this slot, held
+    /// weakly: a dropped service's cache simply stops resolving and is
+    /// pruned on the next [`SnapshotPublisher::cache_stats`] call.
+    caches: Arc<Mutex<Vec<Weak<ShardedLru>>>>,
 }
 
 impl SnapshotPublisher {
@@ -34,7 +52,12 @@ impl SnapshotPublisher {
     /// A publisher pre-loaded with `snapshot` (e.g. one rebuilt from a batch
     /// report, to serve while a stream catches up).
     pub fn with_initial(snapshot: Snapshot) -> Self {
-        SnapshotPublisher { slot: Arc::new(RwLock::new(snapshot)) }
+        let epoch = snapshot.epoch();
+        SnapshotPublisher {
+            slot: Arc::new(RwLock::new(snapshot)),
+            epoch_cell: Arc::new(AtomicU64::new(epoch)),
+            caches: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// The current snapshot: a cheap `Arc` clone taken under the read lock.
@@ -48,18 +71,48 @@ impl SnapshotPublisher {
     /// this call keep their old snapshot; every later `load` sees the new
     /// one.
     pub fn publish(&self, snapshot: Snapshot) {
+        let epoch = snapshot.epoch();
         *self.slot.write().expect("publisher slot poisoned") = snapshot;
+        self.epoch_cell.store(epoch, Ordering::Relaxed);
+        obs::counter!("serve.publisher.publishes");
+        obs::gauge!("serve.publisher.epoch", epoch as i64);
     }
 
     /// Epoch of the currently published snapshot.
     pub fn epoch(&self) -> u64 {
         self.load().epoch()
     }
+
+    /// Epoch of the currently published snapshot, from the mirrored atomic —
+    /// no lock, no snapshot clone. May trail [`SnapshotPublisher::epoch`] by
+    /// one publish for a concurrent reader (the mirror is updated after the
+    /// swap), which is exactly the window epoch-lag metrics exist to see.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_cell.load(Ordering::Relaxed)
+    }
+
+    /// Register a query service's response cache for runtime stats
+    /// aggregation. Held weakly; dropping the cache unregisters it.
+    pub fn register_cache(&self, cache: &Arc<ShardedLru>) {
+        self.caches.lock().expect("publisher cache list poisoned").push(Arc::downgrade(cache));
+    }
+
+    /// Aggregate hit/miss/eviction counters across every live registered
+    /// cache (services whose caches were dropped are pruned here).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut caches = self.caches.lock().expect("publisher cache list poisoned");
+        caches.retain(|weak| weak.strong_count() > 0);
+        caches
+            .iter()
+            .filter_map(Weak::upgrade)
+            .fold(CacheStats::default(), |acc, cache| acc.merge(&cache.stats()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{CacheConfig, Query, QueryService};
 
     #[test]
     fn load_returns_a_stable_handle_across_publishes() {
@@ -78,5 +131,26 @@ mod tests {
         let clone = publisher.clone();
         clone.publish(Snapshot::empty());
         assert_eq!(publisher.load(), clone.load());
+        assert_eq!(publisher.current_epoch(), publisher.epoch());
+    }
+
+    #[test]
+    fn registered_caches_report_through_the_publisher() {
+        let publisher = SnapshotPublisher::new();
+        let service_a = QueryService::with_cache(publisher.clone(), CacheConfig::default());
+        let service_b = QueryService::with_cache(publisher.clone(), CacheConfig::default());
+
+        // One miss then one hit on A, one miss on B.
+        service_a.query(&Query::Stats);
+        service_a.query(&Query::Stats);
+        service_b.query(&Query::Stats);
+        let stats = publisher.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+
+        // Dropping a service unregisters its cache: its counters vanish from
+        // the aggregate.
+        drop(service_b);
+        let stats = publisher.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

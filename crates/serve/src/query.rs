@@ -38,6 +38,27 @@ pub enum Query {
     TopCollections(usize),
     /// Per-marketplace wash rollups (the Table II rows).
     Marketplaces,
+    /// A snapshot of the process-wide runtime metrics (ingest, executor,
+    /// stream, serve). Answered live, never cached.
+    Metrics,
+}
+
+impl Query {
+    /// Stable lowercase variant name, used as the metric-name suffix of the
+    /// per-variant latency histograms (`serve.query.<variant>_ns`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Query::Stats => "stats",
+            Query::Nft(_) => "nft",
+            Query::SuspectsSince(_) => "suspects_since",
+            Query::SuspectsBetween(_, _) => "suspects_between",
+            Query::TopMovers(_) => "top_movers",
+            Query::Account(_) => "account",
+            Query::TopCollections(_) => "top_collections",
+            Query::Marketplaces => "marketplaces",
+            Query::Metrics => "metrics",
+        }
+    }
 }
 
 /// The payload of a served query.
@@ -57,6 +78,9 @@ pub enum Response {
     Collections(Vec<CollectionRollup>),
     /// Answer to [`Query::Marketplaces`].
     Marketplaces(Vec<MarketplaceWashRow>),
+    /// Answer to [`Query::Metrics`]: the deterministic name-sorted metrics
+    /// snapshot taken at answer time.
+    Metrics(obs::MetricsSnapshot),
 }
 
 /// A response plus its provenance: the epoch of the snapshot that produced
@@ -86,6 +110,7 @@ impl Snapshot {
             Query::Account(account) => Response::Account(self.dossier(*account)),
             Query::TopCollections(n) => Response::Collections(self.top_collections(*n)),
             Query::Marketplaces => Response::Marketplaces(self.marketplaces().to_vec()),
+            Query::Metrics => Response::Metrics(obs::snapshot()),
         }
     }
 }
@@ -128,21 +153,45 @@ impl QueryService {
         QueryService::with_cache(publisher, CacheConfig::default())
     }
 
-    /// A service with explicit cache sizing.
+    /// A service with explicit cache sizing. The cache is registered with
+    /// the publisher so [`SnapshotPublisher::cache_stats`] sees it for as
+    /// long as this service (or a clone) is alive.
     pub fn with_cache(publisher: SnapshotPublisher, config: CacheConfig) -> Self {
-        QueryService {
-            publisher,
-            cache: Arc::new(ShardedLru::new(config.shards, config.capacity_per_shard)),
-        }
+        let cache = Arc::new(ShardedLru::new(config.shards, config.capacity_per_shard));
+        publisher.register_cache(&cache);
+        QueryService { publisher, cache }
     }
 
     /// Serve one query from the currently published snapshot. The returned
     /// epoch identifies that snapshot; the response is internally consistent
     /// with it by construction (one `load`, one snapshot, one answer — and
     /// cache entries only ever match their own epoch).
+    ///
+    /// Each call records its end-to-end latency into the per-variant
+    /// `serve.query.<variant>_ns` histogram, bumps `serve.query.count`, and
+    /// records `serve.query.epoch_lag` — how many epochs the snapshot that
+    /// answered trails the latest published one (non-zero only when a
+    /// publish raced this query).
     pub fn query(&self, query: &Query) -> Served {
+        let timed = obs::recording().then(std::time::Instant::now);
+        let served = self.answer_via_cache(query);
+        if let Some(started) = timed {
+            latency_histogram(query).get().record_duration(started.elapsed());
+            obs::counter!("serve.query.count");
+            let lag = self.publisher.current_epoch().saturating_sub(served.epoch);
+            obs::histogram!("serve.query.epoch_lag", lag);
+        }
+        served
+    }
+
+    fn answer_via_cache(&self, query: &Query) -> Served {
         let snapshot = self.publisher.load();
         let epoch = snapshot.epoch();
+        // Metrics are live process state, not snapshot state: caching one
+        // would freeze the counters it exists to report.
+        if matches!(query, Query::Metrics) {
+            return Served { epoch, cached: false, response: snapshot.answer(query) };
+        }
         if let Some(response) = self.cache.get(epoch, query) {
             return Served { epoch, cached: true, response };
         }
@@ -156,8 +205,43 @@ impl QueryService {
         self.publisher.load()
     }
 
+    /// The publisher this service reads from.
+    pub fn publisher(&self) -> &SnapshotPublisher {
+        &self.publisher
+    }
+
     /// Cache hit/miss counters since the service was created.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+}
+
+/// The per-variant latency histogram for `query`, resolved through static
+/// lazy handles so the hot path never formats a metric name or takes the
+/// registry lock after first use.
+fn latency_histogram(query: &Query) -> &'static obs::LazyHistogram {
+    static STATS: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.stats_ns");
+    static NFT: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.nft_ns");
+    static SUSPECTS_SINCE: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.suspects_since_ns");
+    static SUSPECTS_BETWEEN: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.suspects_between_ns");
+    static TOP_MOVERS: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.top_movers_ns");
+    static ACCOUNT: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.account_ns");
+    static TOP_COLLECTIONS: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.top_collections_ns");
+    static MARKETPLACES: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.marketplaces_ns");
+    static METRICS: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.metrics_ns");
+    match query {
+        Query::Stats => &STATS,
+        Query::Nft(_) => &NFT,
+        Query::SuspectsSince(_) => &SUSPECTS_SINCE,
+        Query::SuspectsBetween(_, _) => &SUSPECTS_BETWEEN,
+        Query::TopMovers(_) => &TOP_MOVERS,
+        Query::Account(_) => &ACCOUNT,
+        Query::TopCollections(_) => &TOP_COLLECTIONS,
+        Query::Marketplaces => &MARKETPLACES,
+        Query::Metrics => &METRICS,
     }
 }

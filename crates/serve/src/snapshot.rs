@@ -372,6 +372,7 @@ impl Snapshot {
         marketplaces: Vec<MarketplaceWashRow>,
         confirmed_at: &HashMap<NftId, BlockNumber>,
     ) -> Snapshot {
+        let _build_span = obs::span!("serve.snapshot.build_ns");
         let tip = BlockNumber(meta.watermark.0.saturating_sub(1));
 
         // Point-lookup table and its two derived orders (log, ranking).

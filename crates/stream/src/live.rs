@@ -287,7 +287,9 @@ impl<'a> StreamAnalyzer<'a> {
             (graph.nft, NftState { refinement, evidence })
         });
         drop(dirty_graphs);
+        let mut evaluate_reruns = 0u64;
         for (nft, state) in recomputed {
+            evaluate_reruns += state.evidence.len() as u64;
             if self.states.len() <= nft.index() {
                 self.states.resize_with(nft.index() + 1, || None);
             }
@@ -324,6 +326,28 @@ impl<'a> StreamAnalyzer<'a> {
             confirmed_total: self.live.detection.confirmed.len(),
             wall_time_ns: u64::try_from(started.elapsed().as_nanos().max(1)).unwrap_or(u64::MAX),
         };
+        if obs::recording() {
+            obs::counter!("stream.epochs");
+            obs::counter!("stream.refine_reruns", delta.dirty_nfts as u64);
+            obs::counter!("stream.evaluate_reruns", evaluate_reruns);
+            obs::counter!("stream.new_suspects", delta.new_suspects.len() as u64);
+            obs::counter!("stream.lost_suspects", delta.lost_suspects as u64);
+            obs::histogram!("stream.epoch_ns", delta.wall_time_ns);
+            obs::histogram!("stream.dirty_nfts", delta.dirty_nfts as u64);
+            obs::gauge!("stream.total_nfts", delta.total_nfts as i64);
+            obs::gauge!("stream.confirmed_total", delta.confirmed_total as i64);
+            obs::gauge!("stream.watermark", self.live.watermark.0 as i64);
+            obs::event!(
+                "stream.epoch",
+                "epoch {}: blocks {}..={}, {} dirty of {} NFTs, {} confirmed",
+                delta.index,
+                delta.first_block.0,
+                delta.last_block.0,
+                delta.dirty_nfts,
+                delta.total_nfts,
+                delta.confirmed_total
+            );
+        }
         self.live.epochs.push(delta.clone());
         self.publish_snapshot();
         Some(delta)
@@ -384,6 +408,7 @@ impl<'a> StreamAnalyzer<'a> {
     /// [`DetectionOutcome`] for the [`LiveReport`] is produced at the end —
     /// the same single resolution point the batch report assembly uses.
     fn reassemble(&mut self, last_block: BlockNumber) {
+        let _reassemble_span = obs::span!("stream.reassemble_ns");
         let dataset = self.dataset.dataset();
         let interner = &dataset.interner;
         self.live.refinement =

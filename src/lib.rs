@@ -9,6 +9,7 @@ pub use ethsim;
 pub use graphlib;
 pub use labels;
 pub use marketplace;
+pub use obs;
 pub use oracle;
 pub use tokens;
 pub use washtrade;

@@ -1,0 +1,140 @@
+//! The repository-level observability gate: one streamed world, a handful of
+//! queries, then `Query::Metrics` must come back with a deterministic,
+//! name-sorted snapshot that covers every instrumented subsystem — ingest,
+//! the parallel executor, the streaming scheduler, and the serve layer.
+//!
+//! Under `--features obs-noop` the same test asserts the opposite contract:
+//! the snapshot is empty, because every record path compiled to nothing.
+
+use nft_wash_study::ethsim::Timestamp;
+use nft_wash_study::obs;
+use nft_wash_study::washtrade::pipeline::AnalysisInput;
+use nft_wash_study::washtrade_serve::{Query, QueryService, Response};
+use nft_wash_study::washtrade_stream::{StreamAnalyzer, StreamOptions};
+use nft_wash_study::workload::{WorkloadConfig, World};
+
+fn config(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        start: Timestamp::from_secs(1_609_459_200),
+        duration_days: 90,
+        collections: 5,
+        non_compliant_collections: 1,
+        erc1155_collections: 1,
+        dex_position_nfts: 2,
+        legit_traders: 14,
+        legit_sales: 40,
+        zero_volume_shuffles: 3,
+        wash_activities: 12,
+        serial_trader_fraction: 0.3,
+        gas_price_gwei: 40,
+    }
+}
+
+fn metrics_snapshot(service: &QueryService) -> obs::MetricsSnapshot {
+    let served = service.query(&Query::Metrics);
+    assert!(!served.cached, "Query::Metrics must never be served from the cache");
+    match served.response {
+        Response::Metrics(snapshot) => snapshot,
+        other => panic!("Query::Metrics answered with {other:?}"),
+    }
+}
+
+#[test]
+fn query_metrics_covers_every_instrumented_subsystem() {
+    let world = World::generate(config(7)).expect("world generation");
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+
+    // Four worker threads so the executor's parallel fan-out (and its
+    // metrics) run even on a single-core host; results are thread-count
+    // independent either way.
+    let mut analyzer = StreamAnalyzer::new(input, StreamOptions { threads: 4 });
+    let service = QueryService::new(analyzer.publisher());
+    let mut epochs: usize = 0;
+    while analyzer.ingest_epoch(20).is_some() {
+        epochs += 1;
+    }
+    assert!(epochs >= 2, "the world must slice into multiple epochs");
+
+    // Exercise the serve path: a repeated query (cache hit), a ranking, and
+    // a point lookup.
+    service.query(&Query::Stats);
+    service.query(&Query::Stats);
+    service.query(&Query::TopMovers(5));
+
+    let snapshot = metrics_snapshot(&service);
+
+    if !obs::enabled() {
+        assert_eq!(snapshot.metrics.len(), 0, "noop builds must snapshot nothing");
+        assert!(obs::recent_events(16).is_empty(), "noop builds must log no events");
+        return;
+    }
+
+    // Every subsystem is represented.
+    for prefix in ["ingest.", "executor.", "stream.", "serve."] {
+        assert!(
+            snapshot.metrics.iter().any(|metric| metric.name.starts_with(prefix)),
+            "no {prefix}* metric in the snapshot"
+        );
+    }
+
+    // Ingest: one instrumented call per streamed epoch, with phase timings.
+    assert!(snapshot.counter("ingest.calls").unwrap_or(0) >= epochs as u64);
+    assert!(snapshot.counter("ingest.transfers").unwrap_or(0) > 0);
+    let decode = snapshot.histogram("ingest.decode_ns").expect("decode histogram");
+    assert!(decode.count >= epochs as u64);
+
+    // Executor: the dirty-set fan-outs report tasks and busy time.
+    assert!(snapshot.counter("executor.fanouts").unwrap_or(0) > 0);
+    assert!(snapshot.counter("executor.tasks").unwrap_or(0) > 0);
+
+    // Stream: one epoch record per ingested epoch, watermark past block 0.
+    assert_eq!(snapshot.counter("stream.epochs"), Some(epochs as u64));
+    let epoch_ns = snapshot.histogram("stream.epoch_ns").expect("epoch histogram");
+    assert_eq!(epoch_ns.count, epochs as u64);
+    assert!(snapshot.gauge("stream.watermark").unwrap_or(0) > 0);
+
+    // Serve: queries timed per variant, cache hit recorded, snapshots built.
+    // (The Metrics query itself records its count only *after* the snapshot
+    // it returns was taken, so it isn't in its own answer.)
+    assert!(snapshot.counter("serve.query.count").unwrap_or(0) >= 3);
+    assert!(snapshot.counter("serve.cache.hits").unwrap_or(0) >= 1);
+    assert!(snapshot.histogram("serve.query.stats_ns").map_or(0, |h| h.count) >= 2);
+    assert!(
+        snapshot.histogram("serve.snapshot.build_ns").map_or(0, |h| h.count) >= epochs as u64,
+        "every published epoch builds a snapshot"
+    );
+    assert_eq!(snapshot.counter("serve.publisher.publishes"), Some(epochs as u64));
+
+    // The event ring saw the per-epoch events, newest last.
+    let events = obs::recent_events(usize::MAX);
+    let stream_events: Vec<_> =
+        events.iter().filter(|event| event.name == "stream.epoch").collect();
+    assert_eq!(stream_events.len(), epochs.min(128), "one ring event per epoch");
+
+    // Determinism: metrics arrive sorted by name, and a second snapshot is a
+    // newer version with the same ordering contract.
+    let names: Vec<&str> = snapshot.metrics.iter().map(|metric| metric.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot metrics must be name-sorted");
+
+    let second = metrics_snapshot(&service);
+    assert!(second.version > snapshot.version, "snapshot versions must increase");
+    let second_names: Vec<&str> =
+        second.metrics.iter().map(|metric| metric.name.as_str()).collect();
+    let mut second_sorted = second_names.clone();
+    second_sorted.sort_unstable();
+    assert_eq!(second_names, second_sorted);
+
+    // Both renderers accept the full real-world snapshot.
+    let text = snapshot.render_text();
+    let json = snapshot.render_json();
+    assert!(text.contains("stream.epochs"));
+    assert!(json.contains("\"serve.query.count\""));
+}
