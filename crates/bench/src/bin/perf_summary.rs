@@ -202,6 +202,38 @@ fn print_scale_baselines(root: &Json) {
     }
 }
 
+fn print_snapshot_delta(root: &Json) {
+    let Some(section) = root.get("snapshot_delta") else {
+        println!(
+            "(no `snapshot_delta` section — run `cargo bench -p bench --bench snapshot_delta`)"
+        );
+        return;
+    };
+    println!("delta-encoded snapshot publishing (per-epoch vs full rebuild at the same state):");
+    println!(
+        "  {:<10} {:>7} {:>7} {:>14} {:>14} {:>9} {:>7}",
+        "world", "epochs", "deltas", "publish ns", "full ns", "speedup", "reuse"
+    );
+    let Some(Json::Arr(worlds)) = section.get("worlds") else {
+        return;
+    };
+    for world in worlds {
+        println!(
+            "  {:<10} {:>7} {:>7} {:>14} {:>14} {:>8.1}x {:>7.3}",
+            str_of(world.get("world")).unwrap_or("?"),
+            int_of(world.get("epochs")).unwrap_or(0),
+            int_of(world.get("delta_epochs")).unwrap_or(0),
+            int_of(world.get("steady_state_publish_ns")).unwrap_or(0),
+            int_of(world.get("steady_state_full_rebuild_ns")).unwrap_or(0),
+            float_of(world.get("speedup_delta_vs_full")).unwrap_or(0.0),
+            float_of(world.get("steady_state_chunk_reuse")).unwrap_or(0.0),
+        );
+    }
+    println!(
+        "  (steady state = last quarter of epochs; speedup = median of per-epoch paired ratios)"
+    );
+}
+
 fn print_observability(root: &Json) {
     let Some(section) = root.get("observability") else {
         println!("(no `observability` section — run `cargo bench -p bench --bench observability`)");
@@ -256,6 +288,8 @@ fn main() {
     print_ingest_table(&root);
     println!();
     print_scale_baselines(&root);
+    println!();
+    print_snapshot_delta(&root);
     println!();
     print_observability(&root);
 }

@@ -22,17 +22,24 @@ pub const ZERO_RISK_TOLERANCE: Wei = Wei(1_000_000_000_000_000);
 /// The component's net ETH position over all trades of the NFT that touch it
 /// (positive = the component extracted value, negative = it injected value).
 ///
-/// Membership is a graph-local boolean mask over dense node indices — no
-/// hashing anywhere on this path.
+/// Walks each member's incident edge lists from the graph's CSR topology —
+/// O(component degree), not O(all trades of the NFT) — so evaluating many
+/// candidates on a heavily traded NFT no longer rescans the full edge set
+/// per candidate. Every edge is visited once per member endpoint (an
+/// internal trade contributes `+price` at its seller and `-price` at its
+/// buyer, cancelling exactly), and the sum is exact integer arithmetic, so
+/// the result is identical to a full-edge scan in any order.
 pub fn net_position(graph: &NftGraph, accounts: &[AccountId]) -> i128 {
-    let member = graph.membership(accounts);
     let mut net: i128 = 0;
-    for edge in graph.graph.edges() {
-        if member[edge.source] {
-            net += edge.weight.price.raw() as i128;
+    for account in accounts {
+        let Some(node) = graph.graph.node_id(account) else {
+            continue;
+        };
+        for &edge in graph.graph.outgoing_edges(node) {
+            net += graph.graph.edge_weight(edge).price.raw() as i128;
         }
-        if member[edge.target] {
-            net -= edge.weight.price.raw() as i128;
+        for &edge in graph.graph.incoming_edges(node) {
+            net -= graph.graph.edge_weight(edge).price.raw() as i128;
         }
     }
     net

@@ -617,6 +617,26 @@ impl<V> Postings<V> {
         Postings { offsets, values }
     }
 
+    /// Build the table directly from its CSR parts:
+    /// `offsets[k]..offsets[k + 1]` spans key `k`'s slice of `values`. For
+    /// callers that already produce grouped, key-ordered output — skips
+    /// [`Postings::from_pairs`]' sort and regroup passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `offsets` starts at 0, ends at `values.len()`, and
+    /// ascends.
+    pub fn from_parts(offsets: Vec<u32>, values: Vec<V>) -> Self {
+        assert_eq!(offsets.first(), Some(&0), "offsets must start at 0");
+        assert_eq!(
+            offsets.last().map(|&last| last as usize),
+            Some(values.len()),
+            "offsets must end at values.len()"
+        );
+        assert!(offsets.windows(2).all(|pair| pair[0] <= pair[1]), "offsets must ascend");
+        Postings { offsets, values }
+    }
+
     /// Number of keys with an allocated slot (`0..keys()`; trailing keys
     /// without postings are not represented).
     pub fn keys(&self) -> usize {

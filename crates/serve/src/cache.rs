@@ -129,8 +129,11 @@ impl ShardedLru {
     /// Insert a computed response. Entries from *older* epochs are purged
     /// first (publication invalidation); newer entries are kept, so a
     /// laggard reader still finishing queries against a superseded snapshot
-    /// cannot evict the fresh epoch's working set. If the shard is still
-    /// full, the least-recently-used entry is evicted.
+    /// cannot evict the fresh epoch's working set. Historical queries
+    /// (`AsOf`, epoch diffs) are exempt from the purge — their answers
+    /// address a fixed epoch and can never go stale, so they survive
+    /// publishes and are reclaimed by LRU pressure only. If the shard is
+    /// still full, the least-recently-used entry is evicted.
     pub fn insert(&self, epoch: u64, query: Query, response: Response) {
         if self.capacity_per_shard == 0 {
             return;
@@ -139,7 +142,7 @@ impl ShardedLru {
         shard.clock += 1;
         let clock = shard.clock;
         let before = shard.entries.len();
-        shard.entries.retain(|entry| entry.epoch >= epoch);
+        shard.entries.retain(|entry| entry.epoch >= epoch || entry.query.is_historical());
         let mut evicted = (before - shard.entries.len()) as u64;
         if let Some(entry) =
             shard.entries.iter_mut().find(|entry| entry.epoch == epoch && entry.query == query)
@@ -257,6 +260,18 @@ mod tests {
         assert!(cache.get(1, &stats_query(1)).is_none());
         assert!(cache.get(1, &stats_query(2)).is_none());
         assert!(cache.get(2, &stats_query(3)).is_some());
+    }
+
+    #[test]
+    fn historical_entries_survive_epoch_invalidation() {
+        // An `AsOf` answer addresses a fixed epoch: publishing newer epochs
+        // must not purge it (it cannot go stale), only LRU pressure may.
+        let cache = ShardedLru::new(1, 4);
+        let historical = Query::AsOf(3, Box::new(Query::TopMovers(1)));
+        cache.insert(3, historical.clone(), response(1));
+        cache.insert(9, stats_query(2), response(2));
+        assert!(cache.get(3, &historical).is_some(), "historical entry survives a newer epoch");
+        assert!(cache.get(9, &stats_query(2)).is_some());
     }
 
     #[test]

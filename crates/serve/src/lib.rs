@@ -37,15 +37,17 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chunks;
 pub mod publish;
 pub mod query;
 pub mod snapshot;
 
 pub use cache::{CacheStats, ShardedLru};
+pub use chunks::SegmentedVec;
 pub use obs::MetricsSnapshot;
-pub use publish::SnapshotPublisher;
-pub use query::{CacheConfig, Query, QueryService, Response, Served};
+pub use publish::{RetentionPolicy, SnapshotPublisher};
+pub use query::{CacheConfig, Query, QueryService, Response, Served, TrendPoint};
 pub use snapshot::{
-    AccountDossier, ActivityRecord, CollectionRollup, NftSummary, Snapshot, SnapshotMeta,
-    SnapshotStats,
+    AccountDossier, ActivityRecord, CollectionRollup, NftSummary, Snapshot, SnapshotBuildStats,
+    SnapshotMeta, SnapshotStats, WashVolumes,
 };

@@ -6,7 +6,14 @@
 //! The catalog covers the queries the paper's downstream consumers issue:
 //! point status of an NFT, block-windowed suspect feeds, volume rankings,
 //! account dossiers, collection and marketplace rollups, and the aggregate
-//! stats line.
+//! stats line — plus the **longitudinal** surface retention enables:
+//! [`Query::AsOf`] re-targets any point query at a retained historical
+//! epoch, [`Query::SuspectDiff`] reports the suspect-set churn between two
+//! epochs, and [`Query::WashVolumeTrend`] serves the wash-volume series
+//! across every retained epoch. Historical answers are immutable, so their
+//! cache entries are exempt from epoch invalidation and age out by LRU
+//! only; asking for an evicted epoch yields a typed
+//! [`Response::NotRetained`] miss, never a panic.
 
 use ethsim::{Address, BlockNumber, Wei};
 use serde::{Deserialize, Serialize};
@@ -38,6 +45,20 @@ pub enum Query {
     TopCollections(usize),
     /// Per-marketplace wash rollups (the Table II rows).
     Marketplaces,
+    /// Time travel: answer the inner query from the snapshot retained for
+    /// `epoch` instead of the current one. The inner query must be a
+    /// snapshot-level query (not `Metrics` or another historical variant).
+    AsOf(u64, Box<Query>),
+    /// Suspect-set churn between two retained epochs: which NFTs entered
+    /// the suspect set going `from → to`, and which left it.
+    SuspectDiff {
+        /// Baseline epoch.
+        from: u64,
+        /// Comparison epoch.
+        to: u64,
+    },
+    /// The wash-volume trend across every retained epoch, ascending.
+    WashVolumeTrend,
     /// A snapshot of the process-wide runtime metrics (ingest, executor,
     /// stream, serve). Answered live, never cached.
     Metrics,
@@ -56,9 +77,37 @@ impl Query {
             Query::Account(_) => "account",
             Query::TopCollections(_) => "top_collections",
             Query::Marketplaces => "marketplaces",
+            Query::AsOf(_, _) => "as_of",
+            Query::SuspectDiff { .. } => "suspect_diff",
+            Query::WashVolumeTrend => "wash_volume_trend",
             Query::Metrics => "metrics",
         }
     }
+
+    /// Whether this query addresses fixed historical epochs, making its
+    /// answer immutable once computed. Historical cache entries are exempt
+    /// from epoch invalidation (they can never go stale) and are reclaimed
+    /// by LRU pressure only.
+    pub fn is_historical(&self) -> bool {
+        matches!(self, Query::AsOf(_, _) | Query::SuspectDiff { .. })
+    }
+}
+
+/// One point of the [`Query::WashVolumeTrend`] series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// The retained epoch.
+    pub epoch: u64,
+    /// First block not covered by that epoch.
+    pub watermark: BlockNumber,
+    /// Confirmed activities at that epoch.
+    pub confirmed_activities: usize,
+    /// Distinct suspect NFTs at that epoch.
+    pub suspect_nfts: usize,
+    /// Confirmed wash volume in ETH at that epoch.
+    pub wash_volume_eth: f64,
+    /// Confirmed wash volume in USD at that epoch.
+    pub wash_volume_usd: f64,
 }
 
 /// The payload of a served query.
@@ -78,6 +127,30 @@ pub enum Response {
     Collections(Vec<CollectionRollup>),
     /// Answer to [`Query::Marketplaces`].
     Marketplaces(Vec<MarketplaceWashRow>),
+    /// Answer to [`Query::SuspectDiff`]: suspect-set churn `from → to`,
+    /// both ascending by NFT identity.
+    SuspectDiff {
+        /// NFTs suspect at `to` but not at `from`.
+        added: Vec<NftId>,
+        /// NFTs suspect at `from` but not at `to`.
+        removed: Vec<NftId>,
+    },
+    /// Answer to [`Query::WashVolumeTrend`]: one point per retained epoch,
+    /// ascending by epoch.
+    Trend(Vec<TrendPoint>),
+    /// Typed miss for a historical query naming an epoch the publisher no
+    /// longer (or never) retained.
+    NotRetained {
+        /// The epoch the query asked for.
+        requested: u64,
+        /// The latest published epoch.
+        latest: u64,
+        /// Every epoch currently answerable, ascending.
+        retained: Vec<u64>,
+    },
+    /// The query cannot be answered in this position (e.g. nesting a
+    /// historical or live-metrics query inside [`Query::AsOf`]).
+    Unsupported(&'static str),
     /// Answer to [`Query::Metrics`]: the deterministic name-sorted metrics
     /// snapshot taken at answer time.
     Metrics(obs::MetricsSnapshot),
@@ -87,7 +160,9 @@ pub enum Response {
 /// it and whether it came from the cache.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Served {
-    /// Epoch of the snapshot the response was computed from.
+    /// Epoch of the snapshot the response was computed from. For historical
+    /// queries this is the *addressed* epoch (for [`Query::SuspectDiff`],
+    /// the later of the two).
     pub epoch: u64,
     /// Whether the response was served from the LRU cache.
     pub cached: bool,
@@ -97,7 +172,10 @@ pub struct Served {
 
 impl Snapshot {
     /// Answer one query from this snapshot. Every arm is an index lookup;
-    /// nothing here touches analysis state.
+    /// nothing here touches analysis state. Queries that need the
+    /// publisher's retained history ([`Query::AsOf`] and friends) cannot be
+    /// answered by a lone snapshot and come back
+    /// [`Response::Unsupported`] — route them through a [`QueryService`].
     pub fn answer(&self, query: &Query) -> Response {
         match query {
             Query::Stats => Response::Stats(self.stats()),
@@ -110,7 +188,23 @@ impl Snapshot {
             Query::Account(account) => Response::Account(self.dossier(*account)),
             Query::TopCollections(n) => Response::Collections(self.top_collections(*n)),
             Query::Marketplaces => Response::Marketplaces(self.marketplaces().to_vec()),
+            Query::AsOf(_, _) | Query::SuspectDiff { .. } | Query::WashVolumeTrend => {
+                Response::Unsupported("historical queries need a QueryService with retention")
+            }
             Query::Metrics => Response::Metrics(obs::snapshot()),
+        }
+    }
+
+    /// The trend-series point this snapshot contributes.
+    fn trend_point(&self) -> TrendPoint {
+        let stats = self.stats();
+        TrendPoint {
+            epoch: stats.epoch,
+            watermark: stats.watermark,
+            confirmed_activities: stats.confirmed_activities,
+            suspect_nfts: stats.suspect_nfts,
+            wash_volume_eth: stats.wash_volume_eth,
+            wash_volume_usd: stats.wash_volume_usd,
         }
     }
 }
@@ -162,42 +256,140 @@ impl QueryService {
         QueryService { publisher, cache }
     }
 
-    /// Serve one query from the currently published snapshot. The returned
-    /// epoch identifies that snapshot; the response is internally consistent
-    /// with it by construction (one `load`, one snapshot, one answer — and
-    /// cache entries only ever match their own epoch).
+    /// Serve one query. Snapshot-level queries answer from the currently
+    /// published snapshot; historical queries resolve their epochs through
+    /// the publisher's retained history. The returned epoch identifies the
+    /// snapshot that answered; the response is internally consistent with
+    /// it by construction (one `load`, one snapshot, one answer — and cache
+    /// entries only ever match their own epoch).
     ///
     /// Each call records its end-to-end latency into the per-variant
     /// `serve.query.<variant>_ns` histogram, bumps `serve.query.count`, and
-    /// records `serve.query.epoch_lag` — how many epochs the snapshot that
-    /// answered trails the latest published one (non-zero only when a
-    /// publish raced this query).
+    /// — for current-snapshot queries — records `serve.query.epoch_lag`:
+    /// how many epochs the snapshot that answered trails the latest
+    /// published one (non-zero only when a publish raced this query).
     pub fn query(&self, query: &Query) -> Served {
         let timed = obs::recording().then(std::time::Instant::now);
         let served = self.answer_via_cache(query);
         if let Some(started) = timed {
             latency_histogram(query).get().record_duration(started.elapsed());
             obs::counter!("serve.query.count");
-            let lag = self.publisher.current_epoch().saturating_sub(served.epoch);
-            obs::histogram!("serve.query.epoch_lag", lag);
+            // Historical queries address old epochs on purpose; recording
+            // their distance as "lag" would drown the real publish-race
+            // signal.
+            if !query.is_historical() {
+                let lag = self.publisher.current_epoch().saturating_sub(served.epoch);
+                obs::histogram!("serve.query.epoch_lag", lag);
+            }
         }
         served
     }
 
     fn answer_via_cache(&self, query: &Query) -> Served {
-        let snapshot = self.publisher.load();
-        let epoch = snapshot.epoch();
-        // Metrics are live process state, not snapshot state: caching one
-        // would freeze the counters it exists to report.
-        if matches!(query, Query::Metrics) {
-            return Served { epoch, cached: false, response: snapshot.answer(query) };
+        match query {
+            // Metrics are live process state, not snapshot state: caching
+            // one would freeze the counters it exists to report.
+            Query::Metrics => {
+                let snapshot = self.publisher.load();
+                Served { epoch: snapshot.epoch(), cached: false, response: snapshot.answer(query) }
+            }
+            Query::AsOf(epoch, inner) => self.answer_as_of(*epoch, inner, query),
+            Query::SuspectDiff { from, to } => self.answer_diff(*from, *to, query),
+            Query::WashVolumeTrend => self.answer_trend(query),
+            _ => {
+                let snapshot = self.publisher.load();
+                let epoch = snapshot.epoch();
+                if let Some(response) = self.cache.get(epoch, query) {
+                    return Served { epoch, cached: true, response };
+                }
+                let response = snapshot.answer(query);
+                self.cache.insert(epoch, query.clone(), response.clone());
+                Served { epoch, cached: false, response }
+            }
         }
-        if let Some(response) = self.cache.get(epoch, query) {
+    }
+
+    /// Answer `inner` from the snapshot retained for `epoch`. Cached under
+    /// the *historical* epoch: the answer can never go stale, so the entry
+    /// keeps serving even after the epoch itself is evicted from retention.
+    fn answer_as_of(&self, epoch: u64, inner: &Query, key: &Query) -> Served {
+        if matches!(
+            inner,
+            Query::Metrics | Query::AsOf(_, _) | Query::SuspectDiff { .. } | Query::WashVolumeTrend
+        ) {
+            return Served {
+                epoch: self.publisher.current_epoch(),
+                cached: false,
+                response: Response::Unsupported(
+                    "AsOf wraps snapshot-level queries only (not Metrics or historical variants)",
+                ),
+            };
+        }
+        if let Some(response) = self.cache.get(epoch, key) {
             return Served { epoch, cached: true, response };
         }
-        let response = snapshot.answer(query);
-        self.cache.insert(epoch, query.clone(), response.clone());
+        match self.publisher.at_epoch(epoch) {
+            Some(snapshot) => {
+                let response = snapshot.answer(inner);
+                self.cache.insert(epoch, key.clone(), response.clone());
+                Served { epoch, cached: false, response }
+            }
+            None => self.not_retained(epoch),
+        }
+    }
+
+    /// Suspect-set churn between two retained epochs, cached under the
+    /// later epoch.
+    fn answer_diff(&self, from: u64, to: u64, key: &Query) -> Served {
+        let key_epoch = from.max(to);
+        if let Some(response) = self.cache.get(key_epoch, key) {
+            return Served { epoch: key_epoch, cached: true, response };
+        }
+        let Some(base) = self.publisher.at_epoch(from) else {
+            return self.not_retained(from);
+        };
+        let Some(target) = self.publisher.at_epoch(to) else {
+            return self.not_retained(to);
+        };
+        let response = suspect_diff(&base, &target);
+        self.cache.insert(key_epoch, key.clone(), response.clone());
+        Served { epoch: key_epoch, cached: false, response }
+    }
+
+    /// The wash-volume series over every retained epoch. Cached under the
+    /// *current* epoch (not historical): each publish extends the series,
+    /// so epoch invalidation is exactly the right freshness rule.
+    fn answer_trend(&self, key: &Query) -> Served {
+        let epoch = self.publisher.epoch();
+        if let Some(response) = self.cache.get(epoch, key) {
+            return Served { epoch, cached: true, response };
+        }
+        let points: Vec<TrendPoint> = self
+            .publisher
+            .retained_epochs()
+            .into_iter()
+            .filter_map(|retained| self.publisher.at_epoch(retained))
+            .map(|snapshot| snapshot.trend_point())
+            .collect();
+        let response = Response::Trend(points);
+        self.cache.insert(epoch, key.clone(), response.clone());
         Served { epoch, cached: false, response }
+    }
+
+    /// The typed miss for an epoch outside the retained set; never cached
+    /// (a *future* epoch will eventually be published and must not be
+    /// answered by a stale miss).
+    fn not_retained(&self, requested: u64) -> Served {
+        let latest = self.publisher.current_epoch();
+        Served {
+            epoch: latest,
+            cached: false,
+            response: Response::NotRetained {
+                requested,
+                latest,
+                retained: self.publisher.retained_epochs(),
+            },
+        }
     }
 
     /// The snapshot the next query would be answered from.
@@ -216,6 +408,42 @@ impl QueryService {
     }
 }
 
+/// Suspect-set churn between two snapshots: a linear merge over the two
+/// identity-sorted suspect tables.
+fn suspect_diff(base: &Snapshot, target: &Snapshot) -> Response {
+    let from = base.suspects();
+    let to = target.suspects();
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < from.len() || j < to.len() {
+        match (from.get(i), to.get(j)) {
+            (Some(old), Some(new)) if old.nft == new.nft => {
+                i += 1;
+                j += 1;
+            }
+            (Some(old), Some(new)) if old.nft < new.nft => {
+                removed.push(old.nft);
+                i += 1;
+            }
+            (Some(_), Some(new)) => {
+                added.push(new.nft);
+                j += 1;
+            }
+            (Some(old), None) => {
+                removed.push(old.nft);
+                i += 1;
+            }
+            (None, Some(new)) => {
+                added.push(new.nft);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Response::SuspectDiff { added, removed }
+}
+
 /// The per-variant latency histogram for `query`, resolved through static
 /// lazy handles so the hot path never formats a metric name or takes the
 /// registry lock after first use.
@@ -232,6 +460,11 @@ fn latency_histogram(query: &Query) -> &'static obs::LazyHistogram {
         obs::LazyHistogram::new("serve.query.top_collections_ns");
     static MARKETPLACES: obs::LazyHistogram =
         obs::LazyHistogram::new("serve.query.marketplaces_ns");
+    static AS_OF: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.as_of_ns");
+    static SUSPECT_DIFF: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.suspect_diff_ns");
+    static WASH_VOLUME_TREND: obs::LazyHistogram =
+        obs::LazyHistogram::new("serve.query.wash_volume_trend_ns");
     static METRICS: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.metrics_ns");
     match query {
         Query::Stats => &STATS,
@@ -242,6 +475,9 @@ fn latency_histogram(query: &Query) -> &'static obs::LazyHistogram {
         Query::Account(_) => &ACCOUNT,
         Query::TopCollections(_) => &TOP_COLLECTIONS,
         Query::Marketplaces => &MARKETPLACES,
+        Query::AsOf(_, _) => &AS_OF,
+        Query::SuspectDiff { .. } => &SUSPECT_DIFF,
+        Query::WashVolumeTrend => &WASH_VOLUME_TREND,
         Query::Metrics => &METRICS,
     }
 }

@@ -33,7 +33,7 @@ use washtrade::refine::{
     aggregate_refinements, DenseCandidate, NftRefinement, RefinementReport, Refiner,
 };
 use washtrade::txgraph::NftGraph;
-use washtrade_serve::{Snapshot, SnapshotMeta, SnapshotPublisher};
+use washtrade_serve::{Snapshot, SnapshotMeta, SnapshotPublisher, WashVolumes};
 
 use crate::cursor::BlockCursor;
 use crate::incremental::{IncrementalDataset, IncrementalGraphs};
@@ -192,6 +192,15 @@ pub struct StreamAnalyzer<'a> {
     /// The confirmed activities still in dense-id form — what each epoch's
     /// snapshot is built from (the publication seam's input).
     dense_confirmed: Vec<DenseActivity>,
+    /// NFTs whose confirmed activities changed in the last reassembly,
+    /// computed by diffing consecutive dense confirmed sets. This is the
+    /// delta-build contract: diffing outcomes (not the dirty set) also
+    /// catches leverage-pass flips on NFTs whose own graphs were untouched.
+    changed_nfts: BTreeSet<NftId>,
+    /// The snapshot this analyzer last published — the delta-encoding base
+    /// for the next epoch. `None` until the first publish (an inherited
+    /// publisher's foreign snapshot is never used as a delta base).
+    last_snapshot: Option<Snapshot>,
     /// The publication slot this analyzer swaps a fresh [`Snapshot`] into
     /// after every ingested epoch.
     publisher: SnapshotPublisher,
@@ -247,6 +256,8 @@ impl<'a> StreamAnalyzer<'a> {
             confirmed_nfts: BTreeSet::new(),
             first_confirmed: HashMap::new(),
             dense_confirmed: Vec::new(),
+            changed_nfts: BTreeSet::new(),
+            last_snapshot: None,
             publisher,
             epoch_base,
             live,
@@ -353,43 +364,105 @@ impl<'a> StreamAnalyzer<'a> {
         Some(delta)
     }
 
-    /// Build the read-side [`Snapshot`] for the just-ingested epoch from the
-    /// dense layers and swap it into the publisher — the publication seam
-    /// between ingestion and the concurrent readers. Confirmation blocks are
-    /// restricted to the currently confirmed set, so the snapshot's suspect
-    /// log answers `suspects_since` exactly as the pre-index linear scan
-    /// did. The per-marketplace rollup rows are reused from the
-    /// characterization this epoch just re-assembled (they are bit-identical
-    /// to what the snapshot would re-derive) instead of re-scanning every
-    /// transfer for venue totals.
+    /// Build the read-side [`Snapshot`] for the just-ingested epoch and swap
+    /// it into the publisher — the publication seam between ingestion and
+    /// the concurrent readers. Confirmation blocks are restricted to the
+    /// currently confirmed set, so the snapshot's suspect log answers
+    /// `suspects_since` exactly as the pre-index linear scan did. The
+    /// per-marketplace rollup rows are reused from the characterization this
+    /// epoch just re-assembled (they are bit-identical to what the snapshot
+    /// would re-derive) instead of re-scanning every transfer for venue
+    /// totals.
     ///
-    /// Cost: like the characterization itself, the snapshot is rebuilt from
-    /// the full confirmed set each epoch — O(confirmed activities), not
-    /// O(dirty) — because every index (postings, ranking, rollups) is a
-    /// global artifact. The per-activity resolution (USD pricing, dominant
-    /// venue, pattern classification) duplicates work `characterize` just
-    /// did; folding the two passes together would need `characterize` to
-    /// expose per-activity artifacts and is left as future work.
+    /// Cost: the snapshot is **delta-encoded** against the one this analyzer
+    /// last published. The expensive per-activity resolution (USD pricing,
+    /// dominant venue, pattern classification, address resolution) runs only
+    /// for the NFTs in `changed_nfts`; every unchanged NFT shares the
+    /// previous epoch's resolved segment by `Arc` clone, and a quiet epoch
+    /// shares every index wholesale. The first epoch of a generation (or
+    /// one inheriting a foreign snapshot through
+    /// [`StreamAnalyzer::with_publisher`]) pays one full build. Either path
+    /// publishes a snapshot bit-identical to
+    /// [`StreamAnalyzer::rebuild_full_snapshot`] — the AsOf-parity gate's
+    /// invariant.
     fn publish_snapshot(&mut self) {
-        let confirmed_at: HashMap<NftId, BlockNumber> = self
-            .first_confirmed
+        let confirmed_at = self.current_confirmed_at();
+        let meta = self.current_meta();
+        let marketplaces = self.live.characterization.per_marketplace.clone();
+        let wash_volumes = Some(self.current_wash_volumes());
+        let snapshot = match &self.last_snapshot {
+            Some(previous) => Snapshot::delta_from_dense(
+                previous,
+                meta,
+                &self.dense_confirmed,
+                self.dataset.dataset(),
+                self.input.directory,
+                self.input.oracle,
+                &confirmed_at,
+                marketplaces,
+                &self.changed_nfts,
+                wash_volumes,
+            ),
+            None => Snapshot::from_dense_with_marketplaces(
+                meta,
+                &self.dense_confirmed,
+                self.dataset.dataset(),
+                self.input.directory,
+                self.input.oracle,
+                &confirmed_at,
+                marketplaces,
+                wash_volumes,
+            ),
+        };
+        self.last_snapshot = Some(snapshot.clone());
+        self.publisher.publish(snapshot);
+    }
+
+    /// Confirmation blocks of the currently confirmed NFTs — the suspect-log
+    /// input of the next published snapshot.
+    fn current_confirmed_at(&self) -> HashMap<NftId, BlockNumber> {
+        self.first_confirmed
             .iter()
             .filter(|(nft, _)| self.confirmed_nfts.contains(*nft))
             .map(|(nft, block)| (*nft, *block))
-            .collect();
-        let snapshot = Snapshot::from_dense_with_marketplaces(
-            SnapshotMeta {
-                epoch: self.epoch_base + self.live.epochs.len() as u64,
-                watermark: self.live.watermark,
-            },
+            .collect()
+    }
+
+    /// Version stamp of the next (or just-) published snapshot.
+    fn current_meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            epoch: self.epoch_base + self.live.epochs.len() as u64,
+            watermark: self.live.watermark,
+        }
+    }
+
+    /// Rebuild the current epoch's snapshot from scratch through the full
+    /// (non-delta) constructor. This is the delta path's reference: the
+    /// result must be bit-identical to [`StreamAnalyzer::snapshot`], which
+    /// the AsOf-parity gate asserts per epoch and the `snapshot_delta` bench
+    /// times the delta path against.
+    pub fn rebuild_full_snapshot(&self) -> Snapshot {
+        Snapshot::from_dense_with_marketplaces(
+            self.current_meta(),
             &self.dense_confirmed,
             self.dataset.dataset(),
             self.input.directory,
             self.input.oracle,
-            &confirmed_at,
+            &self.current_confirmed_at(),
             self.live.characterization.per_marketplace.clone(),
-        );
-        self.publisher.publish(snapshot);
+            Some(self.current_wash_volumes()),
+        )
+    }
+
+    /// The epoch's float wash-volume totals, forwarded from the
+    /// characterization this epoch's reassembly just computed — the same
+    /// flat fold over the same confirmed sequence the snapshot would run,
+    /// so forwarding changes no bits (the parity suite pins this).
+    fn current_wash_volumes(&self) -> WashVolumes {
+        WashVolumes {
+            eth: self.live.characterization.total_volume_eth,
+            usd: self.live.characterization.total_volume_usd,
+        }
     }
 
     /// Ingest epochs of `max_blocks` until caught up with the chain tip;
@@ -434,7 +507,12 @@ impl<'a> StreamAnalyzer<'a> {
         self.live.characterization =
             characterize(&detection.confirmed, dataset, self.input.directory, self.input.oracle);
         self.live.detection = detection.resolve(interner);
-        self.dense_confirmed = detection.confirmed;
+        let previous = std::mem::replace(&mut self.dense_confirmed, detection.confirmed);
+        // The next snapshot's delta base: which NFTs' confirmed activities
+        // actually changed. Diffing outcomes (rather than trusting the dirty
+        // set) is what makes the delta build safe against the leverage pass,
+        // which can flip an NFT whose own graph never changed.
+        self.changed_nfts = changed_suspects(&previous, &self.dense_confirmed, interner);
         self.live.dataset_nfts = dataset.nft_count();
         self.live.dataset_transfers = dataset.transfer_count();
         self.live.raw_transfer_events = dataset.raw_transfer_events;
@@ -526,4 +604,62 @@ impl<'a> StreamAnalyzer<'a> {
     pub fn top_movers(&self, n: usize) -> Vec<(NftId, Wei)> {
         self.publisher.load().top_movers(n)
     }
+}
+
+/// The NFTs whose confirmed activity groups differ between two consecutive
+/// dense confirmed sets — the delta-build `changed` contract. Both inputs
+/// are in confirmed order (sorted by `(resolved NFT, first account)`), so
+/// this is a linear merge over per-NFT groups; a group present on only one
+/// side (new or lost suspect) is changed, a group present on both sides is
+/// changed iff its dense activities differ. Dense keys are stable (the
+/// interner is append-only), so equal dense groups resolve to identical
+/// serving records.
+fn changed_suspects(
+    previous: &[DenseActivity],
+    current: &[DenseActivity],
+    interner: &ids::Interner,
+) -> BTreeSet<NftId> {
+    fn group_end(activities: &[DenseActivity], start: usize) -> usize {
+        let key = activities[start].candidate.nft;
+        let mut end = start + 1;
+        while end < activities.len() && activities[end].candidate.nft == key {
+            end += 1;
+        }
+        end
+    }
+    let mut changed = BTreeSet::new();
+    let (mut i, mut j) = (0, 0);
+    while i < previous.len() || j < current.len() {
+        let prev_nft = (i < previous.len()).then(|| interner.nft(previous[i].candidate.nft));
+        let cur_nft = (j < current.len()).then(|| interner.nft(current[j].candidate.nft));
+        match (prev_nft, cur_nft) {
+            (Some(prev), Some(cur)) if prev == cur => {
+                let prev_end = group_end(previous, i);
+                let cur_end = group_end(current, j);
+                if previous[i..prev_end] != current[j..cur_end] {
+                    changed.insert(cur);
+                }
+                i = prev_end;
+                j = cur_end;
+            }
+            (Some(prev), Some(cur)) if prev < cur => {
+                changed.insert(prev);
+                i = group_end(previous, i);
+            }
+            (Some(_), Some(cur)) => {
+                changed.insert(cur);
+                j = group_end(current, j);
+            }
+            (Some(prev), None) => {
+                changed.insert(prev);
+                i = group_end(previous, i);
+            }
+            (None, Some(cur)) => {
+                changed.insert(cur);
+                j = group_end(current, j);
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    changed
 }

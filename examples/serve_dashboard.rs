@@ -89,9 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Response::TopMovers(movers) = service.query(&Query::TopMovers(1)).response {
             if let Some((nft, _)) = movers.first() {
                 let snapshot = service.snapshot();
-                if let Some(account) =
-                    snapshot.activities().iter().find(|a| a.nft == *nft).map(|a| a.accounts[0])
-                {
+                let colluder = snapshot.activities().find(|a| a.nft == *nft).map(|a| a.accounts[0]);
+                if let Some(account) = colluder {
                     if let Response::Account(Some(dossier)) =
                         service.query(&Query::Account(account)).response
                     {

@@ -105,10 +105,13 @@ fn query_metrics_covers_every_instrumented_subsystem() {
     assert!(snapshot.counter("serve.query.count").unwrap_or(0) >= 3);
     assert!(snapshot.counter("serve.cache.hits").unwrap_or(0) >= 1);
     assert!(snapshot.histogram("serve.query.stats_ns").map_or(0, |h| h.count) >= 2);
+    let full_builds = snapshot.histogram("serve.snapshot.build_ns").map_or(0, |h| h.count);
+    let delta_builds = snapshot.histogram("serve.snapshot.delta_build_ns").map_or(0, |h| h.count);
     assert!(
-        snapshot.histogram("serve.snapshot.build_ns").map_or(0, |h| h.count) >= epochs as u64,
-        "every published epoch builds a snapshot"
+        full_builds + delta_builds >= epochs as u64,
+        "every published epoch builds a snapshot (full or delta-encoded)"
     );
+    assert!(delta_builds >= 1, "steady-state epochs delta-encode against the previous snapshot");
     assert_eq!(snapshot.counter("serve.publisher.publishes"), Some(epochs as u64));
 
     // The event ring saw the per-epoch events, newest last.

@@ -159,9 +159,57 @@ fn verify(epoch: u64, query: &Query, response: &Response, expected: &Expected, c
                 "rollups ranked by volume ({context})"
             );
         }
+        (Query::AsOf(target, _), Response::NotRetained { requested, .. }) => {
+            assert_eq!(requested, target, "typed miss names the requested epoch ({context})");
+        }
+        (Query::AsOf(target, inner), response) => {
+            assert_eq!(epoch, *target, "AsOf answers from the addressed epoch ({context})");
+            verify(epoch, inner, response, expected, context);
+        }
         (query, response) => {
             panic!("response shape does not match query: {query:?} → {response:?} ({context})")
         }
+    }
+}
+
+/// Check one suspect-diff response against the reference states of both
+/// addressed epochs (the main sample loop resolves them; `verify` only sees
+/// one epoch's reference).
+fn verify_diff(
+    epoch: u64,
+    from: u64,
+    to: u64,
+    response: &Response,
+    expectations: &BTreeMap<u64, Expected>,
+    context: &str,
+) {
+    match response {
+        Response::NotRetained { requested, .. } => {
+            assert!(
+                *requested == from || *requested == to,
+                "typed miss names one of the diffed epochs ({context})"
+            );
+        }
+        Response::SuspectDiff { added, removed } => {
+            assert_eq!(epoch, from.max(to), "diff is tagged with the later epoch ({context})");
+            let suspects_at = |epoch: &u64| -> Vec<NftId> {
+                expectations
+                    .get(epoch)
+                    .unwrap_or_else(|| {
+                        panic!("diff answered for unpublished epoch {epoch} ({context})")
+                    })
+                    .suspects()
+            };
+            let from_set = suspects_at(&from);
+            let to_set = suspects_at(&to);
+            let expected_added: Vec<NftId> =
+                to_set.iter().filter(|nft| !from_set.contains(nft)).copied().collect();
+            let expected_removed: Vec<NftId> =
+                from_set.iter().filter(|nft| !to_set.contains(nft)).copied().collect();
+            assert_eq!(added, &expected_added, "diff additions ({context})");
+            assert_eq!(removed, &expected_removed, "diff removals ({context})");
+        }
+        other => panic!("suspect diff answered with {other:?} ({context})"),
     }
 }
 
@@ -263,6 +311,27 @@ proptest::proptest! {
                                 let served = service.query(&query);
                                 local.push((served.epoch, query, served.response));
                             }
+                            // Historical queries against retained epochs:
+                            // the addressed epoch may be evicted between
+                            // listing and answering, so a typed
+                            // `NotRetained` miss is acceptable; an *answer*
+                            // must match that epoch's reference state.
+                            let retained = service.publisher().retained_epochs();
+                            let target = retained[round % retained.len()];
+                            let older = retained[(round / 3) % retained.len()];
+                            let historical = [
+                                Query::AsOf(
+                                    target,
+                                    Box::new(Query::SuspectsSince(BlockNumber(0))),
+                                ),
+                                Query::AsOf(target, Box::new(Query::Stats)),
+                                Query::AsOf(target, Box::new(Query::TopMovers(1 + round % 7))),
+                                Query::SuspectDiff { from: older, to: target },
+                            ];
+                            for query in historical {
+                                let served = service.query(&query);
+                                local.push((served.epoch, query, served.response));
+                            }
                             round += 1;
                         } else {
                             std::thread::yield_now();
@@ -280,12 +349,16 @@ proptest::proptest! {
         let samples = samples.into_inner().expect("samples lock");
         proptest::prop_assert!(!samples.is_empty(), "readers must have sampled something");
         for (epoch, query, response) in &samples {
-            let expected = expectations.get(epoch).unwrap_or_else(|| {
-                panic!("response claims never-published epoch {epoch} (seed {seed})")
-            });
             let context = format!(
                 "seed {seed}, readers {reader_threads}, budgets {budgets:?}, epoch {epoch}"
             );
+            if let Query::SuspectDiff { from, to } = query {
+                verify_diff(*epoch, *from, *to, response, &expectations, &context);
+                continue;
+            }
+            let expected = expectations.get(epoch).unwrap_or_else(|| {
+                panic!("response claims never-published epoch {epoch} (seed {seed})")
+            });
             verify(*epoch, query, response, expected, &context);
         }
 

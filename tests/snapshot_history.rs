@@ -1,0 +1,219 @@
+//! Retention and time-travel gates for the delta-encoded snapshot stack.
+//!
+//! Two invariants anchor this suite:
+//!
+//! 1. **AsOf parity** — every snapshot the publisher retains (ring entry or
+//!    checkpoint) is bit-identical to a full, from-scratch `Snapshot`
+//!    rebuild of that epoch's analysis state. Since the stream publishes
+//!    delta-encoded snapshots, this is exactly the statement that delta
+//!    encoding is invisible: shared chunks change the cost of building, not
+//!    one bit of the result. CI runs `as_of_parity_matches_full_rebuild` as
+//!    a named gate.
+//! 2. **Typed retention misses** — an epoch outside the retention policy
+//!    answers with `Response::NotRetained` naming the requested epoch, the
+//!    latest one, and the currently answerable set; never a panic, never a
+//!    wrong epoch's data.
+
+use std::collections::BTreeMap;
+
+use nft_wash_study::ethsim::Timestamp;
+use nft_wash_study::tokens::NftId;
+use nft_wash_study::washtrade::pipeline::AnalysisInput;
+use nft_wash_study::washtrade_serve::{
+    Query, QueryService, Response, RetentionPolicy, Snapshot, SnapshotPublisher,
+};
+use nft_wash_study::washtrade_stream::{StreamAnalyzer, StreamOptions};
+use nft_wash_study::workload::{WorkloadConfig, World};
+
+fn config(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        start: Timestamp::from_secs(1_609_459_200),
+        duration_days: 80,
+        collections: 4,
+        non_compliant_collections: 1,
+        erc1155_collections: 1,
+        dex_position_nfts: 2,
+        legit_traders: 12,
+        legit_sales: 30,
+        zero_volume_shuffles: 2,
+        wash_activities: 10,
+        serial_trader_fraction: 0.3,
+        gas_price_gwei: 40,
+    }
+}
+
+/// Stream `world` to the tip under `policy`, capturing a full (non-delta)
+/// snapshot rebuild at every epoch — the reference the retained history
+/// must match bit for bit.
+fn stream_with_history(
+    world: &World,
+    policy: RetentionPolicy,
+    budget: u64,
+) -> (SnapshotPublisher, BTreeMap<u64, Snapshot>) {
+    let input = AnalysisInput {
+        chain: &world.chain,
+        labels: &world.labels,
+        directory: &world.directory,
+        oracle: &world.oracle,
+    };
+    let publisher = SnapshotPublisher::with_retention(policy);
+    let mut analyzer =
+        StreamAnalyzer::with_publisher(input, StreamOptions::single_threaded(), publisher.clone());
+    let mut fulls = BTreeMap::new();
+    while analyzer.ingest_epoch(budget).is_some() {
+        fulls.insert(publisher.epoch(), analyzer.rebuild_full_snapshot());
+    }
+    (publisher, fulls)
+}
+
+/// The named CI gate: on a multi-epoch stream with the default retention
+/// policy, every retained historical snapshot — all of them delta-encoded
+/// past epoch 1 — equals the full rebuild of that epoch's state, and the
+/// `AsOf` / diff / trend query surface answers exactly what those full
+/// snapshots answer.
+#[test]
+fn as_of_parity_matches_full_rebuild() {
+    let world = World::generate(config(11)).expect("world generation");
+    let (publisher, fulls) = stream_with_history(&world, RetentionPolicy::default(), 15);
+    let max_epoch = *fulls.keys().next_back().expect("at least one epoch");
+    assert!(max_epoch >= 4, "the world must slice into several epochs");
+
+    // The published path really exercised delta encoding: the final
+    // snapshot was delta-built and reused previously resolved records.
+    let last = publisher.load();
+    let build = last.build_stats();
+    assert!(build.delta, "steady-state publishes are delta-encoded");
+    assert!(build.records_reused > 0, "unchanged NFTs reuse their resolved segments");
+    assert_eq!(build.records_total, last.stats().confirmed_activities);
+
+    let service = QueryService::new(publisher.clone());
+    let retained = publisher.retained_epochs();
+    assert!(retained.len() >= 2, "default policy retains recent history");
+    let mut compared = 0;
+    for epoch in retained {
+        let Some(historical) = publisher.at_epoch(epoch) else {
+            panic!("retained_epochs listed {epoch} but at_epoch missed");
+        };
+        let full = fulls.get(&epoch).expect("every retained epoch was published");
+        assert_eq!(&historical, full, "epoch {epoch}: delta-built history != full rebuild");
+
+        // The query surface serves the same bits.
+        for inner in [
+            Query::Stats,
+            Query::TopMovers(usize::MAX),
+            Query::SuspectsSince(nft_wash_study::ethsim::BlockNumber(0)),
+            Query::TopCollections(usize::MAX),
+            Query::Marketplaces,
+        ] {
+            let served = service.query(&Query::AsOf(epoch, Box::new(inner.clone())));
+            assert_eq!(served.epoch, epoch, "AsOf answers from the addressed epoch");
+            assert_eq!(served.response, full.answer(&inner), "epoch {epoch}, {inner:?}");
+        }
+        compared += 1;
+    }
+    assert!(compared >= 2, "parity must cover multiple historical epochs");
+
+    // The trend series is the stats line of every retained epoch, ascending.
+    let served = service.query(&Query::WashVolumeTrend);
+    let Response::Trend(points) = served.response else {
+        panic!("trend query answered with {:?}", served.response);
+    };
+    assert_eq!(
+        points.iter().map(|point| point.epoch).collect::<Vec<_>>(),
+        publisher.retained_epochs(),
+        "one trend point per retained epoch"
+    );
+    for point in &points {
+        let full = fulls.get(&point.epoch).expect("trend point epoch was published");
+        let stats = full.stats();
+        assert_eq!(
+            (point.watermark, point.confirmed_activities, point.suspect_nfts),
+            (stats.watermark, stats.confirmed_activities, stats.suspect_nfts)
+        );
+        assert_eq!(point.wash_volume_usd, stats.wash_volume_usd, "bit-exact USD totals");
+    }
+
+    // Suspect diff across the retained span equals a set diff of the two
+    // full snapshots' suspect tables.
+    let (first, last_epoch) = {
+        let retained = publisher.retained_epochs();
+        (retained[0], *retained.last().expect("non-empty"))
+    };
+    let served = service.query(&Query::SuspectDiff { from: first, to: last_epoch });
+    let Response::SuspectDiff { added, removed } = served.response else {
+        panic!("suspect diff answered with {:?}", served.response);
+    };
+    let suspects = |epoch: u64| -> Vec<NftId> {
+        fulls[&epoch].suspects().iter().map(|summary| summary.nft).collect()
+    };
+    let (from_set, to_set) = (suspects(first), suspects(last_epoch));
+    assert_eq!(
+        added,
+        to_set.iter().filter(|nft| !from_set.contains(nft)).copied().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        removed,
+        from_set.iter().filter(|nft| !to_set.contains(nft)).copied().collect::<Vec<_>>()
+    );
+}
+
+// Retention-policy property: over random worlds, epoch budgets and policies,
+// (a) every epoch the policy says is retained — ring tail or checkpoint — is
+// answerable and bit-identical to the full rebuild captured when that epoch
+// was published; (b) every evicted epoch answers `AsOf` with a typed
+// `NotRetained` miss naming it.
+proptest::proptest! {
+    #[test]
+    fn retention_policy_keeps_exactly_what_it_promises(
+        seed in 0u64..500,
+        recent in 1usize..5,
+        checkpoint_every in 0u64..5,
+        budget in 5u64..60,
+    ) {
+        let world = World::generate(config(seed)).expect("world generation");
+        let policy = RetentionPolicy { recent, checkpoint_every };
+        let (publisher, fulls) = stream_with_history(&world, policy, budget);
+        let max_epoch = *fulls.keys().next_back().expect("at least one epoch");
+        let service = QueryService::new(publisher.clone());
+
+        for (&epoch, full) in &fulls {
+            // Ring: the last `recent` published epochs. Checkpoints: every
+            // `checkpoint_every`-th epoch, preserved on eviction.
+            let in_ring = epoch + recent as u64 > max_epoch;
+            let checkpointed = checkpoint_every > 0 && epoch % checkpoint_every == 0;
+            match publisher.at_epoch(epoch) {
+                Some(historical) => {
+                    proptest::prop_assert!(
+                        in_ring || checkpointed,
+                        "epoch {} retained against policy {:?} (max {})",
+                        epoch, policy, max_epoch
+                    );
+                    proptest::prop_assert!(
+                        historical == *full,
+                        "epoch {}: retained snapshot differs from the full rebuild (seed {})",
+                        epoch, seed
+                    );
+                }
+                None => {
+                    proptest::prop_assert!(
+                        !(in_ring || checkpointed),
+                        "epoch {} evicted against policy {:?} (max {})",
+                        epoch, policy, max_epoch
+                    );
+                    let served = service.query(&Query::AsOf(epoch, Box::new(Query::Stats)));
+                    match served.response {
+                        Response::NotRetained { requested, latest, retained } => {
+                            proptest::prop_assert_eq!(requested, epoch);
+                            proptest::prop_assert_eq!(latest, max_epoch);
+                            proptest::prop_assert!(!retained.contains(&epoch));
+                        }
+                        other => {
+                            panic!("evicted epoch {epoch} answered {other:?} (seed {seed})")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
