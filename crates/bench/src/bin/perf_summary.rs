@@ -242,10 +242,11 @@ fn print_observability(root: &Json) {
     let mode = str_of(section.get("mode")).unwrap_or("?");
     println!("observability overhead (mode: {mode}):");
     println!(
-        "  per-op: counter {:.1} ns, histogram {:.1} ns, span {:.1} ns",
+        "  per-op: counter {:.1} ns, histogram {:.1} ns, span {:.1} ns, trace span {:.1} ns",
         float_of(section.get("counter_add_ns")).unwrap_or(0.0),
         float_of(section.get("histogram_record_ns")).unwrap_or(0.0),
         float_of(section.get("span_guard_ns")).unwrap_or(0.0),
+        float_of(section.get("trace_span_ns")).unwrap_or(0.0),
     );
     println!(
         "  snapshot: {:.3} ms over {} metrics",
@@ -262,6 +263,35 @@ fn print_observability(root: &Json) {
             ms(on),
             ms(off),
             pct
+        );
+    }
+    print_health(section);
+}
+
+/// The latest health/SLO report the observability bench's streamed pass
+/// recorded: one row per objective, mirroring `HealthReport::render_text`.
+fn print_health(section: &Json) {
+    let Some(health) = section.get("health") else {
+        return;
+    };
+    let healthy = matches!(health.get("healthy"), Some(Json::Bool(true)));
+    println!(
+        "  health: {} after {} per-epoch SLO evaluations",
+        if healthy { "HEALTHY" } else { "UNHEALTHY" },
+        int_of(health.get("evaluations")).unwrap_or(0),
+    );
+    let Some(Json::Arr(verdicts)) = health.get("verdicts") else {
+        return;
+    };
+    for verdict in verdicts {
+        println!(
+            "    [{}] {:<16} observed {:>12} threshold {:>12} burn {} (total {})",
+            if matches!(verdict.get("healthy"), Some(Json::Bool(true))) { " ok " } else { "FAIL" },
+            str_of(verdict.get("slo")).unwrap_or("?"),
+            int_of(verdict.get("observed")).unwrap_or(0),
+            int_of(verdict.get("threshold")).unwrap_or(0),
+            int_of(verdict.get("burn")).unwrap_or(0),
+            int_of(verdict.get("total_burn")).unwrap_or(0),
         );
     }
 }

@@ -26,6 +26,20 @@ pub fn results_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(RESULTS_FILE)
 }
 
+/// Environment variable overriding where the Chrome trace export is written.
+pub const TRACE_PATH_ENV: &str = "CHROME_TRACE_PATH";
+
+/// Where the observability bench writes its Chrome trace-event export:
+/// `$CHROME_TRACE_PATH`, or `chrome_trace.json` under `target/` at the
+/// workspace root. The same variable points the repo-level `trace_export`
+/// gate at the file, so producer and validator agree by construction.
+pub fn trace_path() -> PathBuf {
+    if let Some(path) = std::env::var_os(TRACE_PATH_ENV) {
+        return PathBuf::from(path);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("target").join("chrome_trace.json")
+}
+
 /// Merge `section` into the JSON object at `path`, replacing any previous
 /// value under that key. A missing or unparseable file starts a fresh object
 /// (the file is a build artifact, not a source of truth).

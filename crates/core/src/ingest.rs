@@ -301,9 +301,12 @@ impl Dataset {
         metrics: &mut IngestMetrics,
     ) -> (AppliedEntries, IngestMetrics) {
         let started = std::time::Instant::now();
+        let mut decode_trace = obs::trace::span("ingest.decode");
+        decode_trace.attr("shards", spans.len() as u64);
         let non_compliant = &self.non_compliant_contracts;
         let batches =
             executor.map(spans, |span| decode_span(chain, directory, non_compliant, *span));
+        decode_trace.finish();
         metrics.decode_ns = elapsed_ns(started);
 
         // Ordered probe-and-commit: shards are contiguous block ranges in
@@ -312,6 +315,10 @@ impl Dataset {
         // sequence — and with it the verdict sets and the id assignment —
         // exactly.
         let started = std::time::Instant::now();
+        // The serial path folds reconcile and splice into one commit loop;
+        // trace it as the splice it replaces, flagged `serial`.
+        let mut splice_trace = obs::trace::span("ingest.splice");
+        splice_trace.attr("serial", 1);
         let mut applied = AppliedEntries::default();
         let total: usize = batches.iter().map(|batch| batch.transfers.len()).sum();
         self.columns.reserve(total);
@@ -349,6 +356,8 @@ impl Dataset {
         applied.dirty.sort_unstable();
         applied.dirty.dedup();
         metrics.appended = applied.appended;
+        splice_trace.attr("appended", applied.appended as u64);
+        splice_trace.finish();
         metrics.commit_ns = elapsed_ns(started);
         metrics.reconcile_ns = metrics.commit_ns; // all of it is serial here
         (applied, *metrics)
@@ -369,6 +378,8 @@ impl Dataset {
         // previous ingest call; entities first seen in this range get
         // provisional slots above the snapshot base.
         let started = std::time::Instant::now();
+        let mut decode_trace = obs::trace::span("ingest.decode");
+        decode_trace.attr("shards", spans.len() as u64);
         let snapshot = self.interner.snapshot();
         let account_base = snapshot.account_base();
         let nft_base = snapshot.nft_base();
@@ -378,6 +389,7 @@ impl Dataset {
         let batches = executor.map(spans, |span| {
             decode_speculate(chain, directory, compliant, non_compliant, snapshot, *span)
         });
+        decode_trace.finish();
         metrics.decode_ns = elapsed_ns(started);
 
         // Phase 2 — serial reconcile, proportional to *new* entities only.
@@ -386,6 +398,8 @@ impl Dataset {
         // assignment: interning is idempotent, so a contender two shards
         // both discovered settles on the id the earlier shard claims.
         let started = std::time::Instant::now();
+        let mut reconcile_trace = obs::trace::span("ingest.reconcile");
+        reconcile_trace.attr("shards", batches.len() as u64);
         let mut remaps: Vec<ShardRemap> = Vec::with_capacity(batches.len());
         for batch in &batches {
             self.raw_transfer_events += batch.raw_events;
@@ -412,6 +426,7 @@ impl Dataset {
                 markets: self.interner.reconcile_markets(&batch.contenders.markets),
             });
         }
+        reconcile_trace.finish();
         metrics.reconcile_ns = elapsed_ns(started);
 
         // Phase 3 — parallel rewrite of provisional slots into settled ids
@@ -419,6 +434,7 @@ impl Dataset {
         // store. Segment order is shard order, so the row sequence equals
         // the serial push sequence.
         let started = std::time::Instant::now();
+        let mut splice_trace = obs::trace::span("ingest.splice");
         let work: Vec<(SpecBatch, ShardRemap)> = batches.into_iter().zip(remaps).collect();
         let mut segments = executor.map(&work, |(batch, remap)| {
             let mut segment = ColumnSegment::with_capacity(batch.rows.len());
@@ -448,6 +464,8 @@ impl Dataset {
         applied.dirty.sort_unstable();
         applied.dirty.dedup();
         metrics.appended = applied.appended;
+        splice_trace.attr("appended", applied.appended as u64);
+        splice_trace.finish();
         metrics.commit_ns = metrics.reconcile_ns + elapsed_ns(started);
         (applied, *metrics)
     }

@@ -78,11 +78,19 @@ impl Executor {
         let f = &f;
         let instrumented = obs::recording();
         let started = instrumented.then(std::time::Instant::now);
+        // Workers inherit the fan-out's trace context so spans they open (or
+        // traced code they call into) parent under the calling span's tree.
+        let trace_ctx = obs::trace::current();
         let (results, busy_ns) = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk_size)
-                .map(|chunk| {
+                .enumerate()
+                .map(|(shard, chunk)| {
                     scope.spawn(move || {
+                        let _ctx = obs::trace::adopt(trace_ctx);
+                        let mut worker_span = obs::trace::span("executor.worker");
+                        worker_span.attr("shard", shard as u64);
+                        worker_span.attr("tasks", chunk.len() as u64);
                         let started = instrumented.then(std::time::Instant::now);
                         let out = chunk.iter().map(f).collect::<Vec<U>>();
                         let busy = started.map_or(0, |s| s.elapsed().as_nanos() as u64);

@@ -402,12 +402,22 @@ pub struct AnalysisReport {
 /// Run the full pipeline with explicit options.
 pub fn analyze_with(input: AnalysisInput<'_>, options: AnalysisOptions) -> AnalysisReport {
     let _run_span = obs::span!("core.analyze_ns");
+    let _run_trace = obs::trace::span("core.analyze");
     let mut ctx = AnalysisContext::new(input, options);
     let mut stage_metrics = Vec::new();
     for stage in standard_stages() {
+        let mut stage_trace = if obs::recording() {
+            obs::trace::span_dynamic(&format!("stage.{}", stage.name()))
+        } else {
+            obs::trace::span_dynamic("")
+        };
         let started = Instant::now();
         let io = stage.run(&mut ctx);
         let wall_time = started.elapsed();
+        stage_trace.attr("items_in", io.items_in as u64);
+        stage_trace.attr("items_out", io.items_out as u64);
+        stage_trace.attr("threads", io.threads_used as u64);
+        stage_trace.finish();
         if obs::recording() {
             // Stage names are not literals here, so this goes through the
             // dynamic registry lookup — six lookups per run, negligible.

@@ -1,0 +1,128 @@
+//! Trace-context propagation across `Executor` fan-outs: a span opened
+//! inside a worker closure must parent under the fan-out's calling span —
+//! through the auto-opened `executor.worker` span when threads actually
+//! spawn, directly when the executor runs inline — with correct parent ids
+//! at every nesting depth and at thread counts {1, 2, 4, 8}.
+//!
+//! The flight ring is process-global, so each thread-count case uses names
+//! unique to it and reconstructs its own tree from a filtered dump.
+
+use std::collections::HashMap;
+
+use obs::{SpanId, SpanRecord};
+use washtrade::parallel::Executor;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ITEMS: usize = 48;
+
+fn spans_of(prefix: &str) -> HashMap<SpanId, SpanRecord> {
+    obs::flight::dump()
+        .into_iter()
+        .filter(|record| record.name.starts_with(prefix) || record.name == "executor.worker")
+        .map(|record| (record.span, record))
+        .collect()
+}
+
+/// Walk `record`'s parent chain inside `spans` up to a root; returns the
+/// chain of names, innermost first.
+fn ancestry<'a>(spans: &'a HashMap<SpanId, SpanRecord>, mut record: &'a SpanRecord) -> Vec<String> {
+    let mut names = vec![record.name.clone()];
+    while let Some(parent) = record.parent {
+        record = spans.get(&parent).expect("parent span recorded and retained");
+        names.push(record.name.clone());
+    }
+    names
+}
+
+#[test]
+fn worker_spans_inherit_the_fanout_parent_at_every_depth() {
+    for threads in THREAD_COUNTS {
+        let prefix = format!("prop.t{threads}");
+        let executor = Executor::new(threads);
+        let root_name = format!("{prefix}.root");
+        {
+            let _root = obs::trace::span_dynamic(&root_name);
+            let items: Vec<u64> = (0..ITEMS as u64).collect();
+            let out = executor.map(&items, |item| {
+                let _l1 = obs::trace::span_dynamic(&format!("{prefix}.l1"));
+                let _l2 = obs::trace::span_dynamic(&format!("{prefix}.l2"));
+                let _l3 = obs::trace::span_dynamic(&format!("{prefix}.l3"));
+                item + 1
+            });
+            assert_eq!(out, (1..=ITEMS as u64).collect::<Vec<_>>());
+        }
+
+        if !obs::enabled() {
+            assert!(obs::flight::dump().is_empty(), "noop builds record nothing");
+            continue;
+        }
+        let spans = spans_of(&prefix);
+        let root =
+            spans.values().find(|record| record.name == root_name).expect("fan-out root recorded");
+        assert_eq!(root.parent, None);
+
+        let leaves: Vec<&SpanRecord> =
+            spans.values().filter(|record| record.name == format!("{prefix}.l3")).collect();
+        assert_eq!(leaves.len(), ITEMS, "one innermost span per item");
+        for leaf in leaves {
+            assert_eq!(leaf.trace, root.trace, "every depth shares the fan-out's trace");
+            let chain = ancestry(&spans, leaf);
+            // Innermost-first: l3 → l2 → l1 → (executor.worker when threads
+            // spawned) → root.
+            let expected: Vec<String> = if executor.threads_for(ITEMS) > 1 {
+                vec![
+                    format!("{prefix}.l3"),
+                    format!("{prefix}.l2"),
+                    format!("{prefix}.l1"),
+                    "executor.worker".to_string(),
+                    root_name.clone(),
+                ]
+            } else {
+                vec![
+                    format!("{prefix}.l3"),
+                    format!("{prefix}.l2"),
+                    format!("{prefix}.l1"),
+                    root_name.clone(),
+                ]
+            };
+            assert_eq!(chain, expected, "threads = {threads}");
+        }
+
+        if executor.threads_for(ITEMS) > 1 {
+            let workers: Vec<&SpanRecord> = spans
+                .values()
+                .filter(|record| record.name == "executor.worker" && record.trace == root.trace)
+                .collect();
+            assert_eq!(workers.len(), executor.threads_for(ITEMS), "one span per worker");
+            let tasks: u64 = workers
+                .iter()
+                .map(|worker| {
+                    assert_eq!(worker.parent, Some(root.span));
+                    worker.attrs.iter().find(|(key, _)| *key == "tasks").expect("tasks attr").1
+                })
+                .sum();
+            assert_eq!(tasks as usize, ITEMS, "chunks cover every item exactly once");
+        }
+    }
+}
+
+#[test]
+fn untraced_fanouts_open_no_parented_workers() {
+    // A fan-out with no open span still works; its worker spans (if any)
+    // become roots rather than picking up a stale parent.
+    let executor = Executor::new(4);
+    let items: Vec<u64> = (0..16).collect();
+    assert_eq!(obs::trace::current(), None);
+    let out = executor.map(&items, |item| item * 2);
+    assert_eq!(out.len(), 16);
+    if !obs::enabled() {
+        return;
+    }
+    for record in obs::flight::dump() {
+        if record.name == "executor.worker" && record.parent.is_none() {
+            // Root worker spans are allowed; what must never happen is a
+            // parent id pointing into another test's tree on this thread.
+            assert!(record.attrs.iter().any(|(key, _)| *key == "shard"));
+        }
+    }
+}

@@ -16,8 +16,9 @@ const RETIRED_CAP: usize = 512;
 pub struct Event {
     /// Process-wide sequence number; totally orders events across threads.
     pub seq: u64,
-    /// Static event name, e.g. `stream.epoch`.
-    pub name: &'static str,
+    /// Event name, e.g. `stream.epoch`. Usually a static literal via
+    /// [`crate::event!`]; dynamically built via [`crate::event_dynamic`].
+    pub name: String,
     /// Free-form detail string (may be empty).
     pub detail: String,
 }
@@ -85,7 +86,7 @@ thread_local! {
     };
 }
 
-pub(crate) fn record(name: &'static str, detail: String) {
+pub(crate) fn record(name: String, detail: String) {
     if !crate::recording() {
         return;
     }

@@ -21,22 +21,34 @@
 //! The recording surface is the five macros — [`counter!`], [`gauge!`],
 //! [`histogram!`], [`span!`], [`event!`] — plus same-named free functions for
 //! dynamically built metric names.
+//!
+//! On top of the flat metrics sit three attribution layers, all honoring the
+//! same two escape hatches: [`trace`] (causal span trees with cross-thread
+//! context propagation and Chrome trace-event export), [`flight`] (an
+//! always-on bounded ring of completed spans, dumped on demand, on panic, or
+//! when a health rule fires), and [`health`] (declarative SLOs judged from
+//! the metrics snapshot into a [`HealthReport`] with burn counters).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod events;
+pub mod flight;
+pub mod health;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use events::{recent_events, Event};
+pub use health::{HealthReport, SloRule, SloSpec, SloVerdict};
 pub use registry::{
     counter, gauge, histogram, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram,
     MetricKind, BUCKETS, MAX_SLOTS,
 };
 pub use snapshot::{snapshot, HistogramSummary, Metric, MetricValue, MetricsSnapshot};
 pub use span::{span, SpanGuard};
+pub use trace::{SpanId, SpanRecord, TraceContext, TraceId, TraceSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -71,7 +83,15 @@ pub fn recording() -> bool {
 /// `obs::event("stream.epoch", format!("epoch {epoch}"))`. Prefer the
 /// [`event!`] macro, which skips the `format!` cost while recording is off.
 pub fn event(name: &'static str, detail: String) {
-    events::record(name, detail);
+    events::record(name.to_string(), detail);
+}
+
+/// Record an event with a dynamically built name, mirroring [`span`] and
+/// [`histogram`]: `obs::event_dynamic(&format!("workload.scenario.{kind}"),
+/// detail)`. Pays one extra allocation per call; events are coarse
+/// milestones, never per-query.
+pub fn event_dynamic(name: &str, detail: String) {
+    events::record(name.to_string(), detail);
 }
 
 /// Increment a statically named counter: `counter!("ingest.calls")` or

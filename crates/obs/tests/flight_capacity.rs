@@ -1,0 +1,62 @@
+//! Flight-ring retention under concurrent writers, plus clear and incident
+//! capture. Kept in its own integration-test binary — and therefore its own
+//! process — because the ring is process-global and this test floods it; a
+//! single test fn keeps the phases from racing each other.
+
+#[test]
+fn ring_keeps_exactly_the_last_capacity_records_under_concurrent_writers() {
+    const WRITERS: usize = 8;
+    // Two full laps of the ring, spread over the writers.
+    let per_writer = 2 * obs::flight::FLIGHT_CAP / WRITERS;
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    let mut span = obs::trace::span("flight.flood");
+                    span.attr("writer", writer as u64);
+                    span.attr("i", i as u64);
+                }
+            });
+        }
+    });
+
+    let total = obs::flight::recorded_total();
+    let dump = obs::flight::dump();
+    if !obs::enabled() {
+        assert_eq!(total, 0);
+        assert!(dump.is_empty());
+        assert!(obs::flight::last_incident().is_none());
+        return;
+    }
+    assert_eq!(total, (WRITERS * per_writer) as u64);
+    assert_eq!(dump.len(), obs::flight::FLIGHT_CAP);
+    // After quiescence the ring holds exactly the last `FLIGHT_CAP` claims,
+    // in claim order — no duplicates, no survivors from earlier laps.
+    let seqs: Vec<u64> = dump.iter().map(|record| record.seq).collect();
+    let expected: Vec<u64> = (total - obs::flight::FLIGHT_CAP as u64..total).collect();
+    assert_eq!(seqs, expected);
+    // Every thread's records made it in (the tail window spans all writers).
+    for record in &dump {
+        assert_eq!(record.name, "flight.flood");
+        assert!(record.duration_ns < u64::MAX / 2, "durations are sane");
+    }
+
+    // Incident capture snapshots the ring with a reason.
+    obs::flight::capture_incident("manual capture for test");
+    let incident = obs::flight::last_incident().expect("incident stored");
+    assert_eq!(incident.reason, "manual capture for test");
+    assert_eq!(incident.spans.len(), obs::flight::FLIGHT_CAP);
+    assert!(obs::flight::incident_count() >= 1);
+
+    // Clear drops retained records but keeps sequence numbers monotonic.
+    obs::flight::clear();
+    assert!(obs::flight::dump().is_empty());
+    assert_eq!(obs::flight::recorded_total(), total, "claim cursor keeps counting");
+    {
+        let _span = obs::trace::span("flight.after_clear");
+    }
+    let after = obs::flight::dump();
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].name, "flight.after_clear");
+    assert_eq!(after[0].seq, total, "first claim after the flood continues the sequence");
+}

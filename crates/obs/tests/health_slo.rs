@@ -1,0 +1,112 @@
+//! The health/SLO watchdog: rule judgments against synthetic metrics, burn
+//! counters across evaluations, incident capture on the healthy→unhealthy
+//! edge, and the non-mutating report view. Own binary: the monitor (and
+//! `set_slos`) is process-global, and a single test fn keeps the phases
+//! ordered.
+
+use obs::{SloRule, SloSpec};
+
+fn spec(name: &str, rule: SloRule) -> SloSpec {
+    SloSpec { name: name.to_string(), rule }
+}
+
+#[test]
+fn slo_rules_burn_counters_and_incident_capture() {
+    let lag = obs::gauge("health.test.lag");
+    lag.set(10);
+    obs::counter("health.test.hits").add(9);
+    obs::counter("health.test.misses").add(1);
+    obs::histogram("health.test.latency").record(100);
+
+    obs::health::set_slos(vec![
+        spec(
+            "lag_ceiling",
+            SloRule::GaugeAtMost { metric: "health.test.lag".to_string(), ceiling: 5 },
+        ),
+        spec(
+            "hit_rate",
+            SloRule::RatioAtLeast {
+                part: "health.test.hits".to_string(),
+                rest: "health.test.misses".to_string(),
+                floor_bp: 5_000,
+            },
+        ),
+        spec(
+            "latency_p99",
+            SloRule::HistogramQuantileAtMost {
+                metric: "health.test.latency".to_string(),
+                quantile: 0.99,
+                ceiling: 1_000,
+            },
+        ),
+        spec(
+            "absent_metric",
+            SloRule::GaugeAtLeast { metric: "health.test.never_recorded".to_string(), floor: 7 },
+        ),
+    ]);
+
+    let incidents_before = obs::flight::incident_count();
+    let report = obs::health::evaluate(&obs::snapshot());
+    if !obs::enabled() {
+        assert_eq!(report, obs::HealthReport::default());
+        assert!(obs::health::report().verdicts.is_empty());
+        return;
+    }
+
+    assert_eq!(report.evaluations, 1);
+    assert_eq!(report.verdicts.len(), 4);
+    assert!(!report.healthy(), "the lag objective is violated");
+    let lag_verdict = &report.verdicts[0];
+    assert_eq!(lag_verdict.slo, "lag_ceiling");
+    assert!(!lag_verdict.healthy);
+    assert_eq!((lag_verdict.observed, lag_verdict.threshold), (10, 5));
+    assert_eq!((lag_verdict.burn, lag_verdict.total_burn), (1, 1));
+    // 9 hits of 10 lookups = 9000 bp, above the 5000 bp floor.
+    let hit_verdict = &report.verdicts[1];
+    assert!(hit_verdict.healthy);
+    assert_eq!(hit_verdict.observed, 9_000);
+    assert!(report.verdicts[2].healthy, "p99 of one 100 ns sample is under 1 µs");
+    let absent = &report.verdicts[3];
+    assert!(absent.healthy, "an absent metric is no data, not a violation");
+    assert_eq!(absent.observed, 0);
+
+    // The healthy→unhealthy edge captured the flight ring once.
+    assert_eq!(obs::flight::incident_count(), incidents_before + 1);
+    let incident = obs::flight::last_incident().expect("captured on the edge");
+    assert!(incident.reason.contains("lag_ceiling"), "reason names the objective");
+
+    // Still violated: burn advances, but no new incident (no edge).
+    let report = obs::health::evaluate(&obs::snapshot());
+    assert_eq!((report.verdicts[0].burn, report.verdicts[0].total_burn), (2, 2));
+    assert_eq!(obs::flight::incident_count(), incidents_before + 1);
+
+    // Recovery: burn resets, total burn is retained.
+    lag.set(0);
+    let report = obs::health::evaluate(&obs::snapshot());
+    assert!(report.verdicts[0].healthy);
+    assert_eq!((report.verdicts[0].burn, report.verdicts[0].total_burn), (0, 2));
+    assert!(report.healthy());
+
+    // report() is a view: same verdicts, no burn advance.
+    let view = obs::health::report();
+    assert_eq!(view.verdicts, report.verdicts);
+    assert_eq!(view.evaluations, 3);
+    assert_eq!(obs::health::report().evaluations, 3, "reporting twice mutates nothing");
+
+    // Re-violate, then relapse again: a fresh edge captures a fresh incident.
+    lag.set(99);
+    obs::health::evaluate(&obs::snapshot());
+    assert_eq!(obs::flight::incident_count(), incidents_before + 2);
+
+    // render_text carries the verdict table.
+    let text = obs::health::report().render_text();
+    assert!(text.contains("lag_ceiling"));
+    assert!(text.contains("FAIL"));
+}
+
+#[test]
+fn standard_catalog_names_the_pipeline_objectives() {
+    let catalog = obs::health::standard_slos();
+    let names: Vec<&str> = catalog.iter().map(|slo| slo.name.as_str()).collect();
+    assert_eq!(names, ["epoch_latency", "watermark_lag", "cache_hit_rate", "chunk_reuse"]);
+}

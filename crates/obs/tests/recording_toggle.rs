@@ -21,6 +21,20 @@ fn set_recording_false_suppresses_all_record_paths() {
         // A span opened while recording is off holds no timestamp.
         let _span = obs::span!("toggle.span_ns");
     }
+    // Trace spans constructed while off are inert: no ids, no stack entry,
+    // no flight record.
+    let flight_before = obs::flight::recorded_total();
+    {
+        let mut trace_span = obs::trace::span("toggle.trace");
+        trace_span.attr("ignored", 1);
+        assert!(trace_span.context().is_none());
+        assert!(obs::trace::current().is_none());
+        let _adopted = obs::trace::adopt(trace_span.context());
+    }
+    assert_eq!(obs::flight::recorded_total(), flight_before);
+    // Health evaluation while off is the empty report and mutates nothing.
+    assert_eq!(obs::health::evaluate(&obs::snapshot()), obs::HealthReport::default());
+    assert!(obs::health::report().verdicts.is_empty());
     obs::set_recording(true);
 
     counter.add(1);

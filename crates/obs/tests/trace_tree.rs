@@ -1,0 +1,134 @@
+//! Span-tree construction: parent links through the per-thread stack,
+//! explicit cross-thread adoption, attributes, and the Chrome trace-event
+//! export shape.
+//!
+//! The flight ring is process-global and the harness runs tests in parallel
+//! threads, so every test uses span names unique to it and filters the dump
+//! by name. The file also runs under the `noop` feature, where every dump is
+//! empty; assertions branch on `obs::enabled()`.
+
+use obs::SpanRecord;
+
+fn by_name(records: &[SpanRecord], name: &str) -> Vec<SpanRecord> {
+    records.iter().filter(|record| record.name == name).cloned().collect()
+}
+
+#[test]
+fn nested_spans_link_parent_ids_on_one_thread() {
+    {
+        let root = obs::trace::span("tree.outer");
+        assert_eq!(obs::trace::current(), root.context());
+        {
+            let mut child = obs::trace::span("tree.inner");
+            child.attr("answer", 42);
+            {
+                let _leaf = obs::trace::span("tree.leaf");
+            }
+        }
+    }
+    let dump = obs::flight::dump();
+    if !obs::enabled() {
+        assert!(dump.is_empty(), "noop builds record no spans");
+        assert_eq!(obs::flight::recorded_total(), 0);
+        return;
+    }
+    let root = by_name(&dump, "tree.outer").pop().expect("root recorded");
+    let child = by_name(&dump, "tree.inner").pop().expect("child recorded");
+    let leaf = by_name(&dump, "tree.leaf").pop().expect("leaf recorded");
+    assert_eq!(root.parent, None, "outermost span is a root");
+    assert_eq!(child.parent, Some(root.span));
+    assert_eq!(leaf.parent, Some(child.span));
+    assert_eq!(child.trace, root.trace);
+    assert_eq!(leaf.trace, root.trace);
+    assert_eq!(child.attrs, vec![("answer", 42)]);
+    // Children complete before their parent (guard drop order), and a child
+    // never outlives its parent's window.
+    assert!(leaf.seq < child.seq && child.seq < root.seq);
+    for (inner, outer) in [(&leaf, &child), (&child, &root)] {
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(
+            inner.start_ns + inner.duration_ns <= outer.start_ns + outer.duration_ns,
+            "child window must nest inside the parent window"
+        );
+    }
+}
+
+#[test]
+fn sibling_roots_get_distinct_traces() {
+    {
+        let _a = obs::trace::span("tree.sibling_a");
+    }
+    {
+        let _b = obs::trace::span("tree.sibling_b");
+    }
+    let dump = obs::flight::dump();
+    if !obs::enabled() {
+        return;
+    }
+    let a = by_name(&dump, "tree.sibling_a").pop().expect("recorded");
+    let b = by_name(&dump, "tree.sibling_b").pop().expect("recorded");
+    assert_ne!(a.trace, b.trace, "consecutive roots are separate operations");
+    assert_ne!(a.span, b.span);
+}
+
+#[test]
+fn adopted_context_parents_spans_across_threads() {
+    let root = obs::trace::span("tree.adopt_root");
+    let ctx = root.context();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            assert_eq!(obs::trace::current(), None, "fresh thread starts with an empty stack");
+            let _guard = obs::trace::adopt(ctx);
+            assert_eq!(obs::trace::current(), ctx);
+            let _child = obs::trace::span("tree.adopt_child");
+        });
+    });
+    drop(root);
+    let dump = obs::flight::dump();
+    if !obs::enabled() {
+        return;
+    }
+    let root = by_name(&dump, "tree.adopt_root").pop().expect("recorded");
+    let child = by_name(&dump, "tree.adopt_child").pop().expect("recorded");
+    assert_eq!(child.parent, Some(root.span), "worker span parents under the adopted span");
+    assert_eq!(child.trace, root.trace);
+    assert_ne!(child.thread, root.thread, "recorded on different timeline lanes");
+}
+
+#[test]
+fn adopting_none_is_inert() {
+    {
+        let _guard = obs::trace::adopt(None);
+        assert_eq!(obs::trace::current(), None);
+        let root = obs::trace::span("tree.adopt_none_root");
+        if obs::enabled() {
+            assert!(root.context().is_some(), "span under an inert guard is a fresh root");
+        }
+    }
+    if obs::enabled() {
+        let dump = obs::flight::dump();
+        let root = by_name(&dump, "tree.adopt_none_root").pop().expect("recorded");
+        assert_eq!(root.parent, None);
+    }
+}
+
+#[test]
+fn chrome_export_is_well_formed_and_carries_span_args() {
+    {
+        let mut root = obs::trace::span("tree.export_root");
+        root.attr("epoch", 3);
+        let _child = obs::trace::span("tree.export \"quoted\\name\"");
+    }
+    let json = obs::trace::export_chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    if !obs::enabled() {
+        assert_eq!(json, "{\"traceEvents\":[]}");
+        return;
+    }
+    assert!(json.contains("\"name\":\"tree.export_root\""));
+    assert!(json.contains("\"epoch\":3"));
+    assert!(json.contains("\"ph\":\"X\""));
+    // Names are JSON-escaped, not emitted raw.
+    assert!(json.contains("tree.export \\\"quoted\\\\name\\\""));
+}

@@ -62,6 +62,10 @@ pub enum Query {
     /// A snapshot of the process-wide runtime metrics (ingest, executor,
     /// stream, serve). Answered live, never cached.
     Metrics,
+    /// The latest SLO verdicts from the health watchdog
+    /// ([`obs::health::report`]). Live process state like [`Query::Metrics`]:
+    /// answered at ask time, never cached.
+    Health,
 }
 
 impl Query {
@@ -81,6 +85,7 @@ impl Query {
             Query::SuspectDiff { .. } => "suspect_diff",
             Query::WashVolumeTrend => "wash_volume_trend",
             Query::Metrics => "metrics",
+            Query::Health => "health",
         }
     }
 
@@ -154,6 +159,9 @@ pub enum Response {
     /// Answer to [`Query::Metrics`]: the deterministic name-sorted metrics
     /// snapshot taken at answer time.
     Metrics(obs::MetricsSnapshot),
+    /// Answer to [`Query::Health`]: the latest [`obs::HealthReport`] (empty
+    /// before the first evaluation or while recording is off).
+    Health(obs::HealthReport),
 }
 
 /// A response plus its provenance: the epoch of the snapshot that produced
@@ -192,6 +200,7 @@ impl Snapshot {
                 Response::Unsupported("historical queries need a QueryService with retention")
             }
             Query::Metrics => Response::Metrics(obs::snapshot()),
+            Query::Health => Response::Health(obs::health::report()),
         }
     }
 
@@ -287,9 +296,10 @@ impl QueryService {
 
     fn answer_via_cache(&self, query: &Query) -> Served {
         match query {
-            // Metrics are live process state, not snapshot state: caching
-            // one would freeze the counters it exists to report.
-            Query::Metrics => {
+            // Metrics and health are live process state, not snapshot state:
+            // caching either would freeze the counters/verdicts they exist
+            // to report.
+            Query::Metrics | Query::Health => {
                 let snapshot = self.publisher.load();
                 Served { epoch: snapshot.epoch(), cached: false, response: snapshot.answer(query) }
             }
@@ -315,13 +325,18 @@ impl QueryService {
     fn answer_as_of(&self, epoch: u64, inner: &Query, key: &Query) -> Served {
         if matches!(
             inner,
-            Query::Metrics | Query::AsOf(_, _) | Query::SuspectDiff { .. } | Query::WashVolumeTrend
+            Query::Metrics
+                | Query::Health
+                | Query::AsOf(_, _)
+                | Query::SuspectDiff { .. }
+                | Query::WashVolumeTrend
         ) {
             return Served {
                 epoch: self.publisher.current_epoch(),
                 cached: false,
                 response: Response::Unsupported(
-                    "AsOf wraps snapshot-level queries only (not Metrics or historical variants)",
+                    "AsOf wraps snapshot-level queries only (not Metrics/Health or historical \
+                     variants)",
                 ),
             };
         }
@@ -466,6 +481,7 @@ fn latency_histogram(query: &Query) -> &'static obs::LazyHistogram {
     static WASH_VOLUME_TREND: obs::LazyHistogram =
         obs::LazyHistogram::new("serve.query.wash_volume_trend_ns");
     static METRICS: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.metrics_ns");
+    static HEALTH: obs::LazyHistogram = obs::LazyHistogram::new("serve.query.health_ns");
     match query {
         Query::Stats => &STATS,
         Query::Nft(_) => &NFT,
@@ -479,5 +495,6 @@ fn latency_histogram(query: &Query) -> &'static obs::LazyHistogram {
         Query::SuspectDiff { .. } => &SUSPECT_DIFF,
         Query::WashVolumeTrend => &WASH_VOLUME_TREND,
         Query::Metrics => &METRICS,
+        Query::Health => &HEALTH,
     }
 }

@@ -271,6 +271,13 @@ impl<'a> StreamAnalyzer<'a> {
     pub fn ingest_epoch(&mut self, max_blocks: u64) -> Option<EpochDelta> {
         let span = self.cursor.next_epoch(self.input.chain, max_blocks)?;
         let started = Instant::now();
+        // Root of this epoch's span tree: every traced phase below — the
+        // ingest decode/reconcile/splice, the dirty-set fan-out, reassembly,
+        // and the snapshot publish — parents under it.
+        let mut epoch_trace = obs::trace::span("stream.epoch");
+        epoch_trace.attr("epoch", self.live.epochs.len() as u64);
+        epoch_trace.attr("first_block", span.first.0);
+        epoch_trace.attr("last_block", span.last.0);
 
         let applied =
             self.dataset.apply_span(self.input.chain, self.input.directory, span, &self.executor);
@@ -288,6 +295,8 @@ impl<'a> StreamAnalyzer<'a> {
             .iter()
             .map(|nft| self.graphs.get(*nft).expect("dirty NFT has a synced graph"))
             .collect();
+        let mut detect_trace = obs::trace::span("stream.refine_detect");
+        detect_trace.attr("dirty", dirty_graphs.len() as u64);
         let recomputed: Vec<(NftKey, NftState)> = self.executor.map(&dirty_graphs, |graph| {
             let refinement = refiner.refine_nft(graph);
             let evidence = refinement
@@ -297,6 +306,7 @@ impl<'a> StreamAnalyzer<'a> {
                 .collect();
             (graph.nft, NftState { refinement, evidence })
         });
+        detect_trace.finish();
         drop(dirty_graphs);
         let mut evaluate_reruns = 0u64;
         for (nft, state) in recomputed {
@@ -348,6 +358,10 @@ impl<'a> StreamAnalyzer<'a> {
             obs::gauge!("stream.total_nfts", delta.total_nfts as i64);
             obs::gauge!("stream.confirmed_total", delta.confirmed_total as i64);
             obs::gauge!("stream.watermark", self.live.watermark.0 as i64);
+            // Blocks on the chain the cursor has not handed out yet — the
+            // `watermark_lag` SLO's input (0 when tailing keeps up).
+            let lag = self.input.chain.current_block_number().0.saturating_sub(span.last.0);
+            obs::gauge!("stream.watermark_lag", lag as i64);
             obs::event!(
                 "stream.epoch",
                 "epoch {}: blocks {}..={}, {} dirty of {} NFTs, {} confirmed",
@@ -361,6 +375,16 @@ impl<'a> StreamAnalyzer<'a> {
         }
         self.live.epochs.push(delta.clone());
         self.publish_snapshot();
+        epoch_trace.attr("dirty", delta.dirty_nfts as u64);
+        epoch_trace.attr("transfers", delta.transfers as u64);
+        epoch_trace.attr("confirmed", delta.confirmed_total as u64);
+        epoch_trace.finish();
+        if obs::recording() {
+            // Judge the SLO catalog against the fresh metrics (including the
+            // publish gauges this epoch just set); a newly violated rule
+            // captures the flight ring as an incident.
+            obs::health::evaluate(&obs::snapshot());
+        }
         Some(delta)
     }
 
@@ -386,6 +410,7 @@ impl<'a> StreamAnalyzer<'a> {
     /// [`StreamAnalyzer::rebuild_full_snapshot`] — the AsOf-parity gate's
     /// invariant.
     fn publish_snapshot(&mut self) {
+        let mut publish_trace = obs::trace::span("serve.publish");
         let confirmed_at = self.current_confirmed_at();
         let meta = self.current_meta();
         let marketplaces = self.live.characterization.per_marketplace.clone();
@@ -414,6 +439,11 @@ impl<'a> StreamAnalyzer<'a> {
                 wash_volumes,
             ),
         };
+        let build = snapshot.build_stats();
+        publish_trace.attr("epoch", snapshot.epoch());
+        publish_trace.attr("delta", u64::from(build.delta));
+        publish_trace.attr("reuse_bp", (build.chunk_reuse_ratio() * 10_000.0) as u64);
+        publish_trace.finish();
         self.last_snapshot = Some(snapshot.clone());
         self.publisher.publish(snapshot);
     }
@@ -482,6 +512,7 @@ impl<'a> StreamAnalyzer<'a> {
     /// the same single resolution point the batch report assembly uses.
     fn reassemble(&mut self, last_block: BlockNumber) {
         let _reassemble_span = obs::span!("stream.reassemble_ns");
+        let _reassemble_trace = obs::trace::span("stream.reassemble");
         let dataset = self.dataset.dataset();
         let interner = &dataset.interner;
         self.live.refinement =

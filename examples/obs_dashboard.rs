@@ -2,8 +2,10 @@
 //! world while the `obs` registry records every subsystem, then print what an
 //! operator would look at — the metrics snapshot as a text table, the derived
 //! health indicators (executor utilization, cache hit rate, per-epoch
-//! latency quantiles), the recent-event tail, and the machine-readable JSON
-//! export.
+//! latency quantiles), the SLO health report, the last epoch's causal span
+//! tree from the flight recorder, the recent-event tail, and the
+//! machine-readable JSON export. A Chrome trace of the whole run is written
+//! to `target/obs_dashboard_trace.json` for Perfetto.
 //!
 //! ```text
 //! cargo run --release --example obs_dashboard -- [epochs] [seed]
@@ -18,7 +20,32 @@ use washtrade_serve::{Query, QueryService, Response};
 use washtrade_stream::{StreamAnalyzer, StreamOptions};
 use workload::{WorkloadConfig, World};
 
+/// Render one flight-recorder span and its children, indented by depth.
+fn print_span_tree(
+    records: &[obs::SpanRecord],
+    children: &std::collections::HashMap<Option<obs::SpanId>, Vec<usize>>,
+    index: usize,
+    depth: usize,
+) {
+    let record = &records[index];
+    let attrs: Vec<String> =
+        record.attrs.iter().map(|(key, value)| format!("{key}={value}")).collect();
+    println!(
+        "  {:indent$}{} ({:.3} ms){}{}",
+        "",
+        record.name,
+        record.duration_ns as f64 / 1e6,
+        if attrs.is_empty() { "" } else { "  " },
+        attrs.join(" "),
+        indent = depth * 2,
+    );
+    for &child in children.get(&Some(record.span)).map_or(&[][..], Vec::as_slice) {
+        print_span_tree(records, children, child, depth + 1);
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    obs::flight::install_panic_hook();
     let mut args = std::env::args().skip(1);
     let epochs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
@@ -95,6 +122,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.counter("serve.publisher.publishes").unwrap_or(0),
         snapshot.gauge("stream.watermark").unwrap_or(0),
     );
+
+    println!("\n== health report ==");
+    let report = match service.query(&Query::Health).response {
+        Response::Health(report) => report,
+        other => unreachable!("health query answers with health, got {other:?}"),
+    };
+    print!("{}", report.render_text());
+    println!(
+        "verdict: {} after {} per-epoch evaluations",
+        if report.healthy() { "HEALTHY" } else { "UNHEALTHY" },
+        report.evaluations,
+    );
+
+    println!("\n== last epoch's span tree (flight recorder) ==");
+    let records = obs::flight::dump();
+    let mut children: std::collections::HashMap<Option<obs::SpanId>, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (index, record) in records.iter().enumerate() {
+        children.entry(record.parent).or_default().push(index);
+    }
+    let last_epoch = records
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, record)| record.name == "stream.epoch")
+        .map(|(index, _)| index);
+    match last_epoch {
+        Some(root) => print_span_tree(&records, &children, root, 0),
+        None => println!("  (no stream.epoch span retained)"),
+    }
+
+    let trace_path = std::path::Path::new("target").join("obs_dashboard_trace.json");
+    std::fs::write(&trace_path, obs::trace::export_chrome_json())?;
+    println!("\nChrome trace written to {} (open in Perfetto)", trace_path.display());
 
     println!("\n== recent events ==");
     for event in obs::recent_events(8) {

@@ -72,6 +72,14 @@ fn query_metrics_covers_every_instrumented_subsystem() {
     if !obs::enabled() {
         assert_eq!(snapshot.metrics.len(), 0, "noop builds must snapshot nothing");
         assert!(obs::recent_events(16).is_empty(), "noop builds must log no events");
+        assert!(obs::flight::dump().is_empty(), "noop builds must record no trace spans");
+        assert_eq!(obs::flight::recorded_total(), 0);
+        match service.query(&Query::Health).response {
+            Response::Health(report) => {
+                assert_eq!(report, obs::HealthReport::default(), "noop health must be empty")
+            }
+            other => panic!("Query::Health answered with {other:?}"),
+        }
         return;
     }
 
@@ -113,6 +121,50 @@ fn query_metrics_covers_every_instrumented_subsystem() {
     );
     assert!(delta_builds >= 1, "steady-state epochs delta-encode against the previous snapshot");
     assert_eq!(snapshot.counter("serve.publisher.publishes"), Some(epochs as u64));
+
+    // Publish provenance: the delta/full split, chunk-reuse ratio (basis
+    // points, set on delta builds), and the retention ring's occupancy.
+    assert_eq!(snapshot.gauge("serve.publish.delta"), Some(1), "steady state publishes deltas");
+    assert!(snapshot.gauge("serve.publish.reuse_ratio").unwrap_or(-1) >= 0);
+    let delta_publishes = snapshot.histogram("serve.publish.delta_ns").map_or(0, |h| h.count);
+    let full_publishes = snapshot.histogram("serve.publish.full_ns").map_or(0, |h| h.count);
+    assert!(delta_publishes >= 1, "delta publish latencies land in their own histogram");
+    assert_eq!(delta_publishes + full_publishes, epochs as u64);
+    assert!(snapshot.gauge("serve.publisher.ring_occupancy").unwrap_or(0) >= 1);
+    assert!(snapshot.gauge("serve.publisher.checkpoints").unwrap_or(-1) >= 0);
+
+    // Stream watermark lag: once the stream has drained to the chain tip,
+    // the last epoch's lag gauge reads zero.
+    assert_eq!(snapshot.gauge("stream.watermark_lag"), Some(0));
+
+    // The flight recorder retained the streamed run's span tree: epoch roots
+    // with ingest phases and publishes parented somewhere beneath them.
+    assert!(obs::flight::recorded_total() > 0);
+    let flight = obs::flight::dump();
+    let epoch_roots: Vec<_> =
+        flight.iter().filter(|record| record.name == "stream.epoch").collect();
+    assert!(!epoch_roots.is_empty(), "epoch root spans reach the flight ring");
+    for root in &epoch_roots {
+        assert_eq!(root.parent, None, "stream.epoch is a trace root");
+        assert!(root.attrs.iter().any(|(key, _)| *key == "epoch"));
+    }
+    assert!(flight.iter().any(|record| record.name == "serve.publish"));
+
+    // Query::Health: answered live (never cached) from the per-epoch SLO
+    // evaluations; the standard catalog was installed lazily on the first
+    // streamed epoch.
+    let served = service.query(&Query::Health);
+    assert!(!served.cached, "Query::Health must never be served from the cache");
+    let report = match served.response {
+        Response::Health(report) => report,
+        other => panic!("Query::Health answered with {other:?}"),
+    };
+    assert_eq!(report.evaluations, epochs as u64, "one SLO evaluation per epoch");
+    assert_eq!(report.verdicts.len(), 4, "the standard SLO catalog has four rules");
+    for slo in ["epoch_latency", "watermark_lag", "cache_hit_rate", "chunk_reuse"] {
+        assert!(report.verdicts.iter().any(|verdict| verdict.slo == slo), "missing SLO {slo}");
+    }
+    assert!(!service.query(&Query::Health).cached);
 
     // The event ring saw the per-epoch events, newest last.
     let events = obs::recent_events(usize::MAX);
