@@ -1,0 +1,159 @@
+//! Reassemble-scaling benchmarks: per-epoch cost of the dirty-driven
+//! incremental report reassembly (the refine-aggregate → detect →
+//! characterize → profit tail) versus the pre-incremental full rescan of the
+//! same cached per-NFT state.
+//!
+//! The criterion group times both tails at the small world's tip; the manual
+//! measurement pass streams the small and large sweep worlds epoch by epoch,
+//! pairing every epoch's [`EpochDelta::reassemble_ns`] (the incremental
+//! path, as timed inside `ingest_epoch`) with a timed
+//! `rebuild_full_report()` of the same state — asserting the two reports
+//! bit-identical — and records a `reassemble` section into
+//! `BENCH_results.json`: per-epoch reassemble ns against the epoch's dirty
+//! fraction, and the steady-state incremental-vs-full speedup (target: ≥3×
+//! on the large world).
+
+use std::time::Instant;
+
+use bench_suite::input_of;
+use bench_suite::json::Json;
+use bench_suite::results::{merge_section, results_path};
+use criterion::{criterion_group, Criterion};
+use washtrade_stream::{StreamAnalyzer, StreamOptions};
+
+fn bench_reassemble(c: &mut Criterion) {
+    let world = bench_suite::build_small_world(1);
+    let input = input_of(&world);
+    let plan = world.epoch_plan(8);
+    let budgets = plan.budgets();
+
+    let mut group = c.benchmark_group("reassemble");
+    // An analyzer parked at the tip: rebuild_full_report re-runs the old
+    // full-rescan tail over the same caches every iteration.
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    for budget in &budgets {
+        live.ingest_epoch(*budget);
+    }
+    group.bench_function("full_rescan_at_tip", |b| {
+        b.iter(|| live.rebuild_full_report().detection.confirmed.len())
+    });
+    group.bench_function("stream_to_tip_incremental", |b| {
+        b.iter(|| {
+            let mut fresh = StreamAnalyzer::new(input, StreamOptions::default());
+            let mut reassemble_ns = 0u64;
+            for budget in &budgets {
+                if let Some(delta) = fresh.ingest_epoch(*budget) {
+                    reassemble_ns += delta.reassemble_ns;
+                }
+            }
+            reassemble_ns
+        })
+    });
+    group.finish();
+}
+
+/// Stream one world to the tip, pairing every epoch's incremental reassembly
+/// time with a timed full rescan of the same state. Returns the per-world
+/// JSON blob for the `reassemble` section.
+fn measure_world(world: &workload::World, label: &str, epochs: usize) -> Json {
+    let input = input_of(world);
+    let plan = world.epoch_plan(epochs);
+
+    let mut live = StreamAnalyzer::new(input, StreamOptions::default());
+    let mut incremental_ns = Vec::new();
+    let mut full_ns = Vec::new();
+    let mut dirty_fractions = Vec::new();
+    for budget in plan.budgets() {
+        let Some(delta) = live.ingest_epoch(budget) else {
+            break;
+        };
+        incremental_ns.push(delta.reassemble_ns);
+        dirty_fractions.push(delta.dirty_nfts as f64 / delta.total_nfts.max(1) as f64);
+
+        let started = Instant::now();
+        let full = live.rebuild_full_report();
+        full_ns.push(started.elapsed().as_nanos() as u64);
+        assert_eq!(
+            &full,
+            live.report(),
+            "incremental reassembly must equal the full rescan ({label}, epoch {})",
+            delta.index
+        );
+    }
+
+    // Steady state: the last quarter of the run, where the world has mostly
+    // accumulated and the per-epoch dirty set is small relative to it — the
+    // regime the dirty-driven tail exists for. The headline speedup is the
+    // median of the per-epoch paired ratios (both sides of a pair run
+    // moments apart, so background-load spikes land in one epoch's ratio and
+    // the median shrugs them off); full per-epoch arrays are recorded below
+    // either way.
+    let steady = (incremental_ns.len() * 3 / 4).max(1)..incremental_ns.len();
+    let mean = |values: &[u64]| values.iter().sum::<u64>() / values.len().max(1) as u64;
+    let steady_incremental = mean(&incremental_ns[steady.clone()]);
+    let steady_full = mean(&full_ns[steady.clone()]);
+    let mut ratios: Vec<f64> = steady
+        .clone()
+        .map(|epoch| full_ns[epoch] as f64 / incremental_ns[epoch].max(1) as f64)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[ratios.len() / 2];
+    let steady_dirty =
+        dirty_fractions[steady.clone()].iter().sum::<f64>() / steady.len().max(1) as f64;
+
+    let mut section = Json::object();
+    section.set("world", Json::Str(label.to_string()));
+    section.set("epochs", Json::Int(incremental_ns.len() as i64));
+    section.set(
+        "reassemble_ns",
+        Json::Arr(incremental_ns.iter().map(|ns| Json::Int(*ns as i64)).collect()),
+    );
+    section
+        .set("full_rescan_ns", Json::Arr(full_ns.iter().map(|ns| Json::Int(*ns as i64)).collect()));
+    section.set(
+        "dirty_fraction",
+        Json::Arr(dirty_fractions.iter().map(|fraction| Json::Float(*fraction)).collect()),
+    );
+    section.set("steady_state_reassemble_ns", Json::Int(steady_incremental as i64));
+    section.set("steady_state_full_rescan_ns", Json::Int(steady_full as i64));
+    section.set("steady_state_dirty_fraction", Json::Float(steady_dirty));
+    section.set("speedup_incremental_vs_full", Json::Float(speedup));
+    println!(
+        "  {label:<9} {} epochs: steady-state reassemble {steady_incremental} ns, \
+         full rescan {steady_full} ns, {speedup:.1}x (median of paired ratios), \
+         dirty fraction {steady_dirty:.4}",
+        incremental_ns.len()
+    );
+    section
+}
+
+/// Record the `reassemble` section: the small test world and the large sweep
+/// world, so reassembly cost versus dirty fraction (and its scaling with the
+/// dirty set rather than the world) is visible PR over PR.
+fn record_results() {
+    // 96 epochs over the large world keeps the per-epoch dirty set small
+    // relative to the world — the steady-state regime the incremental tail
+    // is built for (a day's trades against months of accumulated history).
+    let worlds = vec![
+        measure_world(&bench_suite::build_small_world(1), "small(1)", 8),
+        measure_world(&bench_suite::build_sized_world(workload::WorldScale::Large), "large", 96),
+    ];
+
+    let mut section = Json::object();
+    section.set("worlds", Json::Arr(worlds));
+
+    let path = results_path();
+    merge_section(&path, "reassemble", section).expect("write BENCH_results.json");
+    println!("reassemble numbers recorded in {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reassemble
+}
+
+fn main() {
+    benches();
+    record_results();
+}

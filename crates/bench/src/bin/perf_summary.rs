@@ -234,6 +234,37 @@ fn print_snapshot_delta(root: &Json) {
     );
 }
 
+fn print_reassemble(root: &Json) {
+    let Some(section) = root.get("reassemble") else {
+        println!(
+            "(no `reassemble` section — run `cargo bench -p bench --bench reassemble_scaling`)"
+        );
+        return;
+    };
+    println!("dirty-driven report reassembly (per-epoch vs full rescan of the same state):");
+    println!(
+        "  {:<10} {:>7} {:>14} {:>14} {:>9} {:>7}",
+        "world", "epochs", "reassemble ns", "full ns", "speedup", "dirty"
+    );
+    let Some(Json::Arr(worlds)) = section.get("worlds") else {
+        return;
+    };
+    for world in worlds {
+        println!(
+            "  {:<10} {:>7} {:>14} {:>14} {:>8.1}x {:>7.4}",
+            str_of(world.get("world")).unwrap_or("?"),
+            int_of(world.get("epochs")).unwrap_or(0),
+            int_of(world.get("steady_state_reassemble_ns")).unwrap_or(0),
+            int_of(world.get("steady_state_full_rescan_ns")).unwrap_or(0),
+            float_of(world.get("speedup_incremental_vs_full")).unwrap_or(0.0),
+            float_of(world.get("steady_state_dirty_fraction")).unwrap_or(0.0),
+        );
+    }
+    println!(
+        "  (steady state = last quarter of epochs; speedup = median of per-epoch paired ratios)"
+    );
+}
+
 fn print_observability(root: &Json) {
     let Some(section) = root.get("observability") else {
         println!("(no `observability` section — run `cargo bench -p bench --bench observability`)");
@@ -320,6 +351,8 @@ fn main() {
     print_scale_baselines(&root);
     println!();
     print_snapshot_delta(&root);
+    println!();
+    print_reassemble(&root);
     println!();
     print_observability(&root);
 }

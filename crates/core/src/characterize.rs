@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::detect::DenseActivity;
+use crate::parallel::Executor;
 use crate::refine::DenseCandidate;
 use crate::stats::Cdf;
 
@@ -148,6 +149,186 @@ pub fn component_shape(candidate: &DenseCandidate) -> Vec<(usize, usize)> {
     )
 }
 
+/// The expensive per-activity leaf values of the §V characterization: USD
+/// pricing of the internal edges, dominant-marketplace attribution, pattern
+/// classification and the acquisition-lead scan over the NFT's rows.
+///
+/// Facts are a pure function of the candidate and its NFT's (immutable,
+/// append-only) transfer history, so the streaming analyzer caches them per
+/// candidate and recomputes them only when the NFT's graph changes; the
+/// final reduce ([`characterize_from_parts`]) then replays the batch fold
+/// over cached leaves — same values, same order, bit-identical floats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityFacts {
+    /// Resolved dominant-marketplace name (`"Off-market"` when none).
+    pub market_name: String,
+    /// USD value of the internal edges, folded in edge order.
+    pub volume_usd: f64,
+    /// ETH volume of the candidate.
+    pub volume_eth: f64,
+    /// Lifetime in whole days, as the CDF sample.
+    pub lifetime_days: f64,
+    /// First internal trade (collection-timeline sample).
+    pub first_trade: Timestamp,
+    /// The NFT's collection contract.
+    pub collection: Address,
+    /// Catalogued Fig. 7 pattern id; `None` when uncatalogued.
+    pub pattern: Option<usize>,
+    /// Days between acquisition and the first wash trade; `None` when no
+    /// acquiring transfer precedes the activity.
+    pub acquisition_days: Option<u64>,
+}
+
+/// USD value of a candidate's internal edges, folded in edge order — the one
+/// per-activity volume fold every consumer (per-market rows, collection
+/// timelines) shares.
+pub fn activity_usd_volume(candidate: &DenseCandidate, oracle: &PriceOracle) -> f64 {
+    candidate
+        .internal_edges
+        .iter()
+        .map(|(_, _, edge)| oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0))
+        .sum()
+}
+
+/// Compute the [`ActivityFacts`] for one candidate — the per-activity half
+/// of the two-level characterization.
+pub fn activity_facts(
+    candidate: &DenseCandidate,
+    dataset: &Dataset,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    catalogue: &PatternCatalogue,
+) -> ActivityFacts {
+    let interner = &dataset.interner;
+    let columns = &dataset.columns;
+    let market_name = candidate
+        .dominant_marketplace(interner)
+        .and_then(|id| directory.by_contract(interner.market(id)))
+        .map(|info| info.name.clone())
+        .unwrap_or_else(|| "Off-market".to_string());
+
+    // Acquisition lead time: last transfer into the component from outside
+    // (or the mint) before the first internal trade. Component membership is
+    // a linear probe of the (tiny) account list — no per-activity set.
+    let accounts = &candidate.accounts;
+    let acquisition_days = columns
+        .rows_of(candidate.nft)
+        .iter()
+        .filter(|&&row| {
+            let i = row as usize;
+            accounts.contains(&columns.to[i])
+                && !accounts.contains(&columns.from[i])
+                && columns.timestamp[i] <= candidate.first_trade
+        })
+        .map(|&row| columns.timestamp[row as usize])
+        .max()
+        .map(|acquired_at| candidate.first_trade.days_since(acquired_at));
+
+    let shape = component_shape(candidate);
+    let pattern = catalogue.classify(accounts.len(), &shape).map(|PatternId(id)| id);
+
+    ActivityFacts {
+        market_name,
+        volume_usd: activity_usd_volume(candidate, oracle),
+        volume_eth: candidate.volume.to_eth(),
+        lifetime_days: candidate.lifetime_days() as f64,
+        first_trade: candidate.first_trade,
+        collection: interner.nft(candidate.nft).contract,
+        pattern,
+        acquisition_days,
+    }
+}
+
+/// The dataset-level inputs of the characterization: per-marketplace totals
+/// (Table I), the unaffected-trading volume CDF (Fig. 3 baseline) and
+/// collection creation times (Fig. 5). The batch path builds these by
+/// scanning the columns ([`characterize_baseline`]); the streaming analyzer
+/// maintains each one incrementally and hands the maintained values in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeBaseline {
+    /// Marketplace name → total (wash + legit) volume in USD.
+    pub market_totals: HashMap<String, f64>,
+    /// CDF of per-transfer USD volumes outside the wash set.
+    pub legit_volume_cdf: Cdf,
+    /// Collection contract → timestamp of its first observed transfer.
+    pub collection_created: HashMap<Address, Timestamp>,
+}
+
+/// Build the [`CharacterizeBaseline`] by scanning the dataset — the batch
+/// path. The per-row USD pricing of the legit-volume scan fans out over
+/// `executor` in row-order-preserving chunks, so the collected vector (and
+/// with it the CDF) is identical at any thread count.
+pub fn characterize_baseline(
+    activities: &[DenseActivity],
+    dataset: &Dataset,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    executor: &Executor,
+) -> CharacterizeBaseline {
+    let interner = &dataset.interner;
+    let columns = &dataset.columns;
+    let market_totals: HashMap<String, f64> = dataset
+        .marketplace_volumes_with(directory, oracle, executor)
+        .into_iter()
+        .map(|row| (row.name, row.volume_usd))
+        .collect();
+
+    let wash_txs: HashSet<ethsim::TxHash> = activities
+        .iter()
+        .flat_map(|a| a.candidate.internal_edges.iter().map(|(_, _, e)| e.tx_hash))
+        .collect();
+    // One linear pass over the columns; the CDF sorts, so the (fixed) row
+    // order only needs to be deterministic, which chain order is. The pass
+    // is chunked over the executor with chunk results concatenated in row
+    // order — the same vector the serial scan built.
+    let chunks: Vec<std::ops::Range<usize>> = {
+        let chunk = (columns.len() / (executor.threads().max(1) * 4)).max(4096);
+        (0..columns.len())
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(columns.len()))
+            .collect()
+    };
+    let legit_volumes: Vec<f64> = executor
+        .map(&chunks, |range| {
+            range
+                .clone()
+                .filter(|&row| {
+                    !wash_txs.contains(&columns.tx_hash[row]) && !columns.price[row].is_zero()
+                })
+                .map(|row| {
+                    oracle.wei_to_usd(columns.price[row], columns.timestamp[row]).unwrap_or(0.0)
+                })
+                .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // Fig. 5 input: per-NFT histories are chronological, so each NFT's first
+    // row carries its earliest timestamp; the per-collection minimum folds
+    // over those.
+    let collection_created: HashMap<Address, Timestamp> = {
+        let mut created: HashMap<Address, Timestamp> = HashMap::new();
+        for key in 0..interner.nft_count() as u32 {
+            let Some(&first_row) = columns.rows_of(NftKey(key)).first() else {
+                continue;
+            };
+            let first_seen = columns.timestamp[first_row as usize];
+            let entry = created.entry(interner.nft(NftKey(key)).contract).or_insert(first_seen);
+            if first_seen < *entry {
+                *entry = first_seen;
+            }
+        }
+        created
+    };
+
+    CharacterizeBaseline {
+        market_totals,
+        legit_volume_cdf: Cdf::new(legit_volumes),
+        collection_created,
+    }
+}
+
 /// Produce the §V characterization of the confirmed activities.
 ///
 /// `dataset` supplies the interner, the unaffected-trading baseline (Fig. 3)
@@ -159,17 +340,44 @@ pub fn characterize(
     directory: &MarketplaceDirectory,
     oracle: &PriceOracle,
 ) -> Characterization {
+    characterize_with(activities, dataset, directory, oracle, &Executor::new(1))
+}
+
+/// [`characterize`] with the per-activity facts and the per-row baseline
+/// pricing fanned out over `executor`. Facts come back in activity order and
+/// every float fold runs in the final reduce exactly as the serial path
+/// folds it, so the result is bit-identical at any thread count.
+pub fn characterize_with(
+    activities: &[DenseActivity],
+    dataset: &Dataset,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    executor: &Executor,
+) -> Characterization {
     let catalogue = PatternCatalogue::paper();
-    let interner = &dataset.interner;
-    let columns = &dataset.columns;
+    let facts = executor.map(activities, |activity| {
+        activity_facts(&activity.candidate, dataset, directory, oracle, &catalogue)
+    });
+    let baseline = characterize_baseline(activities, dataset, directory, oracle, executor);
+    characterize_from_parts(activities, &facts, baseline)
+}
+
+/// The final reduce of the two-level characterization: fold per-activity
+/// [`ActivityFacts`] (in activity order — the sorted confirmed order both
+/// pipelines share) and the dataset-level [`CharacterizeBaseline`] into the
+/// [`Characterization`]. Every floating-point fold here accumulates cached
+/// leaf values in exactly the order the one-level path accumulated freshly
+/// computed ones, so batch, batch-parallel and streaming-incremental callers
+/// produce bit-identical reports.
+pub fn characterize_from_parts(
+    activities: &[DenseActivity],
+    facts: &[ActivityFacts],
+    baseline: CharacterizeBaseline,
+) -> Characterization {
+    assert_eq!(activities.len(), facts.len(), "one facts record per activity");
+    let CharacterizeBaseline { market_totals, legit_volume_cdf, collection_created } = baseline;
 
     // --- Volumes per marketplace (Table II) and per activity (Fig. 3). ---
-    let market_totals: HashMap<String, f64> = dataset
-        .marketplace_volumes(directory, oracle)
-        .into_iter()
-        .map(|row| (row.name, row.volume_usd))
-        .collect();
-
     struct MarketAccumulator {
         nfts: BitSet,
         activities: usize,
@@ -181,38 +389,22 @@ pub fn characterize(
     let mut total_volume_usd = 0.0;
     let mut total_volume_eth = 0.0;
 
-    let usd_volume_of = |activity: &DenseActivity| -> f64 {
-        activity
-            .candidate
-            .internal_edges
-            .iter()
-            .map(|(_, _, edge)| oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0))
-            .sum()
-    };
-
-    for activity in activities {
-        let name = activity
-            .candidate
-            .dominant_marketplace(interner)
-            .and_then(|id| directory.by_contract(interner.market(id)))
-            .map(|info| info.name.clone())
-            .unwrap_or_else(|| "Off-market".to_string());
-        let volume_usd = usd_volume_of(activity);
-        let volume_eth = activity.candidate.volume.to_eth();
-        total_volume_usd += volume_usd;
-        total_volume_eth += volume_eth;
-        let accumulator = per_market.entry(name).or_insert_with(|| MarketAccumulator {
-            nfts: BitSet::new(),
-            activities: 0,
-            volume_eth: 0.0,
-            volume_usd: 0.0,
-            activity_volumes_usd: Vec::new(),
-        });
+    for (activity, facts) in activities.iter().zip(facts) {
+        total_volume_usd += facts.volume_usd;
+        total_volume_eth += facts.volume_eth;
+        let accumulator =
+            per_market.entry(facts.market_name.clone()).or_insert_with(|| MarketAccumulator {
+                nfts: BitSet::new(),
+                activities: 0,
+                volume_eth: 0.0,
+                volume_usd: 0.0,
+                activity_volumes_usd: Vec::new(),
+            });
         accumulator.nfts.insert(activity.nft().index());
         accumulator.activities += 1;
-        accumulator.volume_eth += volume_eth;
-        accumulator.volume_usd += volume_usd;
-        accumulator.activity_volumes_usd.push(volume_usd);
+        accumulator.volume_eth += facts.volume_eth;
+        accumulator.volume_usd += facts.volume_usd;
+        accumulator.activity_volumes_usd.push(facts.volume_usd);
     }
 
     let mut per_marketplace: Vec<MarketplaceWashRow> = per_market
@@ -235,53 +427,25 @@ pub fn characterize(
     per_marketplace
         .sort_by(|a, b| b.volume_usd.total_cmp(&a.volume_usd).then_with(|| a.name.cmp(&b.name)));
 
-    // Fig. 3: per-marketplace activity volume CDFs plus a legit baseline.
+    // Fig. 3: per-marketplace activity volume CDFs plus the legit baseline.
     let mut volume_cdfs: HashMap<String, Cdf> = per_market
         .into_iter()
         .map(|(name, accumulator)| (name, Cdf::new(accumulator.activity_volumes_usd)))
         .collect();
-    let wash_txs: HashSet<ethsim::TxHash> = activities
-        .iter()
-        .flat_map(|a| a.candidate.internal_edges.iter().map(|(_, _, e)| e.tx_hash))
-        .collect();
-    // One linear pass over the columns; the CDF sorts, so the (fixed) row
-    // order only needs to be deterministic, which chain order is.
-    let legit_volumes: Vec<f64> = (0..columns.len())
-        .filter(|&row| !wash_txs.contains(&columns.tx_hash[row]) && !columns.price[row].is_zero())
-        .map(|row| oracle.wei_to_usd(columns.price[row], columns.timestamp[row]).unwrap_or(0.0))
-        .collect();
-    volume_cdfs.insert("Volume w/o wash trading".to_string(), Cdf::new(legit_volumes));
+    volume_cdfs.insert("Volume w/o wash trading".to_string(), legit_volume_cdf);
 
     // --- Temporal analysis (Fig. 4, §V-B, Fig. 5). ---
-    let lifetimes_days: Vec<f64> =
-        activities.iter().map(|a| a.candidate.lifetime_days() as f64).collect();
-    let cdf_days = Cdf::new(lifetimes_days);
+    let cdf_days = Cdf::new(facts.iter().map(|f| f.lifetime_days));
     let lifetimes = LifetimeStats {
         within_one_day: cdf_days.fraction_at_most(1.0),
         within_ten_days: cdf_days.fraction_at_most(9.0),
         cdf_days,
     };
 
-    // Acquisition lead time: last transfer into the component from outside
-    // (or the mint) before the first internal trade. Component membership is
-    // a linear probe of the (tiny) account list — no per-activity set.
     let mut acquired_same_day = 0usize;
     let mut acquired_within_two_weeks = 0usize;
-    for activity in activities {
-        let accounts = activity.accounts();
-        let acquisition = columns
-            .rows_of(activity.nft())
-            .iter()
-            .filter(|&&row| {
-                let i = row as usize;
-                accounts.contains(&columns.to[i])
-                    && !accounts.contains(&columns.from[i])
-                    && columns.timestamp[i] <= activity.candidate.first_trade
-            })
-            .map(|&row| columns.timestamp[row as usize])
-            .max();
-        if let Some(acquired_at) = acquisition {
-            let days = activity.candidate.first_trade.days_since(acquired_at);
+    for facts in facts {
+        if let Some(days) = facts.acquisition_days {
             if days == 0 {
                 acquired_same_day += 1;
             }
@@ -292,39 +456,19 @@ pub fn characterize(
     }
     let acquired_base = activities.len().max(1) as f64;
 
-    // Fig. 5: collection creation vs activity occurrences. Per-NFT histories
-    // are chronological, so each NFT's first row carries its earliest
-    // timestamp; the per-collection minimum folds over those.
-    let collection_created: HashMap<Address, Timestamp> = {
-        let mut created: HashMap<Address, Timestamp> = HashMap::new();
-        for key in 0..interner.nft_count() as u32 {
-            let Some(&first_row) = columns.rows_of(NftKey(key)).first() else {
-                continue;
-            };
-            let first_seen = columns.timestamp[first_row as usize];
-            let entry = created.entry(interner.nft(NftKey(key)).contract).or_insert(first_seen);
-            if first_seen < *entry {
-                *entry = first_seen;
-            }
-        }
-        created
-    };
     struct TimelineAccumulator {
         nfts: BitSet,
         volume_usd: f64,
         times: Vec<Timestamp>,
     }
     let mut per_collection: HashMap<Address, TimelineAccumulator> = HashMap::new();
-    for activity in activities {
-        let contract = interner.nft(activity.nft()).contract;
-        let accumulator = per_collection.entry(contract).or_insert_with(|| TimelineAccumulator {
-            nfts: BitSet::new(),
-            volume_usd: 0.0,
-            times: Vec::new(),
+    for (activity, facts) in activities.iter().zip(facts) {
+        let accumulator = per_collection.entry(facts.collection).or_insert_with(|| {
+            TimelineAccumulator { nfts: BitSet::new(), volume_usd: 0.0, times: Vec::new() }
         });
         accumulator.nfts.insert(activity.nft().index());
-        accumulator.volume_usd += usd_volume_of(activity);
-        accumulator.times.push(activity.candidate.first_trade);
+        accumulator.volume_usd += facts.volume_usd;
+        accumulator.times.push(facts.first_trade);
     }
     let mut collection_timelines: Vec<CollectionTimeline> = per_collection
         .into_iter()
@@ -353,16 +497,15 @@ pub fn characterize(
     let mut patterns = PatternStats::default();
     let mut self_trades = 0usize;
     let mut two_accounts = 0usize;
-    for activity in activities {
+    for (activity, facts) in activities.iter().zip(facts) {
         let accounts = activity.accounts().len();
         let bucket = accounts.clamp(1, 6) - 1;
         patterns.accounts_histogram[bucket] += 1;
         if accounts == 2 {
             two_accounts += 1;
         }
-        let shape = component_shape(&activity.candidate);
-        match catalogue.classify(accounts, &shape) {
-            Some(PatternId(id)) => {
+        match facts.pattern {
+            Some(id) => {
                 *patterns.pattern_occurrences.entry(id).or_insert(0) += 1;
                 if id == 0 {
                     self_trades += 1;
@@ -412,10 +555,8 @@ pub fn characterize(
         .iter()
         .filter(|(_, group)| group.len() >= 2)
         .filter(|(_, group)| {
-            let collections: HashSet<Address> = group
-                .iter()
-                .map(|&(_, index)| interner.nft(activities[index].nft()).contract)
-                .collect();
+            let collections: HashSet<Address> =
+                group.iter().map(|&(_, index)| facts[index].collection).collect();
             collections.len() < group.len()
         })
         .count();

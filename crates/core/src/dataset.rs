@@ -298,48 +298,139 @@ impl Dataset {
         directory: &MarketplaceDirectory,
         oracle: &PriceOracle,
     ) -> Vec<MarketplaceVolume> {
-        struct Accumulator {
-            nfts: BitSet,
-            transactions: FxHashSet<TxHash>,
-            volume_eth: f64,
-            volume_usd: f64,
+        self.marketplace_volumes_with(directory, oracle, &Executor::new(1))
+    }
+
+    /// [`Dataset::marketplace_volumes`] as a two-level fold: the USD pricing
+    /// of each NFT's marketplace rows ([`Dataset::nft_market_leaves`], the
+    /// expensive half) fans out over `executor`, then a serial
+    /// [`MarketVolumeFold`] replays the per-transaction accumulation in
+    /// identity-sorted NFT order — the exact order the one-level loop used,
+    /// so the f64 totals are bit-identical at any thread count. The
+    /// streaming analyzer reuses the same fold over *cached* leaves,
+    /// repricing only dirty NFTs.
+    pub fn marketplace_volumes_with(
+        &self,
+        directory: &MarketplaceDirectory,
+        oracle: &PriceOracle,
+        executor: &Executor,
+    ) -> Vec<MarketplaceVolume> {
+        let keys = self.interner.nft_keys_sorted_by_id();
+        let leaves = executor.map(&keys, |&key| self.nft_market_leaves(key, oracle));
+        let mut fold = MarketVolumeFold::new(self.interner.market_count());
+        for (key, leaves) in keys.iter().zip(&leaves) {
+            fold.add(*key, leaves);
         }
-        let mut per_market: Vec<Option<Accumulator>> = Vec::new();
-        per_market.resize_with(self.interner.market_count(), || None);
-        // Iterate NFTs sorted by identity, not by first-seen key: the volume
-        // fields are f64 sums, and floating-point addition is
-        // order-sensitive, so the accumulation order must be a property of
-        // the data, never of ingest order.
-        for key in self.interner.nft_keys_sorted_by_id() {
-            for &row in self.columns.rows_of(key) {
-                let Some(market) = self.columns.marketplace[row as usize] else {
-                    continue;
-                };
-                let accumulator = per_market[market.index()].get_or_insert_with(|| Accumulator {
+        fold.rows(directory, &self.interner)
+    }
+
+    /// The marketplace-attributed transfer rows of one NFT with their USD
+    /// pricing precomputed, in row (chronological) order — the per-NFT leaf
+    /// record of the two-level [`MarketVolumeFold`]. Leaves are a pure
+    /// function of the NFT's (append-only) history, so cached leaves of
+    /// clean NFTs stay valid across streamed epochs.
+    pub fn nft_market_leaves(&self, key: NftKey, oracle: &PriceOracle) -> NftMarketLeaves {
+        let leaves = self
+            .columns
+            .rows_of(key)
+            .iter()
+            .filter_map(|&row| {
+                let row = row as usize;
+                let market = self.columns.marketplace[row]?;
+                Some(MarketLeaf {
+                    market,
+                    tx_hash: self.columns.tx_hash[row],
+                    eth: self.columns.price[row].to_eth(),
+                    usd: oracle
+                        .wei_to_usd(self.columns.price[row], self.columns.timestamp[row])
+                        .unwrap_or(0.0),
+                })
+            })
+            .collect();
+        NftMarketLeaves { leaves }
+    }
+}
+
+/// One marketplace-attributed transfer of an NFT with its price converted —
+/// the leaf of the two-level Table I fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketLeaf {
+    /// The attributed marketplace.
+    pub market: ids::MarketId,
+    /// The carrying transaction (volume is deduplicated per transaction).
+    pub tx_hash: TxHash,
+    /// Price in ETH.
+    pub eth: f64,
+    /// Price in USD at the transfer's timestamp.
+    pub usd: f64,
+}
+
+/// Pre-priced marketplace rows of one NFT (see
+/// [`Dataset::nft_market_leaves`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NftMarketLeaves {
+    /// Leaves in row (chronological) order.
+    pub leaves: Vec<MarketLeaf>,
+}
+
+/// The serial reduce of the Table I marketplace volumes: feed it per-NFT
+/// [`NftMarketLeaves`] in identity-sorted NFT order via
+/// [`MarketVolumeFold::add`] and it accumulates exactly as the original
+/// one-level loop did — including the global per-market transaction
+/// deduplication, replayed in the same order, so every f64 sum lands on the
+/// same bits.
+pub struct MarketVolumeFold {
+    per_market: Vec<Option<MarketAccumulator>>,
+}
+
+struct MarketAccumulator {
+    nfts: BitSet,
+    transactions: FxHashSet<TxHash>,
+    volume_eth: f64,
+    volume_usd: f64,
+}
+
+impl MarketVolumeFold {
+    /// An empty fold over `market_count` dense marketplace ids.
+    pub fn new(market_count: usize) -> Self {
+        let mut per_market = Vec::new();
+        per_market.resize_with(market_count, || None);
+        MarketVolumeFold { per_market }
+    }
+
+    /// Fold one NFT's leaves. Callers must add NFTs in identity-sorted
+    /// order: the volume fields are f64 sums, and floating-point addition is
+    /// order-sensitive, so the accumulation order must be a property of the
+    /// data, never of ingest order.
+    pub fn add(&mut self, key: NftKey, leaves: &NftMarketLeaves) {
+        for leaf in &leaves.leaves {
+            let accumulator =
+                self.per_market[leaf.market.index()].get_or_insert_with(|| MarketAccumulator {
                     nfts: BitSet::new(),
                     transactions: FxHashSet::default(),
                     volume_eth: 0.0,
                     volume_usd: 0.0,
                 });
-                accumulator.nfts.insert(key.index());
-                if accumulator.transactions.insert(self.columns.tx_hash[row as usize]) {
-                    accumulator.volume_eth += self.columns.price[row as usize].to_eth();
-                    accumulator.volume_usd += oracle
-                        .wei_to_usd(
-                            self.columns.price[row as usize],
-                            self.columns.timestamp[row as usize],
-                        )
-                        .unwrap_or(0.0);
-                }
+            accumulator.nfts.insert(key.index());
+            if accumulator.transactions.insert(leaf.tx_hash) {
+                accumulator.volume_eth += leaf.eth;
+                accumulator.volume_usd += leaf.usd;
             }
         }
+    }
+
+    /// Resolve the fold into directory-named rows sorted by USD volume.
+    pub fn rows(
+        self,
+        directory: &MarketplaceDirectory,
+        interner: &Interner,
+    ) -> Vec<MarketplaceVolume> {
         let mut rows: Vec<MarketplaceVolume> = directory
             .iter()
             .map(|info| {
-                let accumulator = self
-                    .interner
+                let accumulator = interner
                     .market_id(info.contract)
-                    .and_then(|id| per_market[id.index()].as_ref());
+                    .and_then(|id| self.per_market[id.index()].as_ref());
                 MarketplaceVolume {
                     name: info.name.clone(),
                     nfts: accumulator.map(|a| a.nfts.len()).unwrap_or(0),

@@ -275,30 +275,40 @@ impl<'a> Detector<'a> {
     /// bit-identical.
     pub fn assemble(
         candidates: &[DenseCandidate],
-        mut evidence: Vec<MethodSet>,
+        evidence: Vec<MethodSet>,
     ) -> DenseDetectionOutcome {
         assert_eq!(candidates.len(), evidence.len(), "one evidence record per candidate");
+        let pairs: Vec<(&DenseCandidate, MethodSet)> = candidates.iter().zip(evidence).collect();
+        Detector::assemble_indexed(&pairs).0
+    }
+
+    /// [`Detector::assemble`] over borrowed candidates, additionally
+    /// returning the input indices of the confirmed activities (in confirmed
+    /// order). The streaming reassembly walks its per-NFT caches into a pair
+    /// list without cloning every candidate each epoch, and uses the indices
+    /// to line the confirmed set up with the cached characterize/profit
+    /// facts that live alongside each candidate.
+    pub fn assemble_indexed(
+        pairs: &[(&DenseCandidate, MethodSet)],
+    ) -> (DenseDetectionOutcome, Vec<u32>) {
         // Leverage pass: any unconfirmed candidate whose account set matches a
         // confirmed activity's account set is confirmed too. Account lists
         // are consistently address-sorted id lists, so slice equality is
         // exactly set equality of the underlying addresses.
-        let confirmed_sets: HashSet<&[AccountId]> = candidates
+        let confirmed_sets: HashSet<&[AccountId]> = pairs
             .iter()
-            .zip(evidence.iter())
             .filter(|(_, methods)| methods.confirmed())
             .map(|(candidate, _)| candidate.accounts.as_slice())
             .collect();
         let mut leveraged_only = 0usize;
-        for (candidate, methods) in candidates.iter().zip(evidence.iter_mut()) {
+        let mut outcome = DenseDetectionOutcome::default();
+        let mut confirmed_indices = Vec::new();
+        for (index, (candidate, methods)) in pairs.iter().enumerate() {
+            let mut methods = *methods;
             if !methods.confirmed() && confirmed_sets.contains(candidate.accounts.as_slice()) {
                 methods.leveraged = true;
                 leveraged_only += 1;
             }
-        }
-
-        let mut outcome =
-            DenseDetectionOutcome { leveraged_only, ..DenseDetectionOutcome::default() };
-        for (candidate, methods) in candidates.iter().zip(evidence) {
             if !methods.confirmed() {
                 outcome.rejected += 1;
                 continue;
@@ -309,9 +319,11 @@ impl<'a> Detector<'a> {
             if methods.self_trade {
                 outcome.self_trades += 1;
             }
-            outcome.confirmed.push(DenseActivity { candidate: candidate.clone(), methods });
+            confirmed_indices.push(index as u32);
+            outcome.confirmed.push(DenseActivity { candidate: (*candidate).clone(), methods });
         }
-        outcome
+        outcome.leveraged_only = leveraged_only;
+        (outcome, confirmed_indices)
     }
 
     /// Gather the base evidence (zero-risk, common funder, common exit,

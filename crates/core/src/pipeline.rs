@@ -22,11 +22,11 @@ use marketplace::MarketplaceDirectory;
 use oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
-use crate::characterize::{characterize, Characterization};
+use crate::characterize::{characterize_with, Characterization};
 use crate::dataset::{Dataset, MarketplaceVolume};
 use crate::detect::{DenseDetectionOutcome, DetectionOutcome, Detector};
 use crate::parallel::Executor;
-use crate::profit::{analyze_resales, analyze_rewards, ResaleReport, RewardReport};
+use crate::profit::{analyze_resales_with, analyze_rewards_with, ResaleReport, RewardReport};
 use crate::refine::{DenseCandidate, RefinementReport, Refiner};
 use crate::txgraph::NftGraph;
 
@@ -312,9 +312,18 @@ impl PipelineStage for Characterize {
 
     fn run(&self, ctx: &mut AnalysisContext<'_>) -> StageIo {
         let confirmed = &ctx.detection().confirmed;
-        let characterization =
-            characterize(confirmed, ctx.dataset(), ctx.input.directory, ctx.input.oracle);
-        let io = StageIo { items_in: confirmed.len(), items_out: 1, threads_used: 1 };
+        let characterization = characterize_with(
+            confirmed,
+            ctx.dataset(),
+            ctx.input.directory,
+            ctx.input.oracle,
+            &ctx.executor,
+        );
+        let io = StageIo {
+            items_in: confirmed.len(),
+            items_out: 1,
+            threads_used: ctx.executor.threads_for(confirmed.len()),
+        };
         ctx.characterization = Some(characterization);
         io
     }
@@ -333,20 +342,27 @@ impl PipelineStage for Profit {
         let confirmed = &ctx.detection().confirmed;
         let input = ctx.input;
         let interner = &ctx.dataset().interner;
-        let rewards =
-            analyze_rewards(confirmed, input.chain, input.directory, input.oracle, interner);
-        let resales = analyze_resales(
+        let rewards = analyze_rewards_with(
+            confirmed,
+            input.chain,
+            input.directory,
+            input.oracle,
+            interner,
+            &ctx.executor,
+        );
+        let resales = analyze_resales_with(
             confirmed,
             input.chain,
             input.directory,
             input.oracle,
             ctx.graphs(),
             interner,
+            &ctx.executor,
         );
         let io = StageIo {
             items_in: confirmed.len(),
             items_out: rewards.outcomes.len() + resales.outcomes.len(),
-            threads_used: 1,
+            threads_used: ctx.executor.threads_for(confirmed.len()),
         };
         ctx.rewards = Some(rewards);
         ctx.resales = Some(resales);

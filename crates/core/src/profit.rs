@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 use tokens::NftId;
 
 use crate::detect::DenseActivity;
+use crate::parallel::Executor;
+use crate::refine::DenseCandidate;
 use crate::stats::Summary;
 use crate::txgraph::NftGraph;
 
@@ -130,95 +132,130 @@ pub fn analyze_rewards(
     oracle: &PriceOracle,
     interner: &Interner,
 ) -> RewardReport {
+    analyze_rewards_with(activities, chain, directory, oracle, interner, &Executor::new(1))
+}
+
+/// [`analyze_rewards`] with the per-candidate chain scans
+/// ([`reward_facts`], the expensive half) fanned out over `executor`; the
+/// serial [`reduce_rewards`] then folds the facts in activity order, so the
+/// report is bit-identical at any thread count.
+pub fn analyze_rewards_with(
+    activities: &[DenseActivity],
+    chain: &Chain,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    interner: &Interner,
+    executor: &Executor,
+) -> RewardReport {
+    let facts = executor.map(activities, |activity| {
+        reward_facts(&activity.candidate, chain, directory, oracle, interner)
+    });
+    reduce_rewards(facts.iter().flatten(), directory)
+}
+
+/// The §VI-A leaf record of one candidate: the claim-scan and fee outcome,
+/// cached by the streaming analyzer alongside the candidate. `None` means
+/// the candidate's dominant marketplace distributes no reward tokens (the
+/// activity is out of scope for Table III); unclaimed activities are kept
+/// (`outcome.claimed == false`) so the reduce can count them.
+///
+/// Facts are a pure function of the candidate and the chain histories of its
+/// colluding accounts *up to the claim*; the stream recomputes them whenever
+/// the NFT is dirtied, which re-reads those histories at the new watermark.
+pub fn reward_facts(
+    candidate: &DenseCandidate,
+    chain: &Chain,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    interner: &Interner,
+) -> Option<RewardOutcome> {
+    let market = candidate.dominant_marketplace(interner)?;
+    let info = directory.by_contract(interner.market(market))?;
+    let reward = info.reward.as_ref()?;
+
+    // Reward tokens claimed: the first claim transaction of each colluding
+    // account after the activity started.
+    let mut rewards_usd = 0.0;
+    let mut fees_usd = 0.0;
+    let mut claimed = false;
+    for &id in &candidate.accounts {
+        let account = interner.address(id);
+        let claim_tx = chain
+            .transactions_of(account)
+            .into_iter()
+            .filter(|tx| {
+                tx.from == account
+                    && tx.to == Some(reward.distributor)
+                    && tx.timestamp >= candidate.first_trade
+            })
+            .min_by_key(|tx| tx.timestamp);
+        if let Some(tx) = claim_tx {
+            let tokens_received: u128 = tx
+                .logs
+                .iter()
+                .filter_map(|log| log.decode_erc20_transfer())
+                .filter(|t| t.contract == reward.token_contract && t.to == account)
+                .map(|t| t.amount)
+                .sum();
+            if tokens_received > 0 {
+                claimed = true;
+                rewards_usd += oracle
+                    .token_to_usd(
+                        &reward.token_symbol,
+                        tokens_received,
+                        reward.token_decimals,
+                        tx.timestamp,
+                    )
+                    .unwrap_or(0.0);
+            }
+            fees_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0);
+        }
+    }
+
+    // Costs of the wash trades: gas plus the marketplace fee (ETH routed
+    // to the treasury inside each sale transaction).
+    let mut seen = HashSet::new();
+    for (_, _, edge) in &candidate.internal_edges {
+        if !seen.insert(edge.tx_hash) {
+            continue;
+        }
+        let Some(tx) = chain.transaction(edge.tx_hash) else {
+            continue;
+        };
+        fees_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0);
+        let treasury_fee: Wei =
+            tx.internal_transfers.iter().filter(|t| t.to == info.treasury).map(|t| t.value).sum();
+        fees_usd += oracle.wei_to_usd(treasury_fee, tx.timestamp).unwrap_or(0.0);
+    }
+
+    Some(RewardOutcome {
+        nft: interner.nft(candidate.nft),
+        marketplace: info.name.clone(),
+        volume_eth: candidate.volume.to_eth(),
+        rewards_usd,
+        fees_usd,
+        balance_usd: rewards_usd - fees_usd,
+        claimed,
+    })
+}
+
+/// The serial reduce of §VI-A: fold per-candidate [`reward_facts`] in
+/// activity order into the Table III report — cached or freshly computed
+/// facts produce the same bits, because the fold is the same.
+pub fn reduce_rewards<'a>(
+    facts: impl IntoIterator<Item = &'a RewardOutcome>,
+    directory: &MarketplaceDirectory,
+) -> RewardReport {
     let mut outcomes = Vec::new();
     let mut per_market: HashMap<String, Vec<RewardOutcome>> = HashMap::new();
     let mut did_not_claim: HashMap<String, usize> = HashMap::new();
-
-    for activity in activities {
-        let Some(market) = activity.candidate.dominant_marketplace(interner) else {
-            continue;
-        };
-        let Some(info) = directory.by_contract(interner.market(market)) else {
-            continue;
-        };
-        let Some(reward) = &info.reward else {
-            continue;
-        };
-
-        // Reward tokens claimed: the first claim transaction of each colluding
-        // account after the activity started.
-        let mut rewards_usd = 0.0;
-        let mut fees_usd = 0.0;
-        let mut claimed = false;
-        for &id in &activity.candidate.accounts {
-            let account = interner.address(id);
-            let claim_tx = chain
-                .transactions_of(account)
-                .into_iter()
-                .filter(|tx| {
-                    tx.from == account
-                        && tx.to == Some(reward.distributor)
-                        && tx.timestamp >= activity.candidate.first_trade
-                })
-                .min_by_key(|tx| tx.timestamp);
-            if let Some(tx) = claim_tx {
-                let tokens_received: u128 = tx
-                    .logs
-                    .iter()
-                    .filter_map(|log| log.decode_erc20_transfer())
-                    .filter(|t| t.contract == reward.token_contract && t.to == account)
-                    .map(|t| t.amount)
-                    .sum();
-                if tokens_received > 0 {
-                    claimed = true;
-                    rewards_usd += oracle
-                        .token_to_usd(
-                            &reward.token_symbol,
-                            tokens_received,
-                            reward.token_decimals,
-                            tx.timestamp,
-                        )
-                        .unwrap_or(0.0);
-                }
-                fees_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0);
-            }
-        }
-
-        // Costs of the wash trades: gas plus the marketplace fee (ETH routed
-        // to the treasury inside each sale transaction).
-        let mut seen = HashSet::new();
-        for (_, _, edge) in &activity.candidate.internal_edges {
-            if !seen.insert(edge.tx_hash) {
-                continue;
-            }
-            let Some(tx) = chain.transaction(edge.tx_hash) else {
-                continue;
-            };
-            fees_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0);
-            let treasury_fee: Wei = tx
-                .internal_transfers
-                .iter()
-                .filter(|t| t.to == info.treasury)
-                .map(|t| t.value)
-                .sum();
-            fees_usd += oracle.wei_to_usd(treasury_fee, tx.timestamp).unwrap_or(0.0);
-        }
-
-        if !claimed {
-            *did_not_claim.entry(info.name.clone()).or_insert(0) += 1;
+    for outcome in facts {
+        if !outcome.claimed {
+            *did_not_claim.entry(outcome.marketplace.clone()).or_insert(0) += 1;
             continue;
         }
-        let outcome = RewardOutcome {
-            nft: interner.nft(activity.nft()),
-            marketplace: info.name.clone(),
-            volume_eth: activity.candidate.volume.to_eth(),
-            rewards_usd,
-            fees_usd,
-            balance_usd: rewards_usd - fees_usd,
-            claimed,
-        };
-        per_market.entry(info.name.clone()).or_default().push(outcome.clone());
-        outcomes.push(outcome);
+        per_market.entry(outcome.marketplace.clone()).or_default().push(outcome.clone());
+        outcomes.push(outcome.clone());
     }
 
     let mut markets = Vec::new();
@@ -352,128 +389,182 @@ pub fn analyze_resales(
     graphs: &[NftGraph],
     interner: &Interner,
 ) -> ResaleReport {
+    analyze_resales_with(activities, chain, directory, oracle, graphs, interner, &Executor::new(1))
+}
+
+/// [`analyze_resales`] with the per-candidate graph and fee scans
+/// ([`resale_facts`], the expensive half) fanned out over `executor`; the
+/// serial [`reduce_resales`] then folds the facts in activity order, so the
+/// report is bit-identical at any thread count.
+pub fn analyze_resales_with(
+    activities: &[DenseActivity],
+    chain: &Chain,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    graphs: &[NftGraph],
+    interner: &Interner,
+    executor: &Executor,
+) -> ResaleReport {
+    let facts = executor.map(activities, |activity| {
+        resale_facts(
+            &activity.candidate,
+            chain,
+            directory,
+            oracle,
+            graphs.get(activity.candidate.nft.index()),
+            interner,
+        )
+    });
+    reduce_resales(facts.iter().flatten())
+}
+
+/// The §VI-B leaf record of one candidate: acquisition, resale and fees read
+/// off the NFT's trade graph and the chain, cached by the streaming analyzer
+/// alongside the candidate. `None` means out of scope — the dominant
+/// marketplace runs a reward system (§VI-A covers it) or the NFT has no
+/// graph.
+///
+/// Facts are a pure function of the candidate, its NFT's graph and the
+/// carrying transactions; the stream recomputes them whenever the NFT is
+/// dirtied (new transfers may add the resale edge).
+pub fn resale_facts(
+    candidate: &DenseCandidate,
+    chain: &Chain,
+    directory: &MarketplaceDirectory,
+    oracle: &PriceOracle,
+    graph: Option<&NftGraph>,
+    interner: &Interner,
+) -> Option<ResaleOutcome> {
+    // Skip reward marketplaces: §VI-B covers the others.
+    if let Some(market) = candidate.dominant_marketplace(interner) {
+        if directory
+            .by_contract(interner.market(market))
+            .map(|info| info.reward.is_some())
+            .unwrap_or(false)
+        {
+            return None;
+        }
+    }
+    let graph = graph?;
     let treasuries: HashSet<Address> = directory.iter().map(|info| info.treasury).collect();
+    let accounts = &candidate.accounts;
+    let touching = graph.edges_touching(accounts);
+
+    // Acquisition: the last transfer into the component before (or at) the
+    // first wash trade.
+    let acquisition = touching
+        .iter()
+        .filter(|(seller, buyer, edge)| {
+            accounts.contains(buyer)
+                && !accounts.contains(seller)
+                && edge.timestamp <= candidate.first_trade
+        })
+        .max_by_key(|(_, _, edge)| edge.timestamp);
+    let buy_price = acquisition.map(|(_, _, edge)| edge.price).unwrap_or(Wei::ZERO);
+    let buy_usd = acquisition
+        .map(|(_, _, edge)| oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0))
+        .unwrap_or(0.0);
+
+    // Resale: the first paid transfer out of the component after (or at)
+    // the last wash trade.
+    let resale = touching
+        .iter()
+        .filter(|(seller, buyer, edge)| {
+            accounts.contains(seller)
+                && !accounts.contains(buyer)
+                && edge.timestamp >= candidate.last_trade
+                && !edge.price.is_zero()
+        })
+        .min_by_key(|(_, _, edge)| edge.timestamp);
+
+    // Fees: gas of the wash-trade transactions plus marketplace fees
+    // routed to any treasury in those transactions (and in the resale).
+    let mut fee_eth = 0.0;
+    let mut fee_usd = 0.0;
+    let mut seen = HashSet::new();
+    let mut fee_txs: Vec<ethsim::TxHash> =
+        candidate.internal_edges.iter().map(|(_, _, edge)| edge.tx_hash).collect();
+    if let Some((_, _, edge)) = resale {
+        fee_txs.push(edge.tx_hash);
+    }
+    for tx_hash in fee_txs {
+        if !seen.insert(tx_hash) {
+            continue;
+        }
+        let Some(tx) = chain.transaction(tx_hash) else {
+            continue;
+        };
+        let treasury_fee: Wei = tx
+            .internal_transfers
+            .iter()
+            .filter(|t| treasuries.contains(&t.to))
+            .map(|t| t.value)
+            .sum();
+        fee_eth += tx.fee().to_eth() + treasury_fee.to_eth();
+        fee_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0)
+            + oracle.wei_to_usd(treasury_fee, tx.timestamp).unwrap_or(0.0);
+    }
+
+    Some(match resale {
+        Some((_, _, edge)) => {
+            let resale_usd = oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0);
+            let gross = edge.price.to_eth() - buy_price.to_eth();
+            let net = gross - fee_eth;
+            let net_usd = resale_usd - buy_usd - fee_usd;
+            let days = edge.timestamp.days_since(candidate.last_trade);
+            ResaleOutcome {
+                nft: interner.nft(candidate.nft),
+                resold: true,
+                buy_price_eth: buy_price.to_eth(),
+                resale_price_eth: Some(edge.price.to_eth()),
+                gross_gain_eth: Some(gross),
+                net_gain_eth: Some(net),
+                net_gain_usd: Some(net_usd),
+                days_to_resale: Some(days),
+            }
+        }
+        None => ResaleOutcome {
+            nft: interner.nft(candidate.nft),
+            resold: false,
+            buy_price_eth: buy_price.to_eth(),
+            resale_price_eth: None,
+            gross_gain_eth: None,
+            net_gain_eth: None,
+            net_gain_usd: None,
+            days_to_resale: None,
+        },
+    })
+}
+
+/// The serial reduce of §VI-B: fold per-candidate [`resale_facts`] in
+/// activity order into the resale report. Every statistic — counters, the
+/// `sold_*` buckets and the three [`ProfitSplit`]s — derives from fields the
+/// facts already carry, folded in the same order the one-level loop folded
+/// them, so cached and freshly computed facts produce the same bits.
+pub fn reduce_resales<'a>(facts: impl IntoIterator<Item = &'a ResaleOutcome>) -> ResaleReport {
     let mut report = ResaleReport::default();
     let mut gross_values = Vec::new();
     let mut net_values = Vec::new();
     let mut net_usd_values = Vec::new();
 
-    for activity in activities {
-        // Skip reward marketplaces: §VI-B covers the others.
-        if let Some(market) = activity.candidate.dominant_marketplace(interner) {
-            if directory
-                .by_contract(interner.market(market))
-                .map(|info| info.reward.is_some())
-                .unwrap_or(false)
-            {
-                continue;
-            }
-        }
-        let Some(graph) = graphs.get(activity.nft().index()) else {
-            continue;
-        };
+    for outcome in facts {
         report.total += 1;
-        let accounts = activity.accounts();
-        let touching = graph.edges_touching(accounts);
-
-        // Acquisition: the last transfer into the component before (or at) the
-        // first wash trade.
-        let acquisition = touching
-            .iter()
-            .filter(|(seller, buyer, edge)| {
-                accounts.contains(buyer)
-                    && !accounts.contains(seller)
-                    && edge.timestamp <= activity.candidate.first_trade
-            })
-            .max_by_key(|(_, _, edge)| edge.timestamp);
-        let buy_price = acquisition.map(|(_, _, edge)| edge.price).unwrap_or(Wei::ZERO);
-        let buy_usd = acquisition
-            .map(|(_, _, edge)| oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0))
-            .unwrap_or(0.0);
-
-        // Resale: the first paid transfer out of the component after (or at)
-        // the last wash trade.
-        let resale = touching
-            .iter()
-            .filter(|(seller, buyer, edge)| {
-                accounts.contains(seller)
-                    && !accounts.contains(buyer)
-                    && edge.timestamp >= activity.candidate.last_trade
-                    && !edge.price.is_zero()
-            })
-            .min_by_key(|(_, _, edge)| edge.timestamp);
-
-        // Fees: gas of the wash-trade transactions plus marketplace fees
-        // routed to any treasury in those transactions (and in the resale).
-        let mut fee_eth = 0.0;
-        let mut fee_usd = 0.0;
-        let mut seen = HashSet::new();
-        let mut fee_txs: Vec<ethsim::TxHash> =
-            activity.candidate.internal_edges.iter().map(|(_, _, edge)| edge.tx_hash).collect();
-        if let Some((_, _, edge)) = resale {
-            fee_txs.push(edge.tx_hash);
+        if outcome.resold {
+            report.resold += 1;
+            let days = outcome.days_to_resale.unwrap_or(0);
+            if days == 0 {
+                report.sold_same_day += 1;
+            }
+            if days <= 30 {
+                report.sold_within_month += 1;
+            }
+            gross_values.push(outcome.gross_gain_eth.unwrap_or(0.0));
+            net_values.push(outcome.net_gain_eth.unwrap_or(0.0));
+            net_usd_values.push(outcome.net_gain_usd.unwrap_or(0.0));
+        } else {
+            report.not_resold += 1;
         }
-        for tx_hash in fee_txs {
-            if !seen.insert(tx_hash) {
-                continue;
-            }
-            let Some(tx) = chain.transaction(tx_hash) else {
-                continue;
-            };
-            let treasury_fee: Wei = tx
-                .internal_transfers
-                .iter()
-                .filter(|t| treasuries.contains(&t.to))
-                .map(|t| t.value)
-                .sum();
-            fee_eth += tx.fee().to_eth() + treasury_fee.to_eth();
-            fee_usd += oracle.wei_to_usd(tx.fee(), tx.timestamp).unwrap_or(0.0)
-                + oracle.wei_to_usd(treasury_fee, tx.timestamp).unwrap_or(0.0);
-        }
-
-        let outcome = match resale {
-            Some((_, _, edge)) => {
-                let resale_usd = oracle.wei_to_usd(edge.price, edge.timestamp).unwrap_or(0.0);
-                let gross = edge.price.to_eth() - buy_price.to_eth();
-                let net = gross - fee_eth;
-                let net_usd = resale_usd - buy_usd - fee_usd;
-                let days = edge.timestamp.days_since(activity.candidate.last_trade);
-                report.resold += 1;
-                if days == 0 {
-                    report.sold_same_day += 1;
-                }
-                if days <= 30 {
-                    report.sold_within_month += 1;
-                }
-                gross_values.push(gross);
-                net_values.push(net);
-                net_usd_values.push(net_usd);
-                ResaleOutcome {
-                    nft: interner.nft(activity.nft()),
-                    resold: true,
-                    buy_price_eth: buy_price.to_eth(),
-                    resale_price_eth: Some(edge.price.to_eth()),
-                    gross_gain_eth: Some(gross),
-                    net_gain_eth: Some(net),
-                    net_gain_usd: Some(net_usd),
-                    days_to_resale: Some(days),
-                }
-            }
-            None => {
-                report.not_resold += 1;
-                ResaleOutcome {
-                    nft: interner.nft(activity.nft()),
-                    resold: false,
-                    buy_price_eth: buy_price.to_eth(),
-                    resale_price_eth: None,
-                    gross_gain_eth: None,
-                    net_gain_eth: None,
-                    net_gain_usd: None,
-                    days_to_resale: None,
-                }
-            }
-        };
-        report.outcomes.push(outcome);
+        report.outcomes.push(outcome.clone());
     }
 
     report.gross = ProfitSplit::of(gross_values);

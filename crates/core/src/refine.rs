@@ -299,6 +299,110 @@ pub fn aggregate_refinements<'a>(
     report
 }
 
+/// One stage of the [`RefinementAggregator`]: additive NFT/component counts
+/// plus a per-account reference count whose non-zero support is the distinct
+/// account cardinality. Each NFT contributes at most one reference per
+/// account per stage (accounts are deduplicated within the outcome before
+/// counting), so removing an outcome exactly undoes adding it.
+#[derive(Debug, Clone, Default)]
+struct StageAggregate {
+    nfts: usize,
+    components: usize,
+    refcounts: Vec<u32>,
+    distinct: usize,
+}
+
+impl StageAggregate {
+    fn apply(&mut self, components: usize, deduped_accounts: &[usize], add: bool) {
+        if components == 0 {
+            return;
+        }
+        if add {
+            self.nfts += 1;
+            self.components += components;
+            for &account in deduped_accounts {
+                if account >= self.refcounts.len() {
+                    self.refcounts.resize(account + 1, 0);
+                }
+                if self.refcounts[account] == 0 {
+                    self.distinct += 1;
+                }
+                self.refcounts[account] += 1;
+            }
+        } else {
+            self.nfts -= 1;
+            self.components -= components;
+            for &account in deduped_accounts {
+                debug_assert!(self.refcounts[account] > 0, "refcount underflow");
+                self.refcounts[account] -= 1;
+                if self.refcounts[account] == 0 {
+                    self.distinct -= 1;
+                }
+            }
+        }
+    }
+
+    fn count(&self) -> StageCount {
+        StageCount { nfts: self.nfts, accounts: self.distinct, components: self.components }
+    }
+}
+
+/// Incrementally maintained [`RefinementReport`]: the streaming analyzer's
+/// replacement for re-running [`aggregate_refinements`] over every suspect
+/// each epoch. Add an NFT's [`NftRefinement`] when it enters the suspect
+/// set, remove-then-add when a dirty NFT's outcome is recomputed; every
+/// quantity is an integer count or a refcounted set cardinality —
+/// order-independent — so [`RefinementAggregator::report`] equals the batch
+/// fold over the same outcomes exactly.
+#[derive(Debug, Clone, Default)]
+pub struct RefinementAggregator {
+    initial: StageAggregate,
+    after_service: StageAggregate,
+    after_contract: StageAggregate,
+    after_zero_volume: StageAggregate,
+}
+
+impl RefinementAggregator {
+    /// Fold one NFT's outcome in.
+    pub fn add(&mut self, outcome: &NftRefinement) {
+        self.apply(outcome, true);
+    }
+
+    /// Undo a previous [`RefinementAggregator::add`] of an equal outcome.
+    pub fn remove(&mut self, outcome: &NftRefinement) {
+        self.apply(outcome, false);
+    }
+
+    fn apply(&mut self, outcome: &NftRefinement, add: bool) {
+        fn dedup(scratch: &mut Vec<usize>, accounts: impl Iterator<Item = AccountId>) {
+            scratch.clear();
+            scratch.extend(accounts.map(|id| id.index()));
+            scratch.sort_unstable();
+            scratch.dedup();
+        }
+        let mut scratch: Vec<usize> = Vec::new();
+        dedup(&mut scratch, outcome.initial.iter().flatten().copied());
+        self.initial.apply(outcome.initial.len(), &scratch, add);
+        dedup(&mut scratch, outcome.after_service.iter().flatten().copied());
+        self.after_service.apply(outcome.after_service.len(), &scratch, add);
+        dedup(&mut scratch, outcome.after_contract.iter().flatten().copied());
+        self.after_contract.apply(outcome.after_contract.len(), &scratch, add);
+        dedup(&mut scratch, outcome.candidates.iter().flat_map(|c| c.accounts.iter()).copied());
+        self.after_zero_volume.apply(outcome.candidates.len(), &scratch, add);
+    }
+
+    /// The report over every outcome currently folded in — equal to
+    /// [`aggregate_refinements`] over the same collection.
+    pub fn report(&self) -> RefinementReport {
+        RefinementReport {
+            initial: self.initial.count(),
+            after_service_removal: self.after_service.count(),
+            after_contract_removal: self.after_contract.count(),
+            after_zero_volume: self.after_zero_volume.count(),
+        }
+    }
+}
+
 impl<'a> Refiner<'a> {
     /// Create a refiner reading account labels and bytecode from the given
     /// chain and registry, resolving dense ids through `interner`.

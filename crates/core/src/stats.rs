@@ -17,6 +17,24 @@ impl Cdf {
         Cdf { sorted }
     }
 
+    /// Build a CDF from samples already sorted by [`f64::total_cmp`] with no
+    /// NaNs — the incremental path's constructor: a maintained sorted
+    /// multiset produces the same bits as [`Cdf::new`] over the same values,
+    /// because `total_cmp` is a total order (equal elements are identical
+    /// bit patterns, so the sorted sequence is unique for a multiset).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the input really is sorted and NaN-free.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        debug_assert!(sorted.iter().all(|x| !x.is_nan()), "from_sorted input must be NaN-free");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "from_sorted input must be totally ordered"
+        );
+        Cdf { sorted }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

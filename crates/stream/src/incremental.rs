@@ -125,6 +125,13 @@ impl IncrementalGraphs {
         self.graphs.get(nft.index())
     }
 
+    /// The full [`NftKey`]-indexed graph table — the same shape batch
+    /// [`NftGraph::from_dataset`] builds, for callers running batch-path
+    /// code (e.g. the full-rescan reference report) over maintained graphs.
+    pub fn table(&self) -> &[NftGraph] {
+        &self.graphs
+    }
+
     /// Number of NFTs with a graph.
     pub fn len(&self) -> usize {
         self.graphs.len()

@@ -65,7 +65,9 @@
 pub mod cursor;
 pub mod incremental;
 pub mod live;
+pub mod tail;
 
 pub use cursor::{BlockCursor, EpochSpan};
 pub use incremental::{AppendDelta, IncrementalDataset, IncrementalGraphs};
 pub use live::{EpochDelta, LiveReport, NftStatus, StreamAnalyzer, StreamOptions};
+pub use tail::LegitVolumeSet;

@@ -18,25 +18,36 @@
 //! dense-id form until the per-epoch [`LiveReport`] is assembled — the same
 //! single resolve-at-report-boundary point the batch pipeline uses.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
-use ethsim::{BlockNumber, Wei};
+use ethsim::{Address, BlockNumber, Timestamp, Wei};
+use graphlib::PatternCatalogue;
 use ids::NftKey;
 use serde::{Deserialize, Serialize};
 use tokens::NftId;
-use washtrade::characterize::{characterize, Characterization};
+use washtrade::characterize::{
+    activity_facts, characterize, characterize_from_parts, ActivityFacts, Characterization,
+    CharacterizeBaseline,
+};
+use washtrade::dataset::NftMarketLeaves;
 use washtrade::detect::{DenseActivity, DetectionOutcome, Detector, MethodSet};
 use washtrade::parallel::Executor;
 use washtrade::pipeline::{AnalysisInput, AnalysisOptions};
+use washtrade::profit::{
+    analyze_resales, analyze_rewards, reduce_resales, reduce_rewards, resale_facts, reward_facts,
+    ResaleOutcome, ResaleReport, RewardOutcome, RewardReport,
+};
 use washtrade::refine::{
-    aggregate_refinements, DenseCandidate, NftRefinement, RefinementReport, Refiner,
+    aggregate_refinements, DenseCandidate, NftRefinement, RefinementAggregator, RefinementReport,
+    Refiner,
 };
 use washtrade::txgraph::NftGraph;
 use washtrade_serve::{Snapshot, SnapshotMeta, SnapshotPublisher, WashVolumes};
 
 use crate::cursor::BlockCursor;
 use crate::incremental::{IncrementalDataset, IncrementalGraphs};
+use crate::tail::{DenseMarketLeaves, DenseVolumeFold, LegitVolumeSet, TxIds};
 
 /// What one ingested epoch changed, as reported back to the caller and kept
 /// in [`LiveReport::epochs`].
@@ -66,6 +77,10 @@ pub struct EpochDelta {
     pub confirmed_total: usize,
     /// Wall-clock time of the epoch's ingestion + re-detection, nanoseconds.
     pub wall_time_ns: u64,
+    /// Wall-clock time of the epoch's report reassembly (the
+    /// refine-aggregate → detect → characterize → profit tail), nanoseconds
+    /// — the `reassemble_scaling` bench's incremental-path sample.
+    pub reassemble_ns: u64,
 }
 
 impl EpochDelta {
@@ -80,9 +95,10 @@ impl EpochDelta {
     }
 }
 
-/// The continuously maintained analysis state, exposing the same §IV-B/§IV-C
-/// and §V numbers as the batch `AnalysisReport` plus the per-epoch history.
-#[derive(Debug, Clone)]
+/// The continuously maintained analysis state, exposing the same §IV-B/§IV-C,
+/// §V and §VI numbers as the batch `AnalysisReport` plus the per-epoch
+/// history.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LiveReport {
     /// §IV-B: counts after each refinement stage.
     pub refinement: RefinementReport,
@@ -90,6 +106,10 @@ pub struct LiveReport {
     pub detection: DetectionOutcome,
     /// §V: volumes, temporal behaviour, patterns, serial traders.
     pub characterization: Characterization,
+    /// §VI-A: reward-system exploitation on the reward marketplaces.
+    pub rewards: RewardReport,
+    /// §VI-B: resale profitability on the remaining marketplaces.
+    pub resales: ResaleReport,
     /// Distinct NFTs with at least one compliant transfer.
     pub dataset_nfts: usize,
     /// Compliant transfers ingested.
@@ -152,13 +172,29 @@ impl StreamOptions {
     }
 }
 
-/// Cached per-NFT analysis state: the refinement outcome and the base
-/// detection evidence for each of its candidates, valid until the NFT's
-/// graph next changes.
+/// Cached per-NFT analysis state: the refinement outcome plus, per
+/// candidate, the base detection evidence and the characterize/profit leaf
+/// facts — everything the per-epoch reassembly folds, valid until the NFT's
+/// graph next changes. Candidates (with their aligned evidence and facts)
+/// are stored sorted by the batch sort key, so walking suspect NFTs in id
+/// order replays the exact batch candidate sequence with no global sort.
 #[derive(Debug, Clone)]
 struct NftState {
     refinement: NftRefinement,
     evidence: Vec<MethodSet>,
+    facts: Vec<CandidateFacts>,
+}
+
+/// The cached leaf facts of one candidate: the expensive per-candidate
+/// halves of characterize (§V) and profit (§VI), recomputed only when the
+/// candidate's NFT is dirtied. All three are pure functions of the candidate
+/// and append-only inputs (columns, graph, chain histories), which is what
+/// makes caching them across epochs sound.
+#[derive(Debug, Clone)]
+struct CandidateFacts {
+    characterize: ActivityFacts,
+    reward: Option<RewardOutcome>,
+    resale: Option<ResaleOutcome>,
 }
 
 /// The streaming analyzer: owns the cursor, the incremental layers, the
@@ -187,6 +223,32 @@ pub struct StreamAnalyzer<'a> {
     /// Per-NFT cache, indexed by [`NftKey`]; `None` for NFTs with no
     /// suspicious component at any stage.
     states: Vec<Option<NftState>>,
+    /// §IV-B counts maintained as states change — reading the refinement
+    /// report each epoch is O(1) instead of a rescan of every state.
+    refine_agg: RefinementAggregator,
+    /// NFTs with a cached state (suspects), keyed by resolved identity — the
+    /// reassembly walks this map to visit candidates in the exact order the
+    /// batch global sort produces.
+    suspects_by_id: BTreeMap<NftId, NftKey>,
+    /// Every known key sorted by resolved identity (the
+    /// `nft_keys_sorted_by_id` order), maintained by merging each epoch's
+    /// new key range — the Table I fold's iteration order.
+    nft_id_order: Vec<NftKey>,
+    /// How many interner keys `nft_id_order` covers.
+    known_keys: usize,
+    /// Cached per-NFT marketplace leaves (priced Table I rows) in dense
+    /// transaction-id form, indexed by [`NftKey`]; dirty NFTs are repriced,
+    /// clean ones keep their leaves.
+    market_leaves: Vec<Option<DenseMarketLeaves>>,
+    /// Dense transaction ids backing `market_leaves`: each hash is hashed
+    /// once when a dirty NFT's leaves are cached, so the per-epoch Table I
+    /// fold replay dedups through a bitset instead of a hash set.
+    tx_ids: TxIds,
+    /// Maintained collection→creation-time map (Fig. 5 baseline): per-NFT
+    /// first rows are immutable, so only dirty NFTs fold in.
+    collection_created: HashMap<Address, Timestamp>,
+    /// Maintained Fig. 3 legit-volume baseline multiset.
+    legit: LegitVolumeSet,
     confirmed_nfts: BTreeSet<NftId>,
     first_confirmed: HashMap<NftId, BlockNumber>,
     /// The confirmed activities still in dense-id form — what each epoch's
@@ -237,6 +299,8 @@ impl<'a> StreamAnalyzer<'a> {
             refinement: RefinementReport::default(),
             detection: DetectionOutcome::default(),
             characterization: characterize(&[], empty.dataset(), input.directory, input.oracle),
+            rewards: reduce_rewards(std::iter::empty(), input.directory),
+            resales: reduce_resales(std::iter::empty()),
             dataset_nfts: 0,
             dataset_transfers: 0,
             raw_transfer_events: 0,
@@ -253,6 +317,14 @@ impl<'a> StreamAnalyzer<'a> {
             dataset: empty,
             graphs: IncrementalGraphs::new(),
             states: Vec::new(),
+            refine_agg: RefinementAggregator::default(),
+            suspects_by_id: BTreeMap::new(),
+            nft_id_order: Vec::new(),
+            known_keys: 0,
+            market_leaves: Vec::new(),
+            tx_ids: TxIds::new(),
+            collection_created: HashMap::new(),
+            legit: LegitVolumeSet::new(),
             confirmed_nfts: BTreeSet::new(),
             first_confirmed: HashMap::new(),
             dense_confirmed: Vec::new(),
@@ -283,13 +355,18 @@ impl<'a> StreamAnalyzer<'a> {
             self.dataset.apply_span(self.input.chain, self.input.directory, span, &self.executor);
         self.graphs.sync(self.dataset.dataset(), &applied.dirty);
 
-        // Dirty-set re-detection: refinement and base evidence are pure per
-        // NFT, so only the touched graphs are recomputed, fanned out over the
-        // executor. `applied.dirty` is sorted, so the fan-out order — and
-        // with it every downstream artifact — is thread-count independent.
-        let interner = &self.dataset.dataset().interner;
-        let refiner = Refiner::new(self.input.chain, self.input.labels, interner);
-        let detector = Detector::new(self.input.chain, self.input.labels, interner);
+        // Dirty-set re-detection: refinement, base evidence and the
+        // characterize/profit leaf facts are pure per NFT, so only the
+        // touched graphs are recomputed, fanned out over the executor.
+        // `applied.dirty` is sorted, so the fan-out order — and with it
+        // every downstream artifact — is thread-count independent.
+        let dataset = self.dataset.dataset();
+        let interner = &dataset.interner;
+        let (chain, directory, oracle) =
+            (self.input.chain, self.input.directory, self.input.oracle);
+        let refiner = Refiner::new(chain, self.input.labels, interner);
+        let detector = Detector::new(chain, self.input.labels, interner);
+        let catalogue = PatternCatalogue::paper();
         let dirty_graphs: Vec<&NftGraph> = applied
             .dirty
             .iter()
@@ -297,27 +374,88 @@ impl<'a> StreamAnalyzer<'a> {
             .collect();
         let mut detect_trace = obs::trace::span("stream.refine_detect");
         detect_trace.attr("dirty", dirty_graphs.len() as u64);
-        let recomputed: Vec<(NftKey, NftState)> = self.executor.map(&dirty_graphs, |graph| {
-            let refinement = refiner.refine_nft(graph);
-            let evidence = refinement
-                .candidates
-                .iter()
-                .map(|candidate| detector.evaluate(candidate, Some(graph)))
-                .collect();
-            (graph.nft, NftState { refinement, evidence })
-        });
+        let recomputed: Vec<(NftKey, NftState, NftMarketLeaves)> =
+            self.executor.map(&dirty_graphs, |graph| {
+                let mut refinement = refiner.refine_nft(graph);
+                let mut entries: Vec<(DenseCandidate, MethodSet, CandidateFacts)> =
+                    std::mem::take(&mut refinement.candidates)
+                        .into_iter()
+                        .map(|candidate| {
+                            let evidence = detector.evaluate(&candidate, Some(graph));
+                            let facts = CandidateFacts {
+                                characterize: activity_facts(
+                                    &candidate, dataset, directory, oracle, &catalogue,
+                                ),
+                                reward: reward_facts(
+                                    &candidate, chain, directory, oracle, interner,
+                                ),
+                                resale: resale_facts(
+                                    &candidate,
+                                    chain,
+                                    directory,
+                                    oracle,
+                                    Some(graph),
+                                    interner,
+                                ),
+                            };
+                            (candidate, evidence, facts)
+                        })
+                        .collect();
+                // Store candidates in batch sort-key order: the key is
+                // strictly unique, so the reassembly's id-ordered walk over
+                // per-NFT sorted lists reproduces the global sorted sequence.
+                entries.sort_by_key(|(candidate, _, _)| candidate.sort_key(interner));
+                let mut evidence = Vec::with_capacity(entries.len());
+                let mut facts = Vec::with_capacity(entries.len());
+                for (candidate, methods, candidate_facts) in entries {
+                    refinement.candidates.push(candidate);
+                    evidence.push(methods);
+                    facts.push(candidate_facts);
+                }
+                let leaves = dataset.nft_market_leaves(graph.nft, oracle);
+                (graph.nft, NftState { refinement, evidence, facts }, leaves)
+            });
         detect_trace.finish();
         drop(dirty_graphs);
         let mut evaluate_reruns = 0u64;
-        for (nft, state) in recomputed {
+        for (nft, state, leaves) in recomputed {
             evaluate_reruns += state.evidence.len() as u64;
             if self.states.len() <= nft.index() {
                 self.states.resize_with(nft.index() + 1, || None);
             }
-            self.states[nft.index()] = if state.refinement.is_empty() { None } else { Some(state) };
+            if self.market_leaves.len() <= nft.index() {
+                self.market_leaves.resize_with(nft.index() + 1, || None);
+            }
+            self.market_leaves[nft.index()] =
+                Some(DenseMarketLeaves::from_leaves(&leaves, &mut self.tx_ids));
+            // Fig. 5 baseline: a dirty NFT has rows, and its first row's
+            // timestamp is immutable, so the min-fold is idempotent across
+            // re-dirtying.
+            if let Some(&first_row) = dataset.columns.rows_of(nft).first() {
+                let first_seen = dataset.columns.timestamp[first_row as usize];
+                let entry =
+                    self.collection_created.entry(interner.nft(nft).contract).or_insert(first_seen);
+                if first_seen < *entry {
+                    *entry = first_seen;
+                }
+            }
+            let slot = &mut self.states[nft.index()];
+            if let Some(old) = slot.take() {
+                self.refine_agg.remove(&old.refinement);
+            }
+            if state.refinement.is_empty() {
+                self.suspects_by_id.remove(&interner.nft(nft));
+            } else {
+                self.refine_agg.add(&state.refinement);
+                self.suspects_by_id.insert(interner.nft(nft), nft);
+                *slot = Some(state);
+            }
         }
 
+        let reassemble_started = Instant::now();
         self.reassemble(span.last);
+        let reassemble_ns =
+            u64::try_from(reassemble_started.elapsed().as_nanos().max(1)).unwrap_or(u64::MAX);
 
         // Delta bookkeeping.
         let now_confirmed: BTreeSet<NftId> =
@@ -346,6 +484,7 @@ impl<'a> StreamAnalyzer<'a> {
             lost_suspects,
             confirmed_total: self.live.detection.confirmed.len(),
             wall_time_ns: u64::try_from(started.elapsed().as_nanos().max(1)).unwrap_or(u64::MAX),
+            reassemble_ns,
         };
         if obs::recording() {
             obs::counter!("stream.epochs");
@@ -506,37 +645,112 @@ impl<'a> StreamAnalyzer<'a> {
     }
 
     /// Re-assemble the global artifacts from the per-NFT caches, mirroring
-    /// the batch pipeline's refine → detect → characterize tail over the
-    /// ingested prefix. Candidates stay dense throughout; the resolved
-    /// [`DetectionOutcome`] for the [`LiveReport`] is produced at the end —
-    /// the same single resolution point the batch report assembly uses.
+    /// the batch pipeline's refine → detect → characterize → profit tail over
+    /// the ingested prefix — but at dirty-set cost: every expensive
+    /// per-candidate and per-row value is read from a maintained cache, and
+    /// only the final folds (which replay the exact batch accumulation order,
+    /// so every float comes out bit-identical) run over the full suspect set.
+    /// Candidates stay dense throughout; the resolved [`DetectionOutcome`]
+    /// for the [`LiveReport`] is produced at the end — the same single
+    /// resolution point the batch report assembly uses.
     fn reassemble(&mut self, last_block: BlockNumber) {
         let _reassemble_span = obs::span!("stream.reassemble_ns");
         let _reassemble_trace = obs::trace::span("stream.reassemble");
         let dataset = self.dataset.dataset();
         let interner = &dataset.interner;
-        self.live.refinement =
-            aggregate_refinements(self.states.iter().flatten().map(|state| &state.refinement));
+        let (directory, oracle) = (self.input.directory, self.input.oracle);
 
-        // Candidates flattened in NFT-key order, then sorted by the same
-        // resolved key the batch refiner uses — a stable sort over a strict
-        // total order, so the live candidate sequence is identical to the
-        // batch one.
-        let mut pairs: Vec<(DenseCandidate, MethodSet)> = self
-            .states
-            .iter()
-            .flatten()
-            .flat_map(|state| {
-                state.refinement.candidates.iter().cloned().zip(state.evidence.iter().copied())
-            })
-            .collect();
-        pairs.sort_by_key(|(candidate, _)| candidate.sort_key(interner));
-        let (candidates, evidence): (Vec<DenseCandidate>, Vec<MethodSet>) =
-            pairs.into_iter().unzip();
-        let detection = Detector::assemble(&candidates, evidence);
+        // §IV-B: the maintained aggregate already holds the report.
+        {
+            let _span = obs::span!("stream.reassemble.refine_agg_ns");
+            self.live.refinement = self.refine_agg.report();
+        }
 
+        // §IV-C/D: walk suspect NFTs in resolved-id order; per-NFT candidate
+        // lists are stored sorted by the batch sort key, whose leading
+        // component is the NFT id — so this concatenation *is* the batch
+        // global sort, with no per-epoch sort or candidate clone.
+        let _detect_span = obs::span!("stream.reassemble.detect_ns");
+        let mut pairs: Vec<(&DenseCandidate, MethodSet)> = Vec::new();
+        let mut pair_facts: Vec<&CandidateFacts> = Vec::new();
+        for &key in self.suspects_by_id.values() {
+            let state = self.states[key.index()].as_ref().expect("suspect NFT has a cached state");
+            for ((candidate, methods), facts) in
+                state.refinement.candidates.iter().zip(&state.evidence).zip(&state.facts)
+            {
+                pairs.push((candidate, *methods));
+                pair_facts.push(facts);
+            }
+        }
+        let (detection, confirmed_indices) = Detector::assemble_indexed(&pairs);
+        let confirmed_facts: Vec<&CandidateFacts> =
+            confirmed_indices.iter().map(|&index| pair_facts[index as usize]).collect();
+        drop(_detect_span);
+
+        // §V: characterization from cached leaves + maintained baselines.
+        let _characterize_span = obs::span!("stream.reassemble.characterize_ns");
+        // Extend the id-sorted key order with this epoch's new keys: the
+        // interner is append-only, so they are exactly the tail range.
+        let nft_count = interner.nft_count();
+        if self.known_keys < nft_count {
+            let mut fresh: Vec<NftKey> =
+                (self.known_keys..nft_count).map(|index| NftKey(index as u32)).collect();
+            fresh.sort_by_key(|&key| interner.nft(key));
+            let mut merged = Vec::with_capacity(self.nft_id_order.len() + fresh.len());
+            let mut old = self.nft_id_order.iter().copied().peekable();
+            let mut new = fresh.into_iter().peekable();
+            while let (Some(&a), Some(&b)) = (old.peek(), new.peek()) {
+                if interner.nft(a) <= interner.nft(b) {
+                    merged.push(a);
+                    old.next();
+                } else {
+                    merged.push(b);
+                    new.next();
+                }
+            }
+            merged.extend(old);
+            merged.extend(new);
+            self.nft_id_order = merged;
+            self.known_keys = nft_count;
+        }
+        // Fig. 3 baseline: price only the new rows, flip only the rows whose
+        // wash status the confirmed-set transition changed.
+        self.legit.append_rows(dataset, oracle);
+        self.legit.apply_confirmed_delta(&self.dense_confirmed, &detection.confirmed);
+        // Table I totals: replay the batch fold over cached per-NFT leaves in
+        // the same id-sorted order (only dirty NFTs were repriced). Dense
+        // transaction ids make the per-transaction dedup a bitset probe, but
+        // every dedup verdict — and so every f64 add, in the same order —
+        // matches the batch fold's bit for bit.
+        let mut fold = DenseVolumeFold::new(interner.market_count());
+        for &key in &self.nft_id_order {
+            if let Some(leaves) = self.market_leaves.get(key.index()).and_then(Option::as_ref) {
+                fold.add(leaves);
+            }
+        }
+        let market_totals = fold.totals(directory, interner);
+        let baseline = CharacterizeBaseline {
+            market_totals,
+            legit_volume_cdf: self.legit.cdf(),
+            collection_created: self.collection_created.clone(),
+        };
+        let facts: Vec<ActivityFacts> =
+            confirmed_facts.iter().map(|facts| facts.characterize.clone()).collect();
         self.live.characterization =
-            characterize(&detection.confirmed, dataset, self.input.directory, self.input.oracle);
+            characterize_from_parts(&detection.confirmed, &facts, baseline);
+        drop(_characterize_span);
+
+        // §VI: profit reduces over cached outcomes, in confirmed order.
+        {
+            let _span = obs::span!("stream.reassemble.profit_ns");
+            self.live.rewards = reduce_rewards(
+                confirmed_facts.iter().filter_map(|facts| facts.reward.as_ref()),
+                directory,
+            );
+            self.live.resales =
+                reduce_resales(confirmed_facts.iter().filter_map(|facts| facts.resale.as_ref()));
+        }
+
         self.live.detection = detection.resolve(interner);
         let previous = std::mem::replace(&mut self.dense_confirmed, detection.confirmed);
         // The next snapshot's delta base: which NFTs' confirmed activities
@@ -555,6 +769,64 @@ impl<'a> StreamAnalyzer<'a> {
     /// The live report as of the last ingested epoch.
     pub fn report(&self) -> &LiveReport {
         &self.live
+    }
+
+    /// Rebuild the current live report from scratch — the pre-incremental
+    /// full-rescan tail: flatten and globally sort every cached candidate,
+    /// re-run the leverage pass, then recompute characterization and both
+    /// profit analyses over the full confirmed set with no cached leaves.
+    /// This is the incremental reassembly's reference: the result must be
+    /// bit-identical to [`StreamAnalyzer::report`] after every epoch (the
+    /// equivalence suite asserts it), and the `reassemble_scaling` bench
+    /// times the incremental path against it.
+    pub fn rebuild_full_report(&self) -> LiveReport {
+        let dataset = self.dataset.dataset();
+        let interner = &dataset.interner;
+        let refinement =
+            aggregate_refinements(self.states.iter().flatten().map(|state| &state.refinement));
+        let mut pairs: Vec<(DenseCandidate, MethodSet)> = self
+            .states
+            .iter()
+            .flatten()
+            .flat_map(|state| {
+                state.refinement.candidates.iter().cloned().zip(state.evidence.iter().copied())
+            })
+            .collect();
+        pairs.sort_by_key(|(candidate, _)| candidate.sort_key(interner));
+        let (candidates, evidence): (Vec<DenseCandidate>, Vec<MethodSet>) =
+            pairs.into_iter().unzip();
+        let detection = Detector::assemble(&candidates, evidence);
+        let characterization =
+            characterize(&detection.confirmed, dataset, self.input.directory, self.input.oracle);
+        let rewards = analyze_rewards(
+            &detection.confirmed,
+            self.input.chain,
+            self.input.directory,
+            self.input.oracle,
+            interner,
+        );
+        let resales = analyze_resales(
+            &detection.confirmed,
+            self.input.chain,
+            self.input.directory,
+            self.input.oracle,
+            self.graphs.table(),
+            interner,
+        );
+        LiveReport {
+            refinement,
+            characterization,
+            rewards,
+            resales,
+            detection: detection.resolve(interner),
+            dataset_nfts: dataset.nft_count(),
+            dataset_transfers: dataset.transfer_count(),
+            raw_transfer_events: dataset.raw_transfer_events,
+            compliant_contracts: dataset.compliant_contracts.len(),
+            non_compliant_contracts: dataset.non_compliant_contracts.len(),
+            watermark: self.live.watermark,
+            epochs: self.live.epochs.clone(),
+        }
     }
 
     /// Whether every block currently on the chain has been ingested.
